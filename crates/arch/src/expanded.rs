@@ -1,0 +1,218 @@
+//! The expanded ("interaction") architecture graph of §4.1.
+//!
+//! Every physical unit is treated as if it were a ququart and expands into
+//! two connected *slots* (encoded-qubit positions). Both slots connect to
+//! every slot of every adjacent unit, giving `2V` vertices and `4E + V`
+//! edges for a physical topology with `V` units and `E` couplings.
+
+use crate::topology::Topology;
+use core::fmt;
+
+/// Which encoded position inside a physical unit a logical qubit occupies.
+///
+/// Slot 0 is the position a bare qubit uses; slot 1 only ever holds the
+/// second qubit of an encoded ququart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum SlotIndex {
+    /// First encoded position (`q0` in `|q0 q1⟩`).
+    Zero,
+    /// Second encoded position (`q1`).
+    One,
+}
+
+impl SlotIndex {
+    /// Converts to `0` or `1`.
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        match self {
+            SlotIndex::Zero => 0,
+            SlotIndex::One => 1,
+        }
+    }
+
+    /// The other slot of the same unit.
+    #[inline]
+    pub fn other(self) -> SlotIndex {
+        match self {
+            SlotIndex::Zero => SlotIndex::One,
+            SlotIndex::One => SlotIndex::Zero,
+        }
+    }
+}
+
+/// A slot in the expanded graph: `(physical node, slot index)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Slot {
+    /// Physical unit index in the underlying [`Topology`].
+    pub node: usize,
+    /// Position within the unit.
+    pub slot: SlotIndex,
+}
+
+impl Slot {
+    /// Creates a slot.
+    pub fn new(node: usize, slot: SlotIndex) -> Self {
+        Slot { node, slot }
+    }
+
+    /// Slot 0 of a node.
+    pub fn zero(node: usize) -> Self {
+        Slot::new(node, SlotIndex::Zero)
+    }
+
+    /// Slot 1 of a node.
+    pub fn one(node: usize) -> Self {
+        Slot::new(node, SlotIndex::One)
+    }
+
+    /// Dense index in `0..2V` (`2*node + slot`).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.node * 2 + self.slot.as_usize()
+    }
+
+    /// Inverse of [`Slot::index`].
+    #[inline]
+    pub fn from_index(idx: usize) -> Self {
+        Slot {
+            node: idx / 2,
+            slot: if idx.is_multiple_of(2) {
+                SlotIndex::Zero
+            } else {
+                SlotIndex::One
+            },
+        }
+    }
+
+    /// The sibling slot within the same physical unit.
+    #[inline]
+    pub fn sibling(self) -> Slot {
+        Slot::new(self.node, self.slot.other())
+    }
+}
+
+impl fmt::Display for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}[{}]", self.node, self.slot.as_usize())
+    }
+}
+
+/// The expanded slot-level graph of a [`Topology`].
+#[derive(Debug, Clone)]
+pub struct ExpandedGraph {
+    topology: Topology,
+    /// Adjacency over slot indices.
+    adj: Vec<Vec<usize>>,
+}
+
+impl ExpandedGraph {
+    /// Expands a physical topology into its slot graph.
+    pub fn new(topology: Topology) -> Self {
+        let v = topology.n_nodes();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); 2 * v];
+        // Internal edge per unit.
+        for node in 0..v {
+            let a = Slot::zero(node).index();
+            let b = Slot::one(node).index();
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        // Four cross edges per physical coupling.
+        for &(p, q) in topology.edges() {
+            for sp in [Slot::zero(p), Slot::one(p)] {
+                for sq in [Slot::zero(q), Slot::one(q)] {
+                    adj[sp.index()].push(sq.index());
+                    adj[sq.index()].push(sp.index());
+                }
+            }
+        }
+        ExpandedGraph { topology, adj }
+    }
+
+    /// The underlying physical topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Number of slots (`2V`).
+    pub fn n_slots(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected slot edges (`4E + V`).
+    pub fn n_edges(&self) -> usize {
+        self.adj.iter().map(|n| n.len()).sum::<usize>() / 2
+    }
+
+    /// Slots adjacent to `s` (includes the sibling slot).
+    pub fn neighbors(&self, s: Slot) -> impl Iterator<Item = Slot> + '_ {
+        self.adj[s.index()].iter().map(|&i| Slot::from_index(i))
+    }
+
+    /// Whether two slots can interact directly: same unit, or units coupled
+    /// in the physical topology.
+    pub fn slots_adjacent(&self, a: Slot, b: Slot) -> bool {
+        if a == b {
+            return false;
+        }
+        a.node == b.node || self.topology.has_edge(a.node, b.node)
+    }
+
+    /// All slots.
+    pub fn slots(&self) -> impl Iterator<Item = Slot> + '_ {
+        (0..self.n_slots()).map(Slot::from_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_index_roundtrip() {
+        for idx in 0..10 {
+            assert_eq!(Slot::from_index(idx).index(), idx);
+        }
+        assert_eq!(Slot::zero(3).index(), 6);
+        assert_eq!(Slot::one(3).index(), 7);
+        assert_eq!(Slot::one(3).sibling(), Slot::zero(3));
+    }
+
+    #[test]
+    fn expansion_counts_match_paper_formula() {
+        // 2V nodes and 4E + V edges (§4.1).
+        for topo in [Topology::grid(9), Topology::ring(6), Topology::heavy_hex_65()] {
+            let v = topo.n_nodes();
+            let e = topo.n_edges();
+            let ex = ExpandedGraph::new(topo);
+            assert_eq!(ex.n_slots(), 2 * v);
+            assert_eq!(ex.n_edges(), 4 * e + v);
+        }
+    }
+
+    #[test]
+    fn encoded_qubit_connectivity() {
+        // A ququart adjacent to n others: each encoded qubit connects to
+        // 2n + 1 other slots (§4.1).
+        let topo = Topology::grid(9); // center node 4 has 4 neighbors
+        let ex = ExpandedGraph::new(topo);
+        let n_neighbors = ex.neighbors(Slot::zero(4)).count();
+        assert_eq!(n_neighbors, 2 * 4 + 1);
+    }
+
+    #[test]
+    fn slots_adjacent_semantics() {
+        let ex = ExpandedGraph::new(Topology::line(3));
+        assert!(ex.slots_adjacent(Slot::zero(0), Slot::one(0)));
+        assert!(ex.slots_adjacent(Slot::one(0), Slot::one(1)));
+        assert!(!ex.slots_adjacent(Slot::zero(0), Slot::zero(2)));
+        assert!(!ex.slots_adjacent(Slot::zero(1), Slot::zero(1)));
+    }
+
+    #[test]
+    fn display_form() {
+        assert_eq!(format!("{}", Slot::one(7)), "u7[1]");
+    }
+}

@@ -1,0 +1,278 @@
+//! Physical device topologies used in the paper's evaluation (§6.1):
+//! near-square grids sized to the circuit, the 65-qubit IBM heavy-hex
+//! lattice, and a 65-node ring.
+
+use core::fmt;
+
+/// A physical coupling graph: nodes are transmons (each usable as a qubit or
+/// a ququart), edges are allowed two-unit interactions.
+///
+/// ```
+/// use qompress_arch::Topology;
+/// let grid = Topology::grid(9);
+/// assert_eq!(grid.n_nodes(), 9);
+/// assert!(grid.has_edge(0, 1));
+/// assert!(grid.has_edge(0, 3)); // 3x3 grid: vertical neighbor
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Topology {
+    name: String,
+    n_nodes: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl Topology {
+    /// Creates a topology from an explicit edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints or self loops.
+    pub fn from_edges(name: impl Into<String>, n_nodes: usize, edges: Vec<(usize, usize)>) -> Self {
+        let mut normalized = Vec::with_capacity(edges.len());
+        for (a, b) in edges {
+            assert!(a < n_nodes && b < n_nodes, "edge endpoint out of range");
+            assert_ne!(a, b, "self loop in topology");
+            let e = (a.min(b), a.max(b));
+            if !normalized.contains(&e) {
+                normalized.push(e);
+            }
+        }
+        Topology {
+            name: name.into(),
+            n_nodes,
+            edges: normalized,
+        }
+    }
+
+    /// The paper's evaluation mesh: a `⌈√n⌉ × ⌈n/⌈√n⌉⌉` rectangular grid
+    /// with at least `n` nodes — "just large enough for the circuit".
+    pub fn grid(n: usize) -> Self {
+        assert!(n > 0, "grid needs at least one node");
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let rows = n.div_ceil(cols);
+        let total = rows * cols;
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = r * cols + c;
+                if c + 1 < cols {
+                    edges.push((v, v + 1));
+                }
+                if r + 1 < rows {
+                    edges.push((v, v + cols));
+                }
+            }
+        }
+        Topology::from_edges(format!("grid-{rows}x{cols}"), total, edges)
+    }
+
+    /// A ring of `n` nodes.
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "ring needs at least three nodes");
+        let edges = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        Topology::from_edges(format!("ring-{n}"), n, edges)
+    }
+
+    /// A line of `n` nodes.
+    pub fn line(n: usize) -> Self {
+        assert!(n >= 1, "line needs at least one node");
+        let edges = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        Topology::from_edges(format!("line-{n}"), n, edges)
+    }
+
+    /// The 65-qubit IBM heavy-hex coupling map (Hummingbird family — the
+    /// paper's "IBM Ithaca" device): four long rows of 10-11 qubits joined
+    /// by bridge qubits.
+    pub fn heavy_hex_65() -> Self {
+        let edges: Vec<(usize, usize)> = vec![
+            // row 0
+            (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9),
+            // bridges row0 -> row1
+            (0, 10), (4, 11), (8, 12),
+            (10, 13), (11, 17), (12, 21),
+            // row 1
+            (13, 14), (14, 15), (15, 16), (16, 17), (17, 18), (18, 19), (19, 20),
+            (20, 21), (21, 22), (22, 23),
+            // bridges row1 -> row2
+            (15, 24), (19, 25), (23, 26),
+            (24, 29), (25, 33), (26, 37),
+            // row 2
+            (27, 28), (28, 29), (29, 30), (30, 31), (31, 32), (32, 33), (33, 34),
+            (34, 35), (35, 36), (36, 37),
+            // bridges row2 -> row3
+            (27, 38), (31, 39), (35, 40),
+            (38, 41), (39, 45), (40, 49),
+            // row 3
+            (41, 42), (42, 43), (43, 44), (44, 45), (45, 46), (46, 47), (47, 48),
+            (48, 49), (49, 50), (50, 51),
+            // bridges row3 -> row4
+            (43, 52), (47, 53), (51, 54),
+            (52, 56), (53, 60), (54, 64),
+            // row 4
+            (55, 56), (56, 57), (57, 58), (58, 59), (59, 60), (60, 61), (61, 62),
+            (62, 63), (63, 64),
+        ];
+        Topology::from_edges("heavy-hex-65", 65, edges)
+    }
+
+    /// Human-readable topology name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of physical units.
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Normalized edge list (`a < b`).
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Number of coupling edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` when `a` and `b` are coupled.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        let e = (a.min(b), a.max(b));
+        self.edges.contains(&e)
+    }
+
+    /// Neighbors of a node.
+    pub fn neighbors(&self, v: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .edges
+            .iter()
+            .filter_map(|&(a, b)| {
+                if a == v {
+                    Some(b)
+                } else if b == v {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Unweighted graph view (for BFS / center computations).
+    pub fn to_ugraph(&self) -> qompress_circuit::graph::UGraph {
+        let mut g = qompress_circuit::graph::UGraph::new(self.n_nodes);
+        for &(a, b) in &self.edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// The median node (minimum total BFS distance) — where mapping starts.
+    pub fn center(&self) -> usize {
+        self.to_ugraph().center()
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} nodes, {} edges)",
+            self.name,
+            self.n_nodes,
+            self.edges.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_dimensions_cover_request() {
+        for n in [1usize, 2, 5, 9, 12, 16, 30, 40] {
+            let g = Topology::grid(n);
+            assert!(g.n_nodes() >= n, "grid({n}) too small: {}", g.n_nodes());
+            // Never more than one extra row's worth of slack.
+            let cols = (n as f64).sqrt().ceil() as usize;
+            assert!(g.n_nodes() < n + cols);
+        }
+    }
+
+    #[test]
+    fn grid_3x3_structure() {
+        let g = Topology::grid(9);
+        assert_eq!(g.n_nodes(), 9);
+        assert_eq!(g.n_edges(), 12);
+        assert!(g.has_edge(4, 1));
+        assert!(g.has_edge(4, 3));
+        assert!(g.has_edge(4, 5));
+        assert!(g.has_edge(4, 7));
+        assert!(!g.has_edge(0, 4));
+        assert_eq!(g.center(), 4);
+    }
+
+    #[test]
+    fn ring_degree_is_two() {
+        let r = Topology::ring(65);
+        assert_eq!(r.n_nodes(), 65);
+        assert_eq!(r.n_edges(), 65);
+        for v in 0..65 {
+            assert_eq!(r.neighbors(v).len(), 2);
+        }
+    }
+
+    #[test]
+    fn heavy_hex_is_the_65q_hummingbird() {
+        let h = Topology::heavy_hex_65();
+        assert_eq!(h.n_nodes(), 65);
+        assert_eq!(h.n_edges(), 72);
+        // Degree bounded by 3 in heavy-hex.
+        for v in 0..65 {
+            let d = h.neighbors(v).len();
+            assert!((1..=3).contains(&d), "node {v} degree {d}");
+        }
+        // Spot checks against the published coupling map.
+        assert!(h.has_edge(0, 10));
+        assert!(h.has_edge(10, 13));
+        assert!(h.has_edge(52, 56));
+        assert!(!h.has_edge(9, 10));
+    }
+
+    #[test]
+    fn heavy_hex_is_connected() {
+        let h = Topology::heavy_hex_65();
+        let d = h.to_ugraph().bfs_distances(0);
+        assert!(d.iter().all(|&x| x != usize::MAX));
+    }
+
+    #[test]
+    fn line_endpoints_have_degree_one() {
+        let l = Topology::line(5);
+        assert_eq!(l.neighbors(0), vec![1]);
+        assert_eq!(l.neighbors(4), vec![3]);
+        assert_eq!(l.center(), 2);
+    }
+
+    #[test]
+    fn from_edges_dedups() {
+        let t = Topology::from_edges("t", 3, vec![(0, 1), (1, 0), (0, 1)]);
+        assert_eq!(t.n_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self loop")]
+    fn from_edges_rejects_self_loop() {
+        Topology::from_edges("bad", 2, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        let t = Topology::ring(5);
+        assert!(format!("{t}").contains("ring-5"));
+    }
+}

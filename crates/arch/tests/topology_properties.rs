@@ -1,0 +1,78 @@
+//! Property-based tests of the architecture layer: the expansion formulas
+//! of §4.1 and structural invariants must hold for every topology.
+
+use proptest::prelude::*;
+use qompress_arch::{ExpandedGraph, Slot, Topology};
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (1usize..50).prop_map(Topology::grid),
+        (3usize..50).prop_map(Topology::ring),
+        (1usize..50).prop_map(Topology::line),
+        Just(Topology::heavy_hex_65()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn expansion_counts_hold(topo in arb_topology()) {
+        let v = topo.n_nodes();
+        let e = topo.n_edges();
+        let ex = ExpandedGraph::new(topo);
+        prop_assert_eq!(ex.n_slots(), 2 * v);
+        prop_assert_eq!(ex.n_edges(), 4 * e + v);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric(topo in arb_topology()) {
+        for &(a, b) in topo.edges() {
+            prop_assert!(topo.has_edge(a, b));
+            prop_assert!(topo.has_edge(b, a));
+            prop_assert!(topo.neighbors(a).contains(&b));
+            prop_assert!(topo.neighbors(b).contains(&a));
+        }
+    }
+
+    #[test]
+    fn slot_adjacency_matches_unit_adjacency(topo in arb_topology()) {
+        let ex = ExpandedGraph::new(topo.clone());
+        for &(a, b) in topo.edges().iter().take(16) {
+            prop_assert!(ex.slots_adjacent(Slot::zero(a), Slot::zero(b)));
+            prop_assert!(ex.slots_adjacent(Slot::one(a), Slot::one(b)));
+            prop_assert!(ex.slots_adjacent(Slot::zero(a), Slot::one(b)));
+        }
+        for u in 0..topo.n_nodes().min(16) {
+            prop_assert!(ex.slots_adjacent(Slot::zero(u), Slot::one(u)));
+        }
+    }
+
+    #[test]
+    fn encoded_qubit_connectivity_formula(topo in arb_topology()) {
+        // Paper §4.1: a ququart with n physical neighbors gives each
+        // encoded qubit 2n + 1 connections.
+        let ex = ExpandedGraph::new(topo.clone());
+        for u in 0..topo.n_nodes().min(12) {
+            let n = topo.neighbors(u).len();
+            prop_assert_eq!(ex.neighbors(Slot::zero(u)).count(), 2 * n + 1);
+            prop_assert_eq!(ex.neighbors(Slot::one(u)).count(), 2 * n + 1);
+        }
+    }
+
+    #[test]
+    fn center_is_reachable_from_everywhere(topo in arb_topology()) {
+        let center = topo.center();
+        let d = topo.to_ugraph().bfs_distances(center);
+        // Grids/rings/lines/heavy-hex are all connected.
+        prop_assert!(d.iter().all(|&x| x != usize::MAX));
+    }
+
+    #[test]
+    fn grid_is_near_square(n in 1usize..60) {
+        let g = Topology::grid(n);
+        prop_assert!(g.n_nodes() >= n);
+        let cols = (n as f64).sqrt().ceil() as usize;
+        prop_assert!(g.n_nodes() < n + cols);
+    }
+}

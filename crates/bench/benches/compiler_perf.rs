@@ -1,0 +1,81 @@
+//! Criterion benchmarks of the compiler's classical performance: mapping,
+//! routing and full strategy pipelines (the paper discusses the classical
+//! scalability of EC vs the cheaper strategies, §5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qompress::{compile, compile_with_options, CompilerConfig, MappingOptions, Strategy};
+use qompress_arch::Topology;
+use qompress_workloads::{build, Benchmark};
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let config = CompilerConfig::paper();
+    let mut group = c.benchmark_group("compile_cuccaro");
+    for size in [10usize, 20, 30] {
+        let circuit = build(Benchmark::Cuccaro, size, 7);
+        let topo = Topology::grid(size);
+        for strategy in [Strategy::QubitOnly, Strategy::Eqm, Strategy::RingBased] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), size),
+                &size,
+                |b, _| {
+                    b.iter(|| compile(&circuit, &topo, strategy, &config));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_mapping_only(c: &mut Criterion) {
+    let config = CompilerConfig::paper();
+    let mut group = c.benchmark_group("mapping");
+    for size in [16usize, 32] {
+        let circuit = build(Benchmark::QaoaTorus, size, 7);
+        let topo = Topology::grid(size);
+        group.bench_with_input(BenchmarkId::new("eqm", size), &size, |b, _| {
+            b.iter(|| {
+                qompress::map_circuit(&circuit, &topo, &config, &MappingOptions::eqm())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_strategy_search(c: &mut Criterion) {
+    let config = CompilerConfig::paper();
+    let circuit = build(Benchmark::Cuccaro, 12, 7);
+    let topo = Topology::grid(12);
+    let mut group = c.benchmark_group("strategy_search");
+    group.sample_size(10);
+    group.bench_function("pp", |b| {
+        b.iter(|| compile(&circuit, &topo, Strategy::ProgressivePairing, &config));
+    });
+    group.bench_function("ec_one_round", |b| {
+        b.iter(|| {
+            qompress::compile_exhaustive(
+                &circuit,
+                &topo,
+                &config,
+                &qompress::ExhaustiveOptions {
+                    ordered: true,
+                    max_rounds: 1,
+                    ..Default::default()
+                },
+            )
+        });
+    });
+    group.bench_function("qubit_only_pipeline", |b| {
+        b.iter(|| {
+            compile_with_options(&circuit, &topo, &config, &MappingOptions::qubit_only())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_full_pipeline,
+    bench_mapping_only,
+    bench_strategy_search
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure 7: Expected *gate* probability of success for every benchmark,
+//! per strategy, relative to qubit-only compilation on the same
+//! just-large-enough grid.
+//!
+//! Paper shape to reproduce: FQ consistently below 1.0; EQM/RB > 1.5x on
+//! CNU and Cuccaro; ~up to 1.2x on graph benchmarks; EQM the most
+//! consistent performer.
+
+use qompress::{CompilerConfig, Strategy};
+use qompress_bench::{
+    compile_point, ec_sizes, fmt, relative, sweep_sizes, ResultSink, LINE_STRATEGIES,
+};
+use qompress_workloads::ALL_BENCHMARKS;
+
+fn main() {
+    let config = CompilerConfig::paper();
+    let mut sink = ResultSink::create(
+        "fig07_gate_eps",
+        &[
+            "benchmark",
+            "size",
+            "strategy",
+            "gate_eps",
+            "relative_to_qubit_only",
+        ],
+    );
+    for bench in ALL_BENCHMARKS {
+        for &size in &sweep_sizes() {
+            let baseline = compile_point(bench, size, Strategy::QubitOnly, &config);
+            for strategy in LINE_STRATEGIES {
+                let r = if strategy == Strategy::QubitOnly {
+                    baseline.clone()
+                } else {
+                    compile_point(bench, size, strategy, &config)
+                };
+                sink.row(&[
+                    bench.name().into(),
+                    size.to_string(),
+                    strategy.name().into(),
+                    fmt(r.metrics.gate_eps),
+                    fmt(relative(r.metrics.gate_eps, baseline.metrics.gate_eps)),
+                ]);
+            }
+            if ec_sizes().contains(&size) {
+                let ec = compile_point(bench, size, Strategy::Exhaustive { ordered: true }, &config);
+                sink.row(&[
+                    bench.name().into(),
+                    size.to_string(),
+                    "ec".into(),
+                    fmt(ec.metrics.gate_eps),
+                    fmt(relative(ec.metrics.gate_eps, baseline.metrics.gate_eps)),
+                ]);
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Figure 8: the distribution of gate types for a 30-qubit torus QAOA
+//! circuit under each pairing strategy.
+//!
+//! Paper shape: overall counts are similar, but EQM uses many more internal
+//! CX gates, while AWE/PP lean on partial CXs and extra SWAP variants.
+
+use qompress::{CompilerConfig, Strategy};
+use qompress_bench::{compile_point, ResultSink};
+use qompress_pulse::{GateClass, ALL_GATE_CLASSES};
+use qompress_workloads::Benchmark;
+
+fn main() {
+    let config = CompilerConfig::paper();
+    let strategies = [
+        Strategy::QubitOnly,
+        Strategy::Eqm,
+        Strategy::RingBased,
+        Strategy::Awe,
+        Strategy::ProgressivePairing,
+    ];
+    let mut header: Vec<&str> = vec!["strategy", "total_ops"];
+    let names: Vec<String> = ALL_GATE_CLASSES
+        .iter()
+        .map(|c| c.paper_name().to_string())
+        .collect();
+    header.extend(names.iter().map(String::as_str));
+    let mut sink = ResultSink::create("fig08_gate_distribution", &header);
+
+    for strategy in strategies {
+        let r = compile_point(Benchmark::QaoaTorus, 30, strategy, &config);
+        let mut row = vec![strategy.name().to_string(), r.metrics.total_ops().to_string()];
+        for class in ALL_GATE_CLASSES {
+            row.push(r.metrics.count(class).to_string());
+        }
+        sink.row(&row);
+        // Headline numbers the paper calls out in §7.
+        let internal = r.metrics.count(GateClass::Cx0) + r.metrics.count(GateClass::Cx1);
+        let partial_cx = r.metrics.count(GateClass::CxE0Bare)
+            + r.metrics.count(GateClass::CxE1Bare)
+            + r.metrics.count(GateClass::CxBareE0)
+            + r.metrics.count(GateClass::CxBareE1)
+            + r.metrics.count(GateClass::Cx00)
+            + r.metrics.count(GateClass::Cx01)
+            + r.metrics.count(GateClass::Cx10)
+            + r.metrics.count(GateClass::Cx11);
+        println!(
+            "# {}: internal CX = {internal}, partial CX = {partial_cx}, communication = {}",
+            strategy.name(),
+            r.metrics.communication_ops
+        );
+    }
+}

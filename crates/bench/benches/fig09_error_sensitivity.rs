@@ -1,0 +1,62 @@
+//! Figure 9: gate EPS as bare-qubit gate error improves while ququart gate
+//! error stays fixed, for the Cuccaro adder and cylinder QAOA.
+//!
+//! Paper shape: strategies keep their relative order but see diminishing
+//! returns; a crossover factor exists where qubit-only compilation
+//! overtakes ququart compilation.
+
+use qompress::{CompilerConfig, Strategy};
+use qompress_bench::{compile_point, fmt, relative, ResultSink};
+use qompress_workloads::Benchmark;
+
+fn main() {
+    let base = CompilerConfig::paper();
+    let factors = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+    let strategies = [Strategy::Eqm, Strategy::RingBased, Strategy::Awe];
+    let size = 12;
+    let mut sink = ResultSink::create(
+        "fig09_error_sensitivity",
+        &[
+            "benchmark",
+            "improvement_factor",
+            "strategy",
+            "gate_eps",
+            "relative_to_qubit_only",
+        ],
+    );
+
+    for bench in [Benchmark::Cuccaro, Benchmark::QaoaCylinder] {
+        let mut crossover: Option<f64> = None;
+        for &factor in &factors {
+            let config = base.with_library(base.library.with_qubit_error_improved(factor));
+            let baseline = compile_point(bench, size, Strategy::QubitOnly, &config);
+            let mut best_rel = 0.0f64;
+            for strategy in strategies {
+                let r = compile_point(bench, size, strategy, &config);
+                let rel = relative(r.metrics.gate_eps, baseline.metrics.gate_eps);
+                best_rel = best_rel.max(rel);
+                sink.row(&[
+                    bench.name().into(),
+                    factor.to_string(),
+                    strategy.name().into(),
+                    fmt(r.metrics.gate_eps),
+                    fmt(rel),
+                ]);
+            }
+            if best_rel <= 1.0 && crossover.is_none() {
+                crossover = Some(factor);
+            }
+        }
+        match crossover {
+            Some(f) => println!(
+                "# {}: qubit-only overtakes ququart compilation at ~{f}x better qubit error",
+                bench.name()
+            ),
+            None => println!(
+                "# {}: ququart compilation still ahead at {}x better qubit error",
+                bench.name(),
+                factors.last().unwrap()
+            ),
+        }
+    }
+}

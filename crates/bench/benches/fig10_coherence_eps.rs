@@ -1,0 +1,64 @@
+//! Figure 10: Expected *coherence* probability of success for every
+//! benchmark, per strategy, relative to qubit-only.
+//!
+//! Paper shape: FQ is by far the worst (longest circuits); the compression
+//! strategies mitigate most of the duration increase; EQM generally leads;
+//! compression still trails qubit-only at the default worst-case T1 ratio.
+
+use qompress::{CompilerConfig, Strategy};
+use qompress_bench::{
+    compile_point, ec_sizes, fmt, relative, sweep_sizes, ResultSink, LINE_STRATEGIES,
+};
+use qompress_workloads::ALL_BENCHMARKS;
+
+fn main() {
+    let config = CompilerConfig::paper();
+    let mut sink = ResultSink::create(
+        "fig10_coherence_eps",
+        &[
+            "benchmark",
+            "size",
+            "strategy",
+            "coherence_eps",
+            "duration_ns",
+            "relative_to_qubit_only",
+        ],
+    );
+    for bench in ALL_BENCHMARKS {
+        for &size in &sweep_sizes() {
+            let baseline = compile_point(bench, size, Strategy::QubitOnly, &config);
+            for strategy in LINE_STRATEGIES {
+                let r = if strategy == Strategy::QubitOnly {
+                    baseline.clone()
+                } else {
+                    compile_point(bench, size, strategy, &config)
+                };
+                sink.row(&[
+                    bench.name().into(),
+                    size.to_string(),
+                    strategy.name().into(),
+                    fmt(r.metrics.coherence_eps),
+                    format!("{:.0}", r.metrics.duration_ns),
+                    fmt(relative(
+                        r.metrics.coherence_eps,
+                        baseline.metrics.coherence_eps,
+                    )),
+                ]);
+            }
+            if ec_sizes().contains(&size) {
+                let ec = compile_point(bench, size, Strategy::Exhaustive { ordered: true }, &config);
+                sink.row(&[
+                    bench.name().into(),
+                    size.to_string(),
+                    "ec".into(),
+                    fmt(ec.metrics.coherence_eps),
+                    format!("{:.0}", ec.metrics.duration_ns),
+                    fmt(relative(
+                        ec.metrics.coherence_eps,
+                        baseline.metrics.coherence_eps,
+                    )),
+                ]);
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Figure 11: coherence EPS for Cuccaro and torus QAOA with 10x better T1
+//! for both qubits and ququarts.
+//!
+//! Paper shape: the margin between qubit-only and compressed circuits
+//! narrows substantially at 10x T1, but coherence still favors qubit-only
+//! at the worst-case 1:3 ratio.
+
+use qompress::{CompilerConfig, Strategy};
+use qompress_bench::{compile_point, fmt, relative, sweep_sizes, ResultSink};
+use qompress_workloads::Benchmark;
+
+fn main() {
+    let config = CompilerConfig::paper();
+    let t1q_10 = 10.0 * config.t1_qubit_ns();
+    let t1d_10 = 10.0 * config.t1_ququart_ns();
+    let strategies = [
+        Strategy::QubitOnly,
+        Strategy::FullQuquart,
+        Strategy::Eqm,
+        Strategy::RingBased,
+    ];
+    let mut sink = ResultSink::create(
+        "fig11_t1_10x",
+        &[
+            "benchmark",
+            "size",
+            "strategy",
+            "coherence_eps_base_t1",
+            "coherence_eps_10x_t1",
+            "relative_10x",
+        ],
+    );
+    for bench in [Benchmark::Cuccaro, Benchmark::QaoaTorus] {
+        for &size in &sweep_sizes() {
+            let baseline =
+                compile_point(bench, size, Strategy::QubitOnly, &config);
+            let base_10x = baseline.metrics.with_t1(t1q_10, t1d_10);
+            for strategy in strategies {
+                let r = if strategy == Strategy::QubitOnly {
+                    baseline.clone()
+                } else {
+                    compile_point(bench, size, strategy, &config)
+                };
+                let swept = r.metrics.with_t1(t1q_10, t1d_10);
+                sink.row(&[
+                    bench.name().into(),
+                    size.to_string(),
+                    strategy.name().into(),
+                    fmt(r.metrics.coherence_eps),
+                    fmt(swept.coherence_eps),
+                    fmt(relative(swept.coherence_eps, base_10x.coherence_eps)),
+                ]);
+            }
+        }
+    }
+}

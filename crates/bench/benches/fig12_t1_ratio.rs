@@ -1,0 +1,64 @@
+//! Figure 12: total EPS of 25-qubit benchmarks at 10x base T1 as the
+//! ququart T1 improves from 1/3 of the qubit T1 to parity; reports the
+//! crossover ratio (the paper's dashed lines) where compression's total
+//! EPS overtakes qubit-only.
+
+use qompress::{CompilerConfig, Strategy};
+use qompress_bench::{compile_point, fmt, ResultSink};
+use qompress_workloads::Benchmark;
+
+fn main() {
+    let config = CompilerConfig::paper();
+    let size = 25;
+    let t1q = 10.0 * config.t1_qubit_ns(); // the figure's 10x setting
+    let benches = [
+        Benchmark::Cuccaro,
+        Benchmark::Cnu,
+        Benchmark::Qram,
+        Benchmark::QaoaCylinder,
+        Benchmark::QaoaTorus,
+    ];
+    let mut sink = ResultSink::create(
+        "fig12_t1_ratio",
+        &[
+            "benchmark",
+            "t1_ratio",
+            "qubit_only_total_eps",
+            "eqm_total_eps",
+            "eqm_wins",
+        ],
+    );
+    for bench in benches {
+        let qo = compile_point(bench, size, Strategy::QubitOnly, &config);
+        let eqm = compile_point(bench, size, Strategy::Eqm, &config);
+        let qo_total = qo.metrics.with_t1(t1q, t1q / 3.0).total_eps;
+        let mut crossover: Option<f64> = None;
+        // Sweep the ratio T1_qubit/T1_ququart from 3 (worst case) to 1.
+        let mut ratio = 3.0;
+        while ratio >= 0.999 {
+            let swept = eqm.metrics.with_t1(t1q, t1q / ratio);
+            let wins = swept.total_eps > qo_total;
+            if wins && crossover.is_none() {
+                crossover = Some(ratio);
+            }
+            sink.row(&[
+                bench.name().into(),
+                format!("{ratio:.2}"),
+                fmt(qo_total),
+                fmt(swept.total_eps),
+                wins.to_string(),
+            ]);
+            ratio -= 0.25;
+        }
+        match crossover {
+            Some(r) => println!(
+                "# {}: EQM total EPS overtakes qubit-only at T1 ratio {r:.2} (dashed line)",
+                bench.name()
+            ),
+            None => println!(
+                "# {}: no crossover before T1 parity at size {size}",
+                bench.name()
+            ),
+        }
+    }
+}

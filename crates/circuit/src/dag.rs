@@ -1,0 +1,299 @@
+//! Dependency DAG, ASAP layering and critical-path analysis.
+//!
+//! Two gates depend on each other when they share a qubit; the DAG linearizes
+//! each qubit's gate sequence and the ASAP layering gives the integer
+//! timestep `s(o)` used by the paper's interaction-weight function (§4.2).
+
+use crate::circuit::Circuit;
+
+/// Dependency structure of a [`Circuit`].
+#[derive(Debug, Clone)]
+pub struct CircuitDag {
+    /// Immediate predecessors of each gate (by gate index).
+    preds: Vec<Vec<usize>>,
+    /// Immediate successors of each gate.
+    succs: Vec<Vec<usize>>,
+    /// 1-based ASAP layer of each gate.
+    layer: Vec<usize>,
+    /// Number of layers (depth of the circuit).
+    depth: usize,
+    /// Length (in gates) of the longest path starting at each gate,
+    /// including the gate itself.
+    remaining_path: Vec<usize>,
+}
+
+impl CircuitDag {
+    /// Builds the DAG for `circuit`.
+    pub fn build(circuit: &Circuit) -> Self {
+        let n = circuit.len();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut last_on_qubit: Vec<Option<usize>> = vec![None; circuit.n_qubits()];
+
+        for (idx, gate) in circuit.iter().enumerate() {
+            for q in gate.qubits() {
+                if let Some(prev) = last_on_qubit[q] {
+                    if !preds[idx].contains(&prev) {
+                        preds[idx].push(prev);
+                        succs[prev].push(idx);
+                    }
+                }
+                last_on_qubit[q] = Some(idx);
+            }
+        }
+
+        // ASAP layering: layer = 1 + max(layer of preds).
+        let mut layer = vec![0usize; n];
+        for idx in 0..n {
+            let l = preds[idx]
+                .iter()
+                .map(|&p| layer[p])
+                .max()
+                .unwrap_or(0);
+            layer[idx] = l + 1;
+        }
+        let depth = layer.iter().copied().max().unwrap_or(0);
+
+        // Longest path downward from each gate (in gate count).
+        let mut remaining_path = vec![1usize; n];
+        for idx in (0..n).rev() {
+            let best = succs[idx]
+                .iter()
+                .map(|&s| remaining_path[s])
+                .max()
+                .unwrap_or(0);
+            remaining_path[idx] = 1 + best;
+        }
+
+        CircuitDag {
+            preds,
+            succs,
+            layer,
+            depth,
+            remaining_path,
+        }
+    }
+
+    /// Number of gates in the underlying circuit.
+    pub fn len(&self) -> usize {
+        self.layer.len()
+    }
+
+    /// Returns `true` for an empty circuit.
+    pub fn is_empty(&self) -> bool {
+        self.layer.is_empty()
+    }
+
+    /// 1-based ASAP timestep `s(o)` of gate `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn layer_of(&self, idx: usize) -> usize {
+        self.layer[idx]
+    }
+
+    /// Circuit depth in layers.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Immediate predecessors of gate `idx`.
+    pub fn preds(&self, idx: usize) -> &[usize] {
+        &self.preds[idx]
+    }
+
+    /// Immediate successors of gate `idx`.
+    pub fn succs(&self, idx: usize) -> &[usize] {
+        &self.succs[idx]
+    }
+
+    /// Length (in gates, inclusive) of the longest dependency chain starting
+    /// at `idx`; used by the scheduler's tie-breaking rule.
+    pub fn remaining_path_len(&self, idx: usize) -> usize {
+        self.remaining_path[idx]
+    }
+
+    /// Gates grouped by ASAP layer, 1-based (index 0 of the result is layer 1).
+    pub fn layers(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.depth];
+        for (idx, &l) in self.layer.iter().enumerate() {
+            out[l - 1].push(idx);
+        }
+        out
+    }
+
+    /// Indices of gates on *a* critical path (longest chain). Where several
+    /// critical paths exist, one is chosen deterministically (lowest gate
+    /// index first).
+    pub fn critical_path(&self) -> Vec<usize> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let total = self.remaining_path.iter().copied().max().unwrap_or(0);
+        // Start at the earliest gate achieving the full path length.
+        let mut cur = (0..self.len())
+            .find(|&i| self.preds[i].is_empty() && self.remaining_path[i] == total)
+            .expect("some source gate starts the critical path");
+        let mut path = vec![cur];
+        while let Some(&next) = self.succs[cur]
+            .iter()
+            .find(|&&s| self.remaining_path[s] == self.remaining_path[cur] - 1)
+        {
+            path.push(next);
+            cur = next;
+        }
+        path
+    }
+}
+
+/// Per-layer activity table: for each layer, which qubits are busy.
+///
+/// Used by the Ring-Based strategy to estimate how often two qubits are
+/// *simultaneously* active (compressing such a pair forces serialization).
+#[derive(Debug, Clone)]
+pub struct ActivityTable {
+    busy: Vec<Vec<bool>>,
+}
+
+impl ActivityTable {
+    /// Builds the table from a circuit and its DAG.
+    pub fn build(circuit: &Circuit, dag: &CircuitDag) -> Self {
+        let mut busy = vec![vec![false; circuit.n_qubits()]; dag.depth()];
+        for (idx, gate) in circuit.iter().enumerate() {
+            let l = dag.layer_of(idx) - 1;
+            for q in gate.qubits() {
+                busy[l][q] = true;
+            }
+        }
+        ActivityTable { busy }
+    }
+
+    /// Number of layers in which both `a` and `b` are active but *not*
+    /// within the same gate.
+    pub fn simultaneous_count(&self, circuit: &Circuit, dag: &CircuitDag, a: usize, b: usize) -> usize {
+        // Layers where a 2q gate covers both qubits jointly.
+        let mut joint = vec![false; self.busy.len()];
+        for (idx, gate) in circuit.iter().enumerate() {
+            if let Some((x, y)) = gate.qubit_pair() {
+                if (x == a && y == b) || (x == b && y == a) {
+                    joint[dag.layer_of(idx) - 1] = true;
+                }
+            }
+        }
+        self.busy
+            .iter()
+            .enumerate()
+            .filter(|(l, row)| row[a] && row[b] && !joint[*l])
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    fn line_circuit() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.push(Gate::h(0)); // 0: layer 1
+        c.push(Gate::cx(0, 1)); // 1: layer 2
+        c.push(Gate::cx(1, 2)); // 2: layer 3
+        c.push(Gate::x(0)); // 3: layer 3 (after cx(0,1))
+        c
+    }
+
+    #[test]
+    fn layers_match_hand_computation() {
+        let c = line_circuit();
+        let dag = CircuitDag::build(&c);
+        assert_eq!(dag.layer_of(0), 1);
+        assert_eq!(dag.layer_of(1), 2);
+        assert_eq!(dag.layer_of(2), 3);
+        assert_eq!(dag.layer_of(3), 3);
+        assert_eq!(dag.depth(), 3);
+    }
+
+    #[test]
+    fn dependencies_follow_shared_qubits() {
+        let c = line_circuit();
+        let dag = CircuitDag::build(&c);
+        assert_eq!(dag.preds(1), &[0]);
+        assert_eq!(dag.preds(2), &[1]);
+        assert!(dag.succs(1).contains(&2));
+        assert!(dag.succs(1).contains(&3));
+    }
+
+    #[test]
+    fn parallel_gates_share_layer() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::cx(2, 3));
+        let dag = CircuitDag::build(&c);
+        assert_eq!(dag.layer_of(0), 1);
+        assert_eq!(dag.layer_of(1), 1);
+        assert_eq!(dag.depth(), 1);
+    }
+
+    #[test]
+    fn critical_path_is_longest_chain() {
+        let c = line_circuit();
+        let dag = CircuitDag::build(&c);
+        let cp = dag.critical_path();
+        assert_eq!(cp, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn remaining_path_counts_inclusive() {
+        let c = line_circuit();
+        let dag = CircuitDag::build(&c);
+        assert_eq!(dag.remaining_path_len(0), 3);
+        assert_eq!(dag.remaining_path_len(2), 1);
+        assert_eq!(dag.remaining_path_len(3), 1);
+    }
+
+    #[test]
+    fn layers_group_gates() {
+        let c = line_circuit();
+        let dag = CircuitDag::build(&c);
+        let layers = dag.layers();
+        assert_eq!(layers.len(), 3);
+        assert_eq!(layers[0], vec![0]);
+        assert_eq!(layers[2], vec![2, 3]);
+    }
+
+    #[test]
+    fn duplicate_pred_edges_are_merged() {
+        // cx(0,1) followed by cx(1,0): the second depends on the first via
+        // both qubits, but the edge must appear only once.
+        let mut c = Circuit::new(2);
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::cx(1, 0));
+        let dag = CircuitDag::build(&c);
+        assert_eq!(dag.preds(1), &[0]);
+        assert_eq!(dag.succs(0), &[1]);
+    }
+
+    #[test]
+    fn activity_simultaneity() {
+        // Layer 1: cx(0,1) and cx(2,3) -> qubits 0,1,2,3 busy.
+        // Pair (0,2): busy in same layer via different gates -> count 1.
+        // Pair (0,1): joint gate -> count 0.
+        let mut c = Circuit::new(4);
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::cx(2, 3));
+        let dag = CircuitDag::build(&c);
+        let act = ActivityTable::build(&c, &dag);
+        assert_eq!(act.simultaneous_count(&c, &dag, 0, 2), 1);
+        assert_eq!(act.simultaneous_count(&c, &dag, 0, 1), 0);
+    }
+
+    #[test]
+    fn empty_circuit_dag() {
+        let c = Circuit::new(3);
+        let dag = CircuitDag::build(&c);
+        assert!(dag.is_empty());
+        assert_eq!(dag.depth(), 0);
+        assert!(dag.critical_path().is_empty());
+    }
+}

@@ -1,0 +1,408 @@
+//! Small undirected-graph utilities shared by the interaction graph and the
+//! architecture layer: BFS distances, Dijkstra, graph center and the
+//! shortest-cycle-through-vertex search used by the Ring-Based strategy.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simple undirected graph over `0..n` vertices with adjacency lists.
+#[derive(Debug, Clone, Default)]
+pub struct UGraph {
+    adj: Vec<Vec<usize>>,
+}
+
+impl UGraph {
+    /// Creates a graph with `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        UGraph {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Returns `true` when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Adds an undirected edge; duplicate and self edges are ignored.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        if !self.adj[a].contains(&b) {
+            self.adj[a].push(b);
+            self.adj[b].push(a);
+        }
+    }
+
+    /// Neighbors of `v`.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Returns `true` if `a` and `b` are adjacent.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adj[a].contains(&b)
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(|n| n.len()).sum::<usize>() / 2
+    }
+
+    /// All edges as `(a, b)` with `a < b`.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.edge_count());
+        for (a, ns) in self.adj.iter().enumerate() {
+            for &b in ns {
+                if a < b {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// BFS hop distances from `src`; unreachable vertices get `usize::MAX`.
+    pub fn bfs_distances(&self, src: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.len()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src] = 0;
+        queue.push_back(src);
+        while let Some(v) = queue.pop_front() {
+            for &w in &self.adj[v] {
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[v] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The vertex minimizing the sum of BFS distances to all others
+    /// (a graph median — the paper's "center-most" unit). Ties break to the
+    /// lowest index; unreachable pairs contribute a large constant.
+    pub fn center(&self) -> usize {
+        let n = self.len();
+        let mut best = 0;
+        let mut best_score = u64::MAX;
+        for v in 0..n {
+            let d = self.bfs_distances(v);
+            let score: u64 = d
+                .iter()
+                .map(|&x| if x == usize::MAX { n as u64 * 2 } else { x as u64 })
+                .sum();
+            if score < best_score {
+                best_score = score;
+                best = v;
+            }
+        }
+        best
+    }
+
+    /// Length of the shortest cycle passing through `v`, along with its
+    /// vertices, or `None` when `v` lies on no cycle.
+    ///
+    /// Works by removing each incident edge `(v, u)` in turn and asking for
+    /// the shortest alternative `v..u` path; the cycle is that path plus the
+    /// removed edge.
+    pub fn min_cycle_through(&self, v: usize) -> Option<Vec<usize>> {
+        let mut best: Option<Vec<usize>> = None;
+        for &u in &self.adj[v] {
+            if let Some(path) = self.shortest_path_avoiding_edge(v, u, (v, u)) {
+                let better = match &best {
+                    None => true,
+                    Some(b) => path.len() < b.len(),
+                };
+                if better {
+                    best = Some(path);
+                }
+            }
+        }
+        best
+    }
+
+    /// Shortest path from `src` to `dst` (inclusive) that never traverses
+    /// `banned` in either direction. Returns the vertex list.
+    fn shortest_path_avoiding_edge(
+        &self,
+        src: usize,
+        dst: usize,
+        banned: (usize, usize),
+    ) -> Option<Vec<usize>> {
+        let mut prev = vec![usize::MAX; self.len()];
+        let mut seen = vec![false; self.len()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[src] = true;
+        queue.push_back(src);
+        while let Some(x) = queue.pop_front() {
+            if x == dst {
+                let mut path = vec![dst];
+                let mut cur = dst;
+                while cur != src {
+                    cur = prev[cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for &y in &self.adj[x] {
+                if (x, y) == banned || (y, x) == banned {
+                    continue;
+                }
+                if !seen[y] {
+                    seen[y] = true;
+                    prev[y] = x;
+                    queue.push_back(y);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A weighted undirected graph for Dijkstra searches (edge costs `>= 0`).
+#[derive(Debug, Clone, Default)]
+pub struct WGraph {
+    adj: Vec<Vec<(usize, f64)>>,
+}
+
+#[derive(Debug, PartialEq)]
+struct HeapItem {
+    cost: f64,
+    vertex: usize,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on cost via reversed comparison; NaN-free by contract.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl WGraph {
+    /// Creates a weighted graph with `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        WGraph {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Returns `true` when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Adds an undirected edge with the given cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite cost.
+    pub fn add_edge(&mut self, a: usize, b: usize, cost: f64) {
+        assert!(cost.is_finite() && cost >= 0.0, "invalid edge cost {cost}");
+        self.adj[a].push((b, cost));
+        self.adj[b].push((a, cost));
+    }
+
+    /// Dijkstra distances from `src`; unreachable vertices get `f64::INFINITY`.
+    pub fn dijkstra(&self, src: usize) -> Vec<f64> {
+        let mut dist = vec![f64::INFINITY; self.len()];
+        let mut heap = BinaryHeap::new();
+        dist[src] = 0.0;
+        heap.push(HeapItem {
+            cost: 0.0,
+            vertex: src,
+        });
+        while let Some(HeapItem { cost, vertex }) = heap.pop() {
+            if cost > dist[vertex] {
+                continue;
+            }
+            for &(next, w) in &self.adj[vertex] {
+                let nd = cost + w;
+                if nd < dist[next] {
+                    dist[next] = nd;
+                    heap.push(HeapItem {
+                        cost: nd,
+                        vertex: next,
+                    });
+                }
+            }
+        }
+        dist
+    }
+
+    /// Dijkstra with path recovery: returns `(distances, predecessor)`.
+    pub fn dijkstra_with_prev(&self, src: usize) -> (Vec<f64>, Vec<usize>) {
+        let mut dist = vec![f64::INFINITY; self.len()];
+        let mut prev = vec![usize::MAX; self.len()];
+        let mut heap = BinaryHeap::new();
+        dist[src] = 0.0;
+        heap.push(HeapItem {
+            cost: 0.0,
+            vertex: src,
+        });
+        while let Some(HeapItem { cost, vertex }) = heap.pop() {
+            if cost > dist[vertex] {
+                continue;
+            }
+            for &(next, w) in &self.adj[vertex] {
+                let nd = cost + w;
+                if nd < dist[next] {
+                    dist[next] = nd;
+                    prev[next] = vertex;
+                    heap.push(HeapItem {
+                        cost: nd,
+                        vertex: next,
+                    });
+                }
+            }
+        }
+        (dist, prev)
+    }
+
+    /// Recovers the `src..dst` path from a predecessor table produced by
+    /// [`WGraph::dijkstra_with_prev`]. Returns `None` when unreachable.
+    pub fn path_from_prev(prev: &[usize], src: usize, dst: usize) -> Option<Vec<usize>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        if prev[dst] == usize::MAX {
+            return None;
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while cur != src {
+            cur = prev[cur];
+            path.push(cur);
+            if path.len() > prev.len() {
+                return None; // defensive: corrupt table
+            }
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> UGraph {
+        // 0-1-2-0 triangle, 2-3 tail.
+        let mut g = UGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(2, 3);
+        g
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let mut g = UGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        assert_eq!(g.bfs_distances(0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn center_of_path_is_middle() {
+        let mut g = UGraph::new(5);
+        for i in 0..4 {
+            g.add_edge(i, i + 1);
+        }
+        assert_eq!(g.center(), 2);
+    }
+
+    #[test]
+    fn min_cycle_through_triangle_vertex() {
+        let g = triangle_plus_tail();
+        let cyc = g.min_cycle_through(0).expect("0 lies on the triangle");
+        assert_eq!(cyc.len(), 3);
+        // Tail vertex 3 lies on no cycle.
+        assert!(g.min_cycle_through(3).is_none());
+    }
+
+    #[test]
+    fn min_cycle_in_square() {
+        let mut g = UGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(3, 0);
+        let cyc = g.min_cycle_through(1).unwrap();
+        assert_eq!(cyc.len(), 4);
+    }
+
+    #[test]
+    fn duplicate_edges_ignored() {
+        let mut g = UGraph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_detour() {
+        let mut g = WGraph::new(3);
+        g.add_edge(0, 2, 10.0);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        let d = g.dijkstra(0);
+        assert!((d[2] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dijkstra_path_recovery() {
+        let mut g = WGraph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(0, 3, 10.0);
+        let (_, prev) = g.dijkstra_with_prev(0);
+        let p = WGraph::path_from_prev(&prev, 0, 3).unwrap();
+        assert_eq!(p, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_infinite() {
+        let g = WGraph::new(2);
+        let d = g.dijkstra(0);
+        assert!(d[1].is_infinite());
+        let (_, prev) = g.dijkstra_with_prev(0);
+        assert!(WGraph::path_from_prev(&prev, 0, 1).is_none());
+    }
+
+    #[test]
+    fn ugraph_edges_listing() {
+        let g = triangle_plus_tail();
+        let mut e = g.edges();
+        e.sort_unstable();
+        assert_eq!(e, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+}

@@ -1,0 +1,280 @@
+//! The circuit interaction graph and its compression-oriented analyses.
+//!
+//! The paper weighs each qubit pair by `w(i,j) = Σ_o 1(i,j ∈ o)/s(o)` where
+//! `s(o)` is the (1-based) ASAP timestep of operation `o` (§4.2): early
+//! interactions matter more than late ones. The Ring-Based and AWE
+//! strategies operate on *contractions* of this graph, merging candidate
+//! pairs into single nodes.
+
+use crate::circuit::Circuit;
+use crate::dag::CircuitDag;
+use crate::graph::UGraph;
+use std::collections::BTreeMap;
+
+/// Weighted interaction graph between logical qubits.
+#[derive(Debug, Clone)]
+pub struct InteractionGraph {
+    n: usize,
+    /// Sparse symmetric weights keyed by `(min, max)`.
+    weights: BTreeMap<(usize, usize), f64>,
+}
+
+impl InteractionGraph {
+    /// Builds the interaction graph of `circuit` using the paper's
+    /// time-discounted weighting.
+    pub fn build(circuit: &Circuit) -> Self {
+        let dag = CircuitDag::build(circuit);
+        Self::build_with_dag(circuit, &dag)
+    }
+
+    /// Builds the interaction graph reusing an existing DAG.
+    pub fn build_with_dag(circuit: &Circuit, dag: &CircuitDag) -> Self {
+        let mut weights = BTreeMap::new();
+        for (idx, gate) in circuit.iter().enumerate() {
+            if let Some((a, b)) = gate.qubit_pair() {
+                let key = (a.min(b), a.max(b));
+                let s = dag.layer_of(idx) as f64;
+                *weights.entry(key).or_insert(0.0) += 1.0 / s;
+            }
+        }
+        InteractionGraph {
+            n: circuit.n_qubits(),
+            weights,
+        }
+    }
+
+    /// Number of qubits (vertices).
+    pub fn n_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The weight `w(i,j)`; zero when the pair never interacts.
+    pub fn weight(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        let key = (i.min(j), i.max(j));
+        self.weights.get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// Total weight `W(i) = Σ_j w(i,j)` of a qubit.
+    pub fn total_weight(&self, i: usize) -> f64 {
+        self.weights
+            .iter()
+            .filter(|((a, b), _)| *a == i || *b == i)
+            .map(|(_, w)| *w)
+            .sum()
+    }
+
+    /// The qubit maximizing [`InteractionGraph::total_weight`]; ties break to
+    /// the lowest index. Returns `None` for an edgeless graph.
+    pub fn heaviest_qubit(&self) -> Option<usize> {
+        (0..self.n)
+            .map(|i| (i, self.total_weight(i)))
+            .filter(|(_, w)| *w > 0.0)
+            .max_by(|(ia, wa), (ib, wb)| {
+                wa.partial_cmp(wb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(ib.cmp(ia))
+            })
+            .map(|(i, _)| i)
+    }
+
+    /// Pairs with nonzero weight, as `((a, b), w)` with `a < b`.
+    pub fn weighted_edges(&self) -> impl Iterator<Item = ((usize, usize), f64)> + '_ {
+        self.weights.iter().map(|(&k, &w)| (k, w))
+    }
+
+    /// Number of edges with nonzero weight.
+    pub fn edge_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_edge_weight(&self) -> f64 {
+        self.weights.values().sum()
+    }
+
+    /// Average weight per edge; zero for an edgeless graph.
+    pub fn average_weight_per_edge(&self) -> f64 {
+        if self.weights.is_empty() {
+            0.0
+        } else {
+            self.total_edge_weight() / self.weights.len() as f64
+        }
+    }
+
+    /// Unweighted view of the interaction structure.
+    pub fn to_ugraph(&self) -> UGraph {
+        let mut g = UGraph::new(self.n);
+        for &(a, b) in self.weights.keys() {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Neighbors of `i` (qubits with nonzero interaction weight).
+    pub fn neighbors(&self, i: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .weights
+            .keys()
+            .filter_map(|&(a, b)| {
+                if a == i {
+                    Some(b)
+                } else if b == i {
+                    Some(a)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of interaction partners shared by `i` and `j`.
+    pub fn shared_neighbors(&self, i: usize, j: usize) -> usize {
+        let ni = self.neighbors(i);
+        let nj = self.neighbors(j);
+        ni.iter()
+            .filter(|q| **q != j && nj.contains(q))
+            .count()
+    }
+
+    /// Degree (number of interaction partners) of `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.neighbors(i).len()
+    }
+
+    /// Number of interactions `i` has with qubits *outside* the given set.
+    pub fn external_degree(&self, i: usize, inside: &[usize]) -> usize {
+        self.neighbors(i)
+            .iter()
+            .filter(|q| !inside.contains(q))
+            .count()
+    }
+
+    /// Contracts `a` and `b` into a single node (keeping index `a`):
+    /// weights to common neighbors add; the internal edge disappears.
+    ///
+    /// Node `b` keeps its index but becomes isolated, which keeps external
+    /// indices stable across contractions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either index is out of range.
+    pub fn contract(&self, a: usize, b: usize) -> InteractionGraph {
+        assert!(a != b && a < self.n && b < self.n, "bad contraction");
+        let mut weights: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+        for (&(x, y), &w) in &self.weights {
+            let rx = if x == b { a } else { x };
+            let ry = if y == b { a } else { y };
+            if rx == ry {
+                continue; // internal edge vanishes
+            }
+            let key = (rx.min(ry), rx.max(ry));
+            *weights.entry(key).or_insert(0.0) += w;
+        }
+        InteractionGraph { n: self.n, weights }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    fn sample() -> Circuit {
+        // Layer structure:
+        //   g0 cx(0,1)  layer 1
+        //   g1 cx(1,2)  layer 2
+        //   g2 cx(0,1)  layer 3 (after g1 via qubit 1, after g0 via 0)
+        let mut c = Circuit::new(3);
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::cx(1, 2));
+        c.push(Gate::cx(0, 1));
+        c
+    }
+
+    #[test]
+    fn weights_use_layer_discount() {
+        let g = InteractionGraph::build(&sample());
+        // w(0,1) = 1/1 + 1/3 ; w(1,2) = 1/2.
+        assert!((g.weight(0, 1) - (1.0 + 1.0 / 3.0)).abs() < 1e-12);
+        assert!((g.weight(1, 2) - 0.5).abs() < 1e-12);
+        assert_eq!(g.weight(0, 2), 0.0);
+    }
+
+    #[test]
+    fn weight_is_symmetric() {
+        let g = InteractionGraph::build(&sample());
+        assert_eq!(g.weight(0, 1), g.weight(1, 0));
+    }
+
+    #[test]
+    fn total_weight_sums_incident() {
+        let g = InteractionGraph::build(&sample());
+        assert!((g.total_weight(1) - (1.0 + 1.0 / 3.0 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heaviest_qubit_is_hub() {
+        let g = InteractionGraph::build(&sample());
+        assert_eq!(g.heaviest_qubit(), Some(1));
+    }
+
+    #[test]
+    fn single_qubit_gates_do_not_contribute() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(0));
+        c.push(Gate::h(1));
+        let g = InteractionGraph::build(&c);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.heaviest_qubit(), None);
+    }
+
+    #[test]
+    fn contraction_merges_weights() {
+        // Triangle 0-1-2; contract (0,1) -> single edge to 2 with summed weight.
+        let mut c = Circuit::new(3);
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::cx(1, 2));
+        c.push(Gate::cx(0, 2));
+        let g = InteractionGraph::build(&c);
+        let w02 = g.weight(0, 2);
+        let w12 = g.weight(1, 2);
+        let contracted = g.contract(0, 1);
+        assert_eq!(contracted.edge_count(), 1);
+        assert!((contracted.weight(0, 2) - (w02 + w12)).abs() < 1e-12);
+        assert_eq!(contracted.weight(0, 1), 0.0);
+    }
+
+    #[test]
+    fn shared_neighbors_in_triangle() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::cx(1, 2));
+        c.push(Gate::cx(0, 2));
+        c.push(Gate::cx(2, 3));
+        let g = InteractionGraph::build(&c);
+        assert_eq!(g.shared_neighbors(0, 1), 1); // qubit 2
+        assert_eq!(g.shared_neighbors(0, 3), 1); // qubit 2
+        assert_eq!(g.external_degree(2, &[0, 1]), 1); // edge to 3
+    }
+
+    #[test]
+    fn average_weight_per_edge() {
+        let g = InteractionGraph::build(&sample());
+        let expect = (1.0 + 1.0 / 3.0 + 0.5) / 2.0;
+        assert!((g.average_weight_per_edge() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_ugraph_mirrors_edges() {
+        let g = InteractionGraph::build(&sample());
+        let u = g.to_ugraph();
+        assert!(u.has_edge(0, 1));
+        assert!(u.has_edge(1, 2));
+        assert!(!u.has_edge(0, 2));
+    }
+}

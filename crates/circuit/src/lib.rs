@@ -1,0 +1,34 @@
+//! # qompress-circuit
+//!
+//! Logical quantum circuit IR and the analyses Qompress builds on: the
+//! dependency DAG with ASAP layering, the time-discounted interaction graph
+//! (paper §4.2) and the small graph toolkit (BFS/Dijkstra/shortest-cycle)
+//! shared with the architecture layer.
+//!
+//! ```
+//! use qompress_circuit::{Circuit, CircuitDag, Gate, InteractionGraph};
+//!
+//! let mut c = Circuit::new(3);
+//! c.push(Gate::h(0));
+//! c.push(Gate::cx(0, 1));
+//! c.push(Gate::cx(1, 2));
+//!
+//! let dag = CircuitDag::build(&c);
+//! assert_eq!(dag.depth(), 3);
+//!
+//! let ig = InteractionGraph::build(&c);
+//! assert!(ig.weight(0, 1) > ig.weight(1, 2)); // earlier gates weigh more
+//! ```
+
+#![warn(missing_docs)]
+
+mod circuit;
+mod dag;
+mod gate;
+pub mod graph;
+mod interaction;
+
+pub use circuit::Circuit;
+pub use dag::{ActivityTable, CircuitDag};
+pub use gate::{Gate, Qubit, SingleQubitKind};
+pub use interaction::InteractionGraph;

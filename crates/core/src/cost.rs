@@ -1,0 +1,339 @@
+//! The success-probability cost model (paper Eq. 4) and slot-distance
+//! oracle.
+//!
+//! A gate at a connection succeeds with
+//! `S(i,j,g) = F(i,j,g) · e^{−T/T1_i} · e^{−T/T1_j}` where the `T1` of each
+//! endpoint depends on whether its unit is encoded. Path quality is the sum
+//! of `−log S` over the SWAP hops plus the final CX hop; distances are
+//! Dijkstra over the expanded slot graph with `−log S(swap)` edge weights.
+
+use crate::config::CompilerConfig;
+use crate::layout::Layout;
+use qompress_arch::{ExpandedGraph, Slot, SlotIndex};
+use qompress_circuit::graph::WGraph;
+use qompress_pulse::GateClass;
+
+/// Selects the CX gate class and operand order for a control/target slot
+/// pair under the current encodings.
+///
+/// Returns `(class, first_unit, second_unit)` with operands ordered per the
+/// class convention (encoded unit first for mixed classes).
+///
+/// # Panics
+///
+/// Panics if both slots coincide.
+pub fn cx_class(layout: &Layout, control: Slot, target: Slot) -> (GateClass, usize, usize) {
+    assert_ne!(control, target, "CX needs two distinct slots");
+    if control.node == target.node {
+        let class = match control.slot {
+            SlotIndex::Zero => GateClass::Cx0,
+            SlotIndex::One => GateClass::Cx1,
+        };
+        return (class, control.node, control.node);
+    }
+    let c_enc = layout.is_encoded(control.node);
+    let t_enc = layout.is_encoded(target.node);
+    match (c_enc, t_enc) {
+        (false, false) => (GateClass::Cx2, control.node, target.node),
+        (true, false) => {
+            let class = match control.slot {
+                SlotIndex::Zero => GateClass::CxE0Bare,
+                SlotIndex::One => GateClass::CxE1Bare,
+            };
+            (class, control.node, target.node)
+        }
+        (false, true) => {
+            let class = match target.slot {
+                SlotIndex::Zero => GateClass::CxBareE0,
+                SlotIndex::One => GateClass::CxBareE1,
+            };
+            // Mixed classes put the encoded unit first.
+            (class, target.node, control.node)
+        }
+        (true, true) => {
+            let class = match (control.slot, target.slot) {
+                (SlotIndex::Zero, SlotIndex::Zero) => GateClass::Cx00,
+                (SlotIndex::Zero, SlotIndex::One) => GateClass::Cx01,
+                (SlotIndex::One, SlotIndex::Zero) => GateClass::Cx10,
+                (SlotIndex::One, SlotIndex::One) => GateClass::Cx11,
+            };
+            (class, control.node, target.node)
+        }
+    }
+}
+
+/// Selects the SWAP gate class and operand order for exchanging the
+/// occupants of two slots.
+///
+/// # Panics
+///
+/// Panics if the slots coincide, or if a bare unit's slot 1 is referenced.
+pub fn swap_class(layout: &Layout, a: Slot, b: Slot) -> (GateClass, usize, usize) {
+    assert_ne!(a, b, "SWAP needs two distinct slots");
+    if a.node == b.node {
+        return (GateClass::SwapIn, a.node, a.node);
+    }
+    let a_enc = layout.is_encoded(a.node);
+    let b_enc = layout.is_encoded(b.node);
+    assert!(
+        (a.slot == SlotIndex::Zero || a_enc) && (b.slot == SlotIndex::Zero || b_enc),
+        "slot 1 referenced on a bare unit"
+    );
+    match (a_enc, b_enc) {
+        (false, false) => (GateClass::Swap2, a.node, b.node),
+        (true, false) => {
+            let class = match a.slot {
+                SlotIndex::Zero => GateClass::SwapBareE0,
+                SlotIndex::One => GateClass::SwapBareE1,
+            };
+            (class, a.node, b.node)
+        }
+        (false, true) => {
+            let class = match b.slot {
+                SlotIndex::Zero => GateClass::SwapBareE0,
+                SlotIndex::One => GateClass::SwapBareE1,
+            };
+            (class, b.node, a.node)
+        }
+        (true, true) => match (a.slot, b.slot) {
+            (SlotIndex::Zero, SlotIndex::Zero) => (GateClass::Swap00, a.node, b.node),
+            (SlotIndex::Zero, SlotIndex::One) => (GateClass::Swap01, a.node, b.node),
+            (SlotIndex::One, SlotIndex::Zero) => (GateClass::Swap01, b.node, a.node),
+            (SlotIndex::One, SlotIndex::One) => (GateClass::Swap11, a.node, b.node),
+        },
+    }
+}
+
+/// `S(i,j,g)`: success probability of one gate of `class` spanning
+/// `units`, given per-unit encodings.
+pub fn gate_success(
+    config: &CompilerConfig,
+    layout: &Layout,
+    class: GateClass,
+    unit_a: usize,
+    unit_b: Option<usize>,
+) -> f64 {
+    let spec = config.library.spec(class);
+    let t1 = |unit: usize| {
+        if layout.is_encoded(unit) {
+            config.t1_ququart_ns()
+        } else {
+            config.t1_qubit_ns()
+        }
+    };
+    let mut s = spec.fidelity * (-spec.duration_ns / t1(unit_a)).exp();
+    if let Some(b) = unit_b {
+        s *= (-spec.duration_ns / t1(b)).exp();
+    } else {
+        // Single-unit gates still expose one unit for the gate duration.
+    }
+    s
+}
+
+/// Negative-log success of a gate (lower is better; additive along paths).
+pub fn gate_cost(
+    config: &CompilerConfig,
+    layout: &Layout,
+    class: GateClass,
+    unit_a: usize,
+    unit_b: Option<usize>,
+) -> f64 {
+    -gate_success(config, layout, class, unit_a, unit_b).ln()
+}
+
+/// Cached all-pairs slot distances under the Eq. (4) SWAP-cost metric.
+///
+/// Edge weights depend only on the *encoding flags* of the endpoint units,
+/// so the oracle stays valid while qubits move; call
+/// [`DistanceOracle::invalidate`] after changing encodings (mapping time).
+#[derive(Debug)]
+pub struct DistanceOracle {
+    graph: WGraph,
+    cache: Vec<Option<Vec<f64>>>,
+}
+
+impl DistanceOracle {
+    /// Builds the oracle for the current encodings.
+    pub fn new(expanded: &ExpandedGraph, layout: &Layout, config: &CompilerConfig) -> Self {
+        let n = expanded.n_slots();
+        let mut graph = WGraph::new(n);
+        for s in expanded.slots() {
+            for t in expanded.neighbors(s) {
+                if t.index() <= s.index() {
+                    continue;
+                }
+                if !Self::edge_usable(layout, s, t) {
+                    continue;
+                }
+                let (class, ua, ub) = swap_class(layout, s, t);
+                let ub = if ua == ub { None } else { Some(ub) };
+                let cost = gate_cost(config, layout, class, ua, ub);
+                graph.add_edge(s.index(), t.index(), cost.max(0.0));
+            }
+        }
+        DistanceOracle {
+            graph,
+            cache: vec![None; n],
+        }
+    }
+
+    /// An expanded-graph edge is traversable when neither endpoint is the
+    /// unusable slot 1 of a bare unit.
+    fn edge_usable(layout: &Layout, s: Slot, t: Slot) -> bool {
+        let ok = |x: Slot| x.slot == SlotIndex::Zero || layout.is_encoded(x.node);
+        ok(s) && ok(t)
+    }
+
+    /// Shortest-path cost (sum of `−log S(swap)`) between two slots.
+    pub fn distance(&mut self, from: Slot, to: Slot) -> f64 {
+        if self.cache[from.index()].is_none() {
+            self.cache[from.index()] = Some(self.graph.dijkstra(from.index()));
+        }
+        self.cache[from.index()].as_ref().unwrap()[to.index()]
+    }
+
+    /// The equivalent *success probability* of the best SWAP path,
+    /// `exp(−distance) ∈ (0, 1]`.
+    pub fn path_success(&mut self, from: Slot, to: Slot) -> f64 {
+        (-self.distance(from, to)).exp()
+    }
+
+    /// Shortest path between two slots (vertex list), for fallback routing.
+    pub fn path(&mut self, from: Slot, to: Slot) -> Option<Vec<Slot>> {
+        let (_, prev) = self.graph.dijkstra_with_prev(from.index());
+        WGraph::path_from_prev(&prev, from.index(), to.index())
+            .map(|p| p.into_iter().map(Slot::from_index).collect())
+    }
+
+    /// Drops all cached distances (after encoding changes).
+    pub fn invalidate(&mut self) {
+        for c in &mut self.cache {
+            *c = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qompress_arch::Topology;
+
+    fn setup(encode: &[usize]) -> (ExpandedGraph, Layout, CompilerConfig) {
+        let topo = Topology::line(4);
+        let expanded = ExpandedGraph::new(topo);
+        let mut layout = Layout::new(0, 4);
+        for &u in encode {
+            layout.set_encoded(u);
+        }
+        (expanded, layout, CompilerConfig::paper())
+    }
+
+    #[test]
+    fn cx_class_bare_bare() {
+        let (_, layout, _) = setup(&[]);
+        let (class, a, b) = cx_class(&layout, Slot::zero(0), Slot::zero(1));
+        assert_eq!(class, GateClass::Cx2);
+        assert_eq!((a, b), (0, 1));
+    }
+
+    #[test]
+    fn cx_class_internal() {
+        let (_, layout, _) = setup(&[1]);
+        let (class, a, _) = cx_class(&layout, Slot::zero(1), Slot::one(1));
+        assert_eq!(class, GateClass::Cx0);
+        assert_eq!(a, 1);
+        let (class, _, _) = cx_class(&layout, Slot::one(1), Slot::zero(1));
+        assert_eq!(class, GateClass::Cx1);
+    }
+
+    #[test]
+    fn cx_class_mixed_orders_encoded_first() {
+        let (_, layout, _) = setup(&[0]);
+        // Control encoded slot 1, target bare.
+        let (class, a, b) = cx_class(&layout, Slot::one(0), Slot::zero(1));
+        assert_eq!(class, GateClass::CxE1Bare);
+        assert_eq!((a, b), (0, 1));
+        // Control bare, target encoded slot 0: encoded unit still first.
+        let (class, a, b) = cx_class(&layout, Slot::zero(1), Slot::zero(0));
+        assert_eq!(class, GateClass::CxBareE0);
+        assert_eq!((a, b), (0, 1));
+    }
+
+    #[test]
+    fn cx_class_ququart_ququart() {
+        let (_, layout, _) = setup(&[0, 1]);
+        let (class, a, b) = cx_class(&layout, Slot::one(0), Slot::zero(1));
+        assert_eq!(class, GateClass::Cx10);
+        assert_eq!((a, b), (0, 1));
+        let (class, ..) = cx_class(&layout, Slot::zero(0), Slot::one(1));
+        assert_eq!(class, GateClass::Cx01);
+    }
+
+    #[test]
+    fn swap_class_variants() {
+        let (_, layout, _) = setup(&[0, 2]);
+        assert_eq!(
+            swap_class(&layout, Slot::zero(1), Slot::zero(3)).0,
+            GateClass::Swap2
+        );
+        assert_eq!(
+            swap_class(&layout, Slot::zero(0), Slot::one(0)).0,
+            GateClass::SwapIn
+        );
+        let (class, a, b) = swap_class(&layout, Slot::zero(1), Slot::one(0));
+        assert_eq!(class, GateClass::SwapBareE1);
+        assert_eq!((a, b), (0, 1)); // encoded unit first
+        let (class, a, b) = swap_class(&layout, Slot::one(0), Slot::zero(2));
+        assert_eq!(class, GateClass::Swap01);
+        assert_eq!((a, b), (2, 0)); // slot-0 side first
+    }
+
+    #[test]
+    fn gate_success_penalizes_encoded_endpoints() {
+        let (_, mut layout, config) = setup(&[]);
+        let bare = gate_success(&config, &layout, GateClass::Cx2, 0, Some(1));
+        layout.set_encoded(0);
+        let enc = gate_success(&config, &layout, GateClass::Cx2, 0, Some(1));
+        assert!(enc < bare);
+        assert!(bare < 0.99 && bare > 0.98);
+    }
+
+    #[test]
+    fn distance_prefers_short_paths() {
+        let (expanded, layout, config) = setup(&[]);
+        let mut oracle = DistanceOracle::new(&expanded, &layout, &config);
+        let d01 = oracle.distance(Slot::zero(0), Slot::zero(1));
+        let d03 = oracle.distance(Slot::zero(0), Slot::zero(3));
+        assert!(d01 < d03);
+        assert!(oracle.path_success(Slot::zero(0), Slot::zero(1)) > 0.9);
+    }
+
+    #[test]
+    fn internal_hop_is_cheap() {
+        let (expanded, mut layout, config) = setup(&[]);
+        layout.set_encoded(1);
+        let mut oracle = DistanceOracle::new(&expanded, &layout, &config);
+        let internal = oracle.distance(Slot::zero(1), Slot::one(1));
+        let external = oracle.distance(Slot::zero(0), Slot::zero(1));
+        assert!(internal < external);
+    }
+
+    #[test]
+    fn bare_slot_one_unreachable() {
+        let (expanded, layout, config) = setup(&[]);
+        let mut oracle = DistanceOracle::new(&expanded, &layout, &config);
+        // Slot 1 of a bare unit has no usable edges.
+        let d = oracle.distance(Slot::zero(0), Slot::one(2));
+        assert!(d.is_infinite());
+    }
+
+    #[test]
+    fn path_recovery_matches_distance() {
+        let (expanded, layout, config) = setup(&[]);
+        let mut oracle = DistanceOracle::new(&expanded, &layout, &config);
+        let p = oracle.path(Slot::zero(0), Slot::zero(3)).unwrap();
+        assert_eq!(p.first(), Some(&Slot::zero(0)));
+        assert_eq!(p.last(), Some(&Slot::zero(3)));
+        assert_eq!(p.len(), 4); // line of 4 units, slot0 chain
+    }
+}

@@ -1,0 +1,298 @@
+//! Logical-qubit-to-slot layout tracking.
+
+use crate::physical::{swap4_moves, PhysicalOp};
+use qompress_arch::{Slot, SlotIndex};
+use qompress_pulse::GateClass;
+
+/// Bidirectional mapping between logical qubits and physical slots, plus
+/// the per-unit encoding flags.
+///
+/// Invariants: a qubit at slot 1 implies the unit is encoded; a bare unit
+/// hosts at most the slot-0 qubit; flags never change after mapping (the
+/// router neither creates nor destroys encodings, §4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layout {
+    qubit_to_slot: Vec<Option<Slot>>,
+    slot_to_qubit: Vec<Option<usize>>,
+    encoded: Vec<bool>,
+}
+
+impl Layout {
+    /// An empty layout for `n_qubits` logical qubits on `n_units` units.
+    pub fn new(n_qubits: usize, n_units: usize) -> Self {
+        Layout {
+            qubit_to_slot: vec![None; n_qubits],
+            slot_to_qubit: vec![None; 2 * n_units],
+            encoded: vec![false; n_units],
+        }
+    }
+
+    /// Number of logical qubits tracked.
+    pub fn n_qubits(&self) -> usize {
+        self.qubit_to_slot.len()
+    }
+
+    /// Number of physical units.
+    pub fn n_units(&self) -> usize {
+        self.encoded.len()
+    }
+
+    /// The slot of a logical qubit, if placed.
+    pub fn slot_of(&self, qubit: usize) -> Option<Slot> {
+        self.qubit_to_slot[qubit]
+    }
+
+    /// The logical qubit at a slot, if any.
+    pub fn qubit_at(&self, slot: Slot) -> Option<usize> {
+        self.slot_to_qubit[slot.index()]
+    }
+
+    /// Whether a unit is an encoded ququart.
+    pub fn is_encoded(&self, unit: usize) -> bool {
+        self.encoded[unit]
+    }
+
+    /// Marks a unit as encoded (mapping-time only).
+    pub fn set_encoded(&mut self, unit: usize) {
+        self.encoded[unit] = true;
+    }
+
+    /// Per-unit encoded flags.
+    pub fn encoded_flags(&self) -> &[bool] {
+        &self.encoded
+    }
+
+    /// Whether any qubit lives in the unit.
+    pub fn unit_active(&self, unit: usize) -> bool {
+        self.qubit_at(Slot::zero(unit)).is_some() || self.qubit_at(Slot::one(unit)).is_some()
+    }
+
+    /// Number of units hosting at least one qubit.
+    pub fn active_units(&self) -> usize {
+        (0..self.n_units()).filter(|&u| self.unit_active(u)).count()
+    }
+
+    /// Places a qubit at a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit is already placed, the slot is occupied, or the
+    /// slot-1 placement targets a non-encoded unit.
+    pub fn place(&mut self, qubit: usize, slot: Slot) {
+        assert!(
+            self.qubit_to_slot[qubit].is_none(),
+            "qubit {qubit} already placed"
+        );
+        assert!(
+            self.slot_to_qubit[slot.index()].is_none(),
+            "slot {slot} already occupied"
+        );
+        if slot.slot == SlotIndex::One {
+            assert!(
+                self.encoded[slot.node],
+                "slot 1 of non-encoded unit {}",
+                slot.node
+            );
+        }
+        self.qubit_to_slot[qubit] = Some(slot);
+        self.slot_to_qubit[slot.index()] = Some(qubit);
+    }
+
+    /// Exchanges the occupants (either may be vacant) of two slots.
+    pub fn swap_occupants(&mut self, a: Slot, b: Slot) {
+        let qa = self.slot_to_qubit[a.index()];
+        let qb = self.slot_to_qubit[b.index()];
+        self.slot_to_qubit[a.index()] = qb;
+        self.slot_to_qubit[b.index()] = qa;
+        if let Some(q) = qa {
+            self.qubit_to_slot[q] = Some(b);
+        }
+        if let Some(q) = qb {
+            self.qubit_to_slot[q] = Some(a);
+        }
+    }
+
+    /// Applies the movement side-effect of a physical op (SWAP family, ENC,
+    /// DEC, SWAP4); non-moving ops are no-ops.
+    pub fn apply_op(&mut self, op: &PhysicalOp) {
+        if let PhysicalOp::TwoUnit { a, b, class } = *op {
+            if class == GateClass::Swap4 {
+                for (x, y) in swap4_moves(a, b) {
+                    self.swap_occupants(x, y);
+                }
+                return;
+            }
+        }
+        if let Some((x, y)) = op.moved_slots() {
+            self.swap_occupants(x, y);
+        }
+    }
+
+    /// The final `(unit, slot)` placement of every logical qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any qubit is unplaced.
+    pub fn placements(&self) -> Vec<(usize, usize)> {
+        self.qubit_to_slot
+            .iter()
+            .enumerate()
+            .map(|(q, s)| {
+                let s = s.unwrap_or_else(|| panic!("qubit {q} unplaced"));
+                (s.node, s.slot.as_usize())
+            })
+            .collect()
+    }
+
+    /// Occupancy of a unit: `(slot0 occupied, slot1 occupied)`.
+    pub fn occupancy(&self, unit: usize) -> (bool, bool) {
+        (
+            self.qubit_at(Slot::zero(unit)).is_some(),
+            self.qubit_at(Slot::one(unit)).is_some(),
+        )
+    }
+
+    /// Checks internal consistency (both directions agree, slot-1 implies
+    /// encoded). Used by debug assertions and tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (q, slot) in self.qubit_to_slot.iter().enumerate() {
+            if let Some(s) = slot {
+                if self.slot_to_qubit[s.index()] != Some(q) {
+                    return Err(format!("qubit {q} and slot {s} disagree"));
+                }
+                if s.slot == SlotIndex::One && !self.encoded[s.node] {
+                    return Err(format!("qubit {q} at slot 1 of bare unit {}", s.node));
+                }
+            }
+        }
+        for (idx, q) in self.slot_to_qubit.iter().enumerate() {
+            if let Some(q) = q {
+                if self.qubit_to_slot[*q] != Some(Slot::from_index(idx)) {
+                    return Err(format!("slot {idx} and qubit {q} disagree"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qompress_circuit::SingleQubitKind;
+
+    #[test]
+    fn place_and_lookup() {
+        let mut l = Layout::new(2, 3);
+        l.place(0, Slot::zero(1));
+        assert_eq!(l.slot_of(0), Some(Slot::zero(1)));
+        assert_eq!(l.qubit_at(Slot::zero(1)), Some(0));
+        assert!(l.unit_active(1));
+        assert!(!l.unit_active(0));
+        l.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "slot 1 of non-encoded")]
+    fn slot_one_requires_encoding() {
+        let mut l = Layout::new(1, 1);
+        l.place(0, Slot::one(0));
+    }
+
+    #[test]
+    fn encoded_placement() {
+        let mut l = Layout::new(2, 2);
+        l.set_encoded(0);
+        l.place(0, Slot::zero(0));
+        l.place(1, Slot::one(0));
+        assert_eq!(l.occupancy(0), (true, true));
+        assert_eq!(l.active_units(), 1);
+        l.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn swap_occupants_with_vacancy() {
+        let mut l = Layout::new(1, 2);
+        l.place(0, Slot::zero(0));
+        l.swap_occupants(Slot::zero(0), Slot::zero(1));
+        assert_eq!(l.slot_of(0), Some(Slot::zero(1)));
+        assert_eq!(l.qubit_at(Slot::zero(0)), None);
+        l.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn apply_swap2_op() {
+        let mut l = Layout::new(2, 2);
+        l.place(0, Slot::zero(0));
+        l.place(1, Slot::zero(1));
+        l.apply_op(&PhysicalOp::TwoUnit {
+            a: 0,
+            b: 1,
+            class: GateClass::Swap2,
+        });
+        assert_eq!(l.slot_of(0), Some(Slot::zero(1)));
+        assert_eq!(l.slot_of(1), Some(Slot::zero(0)));
+    }
+
+    #[test]
+    fn apply_enc_moves_partner() {
+        let mut l = Layout::new(2, 2);
+        l.set_encoded(0);
+        l.place(0, Slot::zero(0));
+        l.place(1, Slot::zero(1));
+        l.apply_op(&PhysicalOp::TwoUnit {
+            a: 0,
+            b: 1,
+            class: GateClass::Enc,
+        });
+        assert_eq!(l.slot_of(1), Some(Slot::one(0)));
+        assert_eq!(l.occupancy(1), (false, false));
+        l.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn apply_swap4_moves_both_slots() {
+        let mut l = Layout::new(3, 2);
+        l.set_encoded(0);
+        l.set_encoded(1);
+        l.place(0, Slot::zero(0));
+        l.place(1, Slot::one(0));
+        l.place(2, Slot::zero(1));
+        l.apply_op(&PhysicalOp::TwoUnit {
+            a: 0,
+            b: 1,
+            class: GateClass::Swap4,
+        });
+        assert_eq!(l.slot_of(0), Some(Slot::zero(1)));
+        assert_eq!(l.slot_of(1), Some(Slot::one(1)));
+        assert_eq!(l.slot_of(2), Some(Slot::zero(0)));
+    }
+
+    #[test]
+    fn non_moving_ops_do_nothing() {
+        let mut l = Layout::new(2, 2);
+        l.place(0, Slot::zero(0));
+        l.place(1, Slot::zero(1));
+        let before = l.clone();
+        l.apply_op(&PhysicalOp::TwoUnit {
+            a: 0,
+            b: 1,
+            class: GateClass::Cx2,
+        });
+        l.apply_op(&PhysicalOp::Single {
+            unit: 0,
+            kind: SingleQubitKind::H,
+            class: GateClass::X,
+        });
+        assert_eq!(l, before);
+    }
+
+    #[test]
+    fn placements_report() {
+        let mut l = Layout::new(2, 2);
+        l.set_encoded(1);
+        l.place(0, Slot::zero(1));
+        l.place(1, Slot::one(1));
+        assert_eq!(l.placements(), vec![(1, 0), (1, 1)]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Expected Probability of Success (EPS) metrics (paper §6.1.1).
+//!
+//! The gate EPS is the product of every gate's success rate; the coherence
+//! EPS is `Π_q e^{−t_qb(q)/T1_qb − t_qd(q)/T1_qd}` over logical qubits; the
+//! total EPS is their product. Because coherence depends only on the
+//! accumulated bare/encoded residency times, T1 sweeps (Figures 11 and 12)
+//! re-evaluate a compiled circuit without recompiling.
+
+use crate::config::CompilerConfig;
+use crate::physical::Schedule;
+use crate::scheduling::CoherenceTrace;
+use qompress_pulse::{GateClass, GateLibrary};
+use std::collections::BTreeMap;
+
+/// All evaluation statistics of one compiled circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metrics {
+    /// Product of per-gate success rates.
+    pub gate_eps: f64,
+    /// Probability no qubit decoheres (worst-case model).
+    pub coherence_eps: f64,
+    /// `gate_eps · coherence_eps`.
+    pub total_eps: f64,
+    /// Critical-path circuit duration in nanoseconds.
+    pub duration_ns: f64,
+    /// Gate count per class.
+    pub gate_counts: BTreeMap<GateClass, usize>,
+    /// Number of communication ops (SWAP family + ENC/DEC).
+    pub communication_ops: usize,
+    /// Total bare-qubit residency (ns, summed over qubits).
+    pub qubit_state_ns: f64,
+    /// Total ququart residency (ns, summed over qubits).
+    pub ququart_state_ns: f64,
+}
+
+impl Metrics {
+    /// Computes all metrics for a schedule.
+    pub fn compute(schedule: &Schedule, trace: &CoherenceTrace, config: &CompilerConfig) -> Self {
+        let mut gate_counts: BTreeMap<GateClass, usize> = BTreeMap::new();
+        let mut communication_ops = 0;
+        for sop in schedule.ops() {
+            *gate_counts.entry(sop.op.class()).or_insert(0) += 1;
+            if sop.op.is_communication() {
+                communication_ops += 1;
+            }
+        }
+        let gate_eps = gate_eps_from_counts(&gate_counts, &config.library);
+        let qubit_state_ns = trace.total_qubit_ns();
+        let ququart_state_ns = trace.total_ququart_ns();
+        let coherence_eps = coherence_eps(
+            qubit_state_ns,
+            ququart_state_ns,
+            config.t1_qubit_ns(),
+            config.t1_ququart_ns(),
+        );
+        Metrics {
+            gate_eps,
+            coherence_eps,
+            total_eps: gate_eps * coherence_eps,
+            duration_ns: schedule.total_duration_ns(),
+            gate_counts,
+            communication_ops,
+            qubit_state_ns,
+            ququart_state_ns,
+        }
+    }
+
+    /// Re-evaluates the coherence and total EPS under different T1 values
+    /// (Figure 11's 10× T1 and Figure 12's ratio sweep) without recompiling.
+    pub fn with_t1(&self, t1_qubit_ns: f64, t1_ququart_ns: f64) -> Metrics {
+        let coherence =
+            coherence_eps(self.qubit_state_ns, self.ququart_state_ns, t1_qubit_ns, t1_ququart_ns);
+        Metrics {
+            coherence_eps: coherence,
+            total_eps: self.gate_eps * coherence,
+            ..self.clone()
+        }
+    }
+
+    /// Total number of scheduled operations.
+    pub fn total_ops(&self) -> usize {
+        self.gate_counts.values().sum()
+    }
+
+    /// Count for one gate class (zero when absent).
+    pub fn count(&self, class: GateClass) -> usize {
+        self.gate_counts.get(&class).copied().unwrap_or(0)
+    }
+}
+
+/// Gate EPS: product of the library fidelity of every counted gate.
+pub fn gate_eps_from_counts(counts: &BTreeMap<GateClass, usize>, library: &GateLibrary) -> f64 {
+    counts
+        .iter()
+        .map(|(&class, &n)| library.fidelity(class).powi(n as i32))
+        .product()
+}
+
+/// Coherence EPS from total residency times:
+/// `exp(−t_qb/T1_qb − t_qd/T1_qd)`.
+pub fn coherence_eps(
+    qubit_ns: f64,
+    ququart_ns: f64,
+    t1_qubit_ns: f64,
+    t1_ququart_ns: f64,
+) -> f64 {
+    (-(qubit_ns / t1_qubit_ns) - (ququart_ns / t1_ququart_ns)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::{PhysicalOp, ScheduledOp};
+    use crate::scheduling::schedule_ops;
+
+    fn two_op_schedule() -> Schedule {
+        let lib = GateLibrary::paper();
+        schedule_ops(
+            vec![
+                PhysicalOp::TwoUnit {
+                    a: 0,
+                    b: 1,
+                    class: GateClass::Cx2,
+                },
+                PhysicalOp::TwoUnit {
+                    a: 0,
+                    b: 1,
+                    class: GateClass::Swap2,
+                },
+            ],
+            2,
+            &lib,
+        )
+    }
+
+    #[test]
+    fn gate_eps_is_fidelity_product() {
+        let s = two_op_schedule();
+        let trace = CoherenceTrace {
+            qubit_ns: vec![0.0, 0.0],
+            ququart_ns: vec![0.0, 0.0],
+        };
+        let m = Metrics::compute(&s, &trace, &CompilerConfig::paper());
+        assert!((m.gate_eps - 0.99f64.powi(2)).abs() < 1e-12);
+        assert_eq!(m.communication_ops, 1);
+        assert_eq!(m.count(GateClass::Cx2), 1);
+        assert_eq!(m.total_ops(), 2);
+    }
+
+    #[test]
+    fn coherence_eps_formula() {
+        let eps = coherence_eps(1000.0, 500.0, 100_000.0, 50_000.0);
+        let want = (-(1000.0f64 / 100_000.0) - (500.0 / 50_000.0)).exp();
+        assert!((eps - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn with_t1_rescales_only_coherence() {
+        let s = two_op_schedule();
+        let trace = CoherenceTrace {
+            qubit_ns: vec![755.0, 755.0],
+            ququart_ns: vec![0.0, 0.0],
+        };
+        let config = CompilerConfig::paper();
+        let m = Metrics::compute(&s, &trace, &config);
+        let better = m.with_t1(config.t1_qubit_ns() * 10.0, config.t1_ququart_ns() * 10.0);
+        assert_eq!(better.gate_eps, m.gate_eps);
+        assert!(better.coherence_eps > m.coherence_eps);
+        assert!(better.total_eps > m.total_eps);
+    }
+
+    #[test]
+    fn empty_schedule_is_perfect() {
+        let s = Schedule::new(Vec::<ScheduledOp>::new(), 1);
+        let trace = CoherenceTrace {
+            qubit_ns: vec![],
+            ququart_ns: vec![],
+        };
+        let m = Metrics::compute(&s, &trace, &CompilerConfig::paper());
+        assert_eq!(m.gate_eps, 1.0);
+        assert_eq!(m.coherence_eps, 1.0);
+        assert_eq!(m.total_eps, 1.0);
+    }
+
+    #[test]
+    fn ququart_residency_hurts_more() {
+        let t1q = 163_500.0;
+        let t1d = t1q / 3.0;
+        let bare = coherence_eps(10_000.0, 0.0, t1q, t1d);
+        let enc = coherence_eps(0.0, 10_000.0, t1q, t1d);
+        assert!(enc < bare);
+    }
+}

@@ -1,0 +1,365 @@
+//! Physical operations and circuits emitted by the compiler.
+
+use qompress_arch::Slot;
+use qompress_circuit::SingleQubitKind;
+use qompress_pulse::GateClass;
+use std::fmt;
+
+/// One operation on the physical device.
+///
+/// Two-unit operands follow the class conventions of
+/// [`qompress_pulse::gateset`]: the encoded unit first for mixed classes,
+/// the control/source unit first otherwise. `Enc { a, b }` moves the
+/// occupant of `b`'s slot 0 into `a`'s slot 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PhysicalOp {
+    /// A single-qubit gate: `class` is `X` (bare unit), `X0` or `X1`
+    /// (encoded slot).
+    Single {
+        /// Target unit.
+        unit: usize,
+        /// Which logical unitary.
+        kind: SingleQubitKind,
+        /// Embedding class: [`GateClass::X`], [`GateClass::X0`] or
+        /// [`GateClass::X1`].
+        class: GateClass,
+    },
+    /// Two single-qubit gates merged into one ququart pulse (class `X0,1`).
+    Merged {
+        /// Target (encoded) unit.
+        unit: usize,
+        /// Gate on slot 0.
+        kind0: SingleQubitKind,
+        /// Gate on slot 1.
+        kind1: SingleQubitKind,
+    },
+    /// An internal ququart operation: `Cx0`, `Cx1` or `SwapIn`.
+    Internal {
+        /// Target (encoded) unit.
+        unit: usize,
+        /// Which internal operation.
+        class: GateClass,
+    },
+    /// Any two-unit gate.
+    TwoUnit {
+        /// First operand (per class convention).
+        a: usize,
+        /// Second operand.
+        b: usize,
+        /// Gate class.
+        class: GateClass,
+    },
+}
+
+impl PhysicalOp {
+    /// The gate class (for duration/fidelity lookups).
+    pub fn class(&self) -> GateClass {
+        match *self {
+            PhysicalOp::Single { class, .. } => class,
+            PhysicalOp::Merged { .. } => GateClass::X01,
+            PhysicalOp::Internal { class, .. } => class,
+            PhysicalOp::TwoUnit { class, .. } => class,
+        }
+    }
+
+    /// The physical units this op occupies.
+    pub fn units(&self) -> (usize, Option<usize>) {
+        match *self {
+            PhysicalOp::Single { unit, .. }
+            | PhysicalOp::Merged { unit, .. }
+            | PhysicalOp::Internal { unit, .. } => (unit, None),
+            PhysicalOp::TwoUnit { a, b, .. } => (a, Some(b)),
+        }
+    }
+
+    /// Returns `true` when this is a routing/communication operation
+    /// (any SWAP-class gate, ENC or DEC).
+    pub fn is_communication(&self) -> bool {
+        let c = self.class();
+        c.is_swap() || matches!(c, GateClass::Enc | GateClass::Dec)
+    }
+
+    /// The pair of slots whose *occupants* exchange when this op executes,
+    /// or `None` for non-moving gates.
+    ///
+    /// This is the single source of truth for layout updates, coherence
+    /// tracking and the simulator's qubit-position bookkeeping.
+    pub fn moved_slots(&self) -> Option<(Slot, Slot)> {
+        match *self {
+            PhysicalOp::Internal {
+                unit,
+                class: GateClass::SwapIn,
+            } => Some((Slot::zero(unit), Slot::one(unit))),
+            PhysicalOp::TwoUnit { a, b, class } => match class {
+                GateClass::Swap2 => Some((Slot::zero(a), Slot::zero(b))),
+                GateClass::SwapBareE0 => Some((Slot::zero(a), Slot::zero(b))),
+                GateClass::SwapBareE1 => Some((Slot::one(a), Slot::zero(b))),
+                GateClass::Swap00 => Some((Slot::zero(a), Slot::zero(b))),
+                GateClass::Swap01 => Some((Slot::zero(a), Slot::one(b))),
+                GateClass::Swap11 => Some((Slot::one(a), Slot::one(b))),
+                // Enc moves b's bare qubit into a's slot 1 (and nothing
+                // back — the vacated slot holds |0⟩); modeled as an
+                // exchange with the empty slot.
+                GateClass::Enc => Some((Slot::one(a), Slot::zero(b))),
+                GateClass::Dec => Some((Slot::one(a), Slot::zero(b))),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PhysicalOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PhysicalOp::Single { unit, kind, class } => {
+                write!(f, "{kind}[{class}] u{unit}")
+            }
+            PhysicalOp::Merged { unit, kind0, kind1 } => {
+                write!(f, "({kind0},{kind1})[X0,1] u{unit}")
+            }
+            PhysicalOp::Internal { unit, class } => write!(f, "{class} u{unit}"),
+            PhysicalOp::TwoUnit { a, b, class } => write!(f, "{class} u{a}, u{b}"),
+        }
+    }
+}
+
+/// A full-SWAP4 also exchanges both slot pairs; exposed separately because
+/// `moved_slots` models single exchanges.
+pub fn swap4_moves(a: usize, b: usize) -> [(Slot, Slot); 2] {
+    [
+        (Slot::zero(a), Slot::zero(b)),
+        (Slot::one(a), Slot::one(b)),
+    ]
+}
+
+/// A scheduled physical operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledOp {
+    /// The operation.
+    pub op: PhysicalOp,
+    /// Start time in nanoseconds.
+    pub start_ns: f64,
+    /// Duration in nanoseconds (from the gate library).
+    pub duration_ns: f64,
+}
+
+impl ScheduledOp {
+    /// End time in nanoseconds.
+    pub fn end_ns(&self) -> f64 {
+        self.start_ns + self.duration_ns
+    }
+}
+
+/// A compiled, scheduled physical circuit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schedule {
+    ops: Vec<ScheduledOp>,
+    n_units: usize,
+    total_duration_ns: f64,
+}
+
+impl Schedule {
+    /// Builds a schedule container (used by the scheduler).
+    pub(crate) fn new(ops: Vec<ScheduledOp>, n_units: usize) -> Self {
+        let total_duration_ns = ops.iter().map(ScheduledOp::end_ns).fold(0.0, f64::max);
+        Schedule {
+            ops,
+            n_units,
+            total_duration_ns,
+        }
+    }
+
+    /// The scheduled operations, in dependency (emission) order.
+    pub fn ops(&self) -> &[ScheduledOp] {
+        &self.ops
+    }
+
+    /// Number of physical units on the device.
+    pub fn n_units(&self) -> usize {
+        self.n_units
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` when the schedule has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Critical-path duration of the circuit in nanoseconds.
+    pub fn total_duration_ns(&self) -> f64 {
+        self.total_duration_ns
+    }
+
+    /// Checks structural validity against a topology: every two-unit op on
+    /// coupled units, no op exceeding unit bounds, and non-overlapping unit
+    /// occupancy. Returns a list of violations (empty = valid).
+    pub fn validate(&self, topology: &qompress_arch::Topology) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut busy_until = vec![0.0f64; self.n_units];
+        for (i, sop) in self.ops.iter().enumerate() {
+            let (u, v) = sop.op.units();
+            if u >= self.n_units || v.is_some_and(|v| v >= self.n_units) {
+                problems.push(format!("op {i} ({}) addresses missing unit", sop.op));
+                continue;
+            }
+            if let Some(v) = v {
+                if u == v {
+                    problems.push(format!("op {i} ({}) uses one unit twice", sop.op));
+                } else if !topology.has_edge(u, v) {
+                    problems.push(format!("op {i} ({}) spans uncoupled units", sop.op));
+                }
+            }
+            for unit in [Some(u), v].into_iter().flatten() {
+                if sop.start_ns < busy_until[unit] - 1e-9 {
+                    problems.push(format!(
+                        "op {i} ({}) starts at {} while unit {unit} busy until {}",
+                        sop.op, sop.start_ns, busy_until[unit]
+                    ));
+                }
+                busy_until[unit] = busy_until[unit].max(sop.end_ns());
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qompress_arch::Topology;
+
+    #[test]
+    fn class_and_units() {
+        let op = PhysicalOp::TwoUnit {
+            a: 1,
+            b: 2,
+            class: GateClass::Cx2,
+        };
+        assert_eq!(op.class(), GateClass::Cx2);
+        assert_eq!(op.units(), (1, Some(2)));
+        let s = PhysicalOp::Single {
+            unit: 3,
+            kind: SingleQubitKind::H,
+            class: GateClass::X,
+        };
+        assert_eq!(s.units(), (3, None));
+        assert_eq!(s.class(), GateClass::X);
+    }
+
+    #[test]
+    fn moved_slots_for_swaps() {
+        let sw = PhysicalOp::TwoUnit {
+            a: 0,
+            b: 1,
+            class: GateClass::SwapBareE1,
+        };
+        let (x, y) = sw.moved_slots().unwrap();
+        assert_eq!(x, Slot::one(0));
+        assert_eq!(y, Slot::zero(1));
+        let cx = PhysicalOp::TwoUnit {
+            a: 0,
+            b: 1,
+            class: GateClass::Cx2,
+        };
+        assert!(cx.moved_slots().is_none());
+    }
+
+    #[test]
+    fn enc_moves_partner_into_slot_one() {
+        let enc = PhysicalOp::TwoUnit {
+            a: 4,
+            b: 7,
+            class: GateClass::Enc,
+        };
+        let (x, y) = enc.moved_slots().unwrap();
+        assert_eq!(x, Slot::one(4));
+        assert_eq!(y, Slot::zero(7));
+    }
+
+    #[test]
+    fn communication_predicate() {
+        assert!(PhysicalOp::TwoUnit {
+            a: 0,
+            b: 1,
+            class: GateClass::Swap2
+        }
+        .is_communication());
+        assert!(PhysicalOp::TwoUnit {
+            a: 0,
+            b: 1,
+            class: GateClass::Enc
+        }
+        .is_communication());
+        assert!(!PhysicalOp::TwoUnit {
+            a: 0,
+            b: 1,
+            class: GateClass::Cx00
+        }
+        .is_communication());
+        // Internal SWAP counts as communication (it moves qubits).
+        assert!(PhysicalOp::Internal {
+            unit: 0,
+            class: GateClass::SwapIn
+        }
+        .is_communication());
+    }
+
+    #[test]
+    fn schedule_duration_and_validation() {
+        let ops = vec![
+            ScheduledOp {
+                op: PhysicalOp::Single {
+                    unit: 0,
+                    kind: SingleQubitKind::H,
+                    class: GateClass::X,
+                },
+                start_ns: 0.0,
+                duration_ns: 35.0,
+            },
+            ScheduledOp {
+                op: PhysicalOp::TwoUnit {
+                    a: 0,
+                    b: 1,
+                    class: GateClass::Cx2,
+                },
+                start_ns: 35.0,
+                duration_ns: 251.0,
+            },
+        ];
+        let s = Schedule::new(ops, 2);
+        assert!((s.total_duration_ns() - 286.0).abs() < 1e-12);
+        assert!(s.validate(&Topology::line(2)).is_empty());
+    }
+
+    #[test]
+    fn validate_catches_overlap_and_uncoupled() {
+        let ops = vec![
+            ScheduledOp {
+                op: PhysicalOp::TwoUnit {
+                    a: 0,
+                    b: 2,
+                    class: GateClass::Cx2,
+                },
+                start_ns: 0.0,
+                duration_ns: 251.0,
+            },
+            ScheduledOp {
+                op: PhysicalOp::Single {
+                    unit: 0,
+                    kind: SingleQubitKind::X,
+                    class: GateClass::X,
+                },
+                start_ns: 100.0,
+                duration_ns: 35.0,
+            },
+        ];
+        let s = Schedule::new(ops, 3);
+        let problems = s.validate(&Topology::line(3));
+        assert_eq!(problems.len(), 2); // uncoupled + overlap
+    }
+}

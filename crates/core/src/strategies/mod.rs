@@ -1,0 +1,187 @@
+//! Compression strategy selection and dispatch (paper §5 and §6.2).
+
+mod awe;
+mod exhaustive;
+mod full_ququart;
+mod progressive;
+mod ring_based;
+
+pub use exhaustive::{compile_exhaustive, EcObjective, ExhaustiveOptions, ExhaustiveStep};
+
+use crate::config::CompilerConfig;
+use crate::mapping::MappingOptions;
+use crate::pipeline::{compile_with_options, CompilationResult};
+use qompress_arch::Topology;
+use qompress_circuit::Circuit;
+
+/// The compilation strategies evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Baseline: never encode a ququart (§6.2).
+    QubitOnly,
+    /// Extended Qubit Mapping: implicit pairing during placement (§5.2).
+    Eqm,
+    /// Ring-Based cycle compression (§5.3).
+    RingBased,
+    /// Average Weight per Edge contraction (§5.4).
+    Awe,
+    /// Progressive Pairing (§5.5).
+    ProgressivePairing,
+    /// Exhaustive greedy search (§5.1); `ordered` selects critical-path
+    /// prioritization (Figure 4b) over the unordered pool (Figure 4c).
+    Exhaustive {
+        /// Use the critical-path priority groups.
+        ordered: bool,
+    },
+    /// Full-ququart pairing with encode/decode — the prior-work baseline
+    /// (§6.2).
+    FullQuquart,
+}
+
+/// All strategies in the paper's plotting order.
+pub const ALL_STRATEGIES: [Strategy; 7] = [
+    Strategy::QubitOnly,
+    Strategy::FullQuquart,
+    Strategy::Eqm,
+    Strategy::RingBased,
+    Strategy::Awe,
+    Strategy::ProgressivePairing,
+    Strategy::Exhaustive { ordered: true },
+];
+
+impl Strategy {
+    /// Short name used in reports and CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::QubitOnly => "qubit-only",
+            Strategy::Eqm => "eqm",
+            Strategy::RingBased => "rb",
+            Strategy::Awe => "awe",
+            Strategy::ProgressivePairing => "pp",
+            Strategy::Exhaustive { ordered: true } => "ec",
+            Strategy::Exhaustive { ordered: false } => "ec-unordered",
+            Strategy::FullQuquart => "fq",
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Compiles `circuit` onto `topo` with the chosen strategy.
+///
+/// ```no_run
+/// use qompress::{compile, CompilerConfig, Strategy};
+/// use qompress_arch::Topology;
+/// use qompress_circuit::{Circuit, Gate};
+///
+/// let mut c = Circuit::new(4);
+/// c.push(Gate::h(0));
+/// c.push(Gate::cx(0, 1));
+/// let r = compile(&c, &Topology::grid(4), Strategy::Eqm, &CompilerConfig::paper());
+/// println!("total EPS: {}", r.metrics.total_eps);
+/// ```
+pub fn compile(
+    circuit: &Circuit,
+    topo: &Topology,
+    strategy: Strategy,
+    config: &CompilerConfig,
+) -> CompilationResult {
+    let mut result = match strategy {
+        Strategy::QubitOnly => {
+            compile_with_options(circuit, topo, config, &MappingOptions::qubit_only())
+        }
+        Strategy::Eqm => compile_with_options(circuit, topo, config, &MappingOptions::eqm()),
+        Strategy::RingBased => {
+            let pairs = ring_based::find_pairs(circuit);
+            compile_with_options(circuit, topo, config, &MappingOptions::with_pairs(pairs))
+        }
+        Strategy::Awe => {
+            let pairs = awe::find_pairs(circuit);
+            compile_with_options(circuit, topo, config, &MappingOptions::with_pairs(pairs))
+        }
+        Strategy::ProgressivePairing => {
+            let pairs = progressive::find_pairs(circuit, topo, config);
+            compile_with_options(circuit, topo, config, &MappingOptions::with_pairs(pairs))
+        }
+        Strategy::Exhaustive { ordered } => {
+            let (result, _) = compile_exhaustive(
+                circuit,
+                topo,
+                config,
+                &ExhaustiveOptions {
+                    ordered,
+                    ..ExhaustiveOptions::default()
+                },
+            );
+            result
+        }
+        Strategy::FullQuquart => full_ququart::compile_full_ququart(circuit, topo, config),
+    };
+    result.strategy = strategy.name().to_string();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qompress_circuit::Gate;
+
+    fn small_circuit() -> Circuit {
+        let mut c = Circuit::new(5);
+        c.push(Gate::h(0));
+        for (a, b) in [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)] {
+            c.push(Gate::cx(a, b));
+        }
+        c
+    }
+
+    #[test]
+    fn every_strategy_compiles_and_validates() {
+        let c = small_circuit();
+        let topo = Topology::grid(5);
+        let config = CompilerConfig::paper();
+        for strategy in ALL_STRATEGIES {
+            let r = compile(&c, &topo, strategy, &config);
+            let problems = r.schedule.validate(&topo);
+            assert!(problems.is_empty(), "{strategy}: {problems:?}");
+            assert!(r.metrics.total_eps > 0.0, "{strategy}");
+            assert!(r.metrics.total_eps <= 1.0, "{strategy}");
+            assert_eq!(r.strategy, strategy.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = ALL_STRATEGIES.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL_STRATEGIES.len());
+    }
+
+    #[test]
+    fn qubit_only_never_encodes() {
+        let c = small_circuit();
+        let topo = Topology::grid(5);
+        let r = compile(&c, &topo, Strategy::QubitOnly, &CompilerConfig::paper());
+        assert!(r.pairs.is_empty());
+        assert!(!r.encoded_units.iter().any(|&e| e));
+        assert_eq!(r.metrics.ququart_state_ns, 0.0);
+    }
+
+    #[test]
+    fn compression_strategies_are_deterministic() {
+        let c = small_circuit();
+        let topo = Topology::grid(5);
+        let config = CompilerConfig::paper();
+        for strategy in [Strategy::Eqm, Strategy::RingBased, Strategy::Awe] {
+            let a = compile(&c, &topo, strategy, &config);
+            let b = compile(&c, &topo, strategy, &config);
+            assert_eq!(a.metrics.total_eps, b.metrics.total_eps, "{strategy}");
+            assert_eq!(a.schedule.len(), b.schedule.len(), "{strategy}");
+        }
+    }
+}

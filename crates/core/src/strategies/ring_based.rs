@@ -1,0 +1,167 @@
+//! Ring-Based (RB) compression (paper §5.3).
+//!
+//! Finds the minimum cycle through each qubit of the interaction graph,
+//! keeps only cycles of the globally minimal length, and inside each cycle
+//! pairs the member with the fewest external interactions against the
+//! cycle-mate that maximizes internal weight and shared neighbours while
+//! minimizing simultaneous activity. Chosen pairs contract the graph and
+//! the search repeats until no beneficial compression remains — turning
+//! triangle chains (CNU, Cuccaro) into lines.
+
+use qompress_circuit::{ActivityTable, Circuit, CircuitDag, InteractionGraph};
+
+/// Relative weight of shared-neighbour count in the pair score.
+const SHARED_NEIGHBOR_WEIGHT: f64 = 0.3;
+/// Relative weight of the simultaneity penalty.
+const SIMULTANEITY_WEIGHT: f64 = 0.05;
+
+/// Selects compression pairs for `circuit`.
+pub fn find_pairs(circuit: &Circuit) -> Vec<(usize, usize)> {
+    let dag = CircuitDag::build(circuit);
+    let activity = ActivityTable::build(circuit, &dag);
+    let mut ig = InteractionGraph::build(circuit);
+    let n = circuit.n_qubits();
+    let mut consumed = vec![false; n];
+    let mut pairs = Vec::new();
+
+    loop {
+        let ug = ig.to_ugraph();
+        // Minimum cycle through every eligible qubit.
+        let mut cycles: Vec<Vec<usize>> = Vec::new();
+        for v in 0..n {
+            if consumed[v] || ug.neighbors(v).len() < 2 {
+                continue;
+            }
+            if let Some(cycle) = ug.min_cycle_through(v) {
+                cycles.push(cycle);
+            }
+        }
+        if cycles.is_empty() {
+            break;
+        }
+        let min_len = cycles.iter().map(Vec::len).min().unwrap();
+        cycles.retain(|c| c.len() == min_len);
+
+        // Candidate pairs from each minimal cycle.
+        let mut best: Option<((usize, usize), f64)> = None;
+        for cycle in &cycles {
+            let eligible: Vec<usize> = cycle.iter().copied().filter(|&q| !consumed[q]).collect();
+            if eligible.len() < 2 {
+                continue;
+            }
+            // The qubit with fewest interactions outside its cycle anchors
+            // the candidates.
+            let anchor = *eligible
+                .iter()
+                .min_by_key(|&&q| (ig.external_degree(q, cycle), q))
+                .unwrap();
+            for &other in &eligible {
+                if other == anchor {
+                    continue;
+                }
+                let w = ig.weight(anchor, other);
+                let shared = ig.shared_neighbors(anchor, other) as f64;
+                let simult =
+                    activity.simultaneous_count(circuit, &dag, anchor, other) as f64;
+                let score =
+                    w + SHARED_NEIGHBOR_WEIGHT * shared - SIMULTANEITY_WEIGHT * simult;
+                if score <= 0.0 {
+                    continue;
+                }
+                let key = (anchor.min(other), anchor.max(other));
+                let better = match &best {
+                    None => true,
+                    Some((bk, bs)) => score > *bs + 1e-12 || ((score - bs).abs() <= 1e-12 && key < *bk),
+                };
+                if better {
+                    best = Some((key, score));
+                }
+            }
+        }
+
+        match best {
+            Some(((a, b), _)) => {
+                // Put the more externally-connected qubit at slot 0 (slot-0
+                // partial gates are cheaper in Table 1).
+                let pair = if ig.total_weight(a) >= ig.total_weight(b) {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+                pairs.push(pair);
+                consumed[a] = true;
+                consumed[b] = true;
+                ig = ig.contract(a.min(b), a.max(b));
+            }
+            None => break,
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qompress_circuit::Gate;
+
+    #[test]
+    fn triangle_gets_compressed() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::cx(1, 2));
+        c.push(Gate::cx(0, 2));
+        let pairs = find_pairs(&c);
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn star_has_no_cycles_no_pairs() {
+        // BV-like star: RB finds nothing (paper §7).
+        let mut c = Circuit::new(5);
+        for i in 1..5 {
+            c.push(Gate::cx(i, 0));
+        }
+        assert!(find_pairs(&c).is_empty());
+    }
+
+    #[test]
+    fn triangle_chain_compresses_multiple_pairs() {
+        // Two edge-disjoint triangles: (0,1,2) and (3,4,5).
+        let mut c = Circuit::new(6);
+        for (a, b) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            c.push(Gate::cx(a, b));
+        }
+        let pairs = find_pairs(&c);
+        assert_eq!(pairs.len(), 2);
+        // Pairs are disjoint.
+        let mut seen = std::collections::HashSet::new();
+        for (a, b) in pairs {
+            assert!(seen.insert(a));
+            assert!(seen.insert(b));
+        }
+    }
+
+    #[test]
+    fn cnu_interaction_flattens() {
+        // A CNU-style triangle chain: pairs found on every triangle.
+        let c = {
+            let mut c = Circuit::new(7);
+            c.push_ccx(0, 1, 4);
+            c.push_ccx(2, 4, 5);
+            c.push_ccx(3, 5, 6);
+            c
+        };
+        let pairs = find_pairs(&c);
+        assert!(!pairs.is_empty());
+        assert!(pairs.len() <= 3);
+    }
+
+    #[test]
+    fn pairs_are_deterministic() {
+        let mut c = Circuit::new(4);
+        for (a, b) in [(0, 1), (1, 2), (0, 2), (2, 3)] {
+            c.push(Gate::cx(a, b));
+        }
+        assert_eq!(find_pairs(&c), find_pairs(&c));
+    }
+}

@@ -1,0 +1,163 @@
+//! Schedule introspection: per-unit utilization, achieved parallelism and
+//! an ASCII timeline — the serialization effects of compression (§4.2 and
+//! §7.1) made visible.
+
+use crate::physical::Schedule;
+
+/// Aggregate parallelism statistics of a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelismStats {
+    /// Sum over ops of `duration × units involved` (unit-nanoseconds).
+    pub busy_unit_ns: f64,
+    /// `busy_unit_ns / (active units × total duration)` ∈ (0, 1].
+    pub utilization: f64,
+    /// Average number of simultaneously executing operations.
+    pub mean_parallelism: f64,
+    /// Number of units that execute at least one op.
+    pub active_units: usize,
+}
+
+/// Computes utilization and parallelism for a schedule.
+pub fn parallelism_stats(schedule: &Schedule) -> ParallelismStats {
+    let total = schedule.total_duration_ns();
+    let mut unit_busy = vec![0.0f64; schedule.n_units()];
+    let mut op_ns = 0.0;
+    for sop in schedule.ops() {
+        let (a, b) = sop.op.units();
+        unit_busy[a] += sop.duration_ns;
+        if let Some(b) = b {
+            unit_busy[b] += sop.duration_ns;
+        }
+        op_ns += sop.duration_ns;
+    }
+    let active_units = unit_busy.iter().filter(|&&t| t > 0.0).count();
+    let busy_unit_ns: f64 = unit_busy.iter().sum();
+    let denom = (active_units as f64) * total;
+    ParallelismStats {
+        busy_unit_ns,
+        utilization: if denom > 0.0 { busy_unit_ns / denom } else { 0.0 },
+        mean_parallelism: if total > 0.0 { op_ns / total } else { 0.0 },
+        active_units,
+    }
+}
+
+/// Renders an ASCII timeline: one row per active unit, `#` where the unit
+/// is busy, over `width` time buckets.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn render_timeline(schedule: &Schedule, width: usize) -> String {
+    assert!(width > 0, "timeline needs at least one column");
+    let total = schedule.total_duration_ns();
+    if total <= 0.0 || schedule.is_empty() {
+        return String::from("(empty schedule)\n");
+    }
+    let bucket = total / width as f64;
+    let mut rows = vec![vec![' '; width]; schedule.n_units()];
+    let mut active = vec![false; schedule.n_units()];
+    for sop in schedule.ops() {
+        let start = (sop.start_ns / bucket).floor() as usize;
+        let end = ((sop.end_ns() / bucket).ceil() as usize).min(width);
+        let (a, b) = sop.op.units();
+        for unit in [Some(a), b].into_iter().flatten() {
+            active[unit] = true;
+            for cell in rows[unit].iter_mut().take(end).skip(start.min(width - 1)) {
+                *cell = '#';
+            }
+        }
+    }
+    let mut out = String::new();
+    for (unit, row) in rows.iter().enumerate() {
+        if !active[unit] {
+            continue;
+        }
+        out.push_str(&format!("u{unit:<3}|"));
+        out.extend(row.iter());
+        out.push_str("|\n");
+    }
+    out.push_str(&format!("     0 ns {:>width$.0} ns\n", total, width = width - 4));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::PhysicalOp;
+    use crate::scheduling::schedule_ops;
+    use qompress_pulse::{GateClass, GateLibrary};
+
+    fn sample_schedule() -> Schedule {
+        let lib = GateLibrary::paper();
+        schedule_ops(
+            vec![
+                PhysicalOp::TwoUnit {
+                    a: 0,
+                    b: 1,
+                    class: GateClass::Cx2,
+                },
+                PhysicalOp::TwoUnit {
+                    a: 2,
+                    b: 3,
+                    class: GateClass::Cx2,
+                },
+                PhysicalOp::TwoUnit {
+                    a: 1,
+                    b: 2,
+                    class: GateClass::Cx2,
+                },
+            ],
+            5,
+            &lib,
+        )
+    }
+
+    #[test]
+    fn stats_account_for_parallel_ops() {
+        let s = sample_schedule();
+        let stats = parallelism_stats(&s);
+        assert_eq!(stats.active_units, 4);
+        // First two ops run in parallel, third serializes: total = 502.
+        assert!((stats.busy_unit_ns - 6.0 * 251.0).abs() < 1e-9);
+        assert!(stats.mean_parallelism > 1.0);
+        assert!(stats.utilization > 0.5 && stats.utilization <= 1.0);
+    }
+
+    #[test]
+    fn serial_schedule_has_parallelism_one() {
+        let lib = GateLibrary::paper();
+        let s = schedule_ops(
+            vec![
+                PhysicalOp::Internal {
+                    unit: 0,
+                    class: GateClass::Cx0,
+                },
+                PhysicalOp::Internal {
+                    unit: 0,
+                    class: GateClass::Cx1,
+                },
+            ],
+            1,
+            &lib,
+        );
+        let stats = parallelism_stats(&s);
+        assert!((stats.mean_parallelism - 1.0).abs() < 1e-9);
+        assert!((stats.utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeline_marks_busy_units() {
+        let s = sample_schedule();
+        let t = render_timeline(&s, 40);
+        assert!(t.contains("u0"));
+        assert!(t.contains("u3"));
+        assert!(!t.contains("u4")); // idle unit hidden
+        assert!(t.contains('#'));
+    }
+
+    #[test]
+    fn empty_schedule_renders_placeholder() {
+        let s = Schedule::default();
+        assert!(render_timeline(&s, 10).contains("empty"));
+    }
+}

@@ -1,0 +1,275 @@
+//! A minimal double-precision complex scalar.
+//!
+//! The reproduction deliberately avoids external numerics crates, so this
+//! module provides the small amount of complex arithmetic needed by the pulse
+//! optimizer and the mixed-radix simulator.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+///
+/// ```
+/// use qompress_linalg::C64;
+/// let i = C64::I;
+/// assert_eq!(i * i, C64::new(-1.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// The additive identity.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|^2`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in radians.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        C64::new(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// `e^{i theta}` for a real angle.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        C64::new(theta.cos(), theta.sin())
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic, but returns non-finite parts when `self` is zero.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        C64::new(self.re / d, -self.im / d)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        C64::new(self.re * k, self.im * k)
+    }
+
+    /// Returns `true` when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        C64::real(re)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, o: C64) -> C64 {
+        C64::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, o: C64) -> C64 {
+        C64::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, o: C64) -> C64 {
+        C64::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w computed as z * w^{-1}
+    fn div(self, o: C64) -> C64 {
+        self * o.recip()
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, k: f64) -> C64 {
+        self.scale(k)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, z: C64) -> C64 {
+        z.scale(self)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, o: C64) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, o: C64) {
+        self.re -= o.re;
+        self.im -= o.im;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, o: C64) {
+        *self = *self * o;
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: C64, b: C64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(C64::I * C64::I, C64::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn conjugate_flips_imaginary() {
+        let z = C64::new(3.0, -4.0);
+        assert_eq!(z.conj(), C64::new(3.0, 4.0));
+        assert!((z.abs() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn euler_identity() {
+        let z = C64::cis(std::f64::consts::PI);
+        assert!(close(z, C64::new(-1.0, 0.0)));
+    }
+
+    #[test]
+    fn exp_matches_cis_for_imaginary_input() {
+        let t = 0.731;
+        assert!(close((C64::I * t).exp(), C64::cis(t)));
+    }
+
+    #[test]
+    fn division_roundtrip() {
+        let a = C64::new(1.5, -2.5);
+        let b = C64::new(0.25, 4.0);
+        assert!(close(a / b * b, a));
+    }
+
+    #[test]
+    fn recip_of_unit_circle_is_conj() {
+        let z = C64::cis(1.0);
+        assert!(close(z.recip(), z.conj()));
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let s: C64 = (0..4).map(|k| C64::new(k as f64, 1.0)).sum();
+        assert_eq!(s, C64::new(6.0, 4.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(format!("{}", C64::new(1.0, -2.0)), "1-2i");
+        assert_eq!(format!("{}", C64::ZERO), "0+0i");
+    }
+
+    #[test]
+    fn arg_quadrants() {
+        assert!((C64::new(0.0, 1.0).arg() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((C64::new(-1.0, 0.0).arg() - std::f64::consts::PI).abs() < 1e-12);
+    }
+}

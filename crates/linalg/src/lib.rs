@@ -1,0 +1,36 @@
+//! # qompress-linalg
+//!
+//! Dense complex linear algebra sized for small qudit Hilbert spaces.
+//!
+//! This crate is the numerics substrate of the Qompress reproduction: it
+//! backs the transmon pulse optimizer ([`qompress-pulse`]) and the
+//! mixed-radix state-vector simulator ([`qompress-sim`]). It deliberately
+//! implements exactly what those consumers need — complex scalars, dense
+//! matrices, Kronecker products and the matrix exponential — with no
+//! external numeric dependencies.
+//!
+//! ```
+//! use qompress_linalg::{C64, CMat, expm_i_h_t};
+//!
+//! // A qubit X rotation: exp(-i (pi/2) X) ~ X up to phase.
+//! let x = CMat::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]]);
+//! let u = expm_i_h_t(&x, std::f64::consts::FRAC_PI_2);
+//! assert!(u.is_unitary(1e-10));
+//! ```
+//!
+//! [`qompress-pulse`]: https://example.invalid/qompress-rs
+//! [`qompress-sim`]: https://example.invalid/qompress-rs
+
+#![warn(missing_docs)]
+// Dense matrix kernels read more clearly with explicit index loops.
+#![allow(clippy::needless_range_loop)]
+
+mod complex;
+mod expm;
+mod matrix;
+mod vector;
+
+pub use complex::C64;
+pub use expm::{expm, expm_i_h_t};
+pub use matrix::CMat;
+pub use vector::{basis_state, equal_up_to_phase, inner, norm_sqr, normalize, overlap_fidelity};

@@ -1,0 +1,481 @@
+//! Dense, row-major complex matrices sized for small qudit Hilbert spaces.
+//!
+//! Matrices here are at most a few hundred rows (two transmons with guard
+//! levels), so a simple dense representation with `O(n^3)` multiplication is
+//! the right tool: no sparsity bookkeeping, fully deterministic, easy to test.
+
+use crate::complex::C64;
+use core::fmt;
+use core::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense complex matrix in row-major order.
+///
+/// ```
+/// use qompress_linalg::{C64, CMat};
+/// let x = CMat::from_rows(&[
+///     &[C64::ZERO, C64::ONE],
+///     &[C64::ONE, C64::ZERO],
+/// ]);
+/// assert!(x.mul_mat(&x).is_identity(1e-12));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<C64>,
+}
+
+impl CMat {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMat {
+            rows,
+            cols,
+            data: vec![C64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = C64::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from a slice of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths or the input is empty.
+    pub fn from_rows(rows: &[&[C64]]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        CMat {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Builds a matrix from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> C64) -> Self {
+        let mut m = CMat::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Builds a diagonal matrix from the given entries.
+    pub fn diag(entries: &[C64]) -> Self {
+        let n = entries.len();
+        let mut m = CMat::zeros(n, n);
+        for (i, &e) in entries.iter().enumerate() {
+            m[(i, i)] = e;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` for a square matrix.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable view of the backing storage (row-major).
+    #[inline]
+    pub fn as_slice(&self) -> &[C64] {
+        &self.data
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul_mat(&self, other: &CMat) -> CMat {
+        assert_eq!(self.cols, other.rows, "dimension mismatch in mul");
+        let mut out = CMat::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == C64::ZERO {
+                    continue;
+                }
+                let lhs_row = i * other.cols;
+                let rhs_row = k * other.cols;
+                for j in 0..other.cols {
+                    let prod = a * other.data[rhs_row + j];
+                    out.data[lhs_row + j] += prod;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[C64]) -> Vec<C64> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch in mul_vec");
+        let mut out = vec![C64::ZERO; self.rows];
+        for i in 0..self.rows {
+            let row = i * self.cols;
+            let mut acc = C64::ZERO;
+            for j in 0..self.cols {
+                acc += self.data[row + j] * v[j];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Conjugate transpose.
+    pub fn dagger(&self) -> CMat {
+        CMat::from_fn(self.cols, self.rows, |i, j| self[(j, i)].conj())
+    }
+
+    /// Plain transpose without conjugation.
+    pub fn transpose(&self) -> CMat {
+        CMat::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Scales every entry by a complex factor.
+    pub fn scale(&self, k: C64) -> CMat {
+        let mut out = self.clone();
+        for z in &mut out.data {
+            *z *= k;
+        }
+        out
+    }
+
+    /// Trace of a square matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> C64 {
+        assert!(self.is_square(), "trace needs a square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Induced 1-norm (maximum absolute column sum), used to pick the
+    /// scaling exponent in [`crate::expm`].
+    pub fn one_norm(&self) -> f64 {
+        let mut best = 0.0f64;
+        for j in 0..self.cols {
+            let s: f64 = (0..self.rows).map(|i| self[(i, j)].abs()).sum();
+            best = best.max(s);
+        }
+        best
+    }
+
+    /// Kronecker (tensor) product `self ⊗ other`.
+    pub fn kron(&self, other: &CMat) -> CMat {
+        let mut out = CMat::zeros(self.rows * other.rows, self.cols * other.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                if a == C64::ZERO {
+                    continue;
+                }
+                for k in 0..other.rows {
+                    for l in 0..other.cols {
+                        out[(i * other.rows + k, j * other.cols + l)] = a * other[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Checks whether `self` approximates the identity within `tol`
+    /// (max-entry deviation).
+    pub fn is_identity(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let want = if i == j { C64::ONE } else { C64::ZERO };
+                if (self[(i, j)] - want).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Checks unitarity: `U† U ≈ I` within `tol`.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        self.is_square() && self.dagger().mul_mat(self).is_identity(tol)
+    }
+
+    /// Checks Hermiticity within `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in 0..=i {
+                if (self[(i, j)] - self[(j, i)].conj()).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Maximum absolute entry difference to `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &CMat) -> f64 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Extracts the sub-matrix with the given row and column index sets.
+    ///
+    /// Used to restrict a propagator to the logical subspace of a guarded
+    /// Hilbert space.
+    pub fn submatrix(&self, row_idx: &[usize], col_idx: &[usize]) -> CMat {
+        CMat::from_fn(row_idx.len(), col_idx.len(), |i, j| {
+            self[(row_idx[i], col_idx[j])]
+        })
+    }
+
+    /// Embeds `small` at the given basis indices of a larger identity matrix.
+    ///
+    /// Entries of the result outside `idx x idx` are identity. This is how a
+    /// logical target unitary is lifted to the full (guarded) Hilbert space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `small` is not `idx.len()` square or any index is out of
+    /// range.
+    pub fn embed(small: &CMat, dim: usize, idx: &[usize]) -> CMat {
+        assert_eq!(small.rows(), idx.len());
+        assert_eq!(small.cols(), idx.len());
+        let mut out = CMat::identity(dim);
+        for (i, &ri) in idx.iter().enumerate() {
+            // Clear the identity rows we are about to overwrite.
+            for c in 0..dim {
+                out[(ri, c)] = C64::ZERO;
+            }
+            for (j, &cj) in idx.iter().enumerate() {
+                out[(ri, cj)] = small[(i, j)];
+            }
+        }
+        out
+    }
+}
+
+impl Index<(usize, usize)> for CMat {
+    type Output = C64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &C64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &CMat {
+    type Output = CMat;
+    fn add(self, other: &CMat) -> CMat {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(other.data.iter()) {
+            *a += *b;
+        }
+        out
+    }
+}
+
+impl Sub for &CMat {
+    type Output = CMat;
+    fn sub(self, other: &CMat) -> CMat {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(other.data.iter()) {
+            *a -= *b;
+        }
+        out
+    }
+}
+
+impl Mul for &CMat {
+    type Output = CMat;
+    fn mul(self, other: &CMat) -> CMat {
+        self.mul_mat(other)
+    }
+}
+
+impl fmt::Display for CMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:>18}", format!("{}", self[(i, j)]))?;
+                if j + 1 < self.cols {
+                    write!(f, " ")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pauli_x() -> CMat {
+        CMat::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]])
+    }
+
+    fn pauli_z() -> CMat {
+        CMat::diag(&[C64::ONE, -C64::ONE])
+    }
+
+    #[test]
+    fn identity_times_anything() {
+        let x = pauli_x();
+        assert_eq!(CMat::identity(2).mul_mat(&x), x);
+        assert_eq!(x.mul_mat(&CMat::identity(2)), x);
+    }
+
+    #[test]
+    fn x_z_anticommute() {
+        let x = pauli_x();
+        let z = pauli_z();
+        let xz = x.mul_mat(&z);
+        let zx = z.mul_mat(&x);
+        assert!(xz.max_abs_diff(&zx.scale(-C64::ONE)) < 1e-15);
+    }
+
+    #[test]
+    fn dagger_reverses_products() {
+        let a = CMat::from_fn(3, 3, |i, j| C64::new(i as f64, j as f64 * 0.5));
+        let b = CMat::from_fn(3, 3, |i, j| C64::new(j as f64 - 1.0, i as f64));
+        let lhs = a.mul_mat(&b).dagger();
+        let rhs = b.dagger().mul_mat(&a.dagger());
+        assert!(lhs.max_abs_diff(&rhs) < 1e-12);
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let x = pauli_x();
+        let z = pauli_z();
+        let k = x.kron(&z);
+        assert_eq!(k.rows(), 4);
+        assert_eq!(k.cols(), 4);
+        // X⊗Z has block structure [[0, Z],[Z, 0]].
+        assert_eq!(k[(0, 2)], C64::ONE);
+        assert_eq!(k[(1, 3)], -C64::ONE);
+        assert_eq!(k[(2, 0)], C64::ONE);
+        assert_eq!(k[(3, 1)], -C64::ONE);
+    }
+
+    #[test]
+    fn trace_of_kron_is_product_of_traces() {
+        let a = CMat::from_fn(2, 2, |i, j| C64::new((i + j) as f64, 0.3));
+        let b = CMat::from_fn(3, 3, |i, j| C64::new(i as f64 - j as f64, 1.0));
+        let lhs = a.kron(&b).trace();
+        let rhs = a.trace() * b.trace();
+        assert!((lhs - rhs).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pauli_gates_are_unitary_and_hermitian() {
+        assert!(pauli_x().is_unitary(1e-12));
+        assert!(pauli_x().is_hermitian(1e-12));
+        assert!(pauli_z().is_unitary(1e-12));
+    }
+
+    #[test]
+    fn embed_places_block() {
+        let x = pauli_x();
+        let e = CMat::embed(&x, 4, &[1, 3]);
+        assert_eq!(e[(0, 0)], C64::ONE);
+        assert_eq!(e[(2, 2)], C64::ONE);
+        assert_eq!(e[(1, 3)], C64::ONE);
+        assert_eq!(e[(3, 1)], C64::ONE);
+        assert_eq!(e[(1, 1)], C64::ZERO);
+        assert!(e.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn submatrix_extracts() {
+        let m = CMat::from_fn(4, 4, |i, j| C64::new((4 * i + j) as f64, 0.0));
+        let s = m.submatrix(&[0, 2], &[1, 3]);
+        assert_eq!(s[(0, 0)].re, 1.0);
+        assert_eq!(s[(1, 1)].re, 11.0);
+    }
+
+    #[test]
+    fn mul_vec_matches_mul_mat() {
+        let m = CMat::from_fn(3, 3, |i, j| C64::new(i as f64 + 1.0, j as f64));
+        let v = vec![C64::new(1.0, 0.0), C64::new(0.0, 1.0), C64::new(-1.0, 0.5)];
+        let as_mat = CMat::from_fn(3, 1, |i, _| v[i]);
+        let prod = m.mul_mat(&as_mat);
+        let got = m.mul_vec(&v);
+        for i in 0..3 {
+            assert!((got[i] - prod[(i, 0)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn one_norm_is_max_column_sum() {
+        let m = CMat::from_rows(&[
+            &[C64::real(1.0), C64::real(-7.0)],
+            &[C64::real(2.0), C64::real(0.5)],
+        ]);
+        assert!((m.one_norm() - 7.5).abs() < 1e-12);
+    }
+}

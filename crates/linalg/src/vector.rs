@@ -1,0 +1,104 @@
+//! Helpers for complex state vectors.
+
+use crate::complex::C64;
+
+/// Inner product `⟨a|b⟩` (conjugate-linear in the first argument).
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn inner(a: &[C64], b: &[C64]) -> C64 {
+    assert_eq!(a.len(), b.len(), "inner product length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x.conj() * *y).sum()
+}
+
+/// Squared 2-norm of a state vector.
+pub fn norm_sqr(v: &[C64]) -> f64 {
+    v.iter().map(|z| z.norm_sqr()).sum()
+}
+
+/// Normalizes `v` in place; returns the original norm.
+pub fn normalize(v: &mut [C64]) -> f64 {
+    let n = norm_sqr(v).sqrt();
+    if n > 0.0 {
+        for z in v.iter_mut() {
+            *z = z.scale(1.0 / n);
+        }
+    }
+    n
+}
+
+/// State-overlap fidelity `|⟨a|b⟩|^2` between two (normalized) states.
+pub fn overlap_fidelity(a: &[C64], b: &[C64]) -> f64 {
+    inner(a, b).norm_sqr()
+}
+
+/// Returns a basis state `|k⟩` of the given dimension.
+///
+/// # Panics
+///
+/// Panics if `k >= dim`.
+pub fn basis_state(dim: usize, k: usize) -> Vec<C64> {
+    assert!(k < dim, "basis index out of range");
+    let mut v = vec![C64::ZERO; dim];
+    v[k] = C64::ONE;
+    v
+}
+
+/// Checks whether two states are equal up to a global phase, within `tol`.
+pub fn equal_up_to_phase(a: &[C64], b: &[C64], tol: f64) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let ip = inner(a, b);
+    let na = norm_sqr(a);
+    let nb = norm_sqr(b);
+    (ip.abs() * ip.abs() - na * nb).abs() < tol * na.max(nb).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_states_are_orthonormal() {
+        let e0 = basis_state(4, 0);
+        let e3 = basis_state(4, 3);
+        assert_eq!(inner(&e0, &e0), C64::ONE);
+        assert_eq!(inner(&e0, &e3), C64::ZERO);
+    }
+
+    #[test]
+    fn normalize_produces_unit_norm() {
+        let mut v = vec![C64::new(3.0, 0.0), C64::new(0.0, 4.0)];
+        let n = normalize(&mut v);
+        assert!((n - 5.0).abs() < 1e-12);
+        assert!((norm_sqr(&v) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_equality_ignores_global_phase() {
+        let a = vec![C64::new(0.6, 0.0), C64::new(0.8, 0.0)];
+        let phase = C64::cis(1.234);
+        let b: Vec<C64> = a.iter().map(|z| *z * phase).collect();
+        assert!(equal_up_to_phase(&a, &b, 1e-12));
+    }
+
+    #[test]
+    fn phase_equality_detects_difference() {
+        let a = vec![C64::ONE, C64::ZERO];
+        let b = vec![C64::ZERO, C64::ONE];
+        assert!(!equal_up_to_phase(&a, &b, 1e-9));
+    }
+
+    #[test]
+    fn overlap_fidelity_bounds() {
+        let a = vec![C64::new(1.0, 0.0), C64::ZERO];
+        let b = vec![
+            C64::new(0.5f64.sqrt(), 0.0),
+            C64::new(0.0, 0.5f64.sqrt()),
+        ];
+        let f = overlap_fidelity(&a, &b);
+        assert!((f - 0.5).abs() < 1e-12);
+    }
+}

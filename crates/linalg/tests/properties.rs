@@ -1,0 +1,97 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use qompress_linalg::{expm, expm_i_h_t, C64, CMat};
+
+fn arb_c64() -> impl Strategy<Value = C64> {
+    (-2.0f64..2.0, -2.0f64..2.0).prop_map(|(re, im)| C64::new(re, im))
+}
+
+fn arb_mat(n: usize) -> impl Strategy<Value = CMat> {
+    proptest::collection::vec(arb_c64(), n * n).prop_map(move |v| {
+        CMat::from_fn(n, n, |i, j| v[i * n + j])
+    })
+}
+
+fn arb_hermitian(n: usize) -> impl Strategy<Value = CMat> {
+    arb_mat(n).prop_map(|m| (&m + &m.dagger()).scale(C64::real(0.5)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dagger_is_involutive(m in arb_mat(3)) {
+        prop_assert!(m.dagger().dagger().max_abs_diff(&m) < 1e-12);
+    }
+
+    #[test]
+    fn product_dagger_reverses(a in arb_mat(3), b in arb_mat(3)) {
+        let lhs = a.mul_mat(&b).dagger();
+        let rhs = b.dagger().mul_mat(&a.dagger());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-10);
+    }
+
+    #[test]
+    fn matmul_is_associative(a in arb_mat(2), b in arb_mat(2), c in arb_mat(2)) {
+        let lhs = a.mul_mat(&b).mul_mat(&c);
+        let rhs = a.mul_mat(&b.mul_mat(&c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);
+    }
+
+    #[test]
+    fn trace_is_linear(a in arb_mat(3), b in arb_mat(3)) {
+        let lhs = (&a + &b).trace();
+        let rhs = a.trace() + b.trace();
+        prop_assert!((lhs - rhs).abs() < 1e-10);
+    }
+
+    #[test]
+    fn trace_cyclic(a in arb_mat(3), b in arb_mat(3)) {
+        let lhs = a.mul_mat(&b).trace();
+        let rhs = b.mul_mat(&a).trace();
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kron_mixed_product(a in arb_mat(2), b in arb_mat(2), c in arb_mat(2), d in arb_mat(2)) {
+        // (A⊗B)(C⊗D) = (AC)⊗(BD)
+        let lhs = a.kron(&b).mul_mat(&c.kron(&d));
+        let rhs = a.mul_mat(&c).kron(&b.mul_mat(&d));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-9);
+    }
+
+    #[test]
+    fn exp_of_hermitian_generator_is_unitary(h in arb_hermitian(3), t in -2.0f64..2.0) {
+        let u = expm_i_h_t(&h, t);
+        prop_assert!(u.is_unitary(1e-8));
+    }
+
+    #[test]
+    fn exp_inverse_is_exp_of_negation(h in arb_hermitian(2), t in -1.5f64..1.5) {
+        let u = expm_i_h_t(&h, t);
+        let v = expm_i_h_t(&h, -t);
+        prop_assert!(u.mul_mat(&v).is_identity(1e-8));
+    }
+
+    #[test]
+    fn expm_similarity_with_scalar(x in -1.0f64..1.0, y in -1.0f64..1.0) {
+        // 1x1 matrix exp equals scalar exp.
+        let m = CMat::diag(&[C64::new(x, y)]);
+        let e = expm(&m);
+        prop_assert!((e[(0, 0)] - C64::new(x, y).exp()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn complex_field_axioms(a in arb_c64(), b in arb_c64(), c in arb_c64()) {
+        let lhs = a * (b + c);
+        let rhs = a * b + a * c;
+        prop_assert!((lhs - rhs).abs() < 1e-10);
+        prop_assert!((a * b - b * a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conj_is_multiplicative(a in arb_c64(), b in arb_c64()) {
+        prop_assert!(((a * b).conj() - a.conj() * b.conj()).abs() < 1e-12);
+    }
+}

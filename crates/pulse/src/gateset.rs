@@ -1,0 +1,509 @@
+//! The Qompress physical gate set (paper §3.1, Figure 2).
+//!
+//! Every compiled operation belongs to one of these classes; the class
+//! determines the pulse duration and fidelity (Table 1) and — because all
+//! CX/SWAP-style members are basis-state permutations — its logical
+//! semantics, which the simulator and the pulse-target builder share.
+//!
+//! Naming follows the paper: for partial gates the *first* operand tag names
+//! the control/source. `CxE0Bare` is the paper's `CX_{0q}` (control: encoded
+//! slot 0, target: bare qubit); `CxBareE0` is `CX_{q0}` (control: bare).
+
+use core::fmt;
+
+/// A physical operation class on one or two transmon units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum GateClass {
+    /// Single-qubit gate on a bare qubit (all 1q unitaries share X timing).
+    X,
+    /// Single-qubit gate on encoded slot 0 of a ququart.
+    X0,
+    /// Single-qubit gate on encoded slot 1 of a ququart.
+    X1,
+    /// Two simultaneous single-qubit gates merged into one ququart gate.
+    X01,
+    /// Internal CX: control slot 0, target slot 1 (single-ququart op).
+    Cx0,
+    /// Internal CX: control slot 1, target slot 0 (single-ququart op).
+    Cx1,
+    /// Internal SWAP of the two encoded qubits (single-ququart op).
+    SwapIn,
+    /// Encode two bare qubits into one ququart (two-unit op).
+    Enc,
+    /// Decode a ququart back into two bare qubits (inverse of [`GateClass::Enc`];
+    /// the FQ baseline needs it, at ENC cost — the paper gives no separate number).
+    Dec,
+    /// Standard CX between two bare qubits.
+    Cx2,
+    /// Standard SWAP between two bare qubits.
+    Swap2,
+    /// Partial CX, control = encoded slot 0, target = bare qubit (paper `CX0q`).
+    CxE0Bare,
+    /// Partial CX, control = encoded slot 1, target = bare qubit (`CX1q`).
+    CxE1Bare,
+    /// Partial CX, control = bare qubit, target = encoded slot 0 (`CXq0`).
+    CxBareE0,
+    /// Partial CX, control = bare qubit, target = encoded slot 1 (`CXq1`).
+    CxBareE1,
+    /// Partial SWAP, bare qubit with encoded slot 0 (`SWAPq0`).
+    SwapBareE0,
+    /// Partial SWAP, bare qubit with encoded slot 1 (`SWAPq1`).
+    SwapBareE1,
+    /// Partial CX between ququarts: control slot 0 of A, target slot 0 of B.
+    Cx00,
+    /// Control slot 0 of A, target slot 1 of B.
+    Cx01,
+    /// Control slot 1 of A, target slot 0 of B.
+    Cx10,
+    /// Control slot 1 of A, target slot 1 of B.
+    Cx11,
+    /// Partial SWAP between ququarts: slot 0 of A with slot 0 of B.
+    Swap00,
+    /// Slot 0 of A with slot 1 of B (≡ `SWAP10` with operands exchanged).
+    Swap01,
+    /// Slot 1 of A with slot 1 of B.
+    Swap11,
+    /// Full ququart-ququart SWAP (both slots at once).
+    Swap4,
+}
+
+/// All gate classes, in Table 1 order.
+pub const ALL_GATE_CLASSES: [GateClass; 25] = [
+    GateClass::X,
+    GateClass::X0,
+    GateClass::X1,
+    GateClass::X01,
+    GateClass::Cx0,
+    GateClass::Cx1,
+    GateClass::SwapIn,
+    GateClass::Enc,
+    GateClass::Dec,
+    GateClass::Cx2,
+    GateClass::Swap2,
+    GateClass::CxE0Bare,
+    GateClass::CxE1Bare,
+    GateClass::CxBareE0,
+    GateClass::CxBareE1,
+    GateClass::SwapBareE0,
+    GateClass::SwapBareE1,
+    GateClass::Cx00,
+    GateClass::Cx01,
+    GateClass::Cx10,
+    GateClass::Cx11,
+    GateClass::Swap00,
+    GateClass::Swap01,
+    GateClass::Swap11,
+    GateClass::Swap4,
+];
+
+impl GateClass {
+    /// Returns `true` when the gate involves a single physical unit
+    /// (the paper's "qudit" column: optimized to 99.9% fidelity).
+    pub fn is_single_unit(self) -> bool {
+        matches!(
+            self,
+            GateClass::X
+                | GateClass::X0
+                | GateClass::X1
+                | GateClass::X01
+                | GateClass::Cx0
+                | GateClass::Cx1
+                | GateClass::SwapIn
+        )
+    }
+
+    /// Returns `true` for gates that implement communication (SWAP family).
+    pub fn is_swap(self) -> bool {
+        matches!(
+            self,
+            GateClass::Swap2
+                | GateClass::SwapIn
+                | GateClass::SwapBareE0
+                | GateClass::SwapBareE1
+                | GateClass::Swap00
+                | GateClass::Swap01
+                | GateClass::Swap11
+                | GateClass::Swap4
+        )
+    }
+
+    /// Returns `true` for CX-class entangling gates.
+    pub fn is_cx(self) -> bool {
+        matches!(
+            self,
+            GateClass::Cx2
+                | GateClass::Cx0
+                | GateClass::Cx1
+                | GateClass::CxE0Bare
+                | GateClass::CxE1Bare
+                | GateClass::CxBareE0
+                | GateClass::CxBareE1
+                | GateClass::Cx00
+                | GateClass::Cx01
+                | GateClass::Cx10
+                | GateClass::Cx11
+        )
+    }
+
+    /// Returns `true` for gates touching *only* bare qubits.
+    pub fn is_qubit_only(self) -> bool {
+        matches!(self, GateClass::X | GateClass::Cx2 | GateClass::Swap2)
+    }
+
+    /// Paper notation (e.g. `CX0q`, `SWAP11`).
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            GateClass::X => "X",
+            GateClass::X0 => "X0",
+            GateClass::X1 => "X1",
+            GateClass::X01 => "X0,1",
+            GateClass::Cx0 => "CX0",
+            GateClass::Cx1 => "CX1",
+            GateClass::SwapIn => "SWAPin",
+            GateClass::Enc => "ENC",
+            GateClass::Dec => "DEC",
+            GateClass::Cx2 => "CX2",
+            GateClass::Swap2 => "SWAP2",
+            GateClass::CxE0Bare => "CX0q",
+            GateClass::CxE1Bare => "CX1q",
+            GateClass::CxBareE0 => "CXq0",
+            GateClass::CxBareE1 => "CXq1",
+            GateClass::SwapBareE0 => "SWAPq0",
+            GateClass::SwapBareE1 => "SWAPq1",
+            GateClass::Cx00 => "CX00",
+            GateClass::Cx01 => "CX01",
+            GateClass::Cx10 => "CX10",
+            GateClass::Cx11 => "CX11",
+            GateClass::Swap00 => "SWAP00",
+            GateClass::Swap01 => "SWAP01",
+            GateClass::Swap11 => "SWAP11",
+            GateClass::Swap4 => "SWAP4",
+        }
+    }
+}
+
+impl fmt::Display for GateClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.paper_name())
+    }
+}
+
+/// Splits a ququart level `a ∈ 0..4` into its encoded bits `(q0, q1)` with
+/// `a = 2·q0 + q1` (the paper's encoding, Eq. 2).
+#[inline]
+pub fn split_level(a: usize) -> (usize, usize) {
+    (a / 2, a % 2)
+}
+
+/// Inverse of [`split_level`].
+#[inline]
+pub fn join_level(q0: usize, q1: usize) -> usize {
+     2 * q0 + q1
+}
+
+/// Basis-state permutation of a *single-unit* CX/SWAP-class gate on ququart
+/// levels `0..4`.
+///
+/// # Panics
+///
+/// Panics when called for a class that is not a single-unit permutation
+/// (e.g. `X`, which is not a fixed permutation, or any two-unit class).
+pub fn one_unit_permutation(class: GateClass, a: usize) -> usize {
+    let (q0, q1) = split_level(a);
+    match class {
+        GateClass::Cx0 => join_level(q0, q1 ^ q0),
+        GateClass::Cx1 => join_level(q0 ^ q1, q1),
+        GateClass::SwapIn => join_level(q1, q0),
+        _ => panic!("{class} is not a single-unit permutation gate"),
+    }
+}
+
+/// Basis-state permutation of a *two-unit* gate on the `(a, b)` pair of
+/// ququart levels (`0..4` each). Bare operands only ever hold levels `{0,1}`;
+/// the extension outside the logical subspace is the identity (any unitary
+/// completion is acceptable, §3.1), except for `ENC`/`DEC` which use an
+/// explicit bijective completion.
+///
+/// # Panics
+///
+/// Panics when called for a single-unit class.
+pub fn two_unit_permutation(class: GateClass, a: usize, b: usize) -> (usize, usize) {
+    let (a0, a1) = split_level(a);
+    let (b0, b1) = split_level(b);
+    match class {
+        GateClass::Cx2 => {
+            // Bare-bare: levels above 1 untouched.
+            if a == 1 && b < 2 {
+                (a, b ^ 1)
+            } else {
+                (a, b)
+            }
+        }
+        GateClass::Swap2 => {
+            if a < 2 && b < 2 {
+                (b, a)
+            } else {
+                (a, b)
+            }
+        }
+        GateClass::CxE0Bare => {
+            if a0 == 1 && b < 2 {
+                (a, b ^ 1)
+            } else {
+                (a, b)
+            }
+        }
+        GateClass::CxE1Bare => {
+            if a1 == 1 && b < 2 {
+                (a, b ^ 1)
+            } else {
+                (a, b)
+            }
+        }
+        GateClass::CxBareE0 => {
+            if b == 1 {
+                (join_level(a0 ^ 1, a1), b)
+            } else {
+                (a, b)
+            }
+        }
+        GateClass::CxBareE1 => {
+            if b == 1 {
+                (join_level(a0, a1 ^ 1), b)
+            } else {
+                (a, b)
+            }
+        }
+        GateClass::SwapBareE0 => {
+            // Exchange bare qubit b with encoded q0 of a.
+            if b < 2 {
+                (join_level(b, a1), a0)
+            } else {
+                (a, b)
+            }
+        }
+        GateClass::SwapBareE1 => {
+            if b < 2 {
+                (join_level(a0, b), a1)
+            } else {
+                (a, b)
+            }
+        }
+        GateClass::Cx00 => {
+            if a0 == 1 {
+                (a, join_level(b0 ^ 1, b1))
+            } else {
+                (a, b)
+            }
+        }
+        GateClass::Cx01 => {
+            if a0 == 1 {
+                (a, join_level(b0, b1 ^ 1))
+            } else {
+                (a, b)
+            }
+        }
+        GateClass::Cx10 => {
+            if a1 == 1 {
+                (a, join_level(b0 ^ 1, b1))
+            } else {
+                (a, b)
+            }
+        }
+        GateClass::Cx11 => {
+            if a1 == 1 {
+                (a, join_level(b0, b1 ^ 1))
+            } else {
+                (a, b)
+            }
+        }
+        GateClass::Swap00 => (join_level(b0, a1), join_level(a0, b1)),
+        GateClass::Swap01 => (join_level(b1, a1), join_level(b0, a0)),
+        GateClass::Swap11 => (join_level(a0, b1), join_level(b0, a1)),
+        GateClass::Swap4 => (b, a),
+        GateClass::Enc => enc_permutation(a, b),
+        GateClass::Dec => dec_permutation(a, b),
+        _ => panic!("{class} is not a two-unit permutation gate"),
+    }
+}
+
+/// Encode: `|q0⟩|q1⟩ → |2·q0+q1⟩|0⟩` on the logical inputs, completed to a
+/// bijection on the full 16-state space.
+fn enc_permutation(a: usize, b: usize) -> (usize, usize) {
+    // Logical inputs occupy a,b ∈ {0,1}; outputs occupy (k, 0).
+    // Completion: pair the remaining 12 inputs with the remaining 12
+    // outputs in lexicographic order.
+    let logical_in = |a: usize, b: usize| a < 2 && b < 2;
+    if logical_in(a, b) {
+        return (join_level(a, b), 0);
+    }
+    // Remaining inputs sorted lexicographically.
+    let rest_in: Vec<(usize, usize)> = all_pairs().filter(|&(x, y)| !logical_in(x, y)).collect();
+    // Logical outputs occupy exactly the pairs with second unit in |0⟩.
+    let rest_out: Vec<(usize, usize)> = all_pairs().filter(|&(_, y)| y != 0).collect();
+    let pos = rest_in.iter().position(|&p| p == (a, b)).unwrap();
+    rest_out[pos]
+}
+
+fn dec_permutation(a: usize, b: usize) -> (usize, usize) {
+    // Inverse of enc: find the input mapping to (a, b).
+    all_pairs()
+        .find(|&(x, y)| enc_permutation(x, y) == (a, b))
+        .expect("enc is a bijection")
+}
+
+fn all_pairs() -> impl Iterator<Item = (usize, usize)> {
+    (0..4).flat_map(|a| (0..4).map(move |b| (a, b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_bijection_two_unit(class: GateClass) -> bool {
+        let mut seen = [false; 16];
+        for (a, b) in all_pairs() {
+            let (x, y) = two_unit_permutation(class, a, b);
+            let idx = x * 4 + y;
+            if seen[idx] {
+                return false;
+            }
+            seen[idx] = true;
+        }
+        seen.iter().all(|&s| s)
+    }
+
+    #[test]
+    fn all_two_unit_perm_gates_are_bijections() {
+        for class in [
+            GateClass::Cx2,
+            GateClass::Swap2,
+            GateClass::CxE0Bare,
+            GateClass::CxE1Bare,
+            GateClass::CxBareE0,
+            GateClass::CxBareE1,
+            GateClass::SwapBareE0,
+            GateClass::SwapBareE1,
+            GateClass::Cx00,
+            GateClass::Cx01,
+            GateClass::Cx10,
+            GateClass::Cx11,
+            GateClass::Swap00,
+            GateClass::Swap01,
+            GateClass::Swap11,
+            GateClass::Swap4,
+            GateClass::Enc,
+            GateClass::Dec,
+        ] {
+            assert!(is_bijection_two_unit(class), "{class} is not a bijection");
+        }
+    }
+
+    #[test]
+    fn internal_gates_match_paper() {
+        // SWAPin = X12: exchanges levels 1 and 2 (paper §3.1.1).
+        assert_eq!(one_unit_permutation(GateClass::SwapIn, 1), 2);
+        assert_eq!(one_unit_permutation(GateClass::SwapIn, 2), 1);
+        assert_eq!(one_unit_permutation(GateClass::SwapIn, 0), 0);
+        assert_eq!(one_unit_permutation(GateClass::SwapIn, 3), 3);
+        // CX0 (control q0): swaps |2⟩↔|3⟩.
+        assert_eq!(one_unit_permutation(GateClass::Cx0, 2), 3);
+        assert_eq!(one_unit_permutation(GateClass::Cx0, 3), 2);
+        assert_eq!(one_unit_permutation(GateClass::Cx0, 0), 0);
+        // CX1 (control q1): swaps |1⟩↔|3⟩.
+        assert_eq!(one_unit_permutation(GateClass::Cx1, 1), 3);
+        assert_eq!(one_unit_permutation(GateClass::Cx1, 3), 1);
+    }
+
+    #[test]
+    fn enc_matches_eq2() {
+        assert_eq!(two_unit_permutation(GateClass::Enc, 0, 0), (0, 0));
+        assert_eq!(two_unit_permutation(GateClass::Enc, 0, 1), (1, 0));
+        assert_eq!(two_unit_permutation(GateClass::Enc, 1, 0), (2, 0));
+        assert_eq!(two_unit_permutation(GateClass::Enc, 1, 1), (3, 0));
+    }
+
+    #[test]
+    fn dec_inverts_enc() {
+        for (a, b) in all_pairs() {
+            let (x, y) = two_unit_permutation(GateClass::Enc, a, b);
+            assert_eq!(two_unit_permutation(GateClass::Dec, x, y), (a, b));
+        }
+    }
+
+    #[test]
+    fn cx0q_controls_on_high_bit() {
+        // Ququart |3⟩ = encoded |11⟩ controls (q0 = 1): bare target flips (Fig. 3).
+        assert_eq!(two_unit_permutation(GateClass::CxE0Bare, 3, 0), (3, 1));
+        assert_eq!(two_unit_permutation(GateClass::CxE0Bare, 2, 0), (2, 1));
+        assert_eq!(two_unit_permutation(GateClass::CxE0Bare, 1, 0), (1, 0));
+        assert_eq!(two_unit_permutation(GateClass::CxE0Bare, 0, 1), (0, 1));
+    }
+
+    #[test]
+    fn cxq0_targets_high_bit() {
+        assert_eq!(two_unit_permutation(GateClass::CxBareE0, 0, 1), (2, 1));
+        assert_eq!(two_unit_permutation(GateClass::CxBareE0, 2, 1), (0, 1));
+        assert_eq!(two_unit_permutation(GateClass::CxBareE0, 1, 0), (1, 0));
+    }
+
+    #[test]
+    fn swap_bare_e0_exchanges_states() {
+        // a = |q0 q1⟩ = |10⟩ = 2, b = |1⟩: swap q0 <-> b gives a = |11⟩ = 3, b = 0... wait:
+        // (join(b, a1), a0) = (join(1, 0), 1) = (2, 1)? b=1, a=2=(1,0): out a=(1,0)->(b=1,a1=0)=2, out b=a0=1.
+        // Self-inverse check instead:
+        for (a, b) in all_pairs() {
+            if b < 2 {
+                let (x, y) = two_unit_permutation(GateClass::SwapBareE0, a, b);
+                let (x2, y2) = two_unit_permutation(GateClass::SwapBareE0, x, y);
+                assert_eq!((x2, y2), (a, b), "SWAPq0 must be an involution");
+            }
+        }
+        // Concrete: a=|01⟩=1 (q0=0,q1=1), b=|1⟩: q0 <-> b: a becomes |11⟩=3, b=0.
+        assert_eq!(two_unit_permutation(GateClass::SwapBareE0, 1, 1), (3, 0));
+    }
+
+    #[test]
+    fn swap00_only_touches_high_bits() {
+        // a=(1,1)=3, b=(0,1)=1: swap q0s -> a=(0,1)=1, b=(1,1)=3.
+        assert_eq!(two_unit_permutation(GateClass::Swap00, 3, 1), (1, 3));
+        // Fixed point when bits equal.
+        assert_eq!(two_unit_permutation(GateClass::Swap00, 2, 2), (2, 2));
+    }
+
+    #[test]
+    fn swap4_is_full_exchange() {
+        assert_eq!(two_unit_permutation(GateClass::Swap4, 3, 1), (1, 3));
+        assert_eq!(two_unit_permutation(GateClass::Swap4, 2, 0), (0, 2));
+    }
+
+    #[test]
+    fn swap_variants_are_involutions() {
+        for class in [GateClass::Swap00, GateClass::Swap01, GateClass::Swap11, GateClass::Swap4] {
+            for (a, b) in all_pairs() {
+                let (x, y) = two_unit_permutation(class, a, b);
+                assert_eq!(two_unit_permutation(class, x, y), (a, b), "{class}");
+            }
+        }
+    }
+
+    #[test]
+    fn classification_predicates() {
+        assert!(GateClass::SwapIn.is_single_unit());
+        assert!(!GateClass::Enc.is_single_unit());
+        assert!(GateClass::Swap4.is_swap());
+        assert!(GateClass::Cx00.is_cx());
+        assert!(GateClass::Cx2.is_qubit_only());
+        assert!(!GateClass::Cx00.is_qubit_only());
+    }
+
+    #[test]
+    fn paper_names_cover_all() {
+        for c in ALL_GATE_CLASSES {
+            assert!(!c.paper_name().is_empty());
+        }
+        assert_eq!(GateClass::CxE0Bare.paper_name(), "CX0q");
+        assert_eq!(GateClass::CxBareE1.paper_name(), "CXq1");
+    }
+}

@@ -1,0 +1,39 @@
+//! # qompress-pulse
+//!
+//! The device-physics substrate of the Qompress reproduction: the paper's
+//! two-transmon Hamiltonian (Eq. 3), a GRAPE-style quantum optimal control
+//! optimizer standing in for Juqbox, the incremental duration-minimization
+//! search of [39], and the canonical [`GateLibrary`] carrying Table 1's
+//! pulse durations and fidelity targets.
+//!
+//! The compiler consumes only [`GateClass`] and [`GateLibrary`]; the
+//! optimizer exists so the library can be *re-derived* (at reduced fidelity
+//! targets/iteration budgets on laptop hardware — see `EXPERIMENTS.md`).
+//!
+//! ```
+//! use qompress_pulse::{GateClass, GateLibrary};
+//!
+//! let lib = GateLibrary::paper();
+//! // The paper's headline relationship: internal CX is ~3x faster than CX2.
+//! assert!(lib.duration(GateClass::Cx0) * 3.0 < lib.duration(GateClass::Cx2));
+//! ```
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // index loops mirror the math
+
+mod duration;
+pub mod gateset;
+mod grape;
+mod library;
+mod targets;
+mod transmon;
+
+pub use duration::{find_min_duration, DurationResult, DurationSearchConfig};
+pub use gateset::{GateClass, ALL_GATE_CLASSES};
+pub use grape::{evaluate, optimize, GrapeConfig, PiecewisePulse, PulseResult};
+pub use library::{GateLibrary, GateSpec, SINGLE_UNIT_FIDELITY, TWO_UNIT_FIDELITY};
+pub use targets::GateTarget;
+pub use transmon::{
+    DeviceModel, TransmonParams, PAPER_COUPLING_GHZ, PAPER_MAX_AMP_GHZ, PAPER_TRANSMON_1,
+    PAPER_TRANSMON_2,
+};

@@ -1,0 +1,267 @@
+//! Target unitaries for pulse optimization, lifted into the (guarded)
+//! device Hilbert space.
+//!
+//! Every gate in the Qompress set is a basis-state permutation of the
+//! logical subspace, so a target is described by the pairing of logical
+//! input states with output states. The optimizer's objective (Eq. 1) needs
+//! only the matrix `A = Σ_l |out_l⟩⟨in_l|`, the logical dimension `h`, and
+//! which rows count as leakage.
+
+use crate::gateset::{one_unit_permutation, two_unit_permutation, GateClass};
+use crate::transmon::DeviceModel;
+use qompress_linalg::{C64, CMat};
+
+/// A pulse-optimization target.
+#[derive(Debug, Clone)]
+pub struct GateTarget {
+    name: String,
+    objective: CMat,
+    h: usize,
+    input_states: Vec<usize>,
+    logical_rows: Vec<usize>,
+}
+
+impl GateTarget {
+    /// The gate's paper name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The full-dimension objective matrix `A = Σ_l |out_l⟩⟨in_l|`.
+    pub fn objective(&self) -> &CMat {
+        &self.objective
+    }
+
+    /// Logical dimension `h` (number of input states).
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Full-space indices of the logical input states.
+    pub fn input_states(&self) -> &[usize] {
+        &self.input_states
+    }
+
+    /// Full-space row indices *not* counted as leakage at final time.
+    pub fn logical_rows(&self) -> &[usize] {
+        &self.logical_rows
+    }
+
+    /// Builds the target for `class` on `device`.
+    ///
+    /// Single-unit classes need a 1-transmon device, two-unit classes a
+    /// 2-transmon device; ququart operands need at least 4 simulated levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an arity mismatch between class and device, or when the
+    /// device has too few levels for the class's logical states.
+    pub fn for_class(class: GateClass, device: &DeviceModel) -> GateTarget {
+        match class {
+            GateClass::X | GateClass::X0 | GateClass::X1 | GateClass::X01 => {
+                Self::single_unit_x_family(class, device)
+            }
+            GateClass::Cx0 | GateClass::Cx1 | GateClass::SwapIn => {
+                Self::single_unit_permutation(class, device)
+            }
+            _ => Self::two_unit(class, device),
+        }
+    }
+
+    fn single_unit_x_family(class: GateClass, device: &DeviceModel) -> GateTarget {
+        assert_eq!(device.n_transmons(), 1, "{class} is a single-unit gate");
+        // All X-family members are permutations of levels.
+        let pairs: Vec<(usize, usize)> = match class {
+            GateClass::X => vec![(0, 1), (1, 0)],
+            GateClass::X0 => vec![(0, 2), (1, 3), (2, 0), (3, 1)],
+            GateClass::X1 => vec![(0, 1), (1, 0), (2, 3), (3, 2)],
+            GateClass::X01 => vec![(0, 3), (1, 2), (2, 1), (3, 0)],
+            _ => unreachable!(),
+        };
+        let need = pairs.iter().map(|&(i, o)| i.max(o)).max().unwrap() + 1;
+        assert!(device.levels() >= need, "{class} needs {need} levels");
+        Self::from_pairs(class, device.dim(), &pairs, need_rows(need))
+    }
+
+    fn single_unit_permutation(class: GateClass, device: &DeviceModel) -> GateTarget {
+        assert_eq!(device.n_transmons(), 1, "{class} is a single-unit gate");
+        assert!(device.levels() >= 4, "{class} needs 4 levels");
+        let pairs: Vec<(usize, usize)> =
+            (0..4).map(|a| (a, one_unit_permutation(class, a))).collect();
+        Self::from_pairs(class, device.dim(), &pairs, need_rows(4))
+    }
+
+    fn two_unit(class: GateClass, device: &DeviceModel) -> GateTarget {
+        assert_eq!(device.n_transmons(), 2, "{class} is a two-unit gate");
+        let (dim_a, dim_b, out_rows) = two_unit_logical_shape(class);
+        let l = device.levels();
+        assert!(
+            l >= dim_a.max(dim_b),
+            "{class} needs {} levels",
+            dim_a.max(dim_b)
+        );
+        let idx = |a: usize, b: usize| a * l + b;
+        let mut pairs = Vec::new();
+        for a in 0..dim_a {
+            for b in 0..dim_b {
+                let (x, y) = two_unit_permutation(class, a, b);
+                pairs.push((idx(a, b), idx(x, y)));
+            }
+        }
+        let logical_rows: Vec<usize> = out_rows
+            .iter()
+            .map(|&(a, b)| idx(a, b))
+            .collect();
+        let mut t = Self::from_pairs(class, device.dim(), &pairs, logical_rows.clone());
+        t.logical_rows = logical_rows;
+        t
+    }
+
+    fn from_pairs(
+        class: GateClass,
+        dim: usize,
+        pairs: &[(usize, usize)],
+        logical_rows: Vec<usize>,
+    ) -> GateTarget {
+        let mut objective = CMat::zeros(dim, dim);
+        let mut input_states = Vec::with_capacity(pairs.len());
+        for &(input, output) in pairs {
+            objective[(output, input)] = C64::ONE;
+            input_states.push(input);
+        }
+        GateTarget {
+            name: class.paper_name().to_string(),
+            objective,
+            h: pairs.len(),
+            input_states,
+            logical_rows,
+        }
+    }
+}
+
+fn need_rows(n: usize) -> Vec<usize> {
+    (0..n).collect()
+}
+
+/// Logical operand dimensions `(dim_a, dim_b)` and the set of output pairs
+/// counted as non-leakage for a two-unit class.
+fn two_unit_logical_shape(class: GateClass) -> (usize, usize, Vec<(usize, usize)>) {
+    let product = |da: usize, db: usize| -> Vec<(usize, usize)> {
+        (0..da).flat_map(|a| (0..db).map(move |b| (a, b))).collect()
+    };
+    match class {
+        GateClass::Cx2 | GateClass::Swap2 => (2, 2, product(2, 2)),
+        GateClass::CxE0Bare
+        | GateClass::CxE1Bare
+        | GateClass::CxBareE0
+        | GateClass::CxBareE1
+        | GateClass::SwapBareE0
+        | GateClass::SwapBareE1 => (4, 2, product(4, 2)),
+        GateClass::Cx00
+        | GateClass::Cx01
+        | GateClass::Cx10
+        | GateClass::Cx11
+        | GateClass::Swap00
+        | GateClass::Swap01
+        | GateClass::Swap11
+        | GateClass::Swap4 => (4, 4, product(4, 4)),
+        GateClass::Enc => (2, 2, (0..4).map(|k| (k, 0)).collect()),
+        GateClass::Dec => (4, 1, product(2, 2)),
+        _ => panic!("{class} is not a two-unit gate"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x_target_on_guarded_transmon() {
+        let dev = DeviceModel::paper_single(4);
+        let t = GateTarget::for_class(GateClass::X, &dev);
+        assert_eq!(t.h(), 2);
+        assert_eq!(t.objective()[(1, 0)], C64::ONE);
+        assert_eq!(t.objective()[(0, 1)], C64::ONE);
+        assert_eq!(t.objective()[(2, 2)], C64::ZERO);
+        assert_eq!(t.logical_rows(), &[0, 1]);
+    }
+
+    #[test]
+    fn swap_in_target_is_x12() {
+        let dev = DeviceModel::paper_single(5);
+        let t = GateTarget::for_class(GateClass::SwapIn, &dev);
+        assert_eq!(t.h(), 4);
+        assert_eq!(t.objective()[(2, 1)], C64::ONE);
+        assert_eq!(t.objective()[(1, 2)], C64::ONE);
+        assert_eq!(t.objective()[(0, 0)], C64::ONE);
+        assert_eq!(t.objective()[(3, 3)], C64::ONE);
+    }
+
+    #[test]
+    fn cx2_target_block() {
+        let dev = DeviceModel::paper_pair(3);
+        let t = GateTarget::for_class(GateClass::Cx2, &dev);
+        let l = dev.levels();
+        assert_eq!(t.h(), 4);
+        // |10⟩ -> |11⟩ and back.
+        assert_eq!(t.objective()[(l + 1, l)], C64::ONE);
+        assert_eq!(t.objective()[(l, l + 1)], C64::ONE);
+        // |00⟩ fixed.
+        assert_eq!(t.objective()[(0, 0)], C64::ONE);
+    }
+
+    #[test]
+    fn cx0q_target_dimensions() {
+        let dev = DeviceModel::paper_pair(5);
+        let t = GateTarget::for_class(GateClass::CxE0Bare, &dev);
+        assert_eq!(t.h(), 8);
+        // Fig. 3(b): |3⟩|0⟩ -> |3⟩|1⟩.
+        let l = dev.levels();
+        assert_eq!(t.objective()[(3 * l + 1, 3 * l)], C64::ONE);
+        // Logical rows: 4 x 2 states.
+        assert_eq!(t.logical_rows().len(), 8);
+    }
+
+    #[test]
+    fn enc_target_is_isometry_onto_ground_ancilla() {
+        let dev = DeviceModel::paper_pair(4);
+        let t = GateTarget::for_class(GateClass::Enc, &dev);
+        let l = dev.levels();
+        assert_eq!(t.h(), 4);
+        // |1,0⟩ -> |2,0⟩ (Eq. 2).
+        assert_eq!(t.objective()[(2 * l, l)], C64::ONE);
+        // Output rows are (k, 0) only.
+        assert_eq!(t.logical_rows().len(), 4);
+        assert!(t.logical_rows().contains(&(3 * l)));
+    }
+
+    #[test]
+    fn objective_columns_are_unit_vectors() {
+        // Every target: each logical input column has exactly one 1.
+        let single = DeviceModel::paper_single(5);
+        let pair = DeviceModel::paper_pair(5);
+        for class in crate::gateset::ALL_GATE_CLASSES {
+            let dev = if class.is_single_unit() { &single } else { &pair };
+            let t = GateTarget::for_class(class, dev);
+            for &col in t.input_states() {
+                let mut ones = 0;
+                for r in 0..t.objective().rows() {
+                    let v = t.objective()[(r, col)];
+                    if (v - C64::ONE).abs() < 1e-12 {
+                        ones += 1;
+                    } else {
+                        assert!(v.abs() < 1e-12);
+                    }
+                }
+                assert_eq!(ones, 1, "{class} column {col}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "single-unit gate")]
+    fn arity_mismatch_panics() {
+        let dev = DeviceModel::paper_pair(4);
+        GateTarget::for_class(GateClass::X0, &dev);
+    }
+}

@@ -1,0 +1,297 @@
+//! The two-transmon device model of paper Eq. (3).
+//!
+//! We work in a frame co-rotating with transmon 1 at its 0-1 transition
+//! frequency, under the rotating-wave approximation. The drift then contains
+//! only the detuning of transmon 2 and both anharmonicities, and each
+//! transmon is driven by two quadrature controls `I(t)(a+a†) + Q(t)·i(a†−a)`
+//! — the standard reduction of the paper's lab-frame `f_k(t)(a_k + a_k†)`
+//! drive. All frequencies are stored in GHz; Hamiltonians are produced in
+//! angular units (rad/ns) so that `exp(-i H t[ns])` propagates directly.
+
+use qompress_linalg::{C64, CMat};
+
+/// Physical parameters of a single transmon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TransmonParams {
+    /// 0-1 transition frequency, ω/2π in GHz.
+    pub frequency_ghz: f64,
+    /// Anharmonicity, ξ/2π in GHz (negative for transmons).
+    pub anharmonicity_ghz: f64,
+}
+
+/// The paper's transmon 1: ω/2π = 4.914 GHz, ξ/2π = −330 MHz (§3.2).
+pub const PAPER_TRANSMON_1: TransmonParams = TransmonParams {
+    frequency_ghz: 4.914,
+    anharmonicity_ghz: -0.330,
+};
+
+/// The paper's transmon 2: ω/2π = 5.114 GHz, ξ/2π = −330 MHz (§3.2).
+pub const PAPER_TRANSMON_2: TransmonParams = TransmonParams {
+    frequency_ghz: 5.114,
+    anharmonicity_ghz: -0.330,
+};
+
+/// The paper's effective coupling J/2π = 3.8 MHz.
+pub const PAPER_COUPLING_GHZ: f64 = 0.0038;
+
+/// The paper's control amplitude bound f_max = 45 MHz.
+pub const PAPER_MAX_AMP_GHZ: f64 = 0.045;
+
+/// A one- or two-transmon subsystem with a fixed number of simulated levels
+/// per transmon (logical levels plus guard levels).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DeviceModel {
+    transmons: Vec<TransmonParams>,
+    coupling_ghz: f64,
+    levels: usize,
+    max_amp_ghz: f64,
+}
+
+const TWO_PI: f64 = std::f64::consts::TAU;
+
+impl DeviceModel {
+    /// Single-transmon device with the paper's transmon-1 parameters.
+    ///
+    /// `levels` counts simulated levels including guards (≥ 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2`.
+    pub fn paper_single(levels: usize) -> Self {
+        assert!(levels >= 2);
+        DeviceModel {
+            transmons: vec![PAPER_TRANSMON_1],
+            coupling_ghz: 0.0,
+            levels,
+            max_amp_ghz: PAPER_MAX_AMP_GHZ,
+        }
+    }
+
+    /// Two coupled transmons with the paper's parameters (Eq. 3 values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2`.
+    pub fn paper_pair(levels: usize) -> Self {
+        assert!(levels >= 2);
+        DeviceModel {
+            transmons: vec![PAPER_TRANSMON_1, PAPER_TRANSMON_2],
+            coupling_ghz: PAPER_COUPLING_GHZ,
+            levels,
+            max_amp_ghz: PAPER_MAX_AMP_GHZ,
+        }
+    }
+
+    /// Custom device.
+    ///
+    /// # Panics
+    ///
+    /// Panics for zero transmons, more than two, or fewer than two levels.
+    pub fn new(
+        transmons: Vec<TransmonParams>,
+        coupling_ghz: f64,
+        levels: usize,
+        max_amp_ghz: f64,
+    ) -> Self {
+        assert!(!transmons.is_empty() && transmons.len() <= 2);
+        assert!(levels >= 2);
+        DeviceModel {
+            transmons,
+            coupling_ghz,
+            levels,
+            max_amp_ghz,
+        }
+    }
+
+    /// Number of transmons (1 or 2).
+    pub fn n_transmons(&self) -> usize {
+        self.transmons.len()
+    }
+
+    /// Simulated levels per transmon.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Hilbert-space dimension (`levels^n`).
+    pub fn dim(&self) -> usize {
+        self.levels.pow(self.n_transmons() as u32)
+    }
+
+    /// Control amplitude bound in angular units (rad/ns).
+    pub fn max_amp(&self) -> f64 {
+        TWO_PI * self.max_amp_ghz
+    }
+
+    /// Basis index of the joint level `(k1, k2)` (or `(k1,)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any level is out of range or the tuple arity mismatches.
+    pub fn state_index(&self, ks: &[usize]) -> usize {
+        assert_eq!(ks.len(), self.n_transmons());
+        let mut idx = 0;
+        for &k in ks {
+            assert!(k < self.levels);
+            idx = idx * self.levels + k;
+        }
+        idx
+    }
+
+    /// Lowering operator `a` for one transmon in its local space.
+    fn lowering(&self) -> CMat {
+        let d = self.levels;
+        CMat::from_fn(d, d, |i, j| {
+            if j == i + 1 {
+                C64::real((j as f64).sqrt())
+            } else {
+                C64::ZERO
+            }
+        })
+    }
+
+    /// Lifts a local operator to the joint space at transmon `k`.
+    fn lift(&self, op: &CMat, k: usize) -> CMat {
+        match (self.n_transmons(), k) {
+            (1, 0) => op.clone(),
+            (2, 0) => op.kron(&CMat::identity(self.levels)),
+            (2, 1) => CMat::identity(self.levels).kron(op),
+            _ => panic!("transmon index {k} out of range"),
+        }
+    }
+
+    /// The rotating-frame drift Hamiltonian in rad/ns:
+    /// `Σ_k [δ_k n̂_k + (ξ_k/2) n̂_k(n̂_k−1)] + J (a₁†a₂ + a₂†a₁)`,
+    /// with detunings relative to transmon 1's frequency.
+    pub fn drift(&self) -> CMat {
+        let d = self.levels;
+        let f_ref = self.transmons[0].frequency_ghz;
+        let mut h = CMat::zeros(self.dim(), self.dim());
+        for (k, t) in self.transmons.iter().enumerate() {
+            let delta = TWO_PI * (t.frequency_ghz - f_ref);
+            let xi = TWO_PI * t.anharmonicity_ghz;
+            let local = CMat::from_fn(d, d, |i, j| {
+                if i == j {
+                    let n = i as f64;
+                    C64::real(delta * n + 0.5 * xi * n * (n - 1.0))
+                } else {
+                    C64::ZERO
+                }
+            });
+            h = &h + &self.lift(&local, k);
+        }
+        if self.n_transmons() == 2 && self.coupling_ghz != 0.0 {
+            let a = self.lowering();
+            let j = TWO_PI * self.coupling_ghz;
+            let a1 = self.lift(&a, 0);
+            let a2 = self.lift(&a, 1);
+            let coupling = &a1.dagger().mul_mat(&a2) + &a2.dagger().mul_mat(&a1);
+            h = &h + &coupling.scale(C64::real(j));
+        }
+        h
+    }
+
+    /// Control Hamiltonians, two per transmon: `a + a†` (I quadrature) and
+    /// `i(a† − a)` (Q quadrature). Coefficients supplied by the optimizer
+    /// are in rad/ns and bounded by [`DeviceModel::max_amp`].
+    pub fn control_ops(&self) -> Vec<CMat> {
+        let a = self.lowering();
+        let x_like = &a + &a.dagger();
+        let y_like = &a.dagger().scale(C64::I) - &a.scale(C64::I);
+        let mut out = Vec::with_capacity(2 * self.n_transmons());
+        for k in 0..self.n_transmons() {
+            out.push(self.lift(&x_like, k));
+            out.push(self.lift(&y_like, k));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_single_dimensions() {
+        let d = DeviceModel::paper_single(4);
+        assert_eq!(d.dim(), 4);
+        assert_eq!(d.n_transmons(), 1);
+        assert_eq!(d.control_ops().len(), 2);
+    }
+
+    #[test]
+    fn paper_pair_dimensions() {
+        let d = DeviceModel::paper_pair(5);
+        assert_eq!(d.dim(), 25);
+        assert_eq!(d.control_ops().len(), 4);
+    }
+
+    #[test]
+    fn drift_is_hermitian() {
+        for dev in [DeviceModel::paper_single(5), DeviceModel::paper_pair(4)] {
+            assert!(dev.drift().is_hermitian(1e-12));
+        }
+    }
+
+    #[test]
+    fn control_ops_are_hermitian() {
+        let dev = DeviceModel::paper_pair(3);
+        for op in dev.control_ops() {
+            assert!(op.is_hermitian(1e-12));
+        }
+    }
+
+    #[test]
+    fn drift_diagonal_matches_formula() {
+        let dev = DeviceModel::paper_single(4);
+        let h = dev.drift();
+        // Transmon 1 is the frame reference: delta = 0, so level n carries
+        // (xi/2) n (n-1).
+        let xi = TWO_PI * (-0.330);
+        for n in 0..4 {
+            let want = 0.5 * xi * (n as f64) * (n as f64 - 1.0);
+            assert!((h[(n, n)].re - want).abs() < 1e-12, "level {n}");
+        }
+    }
+
+    #[test]
+    fn pair_drift_has_detuning_on_second_transmon() {
+        let dev = DeviceModel::paper_pair(3);
+        let h = dev.drift();
+        // State |0,1⟩ (index 1) carries delta_2 = 2π(0.2).
+        let idx = dev.state_index(&[0, 1]);
+        let want = TWO_PI * 0.2;
+        assert!((h[(idx, idx)].re - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coupling_connects_excitation_exchange() {
+        let dev = DeviceModel::paper_pair(3);
+        let h = dev.drift();
+        let i10 = dev.state_index(&[1, 0]);
+        let i01 = dev.state_index(&[0, 1]);
+        let want = TWO_PI * PAPER_COUPLING_GHZ;
+        assert!((h[(i10, i01)].re - want).abs() < 1e-12);
+        // Number non-conserving entries are absent under RWA.
+        let i00 = dev.state_index(&[0, 0]);
+        let i11 = dev.state_index(&[1, 1]);
+        assert_eq!(h[(i00, i11)], C64::ZERO);
+    }
+
+    #[test]
+    fn state_index_row_major() {
+        let dev = DeviceModel::paper_pair(4);
+        assert_eq!(dev.state_index(&[0, 0]), 0);
+        assert_eq!(dev.state_index(&[0, 3]), 3);
+        assert_eq!(dev.state_index(&[1, 0]), 4);
+        assert_eq!(dev.state_index(&[3, 2]), 14);
+    }
+
+    #[test]
+    fn max_amp_in_angular_units() {
+        let dev = DeviceModel::paper_single(3);
+        assert!((dev.max_amp() - TWO_PI * 0.045).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,115 @@
+//! Validates the GRAPE gradient model against finite differences — the
+//! canonical correctness test for an optimal-control implementation.
+
+use qompress_pulse::{
+    evaluate, optimize, DeviceModel, GateClass, GateTarget, GrapeConfig, PiecewisePulse,
+};
+
+fn objective(device: &DeviceModel, target: &GateTarget, pulse: &PiecewisePulse) -> f64 {
+    let (fid, _) = evaluate(device, target, pulse);
+    1.0 - fid
+}
+
+/// Central finite-difference gradient of `1 − F` w.r.t. every amplitude.
+fn numerical_gradient(
+    device: &DeviceModel,
+    target: &GateTarget,
+    pulse: &PiecewisePulse,
+    eps: f64,
+) -> Vec<Vec<f64>> {
+    let mut grad = vec![vec![0.0; pulse.segments()]; pulse.channels()];
+    for k in 0..pulse.channels() {
+        for j in 0..pulse.segments() {
+            let mut plus = pulse.clone();
+            plus.amps[k][j] += eps;
+            let mut minus = pulse.clone();
+            minus.amps[k][j] -= eps;
+            grad[k][j] = (objective(device, target, &plus)
+                - objective(device, target, &minus))
+                / (2.0 * eps);
+        }
+    }
+    grad
+}
+
+#[test]
+fn gradient_descent_along_numerical_gradient_reduces_objective() {
+    let device = DeviceModel::paper_single(3);
+    let target = GateTarget::for_class(GateClass::X, &device);
+    let pulse = PiecewisePulse {
+        dt: 1.0,
+        amps: vec![vec![0.05; 12], vec![-0.03; 12]],
+    };
+    let j0 = objective(&device, &target, &pulse);
+    let grad = numerical_gradient(&device, &target, &pulse, 1e-6);
+    let mut stepped = pulse.clone();
+    let step = 0.02;
+    for k in 0..stepped.channels() {
+        for j in 0..stepped.segments() {
+            stepped.amps[k][j] -= step * grad[k][j];
+        }
+    }
+    let j1 = objective(&device, &target, &stepped);
+    assert!(j1 < j0, "descent must reduce 1−F: {j0} -> {j1}");
+}
+
+#[test]
+fn optimizer_matches_numerical_descent_direction() {
+    // More Adam iterations of the production optimizer from a fixed seed
+    // must never lose the best point found so far.
+    let device = DeviceModel::paper_single(3);
+    let target = GateTarget::for_class(GateClass::X, &device);
+    let short = GrapeConfig {
+        segments: 12,
+        max_iters: 1,
+        learning_rate: 0.02,
+        leakage_weight: 0.0,
+        target_fidelity: 0.9999,
+        seed: 5,
+    };
+    let longer = GrapeConfig {
+        max_iters: 60,
+        ..short
+    };
+    let r1 = optimize(&device, &target, 24.0, &short, None);
+    let r60 = optimize(&device, &target, 24.0, &longer, None);
+    assert!(
+        r60.fidelity >= r1.fidelity,
+        "more iterations must not lose the best point: {} vs {}",
+        r60.fidelity,
+        r1.fidelity
+    );
+}
+
+#[test]
+fn gradient_is_small_near_an_optimum() {
+    // Converge an X gate, then check the numerical gradient has shrunk
+    // relative to the starting gradient (stationarity at the optimum).
+    let device = DeviceModel::paper_single(2);
+    let target = GateTarget::for_class(GateClass::X, &device);
+    let cfg = GrapeConfig {
+        segments: 12,
+        max_iters: 500,
+        learning_rate: 0.05,
+        leakage_weight: 0.0,
+        target_fidelity: 0.99999,
+        seed: 3,
+    };
+    let start = PiecewisePulse {
+        dt: 2.0,
+        amps: vec![vec![0.05; 12], vec![0.0; 12]],
+    };
+    let res = optimize(&device, &target, 24.0, &cfg, Some(&start));
+    assert!(res.fidelity > 0.999, "setup: X must converge, got {}", res.fidelity);
+    let g_start = numerical_gradient(&device, &target, &start, 1e-6);
+    let g_opt = numerical_gradient(&device, &target, &res.pulse, 1e-6);
+    let norm = |g: &Vec<Vec<f64>>| -> f64 {
+        g.iter().flatten().map(|x| x * x).sum::<f64>().sqrt()
+    };
+    assert!(
+        norm(&g_opt) < 0.5 * norm(&g_start),
+        "gradient must shrink near the optimum: {} vs {}",
+        norm(&g_opt),
+        norm(&g_start)
+    );
+}

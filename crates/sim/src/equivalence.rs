@@ -1,0 +1,220 @@
+//! Logical-vs-physical equivalence checking.
+//!
+//! After compilation every logical qubit resides at some `(unit, slot)`;
+//! this module folds a physical 4-level register state back onto the
+//! logical qubit space and compares it with a reference logical simulation.
+//! This validates the whole pipeline end to end: gate semantics, routing
+//! bookkeeping and layout tracking.
+//!
+//! Level conventions follow the paper: a *bare* unit stores its qubit in
+//! levels `{0,1}` (level = bit), while an *encoded* unit stores the pair as
+//! `|2·q0 + q1⟩` with slot 0 the high bit.
+
+use crate::state::State;
+use qompress_linalg::{equal_up_to_phase, C64};
+
+/// Where a logical qubit ended up: physical unit and slot (0 or 1).
+pub type Placement = (usize, usize);
+
+/// Projects a physical register state onto the logical qubit basis.
+///
+/// `placements[q] = (unit, slot)` gives the final home of logical qubit
+/// `q`; `encoded[u]` says whether unit `u` is an encoded ququart. Units and
+/// slots not named by any placement must hold `|0⟩`. Returns the `2^n`
+/// logical amplitudes indexed with qubit 0 as the most significant bit —
+/// the same convention as [`crate::State`] and [`crate::simulate_logical`]
+/// — plus the total captured probability (how much of the physical state
+/// lives in the expected subspace; ≈ 1 for a correct compilation).
+///
+/// # Panics
+///
+/// Panics if two qubits share a placement, a placement is out of range, a
+/// qubit sits at slot 1 of a non-encoded unit, or `encoded` has the wrong
+/// length.
+pub fn extract_logical_state(
+    physical: &State,
+    placements: &[Placement],
+    encoded: &[bool],
+) -> (Vec<C64>, f64) {
+    let n = placements.len();
+    let n_units = physical.n_units();
+    assert_eq!(encoded.len(), n_units, "encoded flags length");
+    let mut seen = std::collections::HashSet::new();
+    for &(unit, slot) in placements {
+        assert!(unit < n_units, "placement unit out of range");
+        assert!(slot < 2, "slot must be 0 or 1");
+        assert!(
+            slot == 0 || encoded[unit],
+            "slot 1 of a bare unit cannot hold a qubit"
+        );
+        assert!(seen.insert((unit, slot)), "duplicate placement");
+    }
+
+    let mut logical = vec![C64::ZERO; 1 << n];
+    let mut captured = 0.0;
+    for x in 0..(1usize << n) {
+        // Build the unit-level assignment realizing bitstring x.
+        let mut levels = vec![0usize; n_units];
+        for (q, &(unit, slot)) in placements.iter().enumerate() {
+            let bit = (x >> (n - 1 - q)) & 1;
+            levels[unit] += if encoded[unit] {
+                // |2·q0 + q1⟩: slot 0 is the high bit.
+                bit << (1 - slot)
+            } else {
+                bit
+            };
+        }
+        let amp = physical.amp(&levels);
+        logical[x] = amp;
+        captured += amp.norm_sqr();
+    }
+    (logical, captured)
+}
+
+/// Compares a compiled physical state against a reference logical state.
+///
+/// Returns `true` when (a) at least `1 − tol` of the physical probability
+/// mass sits in the subspace described by `placements`, and (b) the folded
+/// state equals `logical` up to a global phase.
+pub fn states_equivalent(
+    physical: &State,
+    placements: &[Placement],
+    encoded: &[bool],
+    logical: &State,
+    tol: f64,
+) -> bool {
+    let (folded, captured) = extract_logical_state(physical, placements, encoded);
+    if (1.0 - captured).abs() > tol {
+        return false;
+    }
+    equal_up_to_phase(&folded, logical.amplitudes(), tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::{apply_single, apply_two_unit, physical_zero_state};
+    use qompress_circuit::SingleQubitKind;
+    use qompress_pulse::GateClass;
+
+    #[test]
+    fn extracts_bare_qubit_bits() {
+        // Two bare units, X on unit 1.
+        let mut phys = physical_zero_state(2);
+        apply_single(&mut phys, 1, SingleQubitKind::X, GateClass::X);
+        let placements = vec![(0, 0), (1, 0)];
+        let (folded, captured) =
+            extract_logical_state(&phys, &placements, &[false, false]);
+        assert!((captured - 1.0).abs() < 1e-12);
+        assert_eq!(folded[1], C64::ONE); // |q0 q1⟩ = |01⟩ -> index 0b01
+    }
+
+    #[test]
+    fn extracts_encoded_pair() {
+        // Encode qubits (q0 at slot0, q1 at slot1) of unit 0 after setting
+        // q0 = 1 on unit 0 and q1 = 1 on unit 1.
+        let mut phys = physical_zero_state(2);
+        apply_single(&mut phys, 0, SingleQubitKind::X, GateClass::X);
+        apply_single(&mut phys, 1, SingleQubitKind::X, GateClass::X);
+        apply_two_unit(&mut phys, 0, 1, GateClass::Enc);
+        let placements = vec![(0, 0), (0, 1)];
+        let (folded, captured) =
+            extract_logical_state(&phys, &placements, &[true, false]);
+        assert!((captured - 1.0).abs() < 1e-12);
+        assert_eq!(folded[3], C64::ONE); // both bits set
+    }
+
+    #[test]
+    fn encoded_single_bit_lands_on_high_level() {
+        // q0 = 1, q1 = 0 encoded: unit level must be 2, and extraction with
+        // the encoded flag recovers x = 0b01.
+        let mut phys = physical_zero_state(2);
+        apply_single(&mut phys, 0, SingleQubitKind::X, GateClass::X);
+        apply_two_unit(&mut phys, 0, 1, GateClass::Enc);
+        assert!((phys.probability(&[2, 0]) - 1.0).abs() < 1e-12);
+        let (folded, captured) =
+            extract_logical_state(&phys, &[(0, 0), (0, 1)], &[true, false]);
+        assert!((captured - 1.0).abs() < 1e-12);
+        assert_eq!(folded[0b10], C64::ONE); // q0 = 1 is the high bit
+    }
+
+    #[test]
+    fn captured_probability_detects_leakage() {
+        // Claim the qubit lives on unit 0 but actually excite unit 1.
+        let mut phys = physical_zero_state(2);
+        apply_single(&mut phys, 1, SingleQubitKind::X, GateClass::X);
+        let (_, captured) = extract_logical_state(&phys, &[(0, 0)], &[false, false]);
+        // All mass is outside the claimed subspace (unit 1 must be |0⟩).
+        assert!(captured < 1e-12);
+    }
+
+    #[test]
+    fn states_equivalent_on_bell_pair() {
+        use crate::logical::simulate_logical;
+        use qompress_circuit::{Circuit, Gate};
+        // Logical Bell pair.
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(0));
+        c.push(Gate::cx(0, 1));
+        let logical = simulate_logical(&c, &[0, 0]);
+        // Physical: H on bare unit 0, CX2 between bare units.
+        let mut phys = physical_zero_state(2);
+        apply_single(&mut phys, 0, SingleQubitKind::H, GateClass::X);
+        apply_two_unit(&mut phys, 0, 1, GateClass::Cx2);
+        assert!(states_equivalent(
+            &phys,
+            &[(0, 0), (1, 0)],
+            &[false, false],
+            &logical,
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn encoded_bell_pair_is_equivalent() {
+        use crate::logical::simulate_logical;
+        use crate::physical::apply_internal;
+        use qompress_circuit::{Circuit, Gate};
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(0));
+        c.push(Gate::cx(0, 1));
+        let logical = simulate_logical(&c, &[0, 0]);
+        // Physical: encode first, then H on slot 0 and internal CX0.
+        let mut phys = physical_zero_state(2);
+        apply_two_unit(&mut phys, 0, 1, GateClass::Enc);
+        apply_single(&mut phys, 0, SingleQubitKind::H, GateClass::X0);
+        apply_internal(&mut phys, 0, GateClass::Cx0);
+        assert!(states_equivalent(
+            &phys,
+            &[(0, 0), (0, 1)],
+            &[true, false],
+            &logical,
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn equivalence_fails_for_wrong_state() {
+        use crate::logical::simulate_logical;
+        use qompress_circuit::{Circuit, Gate};
+        let mut c = Circuit::new(1);
+        c.push(Gate::x(0));
+        let logical = simulate_logical(&c, &[0]);
+        let phys = physical_zero_state(1); // still |0⟩
+        assert!(!states_equivalent(&phys, &[(0, 0)], &[false], &logical, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate placement")]
+    fn duplicate_placements_rejected() {
+        let phys = physical_zero_state(1);
+        extract_logical_state(&phys, &[(0, 0), (0, 0)], &[false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot 1 of a bare unit")]
+    fn slot_one_of_bare_unit_rejected() {
+        let phys = physical_zero_state(1);
+        extract_logical_state(&phys, &[(0, 1)], &[false]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Concrete unitaries: standard single-qubit gates, their embeddings into
+//! 4-level physical units, and the full Qompress physical gate set built
+//! from the permutation semantics in [`qompress_pulse::gateset`].
+
+use qompress_circuit::SingleQubitKind;
+use qompress_pulse::gateset::{one_unit_permutation, two_unit_permutation};
+use qompress_pulse::GateClass;
+use qompress_linalg::{C64, CMat};
+
+/// The 2×2 unitary of a logical single-qubit gate.
+pub fn single_qubit_unitary(kind: SingleQubitKind) -> CMat {
+    use std::f64::consts::FRAC_1_SQRT_2;
+    let c = C64::real;
+    match kind {
+        SingleQubitKind::X => CMat::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]]),
+        SingleQubitKind::Y => CMat::from_rows(&[
+            &[C64::ZERO, -C64::I],
+            &[C64::I, C64::ZERO],
+        ]),
+        SingleQubitKind::Z => CMat::diag(&[C64::ONE, -C64::ONE]),
+        SingleQubitKind::H => CMat::from_rows(&[
+            &[c(FRAC_1_SQRT_2), c(FRAC_1_SQRT_2)],
+            &[c(FRAC_1_SQRT_2), c(-FRAC_1_SQRT_2)],
+        ]),
+        SingleQubitKind::S => CMat::diag(&[C64::ONE, C64::I]),
+        SingleQubitKind::Sdg => CMat::diag(&[C64::ONE, -C64::I]),
+        SingleQubitKind::T => CMat::diag(&[C64::ONE, C64::cis(std::f64::consts::FRAC_PI_4)]),
+        SingleQubitKind::Tdg => CMat::diag(&[C64::ONE, C64::cis(-std::f64::consts::FRAC_PI_4)]),
+        SingleQubitKind::Rz(t) => CMat::diag(&[C64::cis(-t / 2.0), C64::cis(t / 2.0)]),
+        SingleQubitKind::Rx(t) => {
+            let (cos, sin) = ((t / 2.0).cos(), (t / 2.0).sin());
+            CMat::from_rows(&[
+                &[c(cos), C64::new(0.0, -sin)],
+                &[C64::new(0.0, -sin), c(cos)],
+            ])
+        }
+        SingleQubitKind::Ry(t) => {
+            let (cos, sin) = ((t / 2.0).cos(), (t / 2.0).sin());
+            CMat::from_rows(&[&[c(cos), c(-sin)], &[c(sin), c(cos)]])
+        }
+    }
+}
+
+/// Embeds a 2×2 unitary on levels `{0,1}` of a 4-level unit (bare qubit).
+pub fn embed_bare(u: &CMat) -> CMat {
+    CMat::embed(u, 4, &[0, 1])
+}
+
+/// Embeds a 2×2 unitary on one encoded slot of a ququart: slot 0 acts on
+/// the high bit (`U ⊗ I`), slot 1 on the low bit (`I ⊗ U`) under the
+/// encoding `|2·q0 + q1⟩`.
+pub fn embed_slot(u: &CMat, slot: usize) -> CMat {
+    assert!(slot < 2, "slot must be 0 or 1");
+    let id = CMat::identity(2);
+    if slot == 0 {
+        u.kron(&id)
+    } else {
+        id.kron(u)
+    }
+}
+
+/// The merged ququart gate applying `u` on slot 0 and `v` on slot 1
+/// simultaneously (the paper's `X0,1`-class operation).
+pub fn merged_pair(u: &CMat, v: &CMat) -> CMat {
+    u.kron(v)
+}
+
+/// The 4×4 unitary of a single-unit permutation gate class
+/// (`Cx0`, `Cx1`, `SwapIn`).
+///
+/// # Panics
+///
+/// Panics for classes that are not single-unit permutations.
+pub fn one_unit_class_unitary(class: GateClass) -> CMat {
+    let mut m = CMat::zeros(4, 4);
+    for a in 0..4 {
+        let out = one_unit_permutation(class, a);
+        m[(out, a)] = C64::ONE;
+    }
+    m
+}
+
+/// The 16×16 unitary of a two-unit gate class on a pair of 4-level units,
+/// with matrix index `la·4 + lb`.
+///
+/// # Panics
+///
+/// Panics for single-unit classes.
+pub fn two_unit_class_unitary(class: GateClass) -> CMat {
+    let mut m = CMat::zeros(16, 16);
+    for a in 0..4 {
+        for b in 0..4 {
+            let (x, y) = two_unit_permutation(class, a, b);
+            m[(x * 4 + y, a * 4 + b)] = C64::ONE;
+        }
+    }
+    m
+}
+
+/// The 4×4 logical-qubit CX with matrix index `control·2 + target`.
+pub fn cx_qubit() -> CMat {
+    let mut m = CMat::zeros(4, 4);
+    m[(0, 0)] = C64::ONE;
+    m[(1, 1)] = C64::ONE;
+    m[(3, 2)] = C64::ONE;
+    m[(2, 3)] = C64::ONE;
+    m
+}
+
+/// The 4×4 logical-qubit SWAP.
+pub fn swap_qubit() -> CMat {
+    let mut m = CMat::zeros(4, 4);
+    m[(0, 0)] = C64::ONE;
+    m[(2, 1)] = C64::ONE;
+    m[(1, 2)] = C64::ONE;
+    m[(3, 3)] = C64::ONE;
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_single_qubit_gates_unitary() {
+        use SingleQubitKind::*;
+        for kind in [X, Y, Z, H, S, Sdg, T, Tdg, Rz(0.7), Rx(1.2), Ry(-0.4)] {
+            assert!(
+                single_qubit_unitary(kind).is_unitary(1e-12),
+                "{kind:?} not unitary"
+            );
+        }
+    }
+
+    #[test]
+    fn t_tdg_inverse() {
+        let t = single_qubit_unitary(SingleQubitKind::T);
+        let tdg = single_qubit_unitary(SingleQubitKind::Tdg);
+        assert!(t.mul_mat(&tdg).is_identity(1e-12));
+    }
+
+    #[test]
+    fn embed_bare_leaves_high_levels() {
+        let x = single_qubit_unitary(SingleQubitKind::X);
+        let e = embed_bare(&x);
+        assert_eq!(e[(2, 2)], C64::ONE);
+        assert_eq!(e[(3, 3)], C64::ONE);
+        assert_eq!(e[(1, 0)], C64::ONE);
+        assert!(e.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn embed_slot0_is_x0_permutation() {
+        // X on slot 0 maps |0⟩↔|2⟩, |1⟩↔|3⟩ (paper §3.1.1).
+        let x = single_qubit_unitary(SingleQubitKind::X);
+        let e = embed_slot(&x, 0);
+        assert_eq!(e[(2, 0)], C64::ONE);
+        assert_eq!(e[(3, 1)], C64::ONE);
+        assert_eq!(e[(0, 2)], C64::ONE);
+        assert_eq!(e[(1, 3)], C64::ONE);
+    }
+
+    #[test]
+    fn embed_slot1_is_x1_permutation() {
+        let x = single_qubit_unitary(SingleQubitKind::X);
+        let e = embed_slot(&x, 1);
+        assert_eq!(e[(1, 0)], C64::ONE);
+        assert_eq!(e[(0, 1)], C64::ONE);
+        assert_eq!(e[(3, 2)], C64::ONE);
+        assert_eq!(e[(2, 3)], C64::ONE);
+    }
+
+    #[test]
+    fn merged_pair_acts_independently() {
+        let x = single_qubit_unitary(SingleQubitKind::X);
+        let z = single_qubit_unitary(SingleQubitKind::Z);
+        let m = merged_pair(&x, &z);
+        // |01⟩ = level 1 -> X on q0, Z on q1: level 3 with phase -1.
+        assert_eq!(m[(3, 1)], -C64::ONE);
+        assert!(m.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn class_unitaries_are_unitary() {
+        for class in [GateClass::Cx0, GateClass::Cx1, GateClass::SwapIn] {
+            assert!(one_unit_class_unitary(class).is_unitary(1e-12));
+        }
+        for class in [
+            GateClass::Cx2,
+            GateClass::Swap2,
+            GateClass::CxE0Bare,
+            GateClass::CxBareE1,
+            GateClass::SwapBareE0,
+            GateClass::Cx00,
+            GateClass::Swap11,
+            GateClass::Swap4,
+            GateClass::Enc,
+            GateClass::Dec,
+        ] {
+            assert!(two_unit_class_unitary(class).is_unitary(1e-12), "{class}");
+        }
+    }
+
+    #[test]
+    fn internal_cx_matches_embedded_logical_cx() {
+        // CX0 (control slot 0, target slot 1) must equal the 2-qubit CX
+        // lifted through the encoding.
+        let internal = one_unit_class_unitary(GateClass::Cx0);
+        let logical = cx_qubit(); // control = high bit = slot 0 ordering
+        assert!(internal.max_abs_diff(&logical) < 1e-12);
+    }
+
+    #[test]
+    fn swap_in_matches_embedded_swap() {
+        let internal = one_unit_class_unitary(GateClass::SwapIn);
+        assert!(internal.max_abs_diff(&swap_qubit()) < 1e-12);
+    }
+
+    #[test]
+    fn enc_then_dec_is_identity_on_logical_inputs() {
+        let enc = two_unit_class_unitary(GateClass::Enc);
+        let dec = two_unit_class_unitary(GateClass::Dec);
+        assert!(dec.mul_mat(&enc).is_identity(1e-12));
+    }
+}

@@ -1,0 +1,40 @@
+//! # qompress-sim
+//!
+//! A mixed-radix state-vector simulator used to *validate* Qompress
+//! compilations: every physical transmon is simulated with all four levels,
+//! logical reference circuits with ideal qubits, and
+//! [`states_equivalent`] proves a compiled circuit reproduces its input up
+//! to the encoding and final qubit placement.
+//!
+//! ```
+//! use qompress_sim::{physical_zero_state, apply_single, apply_two_unit};
+//! use qompress_circuit::SingleQubitKind;
+//! use qompress_pulse::GateClass;
+//!
+//! // Prepare |11⟩ on two transmons, then compress into one ququart.
+//! let mut s = physical_zero_state(2);
+//! apply_single(&mut s, 0, SingleQubitKind::X, GateClass::X);
+//! apply_single(&mut s, 1, SingleQubitKind::X, GateClass::X);
+//! apply_two_unit(&mut s, 0, 1, GateClass::Enc);
+//! assert!((s.probability(&[3, 0]) - 1.0).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // index loops mirror the math
+
+mod equivalence;
+mod gates;
+mod logical;
+mod physical;
+mod state;
+
+pub use equivalence::{extract_logical_state, states_equivalent, Placement};
+pub use gates::{
+    cx_qubit, embed_bare, embed_slot, merged_pair, one_unit_class_unitary, single_qubit_unitary,
+    swap_qubit, two_unit_class_unitary,
+};
+pub use logical::{apply_logical_gate, simulate_logical};
+pub use physical::{
+    apply_internal, apply_merged, apply_single, apply_two_unit, physical_zero_state,
+};
+pub use state::State;

@@ -1,0 +1,160 @@
+//! Reference simulation of *logical* circuits on ideal qubits.
+
+use crate::gates::{cx_qubit, single_qubit_unitary, swap_qubit};
+use crate::state::State;
+use qompress_circuit::{Circuit, Gate};
+
+/// Simulates `circuit` from the given initial computational basis state
+/// (one bit per qubit), returning the final state over `2^n` amplitudes.
+///
+/// # Panics
+///
+/// Panics if `init` length mismatches the circuit's qubit count.
+pub fn simulate_logical(circuit: &Circuit, init: &[usize]) -> State {
+    assert_eq!(init.len(), circuit.n_qubits(), "initial state length");
+    let mut state = State::basis(vec![2; circuit.n_qubits()], init);
+    for gate in circuit.iter() {
+        apply_logical_gate(&mut state, gate);
+    }
+    state
+}
+
+/// Applies one logical gate to a qubit-register state.
+pub fn apply_logical_gate(state: &mut State, gate: &Gate) {
+    match *gate {
+        Gate::Single { kind, qubit } => {
+            state.apply_one(qubit, &single_qubit_unitary(kind));
+        }
+        Gate::Cx { control, target } => {
+            state.apply_two(control, target, &cx_qubit());
+        }
+        Gate::Swap { a, b } => {
+            state.apply_two(a, b, &swap_qubit());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qompress_linalg::C64;
+
+    #[test]
+    fn bell_state() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(0));
+        c.push(Gate::cx(0, 1));
+        let s = simulate_logical(&c, &[0, 0]);
+        let r = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((s.amp(&[0, 0]) - C64::real(r)).abs() < 1e-12);
+        assert!((s.amp(&[1, 1]) - C64::real(r)).abs() < 1e-12);
+        assert!(s.amp(&[0, 1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cx_on_basis_states() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::cx(0, 1));
+        assert_eq!(simulate_logical(&c, &[1, 0]).amp(&[1, 1]), C64::ONE);
+        assert_eq!(simulate_logical(&c, &[0, 1]).amp(&[0, 1]), C64::ONE);
+    }
+
+    #[test]
+    fn swap_exchanges_bits() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::swap(0, 2));
+        assert_eq!(simulate_logical(&c, &[1, 0, 0]).amp(&[0, 0, 1]), C64::ONE);
+    }
+
+    #[test]
+    fn ccx_truth_table() {
+        let mut c = Circuit::new(3);
+        c.push_ccx(0, 1, 2);
+        for a in 0..2 {
+            for b in 0..2 {
+                for t in 0..2 {
+                    let s = simulate_logical(&c, &[a, b, t]);
+                    let want_t = if a == 1 && b == 1 { t ^ 1 } else { t };
+                    let p = s.probability(&[a, b, want_t]);
+                    assert!(
+                        (p - 1.0).abs() < 1e-9,
+                        "ccx({a},{b},{t}) gave p={p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cswap_truth_table() {
+        let mut c = Circuit::new(3);
+        c.push_cswap(0, 1, 2);
+        for ctrl in 0..2 {
+            for x in 0..2 {
+                for y in 0..2 {
+                    let s = simulate_logical(&c, &[ctrl, x, y]);
+                    let (wx, wy) = if ctrl == 1 { (y, x) } else { (x, y) };
+                    assert!(
+                        (s.probability(&[ctrl, wx, wy]) - 1.0).abs() < 1e-9,
+                        "cswap({ctrl},{x},{y})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cuccaro_adds_correctly() {
+        // 2-bit adder: verify a + b on every input pair.
+        use qompress_workloads_shim::cuccaro_like;
+        let (circuit, layout_b, layout_a) = cuccaro_like();
+        for a_val in 0..4usize {
+            for b_val in 0..4usize {
+                let mut init = vec![0usize; circuit.n_qubits()];
+                for i in 0..2 {
+                    init[layout_a[i]] = (a_val >> i) & 1;
+                    init[layout_b[i]] = (b_val >> i) & 1;
+                }
+                let s = simulate_logical(&circuit, &init);
+                let sum = a_val + b_val;
+                let mut want = init.clone();
+                for i in 0..2 {
+                    want[layout_b[i]] = (sum >> i) & 1;
+                }
+                want[circuit.n_qubits() - 1] = (sum >> 2) & 1; // carry out
+                assert!(
+                    (s.probability(&want) - 1.0).abs() < 1e-9,
+                    "{a_val}+{b_val}"
+                );
+            }
+        }
+    }
+
+    /// Minimal in-test replica of the Cuccaro construction so this crate
+    /// does not depend on `qompress-workloads` (which would be cyclic in
+    /// dev-dependencies). Mirrors `qompress_workloads::cuccaro_adder(2)`.
+    mod qompress_workloads_shim {
+        use qompress_circuit::{Circuit, Gate};
+
+        pub fn cuccaro_like() -> (Circuit, [usize; 2], [usize; 2]) {
+            // Layout: c=0, b0=1, a0=2, b1=3, a1=4, z=5.
+            let mut c = Circuit::new(6);
+            let maj = |c: &mut Circuit, x: usize, y: usize, z: usize| {
+                c.push(Gate::cx(z, y));
+                c.push(Gate::cx(z, x));
+                c.push_ccx(x, y, z);
+            };
+            let uma = |c: &mut Circuit, x: usize, y: usize, z: usize| {
+                c.push_ccx(x, y, z);
+                c.push(Gate::cx(z, x));
+                c.push(Gate::cx(x, y));
+            };
+            maj(&mut c, 0, 1, 2);
+            maj(&mut c, 2, 3, 4);
+            c.push(Gate::cx(4, 5));
+            uma(&mut c, 2, 3, 4);
+            uma(&mut c, 0, 1, 2);
+            (c, [1, 3], [2, 4])
+        }
+    }
+}

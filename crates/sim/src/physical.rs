@@ -1,0 +1,158 @@
+//! Execution of *physical* mixed-radix operations on a register of 4-level
+//! units.
+//!
+//! The compiler emits operations labeled by [`GateClass`]; this module maps
+//! each class to its concrete unitary and applies it. Every physical unit is
+//! simulated with all four levels whether it is used as a bare qubit or as
+//! an encoded ququart — exactly the hardware picture of the paper.
+
+use crate::gates::{
+    embed_bare, embed_slot, merged_pair, one_unit_class_unitary, single_qubit_unitary,
+    two_unit_class_unitary,
+};
+use crate::state::State;
+use qompress_circuit::SingleQubitKind;
+use qompress_pulse::GateClass;
+
+/// Creates the all-ground physical register for `n_units` transmons.
+pub fn physical_zero_state(n_units: usize) -> State {
+    State::zero(vec![4; n_units])
+}
+
+/// Applies a single-qubit logical gate physically.
+///
+/// `class` selects the embedding: [`GateClass::X`] acts on a bare unit's
+/// levels `{0,1}`, [`GateClass::X0`]/[`GateClass::X1`] act on one encoded
+/// slot of a ququart.
+///
+/// # Panics
+///
+/// Panics if `class` is not one of `X`, `X0`, `X1`.
+pub fn apply_single(state: &mut State, unit: usize, kind: SingleQubitKind, class: GateClass) {
+    let u2 = single_qubit_unitary(kind);
+    let u4 = match class {
+        GateClass::X => embed_bare(&u2),
+        GateClass::X0 => embed_slot(&u2, 0),
+        GateClass::X1 => embed_slot(&u2, 1),
+        _ => panic!("{class} is not a single-qubit embedding class"),
+    };
+    state.apply_one(unit, &u4);
+}
+
+/// Applies two merged single-qubit gates on the two slots of one ququart
+/// (the `X0,1` class).
+pub fn apply_merged(
+    state: &mut State,
+    unit: usize,
+    kind0: SingleQubitKind,
+    kind1: SingleQubitKind,
+) {
+    let u = merged_pair(
+        &single_qubit_unitary(kind0),
+        &single_qubit_unitary(kind1),
+    );
+    state.apply_one(unit, &u);
+}
+
+/// Applies an internal ququart operation (`Cx0`, `Cx1`, `SwapIn`).
+///
+/// # Panics
+///
+/// Panics for non-internal classes.
+pub fn apply_internal(state: &mut State, unit: usize, class: GateClass) {
+    state.apply_one(unit, &one_unit_class_unitary(class));
+}
+
+/// Applies a two-unit gate of the given class to units `(a, b)` in the
+/// class's operand order (encoded side first for mixed classes, control
+/// side first for `CX`-style classes — see [`qompress_pulse::gateset`]).
+pub fn apply_two_unit(state: &mut State, a: usize, b: usize, class: GateClass) {
+    state.apply_two(a, b, &two_unit_class_unitary(class));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qompress_linalg::C64;
+
+    #[test]
+    fn enc_packs_two_qubits() {
+        let mut s = State::basis(vec![4, 4], &[1, 1]); // |q0=1⟩, |q1=1⟩
+        apply_two_unit(&mut s, 0, 1, GateClass::Enc);
+        assert_eq!(s.amp(&[3, 0]), C64::ONE); // |11⟩ -> level 3
+    }
+
+    #[test]
+    fn enc_dec_roundtrip() {
+        for a in 0..2 {
+            for b in 0..2 {
+                let mut s = State::basis(vec![4, 4], &[a, b]);
+                apply_two_unit(&mut s, 0, 1, GateClass::Enc);
+                apply_two_unit(&mut s, 0, 1, GateClass::Dec);
+                assert_eq!(s.amp(&[a, b]), C64::ONE, "({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn internal_cx_after_encoding_matches_logical_cx() {
+        // Encode |q0=1, q1=0⟩ then internal CX0 (control q0): q1 flips.
+        let mut s = State::basis(vec![4, 4], &[1, 0]);
+        apply_two_unit(&mut s, 0, 1, GateClass::Enc);
+        apply_internal(&mut s, 0, GateClass::Cx0);
+        // Expect level |11⟩ = 3.
+        assert_eq!(s.amp(&[3, 0]), C64::ONE);
+    }
+
+    #[test]
+    fn partial_cx_encoded_controls_bare_target() {
+        // Unit 0 encodes |q0 q1⟩ = |10⟩ (level 2); bare unit 1 at |0⟩.
+        let mut s = State::basis(vec![4, 4], &[2, 0]);
+        apply_two_unit(&mut s, 0, 1, GateClass::CxE0Bare);
+        assert_eq!(s.amp(&[2, 1]), C64::ONE);
+        // Control on q1 instead: no flip for level 2 (q1 = 0).
+        let mut s2 = State::basis(vec![4, 4], &[2, 0]);
+        apply_two_unit(&mut s2, 0, 1, GateClass::CxE1Bare);
+        assert_eq!(s2.amp(&[2, 0]), C64::ONE);
+    }
+
+    #[test]
+    fn swap_bare_e0_moves_logical_qubit() {
+        // Encoded unit 0 at |q0 q1⟩=|01⟩ (level 1), bare unit 1 at |1⟩.
+        let mut s = State::basis(vec![4, 4], &[1, 1]);
+        apply_two_unit(&mut s, 0, 1, GateClass::SwapBareE0);
+        // q0 (=0) goes to bare; bare (=1) becomes new q0: level |11⟩=3, bare 0.
+        assert_eq!(s.amp(&[3, 0]), C64::ONE);
+    }
+
+    #[test]
+    fn merged_single_acts_on_both_slots() {
+        // Encoded |q0 q1⟩ = |00⟩ (level 0): X on both slots -> |11⟩ = 3.
+        let mut s = State::basis(vec![4], &[0]);
+        apply_merged(&mut s, 0, SingleQubitKind::X, SingleQubitKind::X);
+        assert_eq!(s.amp(&[3]), C64::ONE);
+    }
+
+    #[test]
+    fn bare_single_gate_ignores_encoded_levels() {
+        let mut s = State::basis(vec![4], &[2]);
+        apply_single(&mut s, 0, SingleQubitKind::X, GateClass::X);
+        assert_eq!(s.amp(&[2]), C64::ONE); // level 2 untouched by bare X
+    }
+
+    #[test]
+    fn swap4_exchanges_units() {
+        let mut s = State::basis(vec![4, 4], &[3, 1]);
+        apply_two_unit(&mut s, 0, 1, GateClass::Swap4);
+        assert_eq!(s.amp(&[1, 3]), C64::ONE);
+    }
+
+    #[test]
+    fn cx00_between_two_ququarts() {
+        // A = |10⟩ (level 2, q0=1), B = |01⟩ (level 1, q0=0): CX00 flips B's
+        // q0 -> B = |11⟩ = 3.
+        let mut s = State::basis(vec![4, 4], &[2, 1]);
+        apply_two_unit(&mut s, 0, 1, GateClass::Cx00);
+        assert_eq!(s.amp(&[2, 3]), C64::ONE);
+    }
+}

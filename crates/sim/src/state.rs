@@ -1,0 +1,314 @@
+//! Mixed-radix state vectors.
+//!
+//! A [`State`] holds the amplitudes of a register of qudits with
+//! per-unit dimensions (2 for simulated logical qubits, 4 for physical
+//! transmon units). Gates are applied in place with stride arithmetic.
+
+use qompress_linalg::{C64, CMat};
+
+/// A pure state over a register of qudits with independent dimensions.
+///
+/// Basis index convention is row-major in unit order: unit 0 is the most
+/// significant digit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct State {
+    dims: Vec<usize>,
+    amps: Vec<C64>,
+}
+
+impl State {
+    /// The all-zeros basis state for the given unit dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or the register is empty.
+    pub fn zero(dims: Vec<usize>) -> Self {
+        assert!(!dims.is_empty(), "register needs at least one unit");
+        assert!(dims.iter().all(|&d| d >= 1), "unit dimension must be >= 1");
+        let total: usize = dims.iter().product();
+        let mut amps = vec![C64::ZERO; total];
+        amps[0] = C64::ONE;
+        State { dims, amps }
+    }
+
+    /// A specific basis state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` length mismatches or any level is out of range.
+    pub fn basis(dims: Vec<usize>, levels: &[usize]) -> Self {
+        let mut s = State::zero(dims);
+        let idx = s.index_of(levels);
+        s.amps[0] = C64::ZERO;
+        s.amps[idx] = C64::ONE;
+        s
+    }
+
+    /// Number of units.
+    pub fn n_units(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Per-unit dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The raw amplitude vector.
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Flat index of a basis assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or out-of-range level.
+    pub fn index_of(&self, levels: &[usize]) -> usize {
+        assert_eq!(levels.len(), self.dims.len());
+        let mut idx = 0;
+        for (l, d) in levels.iter().zip(self.dims.iter()) {
+            assert!(l < d, "level {l} out of range for dim {d}");
+            idx = idx * d + l;
+        }
+        idx
+    }
+
+    /// Amplitude of a basis assignment.
+    pub fn amp(&self, levels: &[usize]) -> C64 {
+        self.amps[self.index_of(levels)]
+    }
+
+    /// Probability of a basis assignment.
+    pub fn probability(&self, levels: &[usize]) -> f64 {
+        self.amp(levels).norm_sqr()
+    }
+
+    /// Squared norm (should stay 1 under unitary evolution).
+    pub fn norm_sqr(&self) -> f64 {
+        qompress_linalg::norm_sqr(&self.amps)
+    }
+
+    fn stride(&self, unit: usize) -> usize {
+        self.dims[unit + 1..].iter().product()
+    }
+
+    /// Applies a `d×d` unitary to one unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` does not match the unit's dimension.
+    pub fn apply_one(&mut self, unit: usize, u: &CMat) {
+        let d = self.dims[unit];
+        assert_eq!(u.rows(), d);
+        assert_eq!(u.cols(), d);
+        let stride = self.stride(unit);
+        let block = stride * d;
+        let mut scratch = vec![C64::ZERO; d];
+        let n = self.amps.len();
+        let mut base = 0;
+        while base < n {
+            for offset in 0..stride {
+                let start = base + offset;
+                for k in 0..d {
+                    scratch[k] = self.amps[start + k * stride];
+                }
+                for r in 0..d {
+                    let mut acc = C64::ZERO;
+                    for c in 0..d {
+                        acc += u[(r, c)] * scratch[c];
+                    }
+                    self.amps[start + r * stride] = acc;
+                }
+            }
+            base += block;
+        }
+    }
+
+    /// Applies a `(da·db)×(da·db)` unitary to the ordered unit pair
+    /// `(a, b)`; the matrix index convention is `la·db + lb`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or dimensions mismatch.
+    pub fn apply_two(&mut self, a: usize, b: usize, u: &CMat) {
+        assert_ne!(a, b, "two-unit gate needs distinct units");
+        let da = self.dims[a];
+        let db = self.dims[b];
+        let joint = da * db;
+        assert_eq!(u.rows(), joint);
+        assert_eq!(u.cols(), joint);
+        let sa = self.stride(a);
+        let sb = self.stride(b);
+        let n = self.amps.len();
+        let mut scratch = vec![C64::ZERO; joint];
+        // Enumerate all basis indices with units a and b at level 0, then
+        // fan out over their joint levels.
+        let mut visited = vec![false; n];
+        for idx in 0..n {
+            if visited[idx] {
+                continue;
+            }
+            // Extract levels of a and b at this index.
+            let la = (idx / sa) % da;
+            let lb = (idx / sb) % db;
+            if la != 0 || lb != 0 {
+                continue;
+            }
+            for ka in 0..da {
+                for kb in 0..db {
+                    let j = idx + ka * sa + kb * sb;
+                    visited[j] = true;
+                    scratch[ka * db + kb] = self.amps[j];
+                }
+            }
+            for ra in 0..da {
+                for rb in 0..db {
+                    let mut acc = C64::ZERO;
+                    let row = ra * db + rb;
+                    for c in 0..joint {
+                        acc += u[(row, c)] * scratch[c];
+                    }
+                    self.amps[idx + ra * sa + rb * sb] = acc;
+                }
+            }
+        }
+    }
+
+    /// Total probability of basis states where `unit` is at `level`.
+    pub fn marginal_probability(&self, unit: usize, level: usize) -> f64 {
+        let stride = self.stride(unit);
+        let d = self.dims[unit];
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| (idx / stride) % d == level)
+            .map(|(_, z)| z.norm_sqr())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x2() -> CMat {
+        CMat::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]])
+    }
+
+    #[test]
+    fn zero_state_has_unit_amp_at_origin() {
+        let s = State::zero(vec![2, 4]);
+        assert_eq!(s.amp(&[0, 0]), C64::ONE);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn index_convention_row_major() {
+        let s = State::zero(vec![2, 4, 3]);
+        assert_eq!(s.index_of(&[0, 0, 0]), 0);
+        assert_eq!(s.index_of(&[0, 0, 2]), 2);
+        assert_eq!(s.index_of(&[0, 1, 0]), 3);
+        assert_eq!(s.index_of(&[1, 0, 0]), 12);
+    }
+
+    #[test]
+    fn apply_one_flips_target_unit_only() {
+        let mut s = State::basis(vec![2, 2, 2], &[0, 1, 0]);
+        s.apply_one(2, &x2());
+        assert_eq!(s.amp(&[0, 1, 1]), C64::ONE);
+        s.apply_one(0, &x2());
+        assert_eq!(s.amp(&[1, 1, 1]), C64::ONE);
+    }
+
+    #[test]
+    fn apply_one_on_middle_unit_with_mixed_dims() {
+        let mut s = State::basis(vec![4, 2, 4], &[3, 0, 2]);
+        s.apply_one(1, &x2());
+        assert_eq!(s.amp(&[3, 1, 2]), C64::ONE);
+    }
+
+    #[test]
+    fn apply_two_cx_semantics() {
+        // CX on qubit pair with 4x4 matrix index la*2+lb.
+        let mut cx = CMat::zeros(4, 4);
+        cx[(0, 0)] = C64::ONE;
+        cx[(1, 1)] = C64::ONE;
+        cx[(2, 3)] = C64::ONE;
+        cx[(3, 2)] = C64::ONE;
+        let mut s = State::basis(vec![2, 2], &[1, 0]);
+        s.apply_two(0, 1, &cx);
+        assert_eq!(s.amp(&[1, 1]), C64::ONE);
+        // Control at 0: no-op.
+        let mut s2 = State::basis(vec![2, 2], &[0, 1]);
+        s2.apply_two(0, 1, &cx);
+        assert_eq!(s2.amp(&[0, 1]), C64::ONE);
+    }
+
+    #[test]
+    fn apply_two_operand_order_matters() {
+        let mut cx = CMat::zeros(4, 4);
+        cx[(0, 0)] = C64::ONE;
+        cx[(1, 1)] = C64::ONE;
+        cx[(2, 3)] = C64::ONE;
+        cx[(3, 2)] = C64::ONE;
+        // Reversed operands: control is unit 1.
+        let mut s = State::basis(vec![2, 2], &[0, 1]);
+        s.apply_two(1, 0, &cx);
+        assert_eq!(s.amp(&[1, 1]), C64::ONE);
+    }
+
+    #[test]
+    fn apply_two_mixed_dims() {
+        // 4-level unit with 2-level unit: SWAP-like permutation u: (a,b) ->
+        // swap a's low bit with b.
+        let da = 4;
+        let db = 2;
+        let mut u = CMat::zeros(8, 8);
+        for a in 0..da {
+            for b in 0..db {
+                let (hi, lo) = (a / 2, a % 2);
+                let (na, nb) = (2 * hi + b, lo);
+                u[(na * db + nb, a * db + b)] = C64::ONE;
+            }
+        }
+        let mut s = State::basis(vec![4, 2], &[1, 0]);
+        s.apply_two(0, 1, &u);
+        assert_eq!(s.amp(&[0, 1]), C64::ONE);
+    }
+
+    #[test]
+    fn norm_preserved_by_unitaries() {
+        let h = CMat::from_rows(&[
+            &[C64::real(std::f64::consts::FRAC_1_SQRT_2); 2],
+            &[
+                C64::real(std::f64::consts::FRAC_1_SQRT_2),
+                C64::real(-std::f64::consts::FRAC_1_SQRT_2),
+            ],
+        ]);
+        let mut s = State::zero(vec![2, 2, 2]);
+        for u in 0..3 {
+            s.apply_one(u, &h);
+        }
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-12);
+        // Uniform superposition.
+        for idx in 0..8 {
+            assert!((s.amplitudes()[idx].abs() - (1.0 / 8.0f64).sqrt()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn marginal_probability_sums() {
+        let mut s = State::zero(vec![2, 2]);
+        let h = CMat::from_rows(&[
+            &[C64::real(std::f64::consts::FRAC_1_SQRT_2); 2],
+            &[
+                C64::real(std::f64::consts::FRAC_1_SQRT_2),
+                C64::real(-std::f64::consts::FRAC_1_SQRT_2),
+            ],
+        ]);
+        s.apply_one(0, &h);
+        assert!((s.marginal_probability(0, 0) - 0.5).abs() < 1e-12);
+        assert!((s.marginal_probability(1, 0) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! Cross-checks between the simulator's gate constructions: the two-unit
+//! class unitaries must agree with Kronecker compositions of their
+//! single-unit building blocks, matching the paper's Figure 2 relations.
+
+use qompress_circuit::SingleQubitKind;
+use qompress_linalg::{C64, CMat};
+use qompress_pulse::GateClass;
+use qompress_sim::{
+    cx_qubit, embed_slot, one_unit_class_unitary, single_qubit_unitary, two_unit_class_unitary,
+};
+
+#[test]
+fn internal_cx_equals_lifted_logical_cx() {
+    // The encoding |2·q0 + q1⟩ makes the logical 4-dim two-qubit space the
+    // ququart space in the same basis order, so CX0 IS the logical CX.
+    assert!(
+        one_unit_class_unitary(GateClass::Cx0)
+            .max_abs_diff(&cx_qubit())
+            < 1e-12
+    );
+}
+
+#[test]
+fn x0_embedding_is_x_tensor_identity() {
+    let x = single_qubit_unitary(SingleQubitKind::X);
+    let id = CMat::identity(2);
+    assert!(embed_slot(&x, 0).max_abs_diff(&x.kron(&id)) < 1e-12);
+    assert!(embed_slot(&x, 1).max_abs_diff(&id.kron(&x)) < 1e-12);
+}
+
+#[test]
+fn cx00_is_controlled_x0_on_partner() {
+    // CX00 = control on q0 of unit A applying X⊗I on unit B.
+    let x0 = embed_slot(&single_qubit_unitary(SingleQubitKind::X), 0);
+    let mut want = CMat::zeros(16, 16);
+    for a in 0..4usize {
+        let control_set = a / 2 == 1;
+        for b_in in 0..4usize {
+            for b_out in 0..4usize {
+                let amp = if control_set {
+                    x0[(b_out, b_in)]
+                } else if b_in == b_out {
+                    C64::ONE
+                } else {
+                    C64::ZERO
+                };
+                if amp != C64::ZERO {
+                    want[(a * 4 + b_out, a * 4 + b_in)] = amp;
+                }
+            }
+        }
+    }
+    let got = two_unit_class_unitary(GateClass::Cx00);
+    assert!(got.max_abs_diff(&want) < 1e-12);
+}
+
+#[test]
+fn swap4_is_the_tensor_swap() {
+    let got = two_unit_class_unitary(GateClass::Swap4);
+    let mut want = CMat::zeros(16, 16);
+    for a in 0..4usize {
+        for b in 0..4usize {
+            want[(b * 4 + a, a * 4 + b)] = C64::ONE;
+        }
+    }
+    assert!(got.max_abs_diff(&want) < 1e-12);
+}
+
+#[test]
+fn partial_swaps_compose_to_swap4() {
+    // SWAP00 · SWAP11 exchanges both slots = SWAP4.
+    let s00 = two_unit_class_unitary(GateClass::Swap00);
+    let s11 = two_unit_class_unitary(GateClass::Swap11);
+    let composed = s00.mul_mat(&s11);
+    let swap4 = two_unit_class_unitary(GateClass::Swap4);
+    assert!(composed.max_abs_diff(&swap4) < 1e-12);
+}
+
+#[test]
+fn cx_chain_builds_swap_internally() {
+    // CX0 · CX1 · CX0 = SWAPin (the 3-CX SWAP identity, internal form).
+    let cx0 = one_unit_class_unitary(GateClass::Cx0);
+    let cx1 = one_unit_class_unitary(GateClass::Cx1);
+    let composed = cx0.mul_mat(&cx1).mul_mat(&cx0);
+    let swap = one_unit_class_unitary(GateClass::SwapIn);
+    assert!(composed.max_abs_diff(&swap) < 1e-12);
+}
+
+#[test]
+fn enc_conjugation_turns_cx2_into_internal_cx() {
+    // ENC · CX2 · DEC on an encoded input acts as the internal CX0 with
+    // unit B restored to |0⟩ — the core claim of the encoding (Figure 2).
+    let enc = two_unit_class_unitary(GateClass::Enc);
+    let dec = two_unit_class_unitary(GateClass::Dec);
+    let cx2 = two_unit_class_unitary(GateClass::Cx2);
+    let conj = enc.mul_mat(&cx2).mul_mat(&dec);
+    let cx0 = one_unit_class_unitary(GateClass::Cx0);
+    for a_in in 0..4usize {
+        for a_out in 0..4usize {
+            let got = conj[(a_out * 4, a_in * 4)];
+            let expect = cx0[(a_out, a_in)];
+            assert!(
+                (got - expect).abs() < 1e-12,
+                "block ({a_out},{a_in}) mismatch: {got} vs {expect}"
+            );
+        }
+    }
+}
+
+#[test]
+fn partial_cx_restricted_to_bare_target_matches_cx2_block() {
+    // CXq0 with the encoded unit holding only its slot-0 qubit (slot 1
+    // vacuum) behaves like CX2 with roles matched: control bare b flips
+    // the q0 bit (levels 0↔2).
+    let cxq0 = two_unit_class_unitary(GateClass::CxBareE0);
+    // Input (a=0, b=1) -> (a=2, b=1).
+    let col = 1; // a = 0, b = 1
+    let row = 2 * 4 + 1;
+    assert_eq!(cxq0[(row, col)], C64::ONE);
+    // Input (a=0, b=0) unchanged.
+    assert_eq!(cxq0[(0, 0)], C64::ONE);
+}

@@ -1,0 +1,88 @@
+//! Bernstein–Vazirani circuits [7] (paper §6.3).
+//!
+//! The interaction graph is a star around the phase-kickback target — no
+//! cycles, which is exactly why the Ring-Based strategy finds nothing to
+//! compress on BV (paper §7).
+
+use qompress_circuit::{Circuit, Gate};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a BV circuit recovering the given secret bitstring.
+///
+/// Layout: data qubits `0..n`, target (oracle ancilla) at index `n`.
+pub fn bernstein_vazirani(secret: &[bool]) -> Circuit {
+    let n = secret.len();
+    let target = n;
+    let mut c = Circuit::new(n + 1);
+    for q in 0..n {
+        c.push(Gate::h(q));
+    }
+    // |−⟩ on the target.
+    c.push(Gate::x(target));
+    c.push(Gate::h(target));
+    for (q, &bit) in secret.iter().enumerate() {
+        if bit {
+            c.push(Gate::cx(q, target));
+        }
+    }
+    for q in 0..n {
+        c.push(Gate::h(q));
+    }
+    c
+}
+
+/// Builds a BV instance over `total` qubits (secret length `total − 1`)
+/// with a random ~half-weight secret, deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `total < 2`.
+pub fn bv_sized(total: usize, seed: u64) -> Circuit {
+    assert!(total >= 2, "BV needs at least 2 qubits");
+    let n = total - 1;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut secret: Vec<bool> = (0..n).map(|_| rng.gen::<bool>()).collect();
+    // Guarantee at least one interaction so the circuit is non-trivial.
+    if !secret.iter().any(|&b| b) {
+        secret[0] = true;
+    }
+    bernstein_vazirani(&secret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qompress_circuit::InteractionGraph;
+
+    #[test]
+    fn cx_count_equals_secret_weight() {
+        let secret = vec![true, false, true, true];
+        let c = bernstein_vazirani(&secret);
+        assert_eq!(c.two_qubit_gate_count(), 3);
+        assert_eq!(c.n_qubits(), 5);
+    }
+
+    #[test]
+    fn interaction_graph_is_a_star_without_cycles() {
+        let c = bv_sized(10, 3);
+        let ig = InteractionGraph::build(&c);
+        let ug = ig.to_ugraph();
+        let target = 9;
+        for ((a, b), _) in ig.weighted_edges() {
+            assert!(a == target || b == target, "all edges touch the target");
+        }
+        // No qubit lies on a cycle.
+        for q in 0..c.n_qubits() {
+            assert!(ug.min_cycle_through(q).is_none());
+        }
+    }
+
+    #[test]
+    fn sized_is_deterministic_and_nontrivial() {
+        let a = bv_sized(12, 5);
+        let b = bv_sized(12, 5);
+        assert_eq!(a.gates(), b.gates());
+        assert!(a.two_qubit_gate_count() >= 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! The Cuccaro ripple-carry adder [15] (paper §6.3, Figure 5c/d).
+//!
+//! Computes `b := a + b` on two `n`-bit registers with one carry-in ancilla
+//! and one carry-out qubit (`2n + 2` qubits total) using the MAJ/UMA ladder.
+//! Toffolis are lowered to the standard 6-CX decomposition, which produces
+//! the triangle-rich interaction structure the Ring-Based strategy exploits.
+
+use qompress_circuit::{Circuit, Gate};
+
+/// Qubit layout of a [`cuccaro_adder`] circuit.
+///
+/// Interleaved as `c, b0, a0, b1, a1, …, b(n-1), a(n-1), z` so that the MAJ
+/// ladder touches adjacent indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdderLayout {
+    /// Number of bits per input register.
+    pub bits: usize,
+}
+
+impl AdderLayout {
+    /// The carry-in ancilla.
+    pub fn carry_in(&self) -> usize {
+        0
+    }
+
+    /// Qubit holding `b_i` (the sum register).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bits`.
+    pub fn b(&self, i: usize) -> usize {
+        assert!(i < self.bits);
+        1 + 2 * i
+    }
+
+    /// Qubit holding `a_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bits`.
+    pub fn a(&self, i: usize) -> usize {
+        assert!(i < self.bits);
+        2 + 2 * i
+    }
+
+    /// The carry-out qubit.
+    pub fn carry_out(&self) -> usize {
+        1 + 2 * self.bits
+    }
+
+    /// Total qubit count (`2·bits + 2`).
+    pub fn n_qubits(&self) -> usize {
+        2 * self.bits + 2
+    }
+}
+
+fn maj(c: &mut Circuit, x: usize, y: usize, z: usize) {
+    // MAJ(x, y, z): CX(z,y); CX(z,x); CCX(x,y,z).
+    c.push(Gate::cx(z, y));
+    c.push(Gate::cx(z, x));
+    c.push_ccx(x, y, z);
+}
+
+fn uma(c: &mut Circuit, x: usize, y: usize, z: usize) {
+    // UMA(x, y, z): CCX(x,y,z); CX(z,x); CX(x,y).
+    c.push_ccx(x, y, z);
+    c.push(Gate::cx(z, x));
+    c.push(Gate::cx(x, y));
+}
+
+/// Builds the `bits`-bit Cuccaro ripple-carry adder.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn cuccaro_adder(bits: usize) -> Circuit {
+    assert!(bits >= 1, "adder needs at least one bit");
+    let layout = AdderLayout { bits };
+    let mut c = Circuit::new(layout.n_qubits());
+    // MAJ ladder.
+    maj(&mut c, layout.carry_in(), layout.b(0), layout.a(0));
+    for i in 1..bits {
+        maj(&mut c, layout.a(i - 1), layout.b(i), layout.a(i));
+    }
+    // Carry out.
+    c.push(Gate::cx(layout.a(bits - 1), layout.carry_out()));
+    // UMA ladder (reverse).
+    for i in (1..bits).rev() {
+        uma(&mut c, layout.a(i - 1), layout.b(i), layout.a(i));
+    }
+    uma(&mut c, layout.carry_in(), layout.b(0), layout.a(0));
+    c
+}
+
+/// Builds an adder using at most `total` qubits (bits = `(total − 2) / 2`),
+/// returning a circuit padded with idle qubits up to exactly `total`.
+///
+/// # Panics
+///
+/// Panics if `total < 4` (a 1-bit adder needs 4 qubits).
+pub fn cuccaro_sized(total: usize) -> Circuit {
+    assert!(total >= 4, "cuccaro needs at least 4 qubits");
+    let bits = (total - 2) / 2;
+    let inner = cuccaro_adder(bits);
+    let mut c = Circuit::new(total);
+    c.extend_from(&inner);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qompress_circuit::InteractionGraph;
+
+    #[test]
+    fn layout_indices() {
+        let l = AdderLayout { bits: 3 };
+        assert_eq!(l.carry_in(), 0);
+        assert_eq!(l.b(0), 1);
+        assert_eq!(l.a(0), 2);
+        assert_eq!(l.b(2), 5);
+        assert_eq!(l.a(2), 6);
+        assert_eq!(l.carry_out(), 7);
+        assert_eq!(l.n_qubits(), 8);
+    }
+
+    #[test]
+    fn adder_qubit_count() {
+        for bits in 1..6 {
+            let c = cuccaro_adder(bits);
+            assert_eq!(c.n_qubits(), 2 * bits + 2);
+        }
+    }
+
+    #[test]
+    fn gate_count_formula() {
+        // Per MAJ/UMA: 2 CX + CCX(6 CX) = 8 two-qubit gates; n MAJ + n UMA +
+        // 1 carry CX.
+        let bits = 4;
+        let c = cuccaro_adder(bits);
+        assert_eq!(c.two_qubit_gate_count(), 16 * bits + 1);
+    }
+
+    #[test]
+    fn interaction_graph_has_triangles() {
+        // MAJ/UMA blocks interact triples of qubits pairwise (Figure 5d).
+        let c = cuccaro_adder(3);
+        let ig = InteractionGraph::build(&c);
+        let l = AdderLayout { bits: 3 };
+        let (x, y, z) = (l.carry_in(), l.b(0), l.a(0));
+        assert!(ig.weight(x, y) > 0.0);
+        assert!(ig.weight(y, z) > 0.0);
+        assert!(ig.weight(x, z) > 0.0);
+        // Triangle is detectable as a 3-cycle.
+        let ug = ig.to_ugraph();
+        let cycle = ug.min_cycle_through(x).expect("carry-in lies on a triangle");
+        assert_eq!(cycle.len(), 3);
+    }
+
+    #[test]
+    fn sized_variant_pads_idle_qubits() {
+        let c = cuccaro_sized(11);
+        assert_eq!(c.n_qubits(), 11);
+        // 4-bit adder inside (10 qubits used).
+        assert_eq!(c.used_qubits().len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn sized_rejects_tiny() {
+        cuccaro_sized(3);
+    }
+}

@@ -1,0 +1,210 @@
+//! Interaction-structure graphs for the QAOA benchmarks (paper §6.3,
+//! Figure 6): random graphs with 30% edge density, cylinders, tori and
+//! binary welded trees.
+
+use qompress_circuit::graph::UGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi-style random graph over `n` nodes with the given edge
+/// density (paper uses 30%). Deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `density` is outside `[0, 1]`.
+pub fn random_graph(n: usize, density: f64, seed: u64) -> UGraph {
+    assert!((0.0..=1.0).contains(&density), "density must be in [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = UGraph::new(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if rng.gen::<f64>() < density {
+                g.add_edge(a, b);
+            }
+        }
+    }
+    g
+}
+
+/// A `rows x cols` cylinder: grid wrapped around in the column direction
+/// (each row is a ring), Figure 6(a).
+///
+/// # Panics
+///
+/// Panics if `rows == 0` or `cols < 3`.
+pub fn cylinder(rows: usize, cols: usize) -> UGraph {
+    assert!(rows >= 1 && cols >= 3, "cylinder needs rows>=1, cols>=3");
+    let mut g = UGraph::new(rows * cols);
+    let at = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            g.add_edge(at(r, c), at(r, (c + 1) % cols));
+            if r + 1 < rows {
+                g.add_edge(at(r, c), at(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// A `rows x cols` torus: wraps in both directions, Figure 6(b).
+///
+/// # Panics
+///
+/// Panics if either dimension is below 3.
+pub fn torus(rows: usize, cols: usize) -> UGraph {
+    assert!(rows >= 3 && cols >= 3, "torus needs both dims >= 3");
+    let mut g = UGraph::new(rows * cols);
+    let at = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            g.add_edge(at(r, c), at(r, (c + 1) % cols));
+            g.add_edge(at(r, c), at((r + 1) % rows, c));
+        }
+    }
+    g
+}
+
+/// A binary welded tree, Figure 6(c): two complete binary trees of the given
+/// height whose leaf layers are joined by two perfect matchings forming a
+/// single cycle through all leaves.
+///
+/// Total nodes: `2·(2^(height+1) − 1)`.
+///
+/// # Panics
+///
+/// Panics if `height == 0`.
+pub fn binary_welded_tree(height: usize, seed: u64) -> UGraph {
+    assert!(height >= 1, "welded tree needs height >= 1");
+    let tree_nodes = (1usize << (height + 1)) - 1;
+    let n_leaves = 1usize << height;
+    let mut g = UGraph::new(2 * tree_nodes);
+    // Tree A occupies [0, tree_nodes), tree B the rest; both heap-indexed.
+    for base in [0, tree_nodes] {
+        for v in 0..tree_nodes {
+            let left = 2 * v + 1;
+            let right = 2 * v + 2;
+            if left < tree_nodes {
+                g.add_edge(base + v, base + left);
+            }
+            if right < tree_nodes {
+                g.add_edge(base + v, base + right);
+            }
+        }
+    }
+    // Leaves are the last n_leaves heap slots of each tree.
+    let leaf_a: Vec<usize> = (0..n_leaves).map(|i| tree_nodes - n_leaves + i).collect();
+    let mut leaf_b: Vec<usize> = (0..n_leaves)
+        .map(|i| 2 * tree_nodes - n_leaves + i)
+        .collect();
+    // Weld: a_i -> b_{σ(i)} and a_i -> b_{σ(i)+1 mod}, with σ a seeded
+    // shuffle; the pair of matchings forms one alternating cycle.
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..leaf_b.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        leaf_b.swap(i, j);
+    }
+    for i in 0..n_leaves {
+        g.add_edge(leaf_a[i], leaf_b[i]);
+        g.add_edge(leaf_a[i], leaf_b[(i + 1) % n_leaves]);
+    }
+    g
+}
+
+/// Picks cylinder dimensions for roughly `n` nodes: rows = ⌊n/4⌋ capped to
+/// keep cols ≥ 4, cols sized to fill.
+pub fn cylinder_for(n: usize) -> UGraph {
+    let cols = 4.max((n as f64).sqrt().round() as usize).max(3);
+    let rows = (n / cols).max(1);
+    cylinder(rows, cols)
+}
+
+/// Picks torus dimensions for roughly `n` nodes.
+pub fn torus_for(n: usize) -> UGraph {
+    let cols = 3.max((n as f64).sqrt().round() as usize);
+    let rows = (n / cols).max(3);
+    torus(rows, cols)
+}
+
+/// Picks a welded-tree height for at most `n` nodes (falls back to height 1).
+pub fn binary_welded_tree_for(n: usize, seed: u64) -> UGraph {
+    let mut height = 1;
+    while 2 * ((1usize << (height + 2)) - 1) <= n {
+        height += 1;
+    }
+    binary_welded_tree(height, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_graph_is_deterministic() {
+        let a = random_graph(12, 0.3, 42);
+        let b = random_graph(12, 0.3, 42);
+        assert_eq!(a.edges(), b.edges());
+        let c = random_graph(12, 0.3, 43);
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn random_density_extremes() {
+        assert_eq!(random_graph(8, 0.0, 1).edge_count(), 0);
+        assert_eq!(random_graph(8, 1.0, 1).edge_count(), 28);
+    }
+
+    #[test]
+    fn cylinder_edge_count() {
+        // rows*cols ring edges per row: rows*cols; vertical: (rows-1)*cols.
+        let g = cylinder(3, 5);
+        assert_eq!(g.len(), 15);
+        assert_eq!(g.edge_count(), 3 * 5 + 2 * 5);
+    }
+
+    #[test]
+    fn cylinder_rows_are_rings() {
+        let g = cylinder(2, 4);
+        assert!(g.has_edge(0, 3)); // wraparound in row 0
+        assert!(g.has_edge(4, 7)); // wraparound in row 1
+        assert!(!g.has_edge(0, 7));
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus(3, 4);
+        for v in 0..12 {
+            assert_eq!(g.neighbors(v).len(), 4, "node {v}");
+        }
+        assert_eq!(g.edge_count(), 2 * 12);
+    }
+
+    #[test]
+    fn welded_tree_structure() {
+        let h = 2;
+        let g = binary_welded_tree(h, 9);
+        let tree_nodes = (1 << (h + 1)) - 1; // 7
+        assert_eq!(g.len(), 14);
+        // Roots have degree 2; internal nodes 3; leaves 2 tree edges... leaf
+        // degree = 1 (parent) + 2 (weld) = 3.
+        assert_eq!(g.neighbors(0).len(), 2);
+        assert_eq!(g.neighbors(tree_nodes).len(), 2);
+        for leaf in 3..7 {
+            assert_eq!(g.neighbors(leaf).len(), 3, "leaf {leaf}");
+        }
+        // Connected.
+        assert!(g.bfs_distances(0).iter().all(|&d| d != usize::MAX));
+    }
+
+    #[test]
+    fn sized_helpers_stay_near_target() {
+        for n in [10usize, 16, 25, 30, 40] {
+            let c = cylinder_for(n);
+            assert!(c.len() <= n + 6 && c.len() >= n / 2, "cylinder_for({n}) -> {}", c.len());
+            let t = torus_for(n.max(9));
+            assert!(t.len() >= 9);
+        }
+        let w = binary_welded_tree_for(40, 3);
+        assert!(w.len() <= 40);
+    }
+}

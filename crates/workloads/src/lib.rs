@@ -1,0 +1,186 @@
+//! # qompress-workloads
+//!
+//! The benchmark circuits of the paper's evaluation (§6.3): the Cuccaro
+//! ripple-carry adder, the generalized Toffoli (CNU), bucket-brigade QRAM,
+//! Bernstein–Vazirani, and QAOA circuits over random/cylinder/torus/
+//! binary-welded-tree interaction graphs.
+//!
+//! All generators lower to the compiler's `{1q, CX, SWAP}` gate set and are
+//! deterministic in their seeds; each has a `*_sized` form producing a
+//! circuit of an exact qubit count for the paper's size sweeps.
+//!
+//! ```
+//! use qompress_workloads::{Benchmark, build};
+//!
+//! let c = build(Benchmark::Cuccaro, 12, 7);
+//! assert_eq!(c.n_qubits(), 12);
+//! assert!(c.two_qubit_gate_count() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bv;
+mod cuccaro;
+pub mod graphs;
+mod qaoa;
+mod qram;
+mod toffoli;
+
+pub use bv::{bernstein_vazirani, bv_sized};
+pub use cuccaro::{cuccaro_adder, cuccaro_sized, AdderLayout};
+pub use qaoa::qaoa;
+pub use qram::{qram, qram_sized, QramLayout};
+pub use toffoli::{cnu, cnu_sized};
+
+use qompress_circuit::Circuit;
+
+/// The benchmark family identifiers used across the evaluation harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Benchmark {
+    /// Cuccaro ripple-carry adder [15].
+    Cuccaro,
+    /// Generalized Toffoli / CNU [6].
+    Cnu,
+    /// Bucket-brigade QRAM [21].
+    Qram,
+    /// Bernstein–Vazirani [7].
+    Bv,
+    /// QAOA on a random graph with 30% edge density [16].
+    QaoaRandom,
+    /// QAOA on a cylinder graph (Figure 6a).
+    QaoaCylinder,
+    /// QAOA on a torus graph (Figure 6b).
+    QaoaTorus,
+    /// QAOA on a binary welded tree (Figure 6c).
+    QaoaBwt,
+}
+
+/// All benchmarks, in the paper's Figure 7 ordering.
+pub const ALL_BENCHMARKS: [Benchmark; 8] = [
+    Benchmark::Cuccaro,
+    Benchmark::Cnu,
+    Benchmark::Qram,
+    Benchmark::Bv,
+    Benchmark::QaoaRandom,
+    Benchmark::QaoaCylinder,
+    Benchmark::QaoaTorus,
+    Benchmark::QaoaBwt,
+];
+
+impl Benchmark {
+    /// Short name used in reports and CSV output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Cuccaro => "cuccaro",
+            Benchmark::Cnu => "cnu",
+            Benchmark::Qram => "qram",
+            Benchmark::Bv => "bv",
+            Benchmark::QaoaRandom => "qaoa-random",
+            Benchmark::QaoaCylinder => "qaoa-cylinder",
+            Benchmark::QaoaTorus => "qaoa-torus",
+            Benchmark::QaoaBwt => "qaoa-bwt",
+        }
+    }
+
+    /// Smallest total qubit count this family supports.
+    pub fn min_size(self) -> usize {
+        match self {
+            Benchmark::Cuccaro => 4,
+            Benchmark::Cnu => 3,
+            Benchmark::Qram => 4,
+            Benchmark::Bv => 2,
+            Benchmark::QaoaRandom => 3,
+            Benchmark::QaoaCylinder => 3,
+            Benchmark::QaoaTorus => 9,
+            Benchmark::QaoaBwt => 6,
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Builds a benchmark circuit with exactly `size` qubits (graph-based
+/// families may use fewer active qubits when their structure cannot fill
+/// `size` exactly; the circuit is padded with idle qubits).
+///
+/// # Panics
+///
+/// Panics if `size < kind.min_size()`.
+pub fn build(kind: Benchmark, size: usize, seed: u64) -> Circuit {
+    assert!(
+        size >= kind.min_size(),
+        "{kind} needs at least {} qubits",
+        kind.min_size()
+    );
+    match kind {
+        Benchmark::Cuccaro => cuccaro_sized(size),
+        Benchmark::Cnu => cnu_sized(size),
+        Benchmark::Qram => qram_sized(size),
+        Benchmark::Bv => bv_sized(size, seed),
+        Benchmark::QaoaRandom => pad(qaoa(&graphs::random_graph(size, 0.3, seed), seed), size),
+        Benchmark::QaoaCylinder => pad(qaoa(&graphs::cylinder_for(size), seed), size),
+        Benchmark::QaoaTorus => pad(qaoa(&graphs::torus_for(size), seed), size),
+        Benchmark::QaoaBwt => pad(qaoa(&graphs::binary_welded_tree_for(size, seed), seed), size),
+    }
+}
+
+fn pad(inner: Circuit, size: usize) -> Circuit {
+    if inner.n_qubits() == size {
+        return inner;
+    }
+    assert!(inner.n_qubits() <= size, "generator exceeded requested size");
+    let mut c = Circuit::new(size);
+    c.extend_from(&inner);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_build_at_25() {
+        for kind in ALL_BENCHMARKS {
+            let c = build(kind, 25, 11);
+            assert_eq!(c.n_qubits(), 25, "{kind}");
+            assert!(c.two_qubit_gate_count() > 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn sizes_are_exact_across_sweep() {
+        for kind in ALL_BENCHMARKS {
+            for size in [10usize, 20, 30, 40] {
+                let c = build(kind, size, 3);
+                assert_eq!(c.n_qubits(), size, "{kind} at {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        for kind in ALL_BENCHMARKS {
+            let a = build(kind, 16, 9);
+            let b = build(kind, 16, 9);
+            assert_eq!(a.gates(), b.gates(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = ALL_BENCHMARKS.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL_BENCHMARKS.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs at least")]
+    fn build_rejects_tiny_sizes() {
+        build(Benchmark::QaoaTorus, 5, 1);
+    }
+}

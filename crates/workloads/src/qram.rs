@@ -1,0 +1,186 @@
+//! Bucket-brigade-style QRAM query circuits (paper §6.3, after Gokhale et
+//! al. [21]).
+//!
+//! An address register steers a bus qubit down a binary router tree with
+//! controlled-SWAPs, then back up. Decomposed Fredkins give triples of
+//! interacting qubits whose triangles *share edges* across tree levels —
+//! the structure that makes Ring-Based compression struggle on QRAM
+//! (paper §7).
+
+use qompress_circuit::Circuit;
+
+/// Qubit layout of a [`qram`] circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QramLayout {
+    /// Number of address bits (tree height).
+    pub address_bits: usize,
+}
+
+impl QramLayout {
+    /// Address qubit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= address_bits`.
+    pub fn address(&self, i: usize) -> usize {
+        assert!(i < self.address_bits);
+        i
+    }
+
+    /// Router-tree node `v` (heap indexing, `v < 2^k − 1`).
+    pub fn router(&self, v: usize) -> usize {
+        assert!(v < self.n_routers());
+        self.address_bits + v
+    }
+
+    /// Number of router nodes (`2^k − 1`).
+    pub fn n_routers(&self) -> usize {
+        (1 << self.address_bits) - 1
+    }
+
+    /// The bus qubit.
+    pub fn bus(&self) -> usize {
+        self.address_bits + self.n_routers()
+    }
+
+    /// Total qubits: `k + (2^k − 1) + 1`.
+    pub fn n_qubits(&self) -> usize {
+        self.bus() + 1
+    }
+}
+
+/// Builds a bucket-brigade QRAM query over `address_bits` address qubits.
+///
+/// Per tree level `l`: the address bit is fanned out to the routers of that
+/// level with CXs, then each router conditionally routes by a CSWAP between
+/// its own slot and its two children's slots; the bus finally interacts with
+/// the deepest layer and the circuit uncomputes.
+///
+/// # Panics
+///
+/// Panics if `address_bits == 0` or `address_bits > 6` (tree growth).
+pub fn qram(address_bits: usize) -> Circuit {
+    assert!(
+        (1..=6).contains(&address_bits),
+        "address_bits must be in 1..=6"
+    );
+    let layout = QramLayout { address_bits };
+    let mut c = Circuit::new(layout.n_qubits());
+    build_query(&mut c, &layout);
+    c
+}
+
+fn build_query(c: &mut Circuit, l: &QramLayout) {
+    use qompress_circuit::Gate;
+    let k = l.address_bits;
+    // Load: bus into the root router.
+    c.push(Gate::cx(l.bus(), l.router(0)));
+    // Route downward level by level.
+    for level in 0..k {
+        let first = (1 << level) - 1;
+        let count = 1 << level;
+        for v in first..first + count {
+            // Fan the address bit into this router's control.
+            c.push(Gate::cx(l.address(level), l.router(v)));
+            let left = 2 * v + 1;
+            let right = 2 * v + 2;
+            if right < l.n_routers() {
+                // Route the payload toward one child, controlled by the router.
+                c.push_cswap(l.router(v), l.router(left), l.router(right));
+            } else {
+                // Deepest level: interact with the bus instead of children.
+                c.push_ccx(l.router(v), l.address(level), l.bus());
+            }
+        }
+    }
+    // Uncompute (reverse routing), restoring the routers.
+    for level in (0..k).rev() {
+        let first = (1 << level) - 1;
+        let count = 1 << level;
+        for v in (first..first + count).rev() {
+            let left = 2 * v + 1;
+            let right = 2 * v + 2;
+            if right < l.n_routers() {
+                c.push_cswap(l.router(v), l.router(left), l.router(right));
+            }
+            c.push(Gate::cx(l.address(level), l.router(v)));
+        }
+    }
+    c.push(Gate::cx(l.bus(), l.router(0)));
+}
+
+/// Builds a QRAM using at most `total` qubits, padded to exactly `total`.
+///
+/// # Panics
+///
+/// Panics if `total < 4` (1 address bit needs 4 qubits).
+pub fn qram_sized(total: usize) -> Circuit {
+    assert!(total >= 4, "QRAM needs at least 4 qubits");
+    let mut k = 1;
+    while k < 6 {
+        let next = QramLayout {
+            address_bits: k + 1,
+        };
+        if next.n_qubits() > total {
+            break;
+        }
+        k += 1;
+    }
+    let inner = qram(k);
+    let mut c = Circuit::new(total);
+    c.extend_from(&inner);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qompress_circuit::InteractionGraph;
+
+    #[test]
+    fn layout_counts() {
+        let l = QramLayout { address_bits: 3 };
+        assert_eq!(l.n_routers(), 7);
+        assert_eq!(l.n_qubits(), 3 + 7 + 1);
+        assert_eq!(l.address(0), 0);
+        assert_eq!(l.router(0), 3);
+        assert_eq!(l.bus(), 10);
+    }
+
+    #[test]
+    fn qram_builds_for_each_size() {
+        for k in 1..=4 {
+            let c = qram(k);
+            let l = QramLayout { address_bits: k };
+            assert_eq!(c.n_qubits(), l.n_qubits());
+            assert!(c.two_qubit_gate_count() > 0);
+        }
+    }
+
+    #[test]
+    fn interaction_graph_has_shared_edge_cycles() {
+        let c = qram(3);
+        let ig = InteractionGraph::build(&c);
+        let ug = ig.to_ugraph();
+        // Many qubits lie on short cycles...
+        let on_cycles = (0..c.n_qubits())
+            .filter(|&q| ug.min_cycle_through(q).is_some())
+            .count();
+        assert!(on_cycles >= c.n_qubits() / 2);
+        // ...and at least one edge is shared by the triangles of two
+        // different routers (routers touch parent and both children).
+        let l = QramLayout { address_bits: 3 };
+        assert!(ug.has_edge(l.router(0), l.router(1)));
+        assert!(ug.has_edge(l.router(1), l.router(3)));
+    }
+
+    #[test]
+    fn sized_picks_largest_fitting_tree() {
+        assert_eq!(qram_sized(4).used_qubits().len(), 3); // k=1 uses 3 qubits
+        assert_eq!(qram_sized(6).used_qubits().len(), 6); // k=2 fits exactly
+        assert_eq!(qram_sized(11).used_qubits().len(), 11); // k=3
+        assert_eq!(qram_sized(19).used_qubits().len(), 11); // k=3 still (k=4 needs 20)
+        assert_eq!(qram_sized(20).used_qubits().len(), 20); // k=4
+        assert_eq!(qram_sized(25).n_qubits(), 25);
+    }
+}

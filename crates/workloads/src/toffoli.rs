@@ -1,0 +1,121 @@
+//! Generalized Toffoli (CNU) circuits [6] (paper §6.3, Figure 5a/b).
+//!
+//! Uses the ancilla V-chain: `CCX(c0, c1, a0)`, `CCX(c2, a0, a1)`, …,
+//! finishing on the target, then uncomputing. Each decomposed CCX forms a
+//! triangle in the interaction graph, giving the regular cycle structure
+//! the Ring-Based strategy flattens into a line.
+
+use qompress_circuit::Circuit;
+
+/// Builds an `n_controls`-controlled X with the ancilla V-chain.
+///
+/// Qubit layout: controls `0..n`, ancillas `n..n+max(n-2,0)`, target last.
+/// Total qubits: `2·n_controls − 1` for `n_controls ≥ 2`.
+///
+/// # Panics
+///
+/// Panics if `n_controls == 0`.
+pub fn cnu(n_controls: usize) -> Circuit {
+    assert!(n_controls >= 1, "need at least one control");
+    match n_controls {
+        1 => {
+            let mut c = Circuit::new(2);
+            c.push(qompress_circuit::Gate::cx(0, 1));
+            c
+        }
+        2 => {
+            let mut c = Circuit::new(3);
+            c.push_ccx(0, 1, 2);
+            c
+        }
+        n => {
+            let n_anc = n - 2;
+            let total = n + n_anc + 1;
+            let target = total - 1;
+            let anc = |i: usize| n + i;
+            let mut c = Circuit::new(total);
+            // Compute chain.
+            c.push_ccx(0, 1, anc(0));
+            for i in 0..n_anc.saturating_sub(1) {
+                c.push_ccx(2 + i, anc(i), anc(i + 1));
+            }
+            // Final Toffoli onto the target.
+            c.push_ccx(n - 1, anc(n_anc - 1), target);
+            // Uncompute chain.
+            for i in (0..n_anc.saturating_sub(1)).rev() {
+                c.push_ccx(2 + i, anc(i), anc(i + 1));
+            }
+            c.push_ccx(0, 1, anc(0));
+            c
+        }
+    }
+}
+
+/// Builds a CNU using at most `total` qubits, padding with idle qubits to
+/// exactly `total`. For `total = 2k − 1` the fit is exact.
+///
+/// # Panics
+///
+/// Panics if `total < 3`.
+pub fn cnu_sized(total: usize) -> Circuit {
+    assert!(total >= 3, "CNU needs at least 3 qubits");
+    let n_controls = total.div_ceil(2);
+    let inner = cnu(n_controls);
+    let mut c = Circuit::new(total);
+    c.extend_from(&inner);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qompress_circuit::InteractionGraph;
+
+    #[test]
+    fn qubit_counts() {
+        assert_eq!(cnu(1).n_qubits(), 2);
+        assert_eq!(cnu(2).n_qubits(), 3);
+        assert_eq!(cnu(3).n_qubits(), 5);
+        assert_eq!(cnu(5).n_qubits(), 9);
+        assert_eq!(cnu(8).n_qubits(), 15);
+    }
+
+    #[test]
+    fn ccx_count_in_chain() {
+        // n controls (n >= 3): 2(n-2) + 1 Toffolis, 6 CX each.
+        for n in 3..7 {
+            let c = cnu(n);
+            let expect_ccx = 2 * (n - 2) + 1;
+            assert_eq!(c.two_qubit_gate_count(), 6 * expect_ccx);
+        }
+    }
+
+    #[test]
+    fn interaction_graph_is_triangle_chain() {
+        let c = cnu(4); // controls 0-3, anc 4-5, target 6
+        let ig = InteractionGraph::build(&c);
+        let ug = ig.to_ugraph();
+        // First triangle: (0, 1, 4).
+        assert!(ug.has_edge(0, 1) && ug.has_edge(1, 4) && ug.has_edge(0, 4));
+        // Second: (2, 4, 5).
+        assert!(ug.has_edge(2, 4) && ug.has_edge(4, 5) && ug.has_edge(2, 5));
+        // Final: (3, 5, 6).
+        assert!(ug.has_edge(3, 5) && ug.has_edge(5, 6) && ug.has_edge(3, 6));
+        // Every qubit lies on a 3-cycle.
+        for q in 0..c.n_qubits() {
+            let cyc = ug.min_cycle_through(q).expect("triangle chain");
+            assert_eq!(cyc.len(), 3, "qubit {q}");
+        }
+    }
+
+    #[test]
+    fn sized_matches_request() {
+        for total in [5usize, 9, 15, 21, 25] {
+            let c = cnu_sized(total);
+            assert_eq!(c.n_qubits(), total);
+            // Used qubits = 2·⌈(total+1)/2⌉ − 1.
+            let controls = total.div_ceil(2);
+            assert_eq!(c.used_qubits().len(), 2 * controls - 1);
+        }
+    }
+}

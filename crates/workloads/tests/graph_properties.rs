@@ -1,0 +1,66 @@
+//! Property-based tests of the QAOA interaction-graph generators.
+
+use proptest::prelude::*;
+use qompress_workloads::graphs;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn random_graph_density_bounds(n in 2usize..30, seed in 0u64..500) {
+        let g = graphs::random_graph(n, 0.3, seed);
+        let max_edges = n * (n - 1) / 2;
+        prop_assert!(g.edge_count() <= max_edges);
+        // Determinism.
+        let h = graphs::random_graph(n, 0.3, seed);
+        prop_assert_eq!(g.edges(), h.edges());
+    }
+
+    #[test]
+    fn cylinder_structure(rows in 1usize..6, cols in 3usize..8) {
+        let g = graphs::cylinder(rows, cols);
+        prop_assert_eq!(g.len(), rows * cols);
+        // Ring edges per row + vertical edges between rows.
+        prop_assert_eq!(g.edge_count(), rows * cols + (rows - 1) * cols);
+        // Each node has degree 2 (ring) + up to 2 vertical.
+        for v in 0..g.len() {
+            let d = g.neighbors(v).len();
+            prop_assert!((2..=4).contains(&d));
+        }
+    }
+
+    #[test]
+    fn torus_is_4_regular(rows in 3usize..7, cols in 3usize..7) {
+        let g = graphs::torus(rows, cols);
+        for v in 0..g.len() {
+            prop_assert_eq!(g.neighbors(v).len(), 4);
+        }
+        prop_assert_eq!(g.edge_count(), 2 * rows * cols);
+    }
+
+    #[test]
+    fn welded_tree_is_connected_and_sized(height in 1usize..5, seed in 0u64..100) {
+        let g = graphs::binary_welded_tree(height, seed);
+        let tree = (1usize << (height + 1)) - 1;
+        prop_assert_eq!(g.len(), 2 * tree);
+        let d = g.bfs_distances(0);
+        prop_assert!(d.iter().all(|&x| x != usize::MAX), "must be connected");
+        // Weld adds exactly 2 edges per leaf of tree A.
+        let leaves = 1usize << height;
+        prop_assert_eq!(g.edge_count(), 2 * (tree - 1) + 2 * leaves);
+    }
+
+    #[test]
+    fn qaoa_respects_graph(n in 4usize..16, seed in 0u64..100) {
+        let g = graphs::random_graph(n, 0.4, seed);
+        let c = qompress_workloads::qaoa(&g, seed);
+        prop_assert_eq!(c.n_qubits(), n);
+        prop_assert_eq!(c.two_qubit_gate_count(), 2 * g.edge_count());
+        // Every CX pair must be a graph edge.
+        for gate in c.iter() {
+            if let Some((a, b)) = gate.qubit_pair() {
+                prop_assert!(g.has_edge(a, b), "cx({a},{b}) not a graph edge");
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Functional correctness of the benchmark generators, checked with the
+//! logical state-vector simulator: the adder adds, the generalized Toffoli
+//! computes the AND of its controls, and Bernstein-Vazirani recovers its
+//! secret in one query.
+
+use qompress_sim::simulate_logical;
+use qompress_workloads::{bernstein_vazirani, cnu, cuccaro_adder, AdderLayout};
+
+#[test]
+fn cuccaro_adds_every_two_bit_input() {
+    let bits = 2;
+    let circuit = cuccaro_adder(bits);
+    let layout = AdderLayout { bits };
+    for a in 0..(1usize << bits) {
+        for b in 0..(1usize << bits) {
+            let mut init = vec![0usize; circuit.n_qubits()];
+            for i in 0..bits {
+                init[layout.a(i)] = (a >> i) & 1;
+                init[layout.b(i)] = (b >> i) & 1;
+            }
+            let state = simulate_logical(&circuit, &init);
+            let sum = a + b;
+            let mut want = init.clone();
+            for i in 0..bits {
+                want[layout.b(i)] = (sum >> i) & 1;
+            }
+            want[layout.carry_out()] = (sum >> bits) & 1;
+            assert!(
+                (state.probability(&want) - 1.0).abs() < 1e-9,
+                "{a} + {b} gave the wrong sum register"
+            );
+        }
+    }
+}
+
+#[test]
+fn cuccaro_three_bits_spot_checks() {
+    let bits = 3;
+    let circuit = cuccaro_adder(bits);
+    let layout = AdderLayout { bits };
+    for (a, b) in [(5usize, 3usize), (7, 7), (4, 1), (0, 6)] {
+        let mut init = vec![0usize; circuit.n_qubits()];
+        for i in 0..bits {
+            init[layout.a(i)] = (a >> i) & 1;
+            init[layout.b(i)] = (b >> i) & 1;
+        }
+        let state = simulate_logical(&circuit, &init);
+        let sum = a + b;
+        let mut want = init.clone();
+        for i in 0..bits {
+            want[layout.b(i)] = (sum >> i) & 1;
+        }
+        want[layout.carry_out()] = (sum >> bits) & 1;
+        assert!(
+            (state.probability(&want) - 1.0).abs() < 1e-9,
+            "{a} + {b} = {sum} failed"
+        );
+    }
+}
+
+#[test]
+fn cnu_flips_target_only_when_all_controls_set() {
+    for n_controls in [1usize, 2, 3, 4] {
+        let circuit = cnu(n_controls);
+        let n = circuit.n_qubits();
+        let target = n - 1;
+        // Try every control pattern; ancillas start (and must end) at 0.
+        for pattern in 0..(1usize << n_controls) {
+            let mut init = vec![0usize; n];
+            for c in 0..n_controls {
+                init[c] = (pattern >> c) & 1;
+            }
+            let state = simulate_logical(&circuit, &init);
+            let mut want = init.clone();
+            if pattern == (1 << n_controls) - 1 {
+                want[target] = 1;
+            }
+            assert!(
+                (state.probability(&want) - 1.0).abs() < 1e-9,
+                "cnu({n_controls}) pattern {pattern:b}: wrong result \
+                 (ancilla not uncomputed or target wrong)"
+            );
+        }
+    }
+}
+
+#[test]
+fn bv_measures_the_secret_deterministically() {
+    for secret in [
+        vec![true, false, true],
+        vec![false, false, true, true],
+        vec![true, true, true, true, false],
+    ] {
+        let circuit = bernstein_vazirani(&secret);
+        let state = simulate_logical(&circuit, &vec![0; circuit.n_qubits()]);
+        // The data register must hold the secret with probability 1
+        // (target qubit ends in |-⟩: both its outcomes share the secret).
+        let mut p = 0.0;
+        for t in 0..2 {
+            let mut basis: Vec<usize> = secret.iter().map(|&b| b as usize).collect();
+            basis.push(t);
+            p += state.probability(&basis);
+        }
+        assert!(
+            (p - 1.0).abs() < 1e-9,
+            "BV failed to recover secret {secret:?}: p = {p}"
+        );
+    }
+}
+
+#[test]
+fn qram_uncomputes_its_routers() {
+    use qompress_workloads::{qram, QramLayout};
+    let k = 2;
+    let circuit = qram(k);
+    let layout = QramLayout { address_bits: k };
+    // For every address, routers must return to |0⟩ at the end.
+    for addr in 0..(1usize << k) {
+        let mut init = vec![0usize; circuit.n_qubits()];
+        for bit in 0..k {
+            init[layout.address(bit)] = (addr >> bit) & 1;
+        }
+        let state = simulate_logical(&circuit, &init);
+        for v in 0..layout.n_routers() {
+            let p1 = state.marginal_probability(layout.router(v), 1);
+            assert!(
+                p1 < 1e-9,
+                "address {addr:b}: router {v} left dirty (p1 = {p1})"
+            );
+        }
+        // Address register preserved.
+        for bit in 0..k {
+            let want = (addr >> bit) & 1;
+            let p = state.marginal_probability(layout.address(bit), want);
+            assert!((p - 1.0).abs() < 1e-9, "address bit {bit} disturbed");
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Synthesizes a control pulse with the GRAPE substrate (the stand-in for
+//! the paper's Juqbox runs): finds the shortest X-gate pulse on the
+//! paper's transmon and prints the optimized waveform.
+//!
+//! ```text
+//! cargo run --release --example pulse_synthesis
+//! ```
+
+use qompress_pulse::{
+    find_min_duration, DeviceModel, DurationSearchConfig, GateClass, GateLibrary, GateTarget,
+    GrapeConfig,
+};
+
+fn main() {
+    // A 3-level transmon: qubit levels {0,1} plus one guard level, with
+    // the paper's frequency/anharmonicity (§3.2).
+    let device = DeviceModel::paper_single(3);
+    let target = GateTarget::for_class(GateClass::X, &device);
+    let config = DurationSearchConfig {
+        shrink: 0.8,
+        max_rounds: 5,
+        grape: GrapeConfig {
+            segments: 40,
+            max_iters: 400,
+            learning_rate: 0.03,
+            leakage_weight: 0.5,
+            target_fidelity: 0.999,
+            seed: 17,
+        },
+    };
+
+    println!("searching for the shortest X pulse (target F = 0.999)...");
+    let result = find_min_duration(&device, &target, 60.0, &config);
+
+    println!("\nduration search history:");
+    for (t, f) in &result.history {
+        println!("  T = {t:>6.1} ns -> F = {f:.5}");
+    }
+    match result.duration_ns {
+        Some(d) => println!(
+            "\nshortest converged duration: {d:.1} ns \
+             (paper Table 1: {} ns on the full Juqbox budget)",
+            GateLibrary::paper().duration(GateClass::X)
+        ),
+        None => println!("\nno duration converged under this budget"),
+    }
+
+    let pulse = &result.best.pulse;
+    println!(
+        "final pulse: {} segments x {:.2} ns, fidelity {:.5}, leakage {:.2e}",
+        pulse.segments(),
+        pulse.dt,
+        result.best.fidelity,
+        result.best.leakage
+    );
+    println!("\nI-quadrature waveform (rad/ns):");
+    for (j, amp) in pulse.amps[0].iter().enumerate() {
+        let bar = "#".repeat(((amp.abs() / device.max_amp()) * 40.0) as usize);
+        println!("  seg {j:>2}: {amp:>8.4} {bar}");
+    }
+}

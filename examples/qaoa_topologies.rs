@@ -1,0 +1,51 @@
+//! Compiles a cylinder-graph QAOA circuit onto the paper's three
+//! architectures — just-large-enough grid, 65-qubit IBM heavy-hex, and a
+//! 65-node ring — showing that the compression strategies adapt across
+//! connectivities (paper Figure 13).
+//!
+//! ```text
+//! cargo run --release --example qaoa_topologies [size]
+//! ```
+
+use qompress::{compile, CompilerConfig, Strategy};
+use qompress_arch::Topology;
+use qompress_workloads::{graphs, qaoa};
+
+fn main() {
+    let size: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let graph = graphs::cylinder_for(size);
+    let circuit = qaoa(&graph, 7);
+    let config = CompilerConfig::paper();
+
+    println!(
+        "cylinder QAOA: {} qubits, {} gates\n",
+        circuit.n_qubits(),
+        circuit.len()
+    );
+
+    for topology in [
+        Topology::grid(circuit.n_qubits()),
+        Topology::heavy_hex_65(),
+        Topology::ring(65),
+    ] {
+        println!("== {topology}");
+        let baseline = compile(&circuit, &topology, Strategy::QubitOnly, &config);
+        for strategy in [Strategy::QubitOnly, Strategy::Eqm, Strategy::RingBased] {
+            let r = compile(&circuit, &topology, strategy, &config);
+            println!(
+                "  {:<12} gate EPS {:.4} ({:+.1}% vs qubit-only), {} communication ops",
+                strategy.name(),
+                r.metrics.gate_eps,
+                100.0 * (r.metrics.gate_eps / baseline.metrics.gate_eps - 1.0),
+                r.metrics.communication_ops,
+            );
+        }
+        println!();
+    }
+
+    println!("Paper finding (Figure 13): no significant difference between");
+    println!("architectures — the methods adapt to each topology similarly.");
+}

@@ -1,0 +1,47 @@
+//! Quickstart: compile a small circuit with and without ququart
+//! compression and compare the expected probability of success.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use qompress::{compile, CompilerConfig, Strategy};
+use qompress_arch::Topology;
+use qompress_circuit::{Circuit, Gate};
+
+fn main() {
+    // A toy workload: a hot pair of qubits (0, 1) with occasional traffic
+    // to two spectators.
+    let mut circuit = Circuit::new(4);
+    circuit.push(Gate::h(0));
+    for _ in 0..6 {
+        circuit.push(Gate::cx(0, 1));
+    }
+    circuit.push(Gate::cx(1, 2));
+    circuit.push(Gate::cx(2, 3));
+    circuit.push(Gate::cx(0, 3));
+
+    // The paper's evaluation setup: a just-large-enough grid, Table 1 gate
+    // library, worst-case ququart T1.
+    let topology = Topology::grid(circuit.n_qubits());
+    let config = CompilerConfig::paper();
+
+    println!(
+        "input: {} gates on {} qubits",
+        circuit.len(),
+        circuit.n_qubits()
+    );
+    println!("architecture: {topology}\n");
+
+    for strategy in [Strategy::QubitOnly, Strategy::Eqm, Strategy::RingBased] {
+        let result = compile(&circuit, &topology, strategy, &config);
+        print!("{result}");
+        if !result.pairs.is_empty() {
+            println!("  compressed pairs: {:?}", result.pairs);
+        }
+        println!();
+    }
+
+    println!("Compressing the hot pair turns its CX2 gates (251 ns, 99%) into");
+    println!("internal CX gates (83 ns, 99.9%) — the core Qompress effect.");
+}
