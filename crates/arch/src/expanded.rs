@@ -183,7 +183,11 @@ mod tests {
     #[test]
     fn expansion_counts_match_paper_formula() {
         // 2V nodes and 4E + V edges (§4.1).
-        for topo in [Topology::grid(9), Topology::ring(6), Topology::heavy_hex_65()] {
+        for topo in [
+            Topology::grid(9),
+            Topology::ring(6),
+            Topology::heavy_hex_65(),
+        ] {
             let v = topo.n_nodes();
             let e = topo.n_edges();
             let ex = ExpandedGraph::new(topo);

@@ -87,31 +87,86 @@ impl Topology {
     pub fn heavy_hex_65() -> Self {
         let edges: Vec<(usize, usize)> = vec![
             // row 0
-            (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9),
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 6),
+            (6, 7),
+            (7, 8),
+            (8, 9),
             // bridges row0 -> row1
-            (0, 10), (4, 11), (8, 12),
-            (10, 13), (11, 17), (12, 21),
+            (0, 10),
+            (4, 11),
+            (8, 12),
+            (10, 13),
+            (11, 17),
+            (12, 21),
             // row 1
-            (13, 14), (14, 15), (15, 16), (16, 17), (17, 18), (18, 19), (19, 20),
-            (20, 21), (21, 22), (22, 23),
+            (13, 14),
+            (14, 15),
+            (15, 16),
+            (16, 17),
+            (17, 18),
+            (18, 19),
+            (19, 20),
+            (20, 21),
+            (21, 22),
+            (22, 23),
             // bridges row1 -> row2
-            (15, 24), (19, 25), (23, 26),
-            (24, 29), (25, 33), (26, 37),
+            (15, 24),
+            (19, 25),
+            (23, 26),
+            (24, 29),
+            (25, 33),
+            (26, 37),
             // row 2
-            (27, 28), (28, 29), (29, 30), (30, 31), (31, 32), (32, 33), (33, 34),
-            (34, 35), (35, 36), (36, 37),
+            (27, 28),
+            (28, 29),
+            (29, 30),
+            (30, 31),
+            (31, 32),
+            (32, 33),
+            (33, 34),
+            (34, 35),
+            (35, 36),
+            (36, 37),
             // bridges row2 -> row3
-            (27, 38), (31, 39), (35, 40),
-            (38, 41), (39, 45), (40, 49),
+            (27, 38),
+            (31, 39),
+            (35, 40),
+            (38, 41),
+            (39, 45),
+            (40, 49),
             // row 3
-            (41, 42), (42, 43), (43, 44), (44, 45), (45, 46), (46, 47), (47, 48),
-            (48, 49), (49, 50), (50, 51),
+            (41, 42),
+            (42, 43),
+            (43, 44),
+            (44, 45),
+            (45, 46),
+            (46, 47),
+            (47, 48),
+            (48, 49),
+            (49, 50),
+            (50, 51),
             // bridges row3 -> row4
-            (43, 52), (47, 53), (51, 54),
-            (52, 56), (53, 60), (54, 64),
+            (43, 52),
+            (47, 53),
+            (51, 54),
+            (52, 56),
+            (53, 60),
+            (54, 64),
             // row 4
-            (55, 56), (56, 57), (57, 58), (58, 59), (59, 60), (60, 61), (61, 62),
-            (62, 63), (63, 64),
+            (55, 56),
+            (56, 57),
+            (57, 58),
+            (58, 59),
+            (59, 60),
+            (60, 61),
+            (61, 62),
+            (62, 63),
+            (63, 64),
         ];
         Topology::from_edges("heavy-hex-65", 65, edges)
     }

@@ -20,7 +20,13 @@ fn main() {
 fn lookahead_ablation() {
     let mut sink = ResultSink::create(
         "ablation_lookahead",
-        &["benchmark", "lookahead", "gate_eps", "duration_ns", "comm_ops"],
+        &[
+            "benchmark",
+            "lookahead",
+            "gate_eps",
+            "duration_ns",
+            "comm_ops",
+        ],
     );
     for bench in [Benchmark::Cuccaro, Benchmark::QaoaTorus] {
         let circuit = bench_circuit(bench, 20, 7);

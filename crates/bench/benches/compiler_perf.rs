@@ -14,13 +14,9 @@ fn bench_full_pipeline(c: &mut Criterion) {
         let circuit = build(Benchmark::Cuccaro, size, 7);
         let topo = Topology::grid(size);
         for strategy in [Strategy::QubitOnly, Strategy::Eqm, Strategy::RingBased] {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.name(), size),
-                &size,
-                |b, _| {
-                    b.iter(|| compile(&circuit, &topo, strategy, &config));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.name(), size), &size, |b, _| {
+                b.iter(|| compile(&circuit, &topo, strategy, &config));
+            });
         }
     }
     group.finish();
@@ -33,9 +29,7 @@ fn bench_mapping_only(c: &mut Criterion) {
         let circuit = build(Benchmark::QaoaTorus, size, 7);
         let topo = Topology::grid(size);
         group.bench_with_input(BenchmarkId::new("eqm", size), &size, |b, _| {
-            b.iter(|| {
-                qompress::map_circuit(&circuit, &topo, &config, &MappingOptions::eqm())
-            });
+            b.iter(|| qompress::map_circuit(&circuit, &topo, &config, &MappingOptions::eqm()));
         });
     }
     group.finish();
@@ -65,9 +59,7 @@ fn bench_strategy_search(c: &mut Criterion) {
         });
     });
     group.bench_function("qubit_only_pipeline", |b| {
-        b.iter(|| {
-            compile_with_options(&circuit, &topo, &config, &MappingOptions::qubit_only())
-        });
+        b.iter(|| compile_with_options(&circuit, &topo, &config, &MappingOptions::qubit_only()));
     });
     group.finish();
 }

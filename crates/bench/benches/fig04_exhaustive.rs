@@ -19,7 +19,15 @@ fn main() {
     let baseline = qompress::compile(&circuit, &topo, Strategy::QubitOnly, &config);
     let mut sink = ResultSink::create(
         "fig04_exhaustive",
-        &["variant", "step", "pair", "group", "gate_eps", "total_eps", "relative_gate"],
+        &[
+            "variant",
+            "step",
+            "pair",
+            "group",
+            "gate_eps",
+            "total_eps",
+            "relative_gate",
+        ],
     );
     sink.row(&[
         "baseline".into(),

@@ -42,7 +42,8 @@ fn main() {
                 ]);
             }
             if ec_sizes().contains(&size) {
-                let ec = compile_point(bench, size, Strategy::Exhaustive { ordered: true }, &config);
+                let ec =
+                    compile_point(bench, size, Strategy::Exhaustive { ordered: true }, &config);
                 sink.row(&[
                     bench.name().into(),
                     size.to_string(),

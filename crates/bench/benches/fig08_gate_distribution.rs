@@ -28,7 +28,10 @@ fn main() {
 
     for strategy in strategies {
         let r = compile_point(Benchmark::QaoaTorus, 30, strategy, &config);
-        let mut row = vec![strategy.name().to_string(), r.metrics.total_ops().to_string()];
+        let mut row = vec![
+            strategy.name().to_string(),
+            r.metrics.total_ops().to_string(),
+        ];
         for class in ALL_GATE_CLASSES {
             row.push(r.metrics.count(class).to_string());
         }

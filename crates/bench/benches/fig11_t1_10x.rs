@@ -32,8 +32,7 @@ fn main() {
     );
     for bench in [Benchmark::Cuccaro, Benchmark::QaoaTorus] {
         for &size in &sweep_sizes() {
-            let baseline =
-                compile_point(bench, size, Strategy::QubitOnly, &config);
+            let baseline = compile_point(bench, size, Strategy::QubitOnly, &config);
             let base_10x = baseline.metrics.with_t1(t1q_10, t1d_10);
             for strategy in strategies {
                 let r = if strategy == Strategy::QubitOnly {

@@ -122,7 +122,7 @@ impl Circuit {
     /// The compiler's gate set has no native three-qubit operations, so all
     /// workload generators lower CCX through this helper.
     pub fn push_ccx(&mut self, c0: Qubit, c1: Qubit, target: Qubit) {
-        use SingleQubitKind::{H, T, Tdg};
+        use SingleQubitKind::{Tdg, H, T};
         self.push(Gate::single(H, target));
         self.push(Gate::cx(c1, target));
         self.push(Gate::single(Tdg, target));

@@ -45,11 +45,7 @@ impl CircuitDag {
         // ASAP layering: layer = 1 + max(layer of preds).
         let mut layer = vec![0usize; n];
         for idx in 0..n {
-            let l = preds[idx]
-                .iter()
-                .map(|&p| layer[p])
-                .max()
-                .unwrap_or(0);
+            let l = preds[idx].iter().map(|&p| layer[p]).max().unwrap_or(0);
             layer[idx] = l + 1;
         }
         let depth = layer.iter().copied().max().unwrap_or(0);
@@ -171,7 +167,13 @@ impl ActivityTable {
 
     /// Number of layers in which both `a` and `b` are active but *not*
     /// within the same gate.
-    pub fn simultaneous_count(&self, circuit: &Circuit, dag: &CircuitDag, a: usize, b: usize) -> usize {
+    pub fn simultaneous_count(
+        &self,
+        circuit: &Circuit,
+        dag: &CircuitDag,
+        a: usize,
+        b: usize,
+    ) -> usize {
         // Layers where a 2q gate covers both qubits jointly.
         let mut joint = vec![false; self.busy.len()];
         for (idx, gate) in circuit.iter().enumerate() {

@@ -96,7 +96,13 @@ impl UGraph {
             let d = self.bfs_distances(v);
             let score: u64 = d
                 .iter()
-                .map(|&x| if x == usize::MAX { n as u64 * 2 } else { x as u64 })
+                .map(|&x| {
+                    if x == usize::MAX {
+                        n as u64 * 2
+                    } else {
+                        x as u64
+                    }
+                })
                 .sum();
             if score < best_score {
                 best_score = score;

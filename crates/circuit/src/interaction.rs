@@ -136,9 +136,7 @@ impl InteractionGraph {
     pub fn shared_neighbors(&self, i: usize, j: usize) -> usize {
         let ni = self.neighbors(i);
         let nj = self.neighbors(j);
-        ni.iter()
-            .filter(|q| **q != j && nj.contains(q))
-            .count()
+        ni.iter().filter(|q| **q != j && nj.contains(q)).count()
     }
 
     /// Degree (number of interaction partners) of `i`.

@@ -155,8 +155,7 @@ pub fn map_circuit(
         let mut probe = Layout::new(0, 2);
         let bare = crate::cost::gate_cost(config, &probe, GateClass::Swap2, 0, Some(1));
         probe.set_encoded(0);
-        let mixed =
-            crate::cost::gate_cost(config, &probe, GateClass::SwapBareE0, 0, Some(1));
+        let mixed = crate::cost::gate_cost(config, &probe, GateClass::SwapBareE0, 0, Some(1));
         (mixed - bare).max(0.0)
     };
 
@@ -165,7 +164,13 @@ pub fn map_circuit(
         .to_ugraph()
         .bfs_distances(center)
         .into_iter()
-        .map(|d| if d == usize::MAX { f64::INFINITY } else { d as f64 })
+        .map(|d| {
+            if d == usize::MAX {
+                f64::INFINITY
+            } else {
+                d as f64
+            }
+        })
         .collect();
 
     while placed.len() < n {
@@ -188,31 +193,29 @@ pub fn map_circuit(
 
         // Weighted path cost of placing `qs` at `unit` (lower is better):
         // co-location contributes zero, distant heavy partners dominate.
-        let cost_from_unit = |unit: usize,
-                              qs: &[usize],
-                              layout: &Layout,
-                              metric: &mut UnitMetric| -> f64 {
-            let mut c = 0.0;
-            for &q in qs {
-                for &j in &placed {
-                    let w = ig.weight(q, j);
-                    if w > 0.0 {
-                        let ju = layout.slot_of(j).expect("placed").node;
-                        c += w * metric.cost(unit, ju);
+        let cost_from_unit =
+            |unit: usize, qs: &[usize], layout: &Layout, metric: &mut UnitMetric| -> f64 {
+                let mut c = 0.0;
+                for &q in qs {
+                    for &j in &placed {
+                        let w = ig.weight(q, j);
+                        if w > 0.0 {
+                            let ju = layout.slot_of(j).expect("placed").node;
+                            c += w * metric.cost(unit, ju);
+                        }
                     }
                 }
-            }
-            c
-        };
+                c
+            };
 
         if let Some(p) = partner[pick] {
             // Place the pair together in an empty unit.
-            let (q0, q1) = if partner[pick] == Some(p) && options.pairs.iter().any(|&(a, _)| a == pick)
-            {
-                (pick, p)
-            } else {
-                (p, pick)
-            };
+            let (q0, q1) =
+                if partner[pick] == Some(p) && options.pairs.iter().any(|&(a, _)| a == pick) {
+                    (pick, p)
+                } else {
+                    (p, pick)
+                };
             let best_unit = (0..topo.n_nodes())
                 .filter(|&u| layout.occupancy(u) == (false, false))
                 .map(|u| (u, cost_from_unit(u, &[q0, q1], &layout, &mut metric)))
@@ -279,8 +282,8 @@ pub fn map_circuit(
                 })
                 .map(|(s, _)| s)
                 .expect("candidate exists");
-            let newly_encoded = best.slot == qompress_arch::SlotIndex::One
-                && !layout.is_encoded(best.node);
+            let newly_encoded =
+                best.slot == qompress_arch::SlotIndex::One && !layout.is_encoded(best.node);
             if newly_encoded {
                 layout.set_encoded(best.node);
             }
@@ -314,7 +317,12 @@ mod tests {
     fn qubit_only_uses_slot0_exclusively() {
         let c = chain_circuit(5);
         let topo = Topology::grid(5);
-        let layout = map_circuit(&c, &topo, &CompilerConfig::paper(), &MappingOptions::qubit_only());
+        let layout = map_circuit(
+            &c,
+            &topo,
+            &CompilerConfig::paper(),
+            &MappingOptions::qubit_only(),
+        );
         for q in 0..5 {
             let s = layout.slot_of(q).unwrap();
             assert_eq!(s.slot, qompress_arch::SlotIndex::Zero);
@@ -331,7 +339,12 @@ mod tests {
             c.push(Gate::cx(0, i));
         }
         let topo = Topology::grid(9); // center = 4
-        let layout = map_circuit(&c, &topo, &CompilerConfig::paper(), &MappingOptions::qubit_only());
+        let layout = map_circuit(
+            &c,
+            &topo,
+            &CompilerConfig::paper(),
+            &MappingOptions::qubit_only(),
+        );
         assert_eq!(layout.slot_of(0).unwrap().node, topo.center());
     }
 
@@ -370,14 +383,24 @@ mod tests {
     fn qubit_only_rejects_oversubscription() {
         let c = chain_circuit(8);
         let topo = Topology::grid(4);
-        map_circuit(&c, &topo, &CompilerConfig::paper(), &MappingOptions::qubit_only());
+        map_circuit(
+            &c,
+            &topo,
+            &CompilerConfig::paper(),
+            &MappingOptions::qubit_only(),
+        );
     }
 
     #[test]
     fn interacting_qubits_placed_close() {
         let c = chain_circuit(9);
         let topo = Topology::grid(9);
-        let layout = map_circuit(&c, &topo, &CompilerConfig::paper(), &MappingOptions::qubit_only());
+        let layout = map_circuit(
+            &c,
+            &topo,
+            &CompilerConfig::paper(),
+            &MappingOptions::qubit_only(),
+        );
         // Adjacent chain qubits should sit at low BFS distance on the grid.
         let ug = topo.to_ugraph();
         let mut total = 0usize;
@@ -395,7 +418,12 @@ mod tests {
         let mut c = Circuit::new(4);
         c.push(Gate::cx(0, 1)); // qubits 2 and 3 idle
         let topo = Topology::grid(4);
-        let layout = map_circuit(&c, &topo, &CompilerConfig::paper(), &MappingOptions::qubit_only());
+        let layout = map_circuit(
+            &c,
+            &topo,
+            &CompilerConfig::paper(),
+            &MappingOptions::qubit_only(),
+        );
         assert_eq!(layout.placements().len(), 4);
         layout.check_invariants().unwrap();
     }

@@ -68,8 +68,12 @@ impl Metrics {
     /// Re-evaluates the coherence and total EPS under different T1 values
     /// (Figure 11's 10× T1 and Figure 12's ratio sweep) without recompiling.
     pub fn with_t1(&self, t1_qubit_ns: f64, t1_ququart_ns: f64) -> Metrics {
-        let coherence =
-            coherence_eps(self.qubit_state_ns, self.ququart_state_ns, t1_qubit_ns, t1_ququart_ns);
+        let coherence = coherence_eps(
+            self.qubit_state_ns,
+            self.ququart_state_ns,
+            t1_qubit_ns,
+            t1_ququart_ns,
+        );
         Metrics {
             coherence_eps: coherence,
             total_eps: self.gate_eps * coherence,
@@ -98,12 +102,7 @@ pub fn gate_eps_from_counts(counts: &BTreeMap<GateClass, usize>, library: &GateL
 
 /// Coherence EPS from total residency times:
 /// `exp(−t_qb/T1_qb − t_qd/T1_qd)`.
-pub fn coherence_eps(
-    qubit_ns: f64,
-    ququart_ns: f64,
-    t1_qubit_ns: f64,
-    t1_ququart_ns: f64,
-) -> f64 {
+pub fn coherence_eps(qubit_ns: f64, ququart_ns: f64, t1_qubit_ns: f64, t1_ququart_ns: f64) -> f64 {
     (-(qubit_ns / t1_qubit_ns) - (ququart_ns / t1_ququart_ns)).exp()
 }
 

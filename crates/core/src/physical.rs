@@ -127,10 +127,7 @@ impl fmt::Display for PhysicalOp {
 /// A full-SWAP4 also exchanges both slot pairs; exposed separately because
 /// `moved_slots` models single exchanges.
 pub fn swap4_moves(a: usize, b: usize) -> [(Slot, Slot); 2] {
-    [
-        (Slot::zero(a), Slot::zero(b)),
-        (Slot::one(a), Slot::one(b)),
-    ]
+    [(Slot::zero(a), Slot::zero(b)), (Slot::one(a), Slot::one(b))]
 }
 
 /// A scheduled physical operation.

@@ -178,8 +178,7 @@ mod tests {
         c.push(Gate::cx(2, 3));
         let topo = Topology::grid(4);
         let config = CompilerConfig::paper();
-        let baseline =
-            compile_with_options(&c, &topo, &config, &MappingOptions::qubit_only());
+        let baseline = compile_with_options(&c, &topo, &config, &MappingOptions::qubit_only());
         let paired = compile_with_options(
             &c,
             &topo,

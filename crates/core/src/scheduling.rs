@@ -137,7 +137,11 @@ pub fn trace_coherence(
         }
     }
     for (q, &(unit, slot)) in initial.iter().enumerate() {
-        let s = if slot == 0 { Slot::zero(unit) } else { Slot::one(unit) };
+        let s = if slot == 0 {
+            Slot::zero(unit)
+        } else {
+            Slot::one(unit)
+        };
         layout.place(q, s);
     }
     let mut last_change = vec![0.0f64; n];
@@ -148,11 +152,11 @@ pub fn trace_coherence(
         .collect();
 
     let credit = |q: usize,
-                      until: f64,
-                      last_change: &mut [f64],
-                      qubit_ns: &mut [f64],
-                      ququart_ns: &mut [f64],
-                      enc: bool| {
+                  until: f64,
+                  last_change: &mut [f64],
+                  qubit_ns: &mut [f64],
+                  ququart_ns: &mut [f64],
+                  enc: bool| {
         let dt = until - last_change[q];
         if enc {
             ququart_ns[q] += dt;

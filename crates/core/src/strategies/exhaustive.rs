@@ -2,7 +2,7 @@
 //! (§5.1, Figure 4).
 //!
 //! Each round recompiles the circuit once per candidate pair (in parallel
-//! via crossbeam) and commits the compression that most improves the
+//! on scoped threads) and commits the compression that most improves the
 //! objective (gate EPS by default, see [`EcObjective`]). The *ordered*
 //! variant searches the paper's priority groups first:
 //! (1) operand pairs of critical-path CX gates, (2) pairs touching qubits
@@ -123,11 +123,7 @@ pub fn compile_exhaustive(
             let winner = evaluated
                 .into_iter()
                 .filter(|(_, eps)| *eps > objective(&best) + 1e-12)
-                .max_by(|(pa, a), (pb, b)| {
-                    a.partial_cmp(b)
-                        .unwrap()
-                        .then_with(|| pb.cmp(pa))
-                });
+                .max_by(|(pa, a), (pb, b)| a.partial_cmp(b).unwrap().then_with(|| pb.cmp(pa)));
             if let Some((pair, eps)) = winner {
                 pairs.push(pair);
                 best = compile_with_options(
@@ -170,10 +166,10 @@ fn evaluate_parallel(
         .min(candidates.len().max(1));
     let chunk = candidates.len().div_ceil(threads);
     let mut out = Vec::with_capacity(candidates.len());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for slice in candidates.chunks(chunk.max(1)) {
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 slice
                     .iter()
                     .map(|&pair| {
@@ -197,8 +193,7 @@ fn evaluate_parallel(
         for h in handles {
             out.extend(h.join().expect("EC worker panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     out.sort_by_key(|(a, _)| *a);
     out
 }
@@ -210,8 +205,7 @@ fn group_candidates(
     candidates: &[(usize, usize)],
 ) -> Vec<Vec<(usize, usize)>> {
     let dag = CircuitDag::build(circuit);
-    let critical: std::collections::HashSet<usize> =
-        dag.critical_path().into_iter().collect();
+    let critical: std::collections::HashSet<usize> = dag.critical_path().into_iter().collect();
     // Group 1: operand pairs of non-communication 2q gates on the critical
     // path.
     let mut g1_pairs = std::collections::HashSet::new();
@@ -245,10 +239,7 @@ fn group_candidates(
 /// Replays a compiled schedule to find which logical qubits were moved by
 /// inserted communication ops.
 fn qubits_moved_by_communication(result: &CompilationResult) -> std::collections::HashSet<usize> {
-    let mut layout = Layout::new(
-        result.initial_placements.len(),
-        result.encoded_units.len(),
-    );
+    let mut layout = Layout::new(result.initial_placements.len(), result.encoded_units.len());
     for (u, &e) in result.encoded_units.iter().enumerate() {
         if e {
             layout.set_encoded(u);
@@ -297,12 +288,7 @@ mod tests {
         let c = hot_pair_circuit();
         let topo = Topology::grid(4);
         let config = CompilerConfig::paper();
-        let baseline = compile_with_options(
-            &c,
-            &topo,
-            &config,
-            &MappingOptions::qubit_only(),
-        );
+        let baseline = compile_with_options(&c, &topo, &config, &MappingOptions::qubit_only());
         let (best, steps) = compile_exhaustive(
             &c,
             &topo,
@@ -360,8 +346,7 @@ mod tests {
         let c = hot_pair_circuit();
         let topo = Topology::grid(4);
         let config = CompilerConfig::paper();
-        let (_, gate_steps) =
-            compile_exhaustive(&c, &topo, &config, &ExhaustiveOptions::default());
+        let (_, gate_steps) = compile_exhaustive(&c, &topo, &config, &ExhaustiveOptions::default());
         let (_, total_steps) = compile_exhaustive(
             &c,
             &topo,

@@ -95,9 +95,7 @@ fn greedy_matching(circuit: &Circuit) -> Vec<(usize, usize)> {
     let ig = InteractionGraph::build(circuit);
     let n = circuit.n_qubits();
     let mut edges: Vec<((usize, usize), f64)> = ig.weighted_edges().collect();
-    edges.sort_by(|(ka, wa), (kb, wb)| {
-        wb.partial_cmp(wa).unwrap().then_with(|| ka.cmp(kb))
-    });
+    edges.sort_by(|(ka, wa), (kb, wb)| wb.partial_cmp(wa).unwrap().then_with(|| ka.cmp(kb)));
     let mut taken = vec![false; n];
     let mut pairs = Vec::new();
     for ((a, b), _) in edges {
@@ -174,12 +172,7 @@ impl<'a> FqState<'a> {
             let (a, b) = self.pairs[i];
             ig.total_weight(a) + ig.total_weight(b)
         };
-        order.sort_by(|&x, &y| {
-            weight(y)
-                .partial_cmp(&weight(x))
-                .unwrap()
-                .then(x.cmp(&y))
-        });
+        order.sort_by(|&x, &y| weight(y).partial_cmp(&weight(x)).unwrap().then(x.cmp(&y)));
 
         // Tile the architecture with disjoint (home, ancilla) dominos using
         // the minimum-free-degree heuristic: always match the most
@@ -337,8 +330,7 @@ impl<'a> FqState<'a> {
         if !self.unit_is_pair(home) {
             return None;
         }
-        let anc = self.ancilla_of_unit[home]
-            .expect("every pair-home unit has a reserved ancilla");
+        let anc = self.ancilla_of_unit[home].expect("every pair-home unit has a reserved ancilla");
         self.push(PhysicalOp::TwoUnit {
             a: home,
             b: anc,
@@ -388,9 +380,7 @@ impl<'a> FqState<'a> {
             }
         }
         let goal = goal.unwrap_or_else(|| {
-            panic!(
-                "FQ routing: no path from unit {start} to a neighbor of {target_unit}"
-            )
+            panic!("FQ routing: no path from unit {start} to a neighbor of {target_unit}")
         });
         let mut path = vec![goal];
         let mut cur = goal;
@@ -418,8 +408,8 @@ impl<'a> FqState<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pipeline::compile_with_options;
     use crate::mapping::MappingOptions;
+    use crate::pipeline::compile_with_options;
 
     fn sample_circuit() -> Circuit {
         let mut c = Circuit::new(6);

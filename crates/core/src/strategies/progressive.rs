@@ -27,13 +27,17 @@ pub fn find_pairs(
     let mut pairs: Vec<(usize, usize)> = Vec::new();
 
     loop {
-        let layout = map_circuit(circuit, topo, config, &MappingOptions::with_pairs(pairs.clone()));
+        let layout = map_circuit(
+            circuit,
+            topo,
+            config,
+            &MappingOptions::with_pairs(pairs.clone()),
+        );
         let mut oracle = DistanceOracle::new(&expanded, &layout, config);
         let in_pair = |q: usize| pairs.iter().any(|&(a, b)| a == q || b == q);
 
         // Estimated score: Σ w(i,j) · S(path between current homes).
-        let score_with = |positions: &dyn Fn(usize) -> Slot,
-                          oracle: &mut DistanceOracle| -> f64 {
+        let score_with = |positions: &dyn Fn(usize) -> Slot, oracle: &mut DistanceOracle| -> f64 {
             let mut total = 0.0;
             for ((i, j), w) in ig.weighted_edges() {
                 let si = positions(i);
@@ -90,7 +94,9 @@ pub fn find_pairs(
                 }
                 let better = match &best {
                     None => true,
-                    Some((bk, bg)) => gain > *bg + 1e-12 || ((gain - bg).abs() <= 1e-12 && (a, b) < *bk),
+                    Some((bk, bg)) => {
+                        gain > *bg + 1e-12 || ((gain - bg).abs() <= 1e-12 && (a, b) < *bk)
+                    }
                 };
                 if better {
                     best = Some(((a, b), gain));

@@ -61,17 +61,17 @@ pub fn find_pairs(circuit: &Circuit) -> Vec<(usize, usize)> {
                 }
                 let w = ig.weight(anchor, other);
                 let shared = ig.shared_neighbors(anchor, other) as f64;
-                let simult =
-                    activity.simultaneous_count(circuit, &dag, anchor, other) as f64;
-                let score =
-                    w + SHARED_NEIGHBOR_WEIGHT * shared - SIMULTANEITY_WEIGHT * simult;
+                let simult = activity.simultaneous_count(circuit, &dag, anchor, other) as f64;
+                let score = w + SHARED_NEIGHBOR_WEIGHT * shared - SIMULTANEITY_WEIGHT * simult;
                 if score <= 0.0 {
                     continue;
                 }
                 let key = (anchor.min(other), anchor.max(other));
                 let better = match &best {
                     None => true,
-                    Some((bk, bs)) => score > *bs + 1e-12 || ((score - bs).abs() <= 1e-12 && key < *bk),
+                    Some((bk, bs)) => {
+                        score > *bs + 1e-12 || ((score - bs).abs() <= 1e-12 && key < *bk)
+                    }
                 };
                 if better {
                     best = Some((key, score));

@@ -35,7 +35,11 @@ pub fn parallelism_stats(schedule: &Schedule) -> ParallelismStats {
     let denom = (active_units as f64) * total;
     ParallelismStats {
         busy_unit_ns,
-        utilization: if denom > 0.0 { busy_unit_ns / denom } else { 0.0 },
+        utilization: if denom > 0.0 {
+            busy_unit_ns / denom
+        } else {
+            0.0
+        },
         mean_parallelism: if total > 0.0 { op_ns / total } else { 0.0 },
         active_units,
     }
@@ -76,7 +80,11 @@ pub fn render_timeline(schedule: &Schedule, width: usize) -> String {
         out.extend(row.iter());
         out.push_str("|\n");
     }
-    out.push_str(&format!("     0 ns {:>width$.0} ns\n", total, width = width - 4));
+    out.push_str(&format!(
+        "     0 ns {:>width$.0} ns\n",
+        total,
+        width = width - 4
+    ));
     out
 }
 

@@ -94,10 +94,7 @@ mod tests {
     #[test]
     fn overlap_fidelity_bounds() {
         let a = vec![C64::new(1.0, 0.0), C64::ZERO];
-        let b = vec![
-            C64::new(0.5f64.sqrt(), 0.0),
-            C64::new(0.0, 0.5f64.sqrt()),
-        ];
+        let b = vec![C64::new(0.5f64.sqrt(), 0.0), C64::new(0.0, 0.5f64.sqrt())];
         let f = overlap_fidelity(&a, &b);
         assert!((f - 0.5).abs() < 1e-12);
     }

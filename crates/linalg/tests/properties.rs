@@ -1,16 +1,15 @@
 //! Property-based tests for the linear-algebra substrate.
 
 use proptest::prelude::*;
-use qompress_linalg::{expm, expm_i_h_t, C64, CMat};
+use qompress_linalg::{expm, expm_i_h_t, CMat, C64};
 
 fn arb_c64() -> impl Strategy<Value = C64> {
     (-2.0f64..2.0, -2.0f64..2.0).prop_map(|(re, im)| C64::new(re, im))
 }
 
 fn arb_mat(n: usize) -> impl Strategy<Value = CMat> {
-    proptest::collection::vec(arb_c64(), n * n).prop_map(move |v| {
-        CMat::from_fn(n, n, |i, j| v[i * n + j])
-    })
+    proptest::collection::vec(arb_c64(), n * n)
+        .prop_map(move |v| CMat::from_fn(n, n, |i, j| v[i * n + j]))
 }
 
 fn arb_hermitian(n: usize) -> impl Strategy<Value = CMat> {
@@ -93,5 +92,85 @@ proptest! {
     #[test]
     fn conj_is_multiplicative(a in arb_c64(), b in arb_c64()) {
         prop_assert!(((a * b).conj() - a.conj() * b.conj()).abs() < 1e-12);
+    }
+
+    // --- complex arithmetic round-trips ---
+
+    #[test]
+    fn conj_is_involutive(a in arb_c64()) {
+        prop_assert!((a.conj().conj() - a).abs() < 1e-15);
+    }
+
+    #[test]
+    fn recip_round_trips(a in arb_c64()) {
+        // Stay away from the pole at 0 where recip is ill-conditioned.
+        if a.abs() > 1e-3 {
+            prop_assert!((a.recip().recip() - a).abs() < 1e-9);
+            prop_assert!((a * a.recip() - C64::ONE).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn polar_round_trips(a in arb_c64()) {
+        // z == |z| · e^{i arg z}.
+        let back = C64::cis(a.arg()).scale(a.abs());
+        prop_assert!((back - a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conj_times_self_is_norm_sqr(a in arb_c64()) {
+        let p = a * a.conj();
+        prop_assert!((p.re - a.norm_sqr()).abs() < 1e-12);
+        prop_assert!(p.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_commutes_with_conj(a in arb_c64()) {
+        prop_assert!((a.conj().exp() - a.exp().conj()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn exp_of_sum_is_product(a in arb_c64(), b in arb_c64()) {
+        // Scalars commute, so exp(a+b) = exp(a)exp(b) holds exactly.
+        prop_assert!(((a + b).exp() - a.exp() * b.exp()).abs() < 1e-8);
+    }
+
+    // --- unitarity preservation in expm ---
+
+    #[test]
+    fn expm_unitary_group_closure(
+        h1 in arb_hermitian(3),
+        h2 in arb_hermitian(3),
+        t in -1.5f64..1.5,
+    ) {
+        // Products of unitaries from independent generators stay unitary.
+        let u = expm_i_h_t(&h1, t).mul_mat(&expm_i_h_t(&h2, t));
+        prop_assert!(u.is_unitary(1e-8));
+    }
+
+    #[test]
+    fn expm_preserves_vector_norm(h in arb_hermitian(4), t in -2.0f64..2.0) {
+        use qompress_linalg::{basis_state, norm_sqr};
+        let u = expm_i_h_t(&h, t);
+        for k in 0..4 {
+            let v = u.mul_vec(&basis_state(4, k));
+            prop_assert!((norm_sqr(&v) - 1.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn expm_of_time_sum_composes(h in arb_hermitian(2), s in -1.0f64..1.0, t in -1.0f64..1.0) {
+        // A Hermitian generator commutes with itself, so evolution composes
+        // in time: U(s)U(t) = U(s+t).
+        let lhs = expm_i_h_t(&h, s).mul_mat(&expm_i_h_t(&h, t));
+        let rhs = expm_i_h_t(&h, s + t);
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-8);
+    }
+
+    #[test]
+    fn dagger_inverts_expm_unitary(h in arb_hermitian(3), t in -2.0f64..2.0) {
+        let u = expm_i_h_t(&h, t);
+        prop_assert!(u.mul_mat(&u.dagger()).is_identity(1e-8));
+        prop_assert!(u.dagger().mul_mat(&u).is_identity(1e-8));
     }
 }

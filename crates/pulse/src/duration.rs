@@ -77,16 +77,12 @@ pub fn find_min_duration(
             seed.as_ref().map(|r| &r.pulse),
         );
         history.push((t, res.fidelity));
-        let replace_any = best_any
-            .as_ref()
-            .is_none_or(|b| res.fidelity > b.fidelity);
+        let replace_any = best_any.as_ref().is_none_or(|b| res.fidelity > b.fidelity);
         if replace_any {
             best_any = Some(res.clone());
         }
         if res.converged {
-            let better = best_converged
-                .as_ref()
-                .is_none_or(|(bt, _)| t < *bt);
+            let better = best_converged.as_ref().is_none_or(|(bt, _)| t < *bt);
             if better {
                 best_converged = Some((t, res.clone()));
             }

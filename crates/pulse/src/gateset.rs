@@ -199,7 +199,7 @@ pub fn split_level(a: usize) -> (usize, usize) {
 /// Inverse of [`split_level`].
 #[inline]
 pub fn join_level(q0: usize, q1: usize) -> usize {
-     2 * q0 + q1
+    2 * q0 + q1
 }
 
 /// Basis-state permutation of a *single-unit* CX/SWAP-class gate on ququart
@@ -480,7 +480,12 @@ mod tests {
 
     #[test]
     fn swap_variants_are_involutions() {
-        for class in [GateClass::Swap00, GateClass::Swap01, GateClass::Swap11, GateClass::Swap4] {
+        for class in [
+            GateClass::Swap00,
+            GateClass::Swap01,
+            GateClass::Swap11,
+            GateClass::Swap4,
+        ] {
             for (a, b) in all_pairs() {
                 let (x, y) = two_unit_permutation(class, a, b);
                 assert_eq!(two_unit_permutation(class, x, y), (a, b), "{class}");

@@ -7,7 +7,7 @@
 
 use crate::targets::GateTarget;
 use crate::transmon::DeviceModel;
-use qompress_linalg::{expm, C64, CMat};
+use qompress_linalg::{expm, CMat, C64};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -151,8 +151,7 @@ fn fidelity_and_leakage(u: &CMat, target: &GateTarget) -> (f64, f64) {
     let h = target.h() as f64;
     let fid = g.norm_sqr() / (h * h);
     let mut leak = 0.0;
-    let logical: std::collections::HashSet<usize> =
-        target.logical_rows().iter().copied().collect();
+    let logical: std::collections::HashSet<usize> = target.logical_rows().iter().copied().collect();
     for &col in target.input_states() {
         for row in 0..u.rows() {
             if !logical.contains(&row) {
@@ -163,12 +162,7 @@ fn fidelity_and_leakage(u: &CMat, target: &GateTarget) -> (f64, f64) {
     (fid, leak / h)
 }
 
-fn segment_propagator(
-    drift: &CMat,
-    controls: &[CMat],
-    pulse: &PiecewisePulse,
-    j: usize,
-) -> CMat {
+fn segment_propagator(drift: &CMat, controls: &[CMat], pulse: &PiecewisePulse, j: usize) -> CMat {
     let mut h = drift.clone();
     for (k, op) in controls.iter().enumerate() {
         let a = pulse.amps[k][j];
@@ -214,11 +208,7 @@ pub fn optimize(
         None => {
             let mut rng = StdRng::seed_from_u64(config.seed);
             let amps = (0..n_channels)
-                .map(|_| {
-                    (0..n)
-                        .map(|_| rng.gen_range(-0.2..0.2) * max_amp)
-                        .collect()
-                })
+                .map(|_| (0..n).map(|_| rng.gen_range(-0.2..0.2) * max_amp).collect())
                 .collect();
             PiecewisePulse { dt, amps }
         }
@@ -228,8 +218,7 @@ pub fn optimize(
     let controls = device.control_ops();
     let h = target.h() as f64;
     let dim = device.dim();
-    let logical: std::collections::HashSet<usize> =
-        target.logical_rows().iter().copied().collect();
+    let logical: std::collections::HashSet<usize> = target.logical_rows().iter().copied().collect();
     let input_set: std::collections::HashSet<usize> =
         target.input_states().iter().copied().collect();
 
@@ -281,9 +270,10 @@ pub fn optimize(
         // Effective adjoint matrix B = -B_fid + λ B_leak with
         //   B_fid  = (2/h²) G · A
         //   B_leak = (2/h) (guard-mask ∘ U).
-        let mut b = target
-            .objective()
-            .scale(C64::new(-2.0 * g_trace.re / (h * h), -2.0 * g_trace.im / (h * h)));
+        let mut b = target.objective().scale(C64::new(
+            -2.0 * g_trace.re / (h * h),
+            -2.0 * g_trace.im / (h * h),
+        ));
         if config.leakage_weight > 0.0 {
             let scale = 2.0 * config.leakage_weight / h;
             let mut b_leak = CMat::zeros(dim, dim);

@@ -83,10 +83,13 @@ impl GateLibrary {
                 } else {
                     TWO_UNIT_FIDELITY
                 };
-                (class, GateSpec {
-                    duration_ns,
-                    fidelity,
-                })
+                (
+                    class,
+                    GateSpec {
+                        duration_ns,
+                        fidelity,
+                    },
+                )
             })
             .collect();
         GateLibrary { specs }

@@ -9,7 +9,7 @@
 
 use crate::gateset::{one_unit_permutation, two_unit_permutation, GateClass};
 use crate::transmon::DeviceModel;
-use qompress_linalg::{C64, CMat};
+use qompress_linalg::{CMat, C64};
 
 /// A pulse-optimization target.
 #[derive(Debug, Clone)]
@@ -86,8 +86,9 @@ impl GateTarget {
     fn single_unit_permutation(class: GateClass, device: &DeviceModel) -> GateTarget {
         assert_eq!(device.n_transmons(), 1, "{class} is a single-unit gate");
         assert!(device.levels() >= 4, "{class} needs 4 levels");
-        let pairs: Vec<(usize, usize)> =
-            (0..4).map(|a| (a, one_unit_permutation(class, a))).collect();
+        let pairs: Vec<(usize, usize)> = (0..4)
+            .map(|a| (a, one_unit_permutation(class, a)))
+            .collect();
         Self::from_pairs(class, device.dim(), &pairs, need_rows(4))
     }
 
@@ -108,10 +109,7 @@ impl GateTarget {
                 pairs.push((idx(a, b), idx(x, y)));
             }
         }
-        let logical_rows: Vec<usize> = out_rows
-            .iter()
-            .map(|&(a, b)| idx(a, b))
-            .collect();
+        let logical_rows: Vec<usize> = out_rows.iter().map(|&(a, b)| idx(a, b)).collect();
         let mut t = Self::from_pairs(class, device.dim(), &pairs, logical_rows.clone());
         t.logical_rows = logical_rows;
         t
@@ -241,7 +239,11 @@ mod tests {
         let single = DeviceModel::paper_single(5);
         let pair = DeviceModel::paper_pair(5);
         for class in crate::gateset::ALL_GATE_CLASSES {
-            let dev = if class.is_single_unit() { &single } else { &pair };
+            let dev = if class.is_single_unit() {
+                &single
+            } else {
+                &pair
+            };
             let t = GateTarget::for_class(class, dev);
             for &col in t.input_states() {
                 let mut ones = 0;

@@ -8,7 +8,7 @@
 //! drive. All frequencies are stored in GHz; Hamiltonians are produced in
 //! angular units (rad/ns) so that `exp(-i H t[ns])` propagates directly.
 
-use qompress_linalg::{C64, CMat};
+use qompress_linalg::{CMat, C64};
 
 /// Physical parameters of a single transmon.
 #[derive(Debug, Clone, Copy, PartialEq)]

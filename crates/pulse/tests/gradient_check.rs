@@ -24,8 +24,7 @@ fn numerical_gradient(
             plus.amps[k][j] += eps;
             let mut minus = pulse.clone();
             minus.amps[k][j] -= eps;
-            grad[k][j] = (objective(device, target, &plus)
-                - objective(device, target, &minus))
+            grad[k][j] = (objective(device, target, &plus) - objective(device, target, &minus))
                 / (2.0 * eps);
         }
     }
@@ -100,12 +99,14 @@ fn gradient_is_small_near_an_optimum() {
         amps: vec![vec![0.05; 12], vec![0.0; 12]],
     };
     let res = optimize(&device, &target, 24.0, &cfg, Some(&start));
-    assert!(res.fidelity > 0.999, "setup: X must converge, got {}", res.fidelity);
+    assert!(
+        res.fidelity > 0.999,
+        "setup: X must converge, got {}",
+        res.fidelity
+    );
     let g_start = numerical_gradient(&device, &target, &start, 1e-6);
     let g_opt = numerical_gradient(&device, &target, &res.pulse, 1e-6);
-    let norm = |g: &Vec<Vec<f64>>| -> f64 {
-        g.iter().flatten().map(|x| x * x).sum::<f64>().sqrt()
-    };
+    let norm = |g: &Vec<Vec<f64>>| -> f64 { g.iter().flatten().map(|x| x * x).sum::<f64>().sqrt() };
     assert!(
         norm(&g_opt) < 0.5 * norm(&g_start),
         "gradient must shrink near the optimum: {} vs {}",

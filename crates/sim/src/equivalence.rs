@@ -103,8 +103,7 @@ mod tests {
         let mut phys = physical_zero_state(2);
         apply_single(&mut phys, 1, SingleQubitKind::X, GateClass::X);
         let placements = vec![(0, 0), (1, 0)];
-        let (folded, captured) =
-            extract_logical_state(&phys, &placements, &[false, false]);
+        let (folded, captured) = extract_logical_state(&phys, &placements, &[false, false]);
         assert!((captured - 1.0).abs() < 1e-12);
         assert_eq!(folded[1], C64::ONE); // |q0 q1⟩ = |01⟩ -> index 0b01
     }
@@ -118,8 +117,7 @@ mod tests {
         apply_single(&mut phys, 1, SingleQubitKind::X, GateClass::X);
         apply_two_unit(&mut phys, 0, 1, GateClass::Enc);
         let placements = vec![(0, 0), (0, 1)];
-        let (folded, captured) =
-            extract_logical_state(&phys, &placements, &[true, false]);
+        let (folded, captured) = extract_logical_state(&phys, &placements, &[true, false]);
         assert!((captured - 1.0).abs() < 1e-12);
         assert_eq!(folded[3], C64::ONE); // both bits set
     }
@@ -132,8 +130,7 @@ mod tests {
         apply_single(&mut phys, 0, SingleQubitKind::X, GateClass::X);
         apply_two_unit(&mut phys, 0, 1, GateClass::Enc);
         assert!((phys.probability(&[2, 0]) - 1.0).abs() < 1e-12);
-        let (folded, captured) =
-            extract_logical_state(&phys, &[(0, 0), (0, 1)], &[true, false]);
+        let (folded, captured) = extract_logical_state(&phys, &[(0, 0), (0, 1)], &[true, false]);
         assert!((captured - 1.0).abs() < 1e-12);
         assert_eq!(folded[0b10], C64::ONE); // q0 = 1 is the high bit
     }
@@ -201,7 +198,13 @@ mod tests {
         c.push(Gate::x(0));
         let logical = simulate_logical(&c, &[0]);
         let phys = physical_zero_state(1); // still |0⟩
-        assert!(!states_equivalent(&phys, &[(0, 0)], &[false], &logical, 1e-9));
+        assert!(!states_equivalent(
+            &phys,
+            &[(0, 0)],
+            &[false],
+            &logical,
+            1e-9
+        ));
     }
 
     #[test]

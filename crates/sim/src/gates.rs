@@ -3,9 +3,9 @@
 //! from the permutation semantics in [`qompress_pulse::gateset`].
 
 use qompress_circuit::SingleQubitKind;
+use qompress_linalg::{CMat, C64};
 use qompress_pulse::gateset::{one_unit_permutation, two_unit_permutation};
 use qompress_pulse::GateClass;
-use qompress_linalg::{C64, CMat};
 
 /// The 2×2 unitary of a logical single-qubit gate.
 pub fn single_qubit_unitary(kind: SingleQubitKind) -> CMat {
@@ -13,10 +13,7 @@ pub fn single_qubit_unitary(kind: SingleQubitKind) -> CMat {
     let c = C64::real;
     match kind {
         SingleQubitKind::X => CMat::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]]),
-        SingleQubitKind::Y => CMat::from_rows(&[
-            &[C64::ZERO, -C64::I],
-            &[C64::I, C64::ZERO],
-        ]),
+        SingleQubitKind::Y => CMat::from_rows(&[&[C64::ZERO, -C64::I], &[C64::I, C64::ZERO]]),
         SingleQubitKind::Z => CMat::diag(&[C64::ONE, -C64::ONE]),
         SingleQubitKind::H => CMat::from_rows(&[
             &[c(FRAC_1_SQRT_2), c(FRAC_1_SQRT_2)],

@@ -76,10 +76,7 @@ mod tests {
                     let s = simulate_logical(&c, &[a, b, t]);
                     let want_t = if a == 1 && b == 1 { t ^ 1 } else { t };
                     let p = s.probability(&[a, b, want_t]);
-                    assert!(
-                        (p - 1.0).abs() < 1e-9,
-                        "ccx({a},{b},{t}) gave p={p}"
-                    );
+                    assert!((p - 1.0).abs() < 1e-9, "ccx({a},{b},{t}) gave p={p}");
                 }
             }
         }
@@ -122,10 +119,7 @@ mod tests {
                     want[layout_b[i]] = (sum >> i) & 1;
                 }
                 want[circuit.n_qubits() - 1] = (sum >> 2) & 1; // carry out
-                assert!(
-                    (s.probability(&want) - 1.0).abs() < 1e-9,
-                    "{a_val}+{b_val}"
-                );
+                assert!((s.probability(&want) - 1.0).abs() < 1e-9, "{a_val}+{b_val}");
             }
         }
     }

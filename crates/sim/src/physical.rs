@@ -47,10 +47,7 @@ pub fn apply_merged(
     kind0: SingleQubitKind,
     kind1: SingleQubitKind,
 ) {
-    let u = merged_pair(
-        &single_qubit_unitary(kind0),
-        &single_qubit_unitary(kind1),
-    );
+    let u = merged_pair(&single_qubit_unitary(kind0), &single_qubit_unitary(kind1));
     state.apply_one(unit, &u);
 }
 

@@ -4,7 +4,7 @@
 //! per-unit dimensions (2 for simulated logical qubits, 4 for physical
 //! transmon units). Gates are applied in place with stride arithmetic.
 
-use qompress_linalg::{C64, CMat};
+use qompress_linalg::{CMat, C64};
 
 /// A pure state over a register of qudits with independent dimensions.
 ///

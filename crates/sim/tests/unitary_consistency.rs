@@ -3,7 +3,7 @@
 //! single-unit building blocks, matching the paper's Figure 2 relations.
 
 use qompress_circuit::SingleQubitKind;
-use qompress_linalg::{C64, CMat};
+use qompress_linalg::{CMat, C64};
 use qompress_pulse::GateClass;
 use qompress_sim::{
     cx_qubit, embed_slot, one_unit_class_unitary, single_qubit_unitary, two_unit_class_unitary,
@@ -13,11 +13,7 @@ use qompress_sim::{
 fn internal_cx_equals_lifted_logical_cx() {
     // The encoding |2·q0 + q1⟩ makes the logical 4-dim two-qubit space the
     // ququart space in the same basis order, so CX0 IS the logical CX.
-    assert!(
-        one_unit_class_unitary(GateClass::Cx0)
-            .max_abs_diff(&cx_qubit())
-            < 1e-12
-    );
+    assert!(one_unit_class_unitary(GateClass::Cx0).max_abs_diff(&cx_qubit()) < 1e-12);
 }
 
 #[test]

@@ -153,7 +153,9 @@ mod tests {
         assert!(ig.weight(x, z) > 0.0);
         // Triangle is detectable as a 3-cycle.
         let ug = ig.to_ugraph();
-        let cycle = ug.min_cycle_through(x).expect("carry-in lies on a triangle");
+        let cycle = ug
+            .min_cycle_through(x)
+            .expect("carry-in lies on a triangle");
         assert_eq!(cycle.len(), 3);
     }
 

@@ -200,7 +200,11 @@ mod tests {
     fn sized_helpers_stay_near_target() {
         for n in [10usize, 16, 25, 30, 40] {
             let c = cylinder_for(n);
-            assert!(c.len() <= n + 6 && c.len() >= n / 2, "cylinder_for({n}) -> {}", c.len());
+            assert!(
+                c.len() <= n + 6 && c.len() >= n / 2,
+                "cylinder_for({n}) -> {}",
+                c.len()
+            );
             let t = torus_for(n.max(9));
             assert!(t.len() >= 9);
         }

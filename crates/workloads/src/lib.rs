@@ -124,7 +124,10 @@ pub fn build(kind: Benchmark, size: usize, seed: u64) -> Circuit {
         Benchmark::QaoaRandom => pad(qaoa(&graphs::random_graph(size, 0.3, seed), seed), size),
         Benchmark::QaoaCylinder => pad(qaoa(&graphs::cylinder_for(size), seed), size),
         Benchmark::QaoaTorus => pad(qaoa(&graphs::torus_for(size), seed), size),
-        Benchmark::QaoaBwt => pad(qaoa(&graphs::binary_welded_tree_for(size, seed), seed), size),
+        Benchmark::QaoaBwt => pad(
+            qaoa(&graphs::binary_welded_tree_for(size, seed), seed),
+            size,
+        ),
     }
 }
 
@@ -132,7 +135,10 @@ fn pad(inner: Circuit, size: usize) -> Circuit {
     if inner.n_qubits() == size {
         return inner;
     }
-    assert!(inner.n_qubits() <= size, "generator exceeded requested size");
+    assert!(
+        inner.n_qubits() <= size,
+        "generator exceeded requested size"
+    );
     let mut c = Circuit::new(size);
     c.extend_from(&inner);
     c

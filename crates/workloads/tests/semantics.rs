@@ -67,8 +67,8 @@ fn cnu_flips_target_only_when_all_controls_set() {
         // Try every control pattern; ancillas start (and must end) at 0.
         for pattern in 0..(1usize << n_controls) {
             let mut init = vec![0usize; n];
-            for c in 0..n_controls {
-                init[c] = (pattern >> c) & 1;
+            for (c, bit) in init.iter_mut().enumerate().take(n_controls) {
+                *bit = (pattern >> c) & 1;
             }
             let state = simulate_logical(&circuit, &init);
             let mut want = init.clone();

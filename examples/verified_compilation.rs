@@ -40,9 +40,7 @@ fn main() {
     let mut phys = physical_zero_state(topology.n_nodes());
     for sop in result.schedule.ops() {
         match sop.op {
-            PhysicalOp::Single { unit, kind, class } => {
-                apply_single(&mut phys, unit, kind, class)
-            }
+            PhysicalOp::Single { unit, kind, class } => apply_single(&mut phys, unit, kind, class),
             PhysicalOp::Merged { unit, kind0, kind1 } => {
                 apply_merged(&mut phys, unit, kind0, kind1)
             }
@@ -56,12 +54,7 @@ fn main() {
 
     println!("\ncaptured probability in the logical subspace: {captured:.9}");
     println!("\n  state      logical         compiled");
-    for (idx, (l, p)) in logical
-        .amplitudes()
-        .iter()
-        .zip(folded.iter())
-        .enumerate()
-    {
+    for (idx, (l, p)) in logical.amplitudes().iter().zip(folded.iter()).enumerate() {
         if l.abs() > 1e-9 || p.abs() > 1e-9 {
             println!("  |{idx:03b}>   {l}   {p}");
         }

@@ -1,0 +1,14 @@
+//! Workspace-level integration crate for the Qompress reproduction.
+//!
+//! This crate carries no logic of its own: it exists so the cross-crate
+//! integration suites under `tests/` and the runnable `examples/` are
+//! first-class members of the Cargo workspace. It re-exports the public
+//! crates so examples and tests can reach everything through one
+//! dependency if they wish.
+
+pub use qompress;
+pub use qompress_arch;
+pub use qompress_circuit;
+pub use qompress_pulse;
+pub use qompress_sim;
+pub use qompress_workloads;

@@ -1,7 +1,7 @@
 //! Metric-model integration tests: T1 sweeps, crossover behaviour and the
 //! error-sensitivity mechanics behind Figures 9-12.
 
-use qompress::{compile, coherence_eps, CompilerConfig, Strategy};
+use qompress::{coherence_eps, compile, CompilerConfig, Strategy};
 use qompress_arch::Topology;
 use qompress_workloads::{build, Benchmark};
 
@@ -83,8 +83,7 @@ fn qubit_error_improvement_shrinks_compression_advantage() {
     let circuit = build(Benchmark::Cuccaro, 12, 5);
     let topo = Topology::grid(12);
     let base_cfg = CompilerConfig::paper();
-    let better_cfg =
-        base_cfg.with_library(base_cfg.library.with_qubit_error_improved(10.0));
+    let better_cfg = base_cfg.with_library(base_cfg.library.with_qubit_error_improved(10.0));
 
     let qo_base = compile(&circuit, &topo, Strategy::QubitOnly, &base_cfg);
     let eqm_base = compile(&circuit, &topo, Strategy::Eqm, &base_cfg);

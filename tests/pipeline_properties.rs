@@ -42,7 +42,11 @@ fn apply_physical(state: &mut State, op: &PhysicalOp) {
     }
 }
 
-fn check_equivalence(circuit: &Circuit, topo: &Topology, strategy: CompileStrategy) -> Result<(), String> {
+fn check_equivalence(
+    circuit: &Circuit,
+    topo: &Topology,
+    strategy: CompileStrategy,
+) -> Result<(), String> {
     let config = CompilerConfig::paper();
     let result = compile(circuit, topo, strategy, &config);
     let problems = result.schedule.validate(topo);

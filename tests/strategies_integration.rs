@@ -77,8 +77,7 @@ fn rb_finds_pairs_on_cyclic_benchmarks() {
 fn compression_strategies_emit_internal_cx_on_cuccaro() {
     for strategy in [Strategy::Eqm, Strategy::RingBased] {
         let r = run(Benchmark::Cuccaro, 12, strategy);
-        let internal =
-            r.metrics.count(GateClass::Cx0) + r.metrics.count(GateClass::Cx1);
+        let internal = r.metrics.count(GateClass::Cx0) + r.metrics.count(GateClass::Cx1);
         assert!(internal > 0, "{strategy}: no internal CX on Cuccaro");
     }
 }

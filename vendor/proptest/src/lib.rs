@@ -1,0 +1,362 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build container has no registry access, so this vendored shim
+//! reimplements the subset of proptest the workspace's property suites use:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map` and boxing,
+//! * range / tuple / [`strategy::Just`] strategies,
+//! * [`collection::vec`],
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
+//!   [`prop_assert_eq!`] macros,
+//! * [`test_runner::ProptestConfig`] / [`test_runner::TestCaseError`].
+//!
+//! Cases are generated from a deterministic per-test RNG (seeded from the
+//! test name), so failures reproduce exactly on re-run. There is **no
+//! shrinking**: a failing case reports its case index and the failed
+//! assertion, which for this workspace's small value spaces is enough to
+//! debug directly.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+/// Strategies over collections (`vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A strategy producing `Vec<S::Value>` with a length drawn from a
+    /// [`SizeRange`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A fixed or bounded length specification for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            SizeRange { lo, hi: hi + 1 }
+        }
+    }
+
+    /// `proptest::collection::vec`: a strategy for vectors whose elements
+    /// come from `element` and whose length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner machinery: configuration, error type, and the case loop the
+/// [`proptest!`] macro expands into.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Runner configuration. Only `cases` is honoured by this shim.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed (or rejected) test case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Fail the current case with `message`.
+        pub fn fail<S: Into<String>>(message: S) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// FNV-1a, used to derive a stable per-test seed from the test name.
+    fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// Run `body` for `config.cases` deterministic cases, panicking (as the
+    /// surrounding `#[test]` expects) on the first failure.
+    pub fn run_cases<F>(config: ProptestConfig, name: &str, mut body: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(name);
+        for case in 0..config.cases as u64 {
+            let mut rng = StdRng::seed_from_u64(base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            if let Err(e) = body(&mut rng) {
+                panic!(
+                    "proptest property `{name}` failed at case {case}/{}: {e}",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(..)]` header followed by `#[test] fn name(arg in
+/// strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test item at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[allow(unreachable_code)]
+        fn $name() {
+            $crate::test_runner::run_cases($cfg, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assert a condition inside a [`proptest!`] body, failing the case (not
+/// panicking) so the runner can report the case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if lhs != rhs {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($lhs),
+                    stringify!($rhs),
+                    lhs,
+                    rhs
+                ),
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if lhs != rhs {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} == {} ({}): left {:?}, right {:?}",
+                    stringify!($lhs),
+                    stringify!($rhs),
+                    format!($($fmt)+),
+                    lhs,
+                    rhs
+                ),
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let lhs = $lhs;
+        let rhs = $rhs;
+        if lhs == rhs {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($lhs),
+                stringify!($rhs),
+                lhs
+            )));
+        }
+    }};
+}
+
+/// Choose uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        // Push-after-new keeps each arm a distinct coercion site for the
+        // unsized `Box<dyn Strategy>` cast, which `vec![]` would not give.
+        #[allow(clippy::vec_init_then_push)]
+        let __arms = {
+            let mut __arms: ::std::vec::Vec<
+                ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+            > = ::std::vec::Vec::new();
+            $(__arms.push(::std::boxed::Box::new($arm));)+
+            __arms
+        };
+        $crate::strategy::Union::new(__arms)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Union;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(n in 3usize..10, x in -1.5f64..1.5) {
+            prop_assert!((3..10).contains(&n));
+            prop_assert!((-1.5..1.5).contains(&x));
+        }
+
+        #[test]
+        fn prop_map_applies(v in (0usize..5).prop_map(|x| x * 2)) {
+            prop_assert!(v % 2 == 0);
+            prop_assert!(v < 10);
+        }
+
+        #[test]
+        fn tuples_and_oneof(pair in ((0usize..4), (0u64..9)), pick in prop_oneof![
+            Just(1usize),
+            10usize..20,
+        ]) {
+            prop_assert!(pair.0 < 4 && pair.1 < 9);
+            prop_assert!(pick == 1 || (10..20).contains(&pick));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec(0usize..3, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 3));
+        }
+    }
+
+    #[test]
+    fn union_covers_all_arms() {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let u: Union<usize> = prop_oneof![Just(0usize), Just(1usize), Just(2usize)];
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 3];
+        for _ in 0..64 {
+            seen[u.generate(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_index() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn always_fails(_x in 0usize..4) {
+                prop_assert!(false, "intentional");
+            }
+        }
+        always_fails();
+    }
+}
