@@ -25,16 +25,21 @@ pub struct Topology {
 impl Topology {
     /// Creates a topology from an explicit edge list.
     ///
+    /// Duplicate edges (in either orientation) are dropped, keeping the
+    /// first occurrence's position; the scan is `O(E)` via a hash set, so
+    /// dense inputs (complete graphs, generated couplings) stay cheap.
+    ///
     /// # Panics
     ///
     /// Panics on out-of-range endpoints or self loops.
     pub fn from_edges(name: impl Into<String>, n_nodes: usize, edges: Vec<(usize, usize)>) -> Self {
+        let mut seen = std::collections::HashSet::with_capacity(edges.len());
         let mut normalized = Vec::with_capacity(edges.len());
         for (a, b) in edges {
             assert!(a < n_nodes && b < n_nodes, "edge endpoint out of range");
             assert_ne!(a, b, "self loop in topology");
             let e = (a.min(b), a.max(b));
-            if !normalized.contains(&e) {
+            if seen.insert(e) {
                 normalized.push(e);
             }
         }
@@ -317,6 +322,36 @@ mod tests {
     fn from_edges_dedups() {
         let t = Topology::from_edges("t", 3, vec![(0, 1), (1, 0), (0, 1)]);
         assert_eq!(t.n_edges(), 1);
+    }
+
+    #[test]
+    fn from_edges_keeps_first_occurrence_order() {
+        let t = Topology::from_edges("t", 4, vec![(2, 3), (1, 0), (3, 2), (0, 2)]);
+        assert_eq!(t.edges(), &[(2, 3), (0, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn dense_65_node_dedup_regression() {
+        // Complete 65-node coupling fed in both orientations (4160 raw
+        // edges): the hash-set dedup must collapse it to the 2080 unique
+        // edges without the old quadratic `Vec::contains` scan.
+        let n = 65;
+        let mut raw = Vec::new();
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    raw.push((a, b));
+                }
+            }
+        }
+        assert_eq!(raw.len(), n * (n - 1));
+        let t = Topology::from_edges("dense-65", n, raw);
+        assert_eq!(t.n_edges(), n * (n - 1) / 2);
+        for v in 0..n {
+            assert_eq!(t.neighbors(v).len(), n - 1);
+        }
+        // First-occurrence order: node 0's fan-out leads the list.
+        assert_eq!(&t.edges()[..3], &[(0, 1), (0, 2), (0, 3)]);
     }
 
     #[test]

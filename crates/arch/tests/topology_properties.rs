@@ -75,4 +75,15 @@ proptest! {
         let cols = (n as f64).sqrt().ceil() as usize;
         prop_assert!(g.n_nodes() < n + cols);
     }
+
+    #[test]
+    fn from_edges_is_idempotent_under_duplication(topo in arb_topology()) {
+        // Feeding every edge again (in both orientations) must not change
+        // the resulting topology.
+        let mut doubled = topo.edges().to_vec();
+        doubled.extend(topo.edges().iter().map(|&(a, b)| (b, a)));
+        let rebuilt = Topology::from_edges(topo.name(), topo.n_nodes(), doubled);
+        prop_assert_eq!(rebuilt.edges(), topo.edges());
+        prop_assert_eq!(rebuilt.n_nodes(), topo.n_nodes());
+    }
 }

@@ -3,9 +3,12 @@
 //! scalability of EC vs the cheaper strategies, §5).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qompress::{compile, compile_with_options, CompilerConfig, MappingOptions, Strategy};
+use qompress::{
+    compile, compile_with_options, run_batch, BatchJob, BatchRequest, CompilerConfig,
+    MappingOptions, Strategy,
+};
 use qompress_arch::Topology;
-use qompress_workloads::{build, Benchmark};
+use qompress_workloads::{build, random_circuit, Benchmark};
 
 fn bench_full_pipeline(c: &mut Criterion) {
     let config = CompilerConfig::paper();
@@ -64,10 +67,48 @@ fn bench_strategy_search(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batch-engine throughput: the same ≥8-job sweep at 1/2/4/8 workers. On a
+/// multi-core host the wall-clock time should fall as workers rise (the
+/// jobs are independent and the per-topology caches are shared); on a
+/// single-core host the worker sweep measures the engine's overhead.
+fn bench_batch_throughput(c: &mut Criterion) {
+    let topo = Topology::grid(16);
+    let mut jobs = Vec::new();
+    for (name, circuit) in [
+        ("cuccaro16", build(Benchmark::Cuccaro, 16, 7)),
+        ("qaoa-cyl16", build(Benchmark::QaoaCylinder, 16, 7)),
+        ("random16", random_circuit(16, 64, 7)),
+    ] {
+        for strategy in [Strategy::QubitOnly, Strategy::Eqm, Strategy::RingBased] {
+            jobs.push(BatchJob::new(
+                format!("{name}-{}", strategy.name()),
+                circuit.clone(),
+                strategy,
+                topo.clone(),
+            ));
+        }
+    }
+    assert!(jobs.len() >= 8, "throughput sweep needs at least 8 jobs");
+
+    let mut group = c.benchmark_group("batch_throughput");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| run_batch(&BatchRequest::new(jobs.clone(), workers)));
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_full_pipeline,
     bench_mapping_only,
-    bench_strategy_search
+    bench_strategy_search,
+    bench_batch_throughput
 );
 criterion_main!(benches);

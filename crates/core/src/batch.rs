@@ -1,0 +1,290 @@
+//! Parallel batch compilation.
+//!
+//! A [`BatchRequest`] carries a list of independent jobs — each a
+//! `(circuit, strategy, topology)` triple — and [`run_batch`] fans them
+//! over `std::thread::scope` workers. Distinct topologies are deduplicated
+//! into shared [`TopologyCache`]s behind `Arc`, so the expanded slot graph
+//! and the bare-encoding distance oracle are built once per topology
+//! instead of once per job, and Dijkstra rows computed by one worker serve
+//! every later job on the same device.
+//!
+//! Every individual compilation is deterministic, jobs never communicate,
+//! and results are stored at their input index — so the output is
+//! **identical for any worker count**, including the serial `workers = 1`
+//! run (pinned by `tests/batch_parallel.rs`).
+
+use crate::config::CompilerConfig;
+use crate::pipeline::{CompilationResult, TopologyCache};
+use crate::strategies::{compile_cached, Strategy};
+use qompress_arch::Topology;
+use qompress_circuit::Circuit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One independent compilation job.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// Free-form identifier echoed into the result (benchmark name, file
+    /// stem, sweep coordinates, …).
+    pub label: String,
+    /// The logical circuit to compile.
+    pub circuit: Circuit,
+    /// The compression strategy to apply.
+    pub strategy: Strategy,
+    /// The physical topology to compile onto.
+    pub topology: Topology,
+}
+
+impl BatchJob {
+    /// Convenience constructor.
+    pub fn new(
+        label: impl Into<String>,
+        circuit: Circuit,
+        strategy: Strategy,
+        topology: Topology,
+    ) -> Self {
+        BatchJob {
+            label: label.into(),
+            circuit,
+            strategy,
+            topology,
+        }
+    }
+}
+
+/// A batch of compilation jobs plus execution settings.
+#[derive(Debug, Clone)]
+pub struct BatchRequest {
+    /// The jobs, in the order results are returned.
+    pub jobs: Vec<BatchJob>,
+    /// Worker thread count; `0` and `1` both mean serial execution.
+    pub workers: usize,
+    /// Compiler configuration shared by every job.
+    pub config: CompilerConfig,
+}
+
+impl BatchRequest {
+    /// A request running `jobs` with the paper configuration.
+    pub fn new(jobs: Vec<BatchJob>, workers: usize) -> Self {
+        BatchRequest {
+            jobs,
+            workers,
+            config: CompilerConfig::paper(),
+        }
+    }
+}
+
+/// The outcome of one job: its input label plus the compilation.
+#[derive(Debug, Clone)]
+pub struct BatchJobResult {
+    /// Label copied from the input job.
+    pub label: String,
+    /// Position of the job in [`BatchRequest::jobs`].
+    pub job_index: usize,
+    /// The compiled circuit and its metrics.
+    pub result: CompilationResult,
+}
+
+/// All results of a batch, in input order.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// Per-job outcomes, `results[i]` belonging to `jobs[i]`.
+    pub results: Vec<BatchJobResult>,
+    /// Number of distinct topologies (= shared caches built).
+    pub distinct_topologies: usize,
+    /// Wall-clock time of the compilation phase.
+    pub elapsed: Duration,
+}
+
+impl BatchResult {
+    /// Total logical gates compiled across the batch.
+    pub fn total_logical_gates(&self) -> usize {
+        self.results.iter().map(|r| r.result.logical_gates).sum()
+    }
+
+    /// Jobs per second over the compilation phase.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.results.len() as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Compiles every job of `request`, fanning over scoped worker threads.
+///
+/// Workers pull job indices from a shared atomic counter, compile against
+/// the deduplicated per-topology caches, and write each result into its
+/// input slot — so the returned order (and content) is independent of
+/// scheduling.
+///
+/// # Panics
+///
+/// Panics if any job's compilation panics (e.g. a circuit too large for
+/// its topology); the panic propagates out of the thread scope.
+pub fn run_batch(request: &BatchRequest) -> BatchResult {
+    let caches = build_topology_caches(request);
+    let distinct_topologies = {
+        let mut seen: Vec<usize> = caches.iter().map(|c| Arc::as_ptr(c) as usize).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    };
+
+    let n_jobs = request.jobs.len();
+    let workers = request.workers.max(1).min(n_jobs.max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<BatchJobResult>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= n_jobs {
+                    break;
+                }
+                let job = &request.jobs[idx];
+                let result =
+                    compile_cached(&job.circuit, &caches[idx], job.strategy, &request.config);
+                *slots[idx].lock().expect("result slot poisoned") = Some(BatchJobResult {
+                    label: job.label.clone(),
+                    job_index: idx,
+                    result,
+                });
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+
+    let results = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job index was claimed by a worker")
+        })
+        .collect();
+
+    BatchResult {
+        results,
+        distinct_topologies,
+        elapsed,
+    }
+}
+
+/// One shared cache per job, deduplicated across equal topologies.
+///
+/// Deduplication is by structural [`Topology`] equality; with `J` jobs and
+/// `T` distinct topologies this is an `O(J·T)` scan, which is negligible
+/// next to compilation.
+fn build_topology_caches(request: &BatchRequest) -> Vec<Arc<TopologyCache>> {
+    let mut distinct: Vec<(usize, Arc<TopologyCache>)> = Vec::new();
+    let mut per_job = Vec::with_capacity(request.jobs.len());
+    for (idx, job) in request.jobs.iter().enumerate() {
+        let found = distinct
+            .iter()
+            .find(|(first, _)| request.jobs[*first].topology == job.topology)
+            .map(|(_, cache)| Arc::clone(cache));
+        let cache = match found {
+            Some(cache) => cache,
+            None => {
+                let cache = Arc::new(TopologyCache::new(job.topology.clone(), &request.config));
+                distinct.push((idx, Arc::clone(&cache)));
+                cache
+            }
+        };
+        per_job.push(cache);
+    }
+    per_job
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qompress_circuit::Gate;
+
+    fn ghz(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.push(Gate::h(0));
+        for i in 0..n - 1 {
+            c.push(Gate::cx(i, i + 1));
+        }
+        c
+    }
+
+    fn small_request(workers: usize) -> BatchRequest {
+        let mut jobs = Vec::new();
+        for (i, strategy) in [Strategy::QubitOnly, Strategy::Eqm, Strategy::RingBased]
+            .into_iter()
+            .enumerate()
+        {
+            jobs.push(BatchJob::new(
+                format!("ghz5-grid-{}", strategy.name()),
+                ghz(5),
+                strategy,
+                Topology::grid(5),
+            ));
+            jobs.push(BatchJob::new(
+                format!("ghz4-line-{i}"),
+                ghz(4),
+                strategy,
+                Topology::line(4),
+            ));
+        }
+        BatchRequest::new(jobs, workers)
+    }
+
+    #[test]
+    fn batch_results_are_input_ordered() {
+        let req = small_request(3);
+        let out = run_batch(&req);
+        assert_eq!(out.results.len(), req.jobs.len());
+        for (i, r) in out.results.iter().enumerate() {
+            assert_eq!(r.job_index, i);
+            assert_eq!(r.label, req.jobs[i].label);
+            assert_eq!(r.result.strategy, req.jobs[i].strategy.name());
+        }
+    }
+
+    #[test]
+    fn topologies_are_deduplicated() {
+        let req = small_request(2);
+        let caches = build_topology_caches(&req);
+        let mut ptrs: Vec<usize> = caches.iter().map(|c| Arc::as_ptr(c) as usize).collect();
+        ptrs.sort_unstable();
+        ptrs.dedup();
+        assert_eq!(ptrs.len(), 2, "grid-5 and line-4 caches only");
+        assert_eq!(run_batch(&req).distinct_topologies, 2);
+    }
+
+    #[test]
+    fn batch_matches_direct_compilation() {
+        let req = small_request(4);
+        let out = run_batch(&req);
+        for (job, got) in req.jobs.iter().zip(&out.results) {
+            let want =
+                crate::strategies::compile(&job.circuit, &job.topology, job.strategy, &req.config);
+            assert_eq!(got.result.metrics, want.metrics, "{}", job.label);
+            assert_eq!(got.result.schedule, want.schedule, "{}", job.label);
+        }
+    }
+
+    #[test]
+    fn zero_workers_is_serial() {
+        let req = small_request(0);
+        let out = run_batch(&req);
+        assert_eq!(out.results.len(), req.jobs.len());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let out = run_batch(&BatchRequest::new(Vec::new(), 4));
+        assert!(out.results.is_empty());
+        assert_eq!(out.distinct_topologies, 0);
+        assert_eq!(out.total_logical_gates(), 0);
+    }
+}

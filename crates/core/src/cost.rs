@@ -12,6 +12,7 @@ use crate::layout::Layout;
 use qompress_arch::{ExpandedGraph, Slot, SlotIndex};
 use qompress_circuit::graph::WGraph;
 use qompress_pulse::GateClass;
+use std::sync::OnceLock;
 
 /// Selects the CX gate class and operand order for a control/target slot
 /// pair under the current encodings.
@@ -146,10 +147,15 @@ pub fn gate_cost(
 /// Edge weights depend only on the *encoding flags* of the endpoint units,
 /// so the oracle stays valid while qubits move; call
 /// [`DistanceOracle::invalidate`] after changing encodings (mapping time).
+///
+/// Per-source rows fill lazily through a [`OnceLock`], so lookups take
+/// `&self` and a fully immutable oracle can be shared across compilation
+/// threads behind an `Arc` (the batch engine reuses one bare-encoding
+/// oracle per topology this way).
 #[derive(Debug)]
 pub struct DistanceOracle {
     graph: WGraph,
-    cache: Vec<Option<Vec<f64>>>,
+    cache: Vec<OnceLock<Vec<f64>>>,
 }
 
 impl DistanceOracle {
@@ -173,8 +179,16 @@ impl DistanceOracle {
         }
         DistanceOracle {
             graph,
-            cache: vec![None; n],
+            cache: std::iter::repeat_with(OnceLock::new).take(n).collect(),
         }
+    }
+
+    /// The oracle for a topology with **no encoded units** — the encoding
+    /// state every compilation starts from. Safe to share across jobs on
+    /// the same topology and config.
+    pub fn bare(expanded: &ExpandedGraph, config: &CompilerConfig) -> Self {
+        let bare_layout = Layout::new(0, expanded.topology().n_nodes());
+        DistanceOracle::new(expanded, &bare_layout, config)
     }
 
     /// An expanded-graph edge is traversable when neither endpoint is the
@@ -185,21 +199,18 @@ impl DistanceOracle {
     }
 
     /// Shortest-path cost (sum of `−log S(swap)`) between two slots.
-    pub fn distance(&mut self, from: Slot, to: Slot) -> f64 {
-        if self.cache[from.index()].is_none() {
-            self.cache[from.index()] = Some(self.graph.dijkstra(from.index()));
-        }
-        self.cache[from.index()].as_ref().unwrap()[to.index()]
+    pub fn distance(&self, from: Slot, to: Slot) -> f64 {
+        self.cache[from.index()].get_or_init(|| self.graph.dijkstra(from.index()))[to.index()]
     }
 
     /// The equivalent *success probability* of the best SWAP path,
     /// `exp(−distance) ∈ (0, 1]`.
-    pub fn path_success(&mut self, from: Slot, to: Slot) -> f64 {
+    pub fn path_success(&self, from: Slot, to: Slot) -> f64 {
         (-self.distance(from, to)).exp()
     }
 
     /// Shortest path between two slots (vertex list), for fallback routing.
-    pub fn path(&mut self, from: Slot, to: Slot) -> Option<Vec<Slot>> {
+    pub fn path(&self, from: Slot, to: Slot) -> Option<Vec<Slot>> {
         let (_, prev) = self.graph.dijkstra_with_prev(from.index());
         WGraph::path_from_prev(&prev, from.index(), to.index())
             .map(|p| p.into_iter().map(Slot::from_index).collect())
@@ -208,7 +219,7 @@ impl DistanceOracle {
     /// Drops all cached distances (after encoding changes).
     pub fn invalidate(&mut self) {
         for c in &mut self.cache {
-            *c = None;
+            *c = OnceLock::new();
         }
     }
 }
@@ -301,7 +312,7 @@ mod tests {
     #[test]
     fn distance_prefers_short_paths() {
         let (expanded, layout, config) = setup(&[]);
-        let mut oracle = DistanceOracle::new(&expanded, &layout, &config);
+        let oracle = DistanceOracle::new(&expanded, &layout, &config);
         let d01 = oracle.distance(Slot::zero(0), Slot::zero(1));
         let d03 = oracle.distance(Slot::zero(0), Slot::zero(3));
         assert!(d01 < d03);
@@ -312,7 +323,7 @@ mod tests {
     fn internal_hop_is_cheap() {
         let (expanded, mut layout, config) = setup(&[]);
         layout.set_encoded(1);
-        let mut oracle = DistanceOracle::new(&expanded, &layout, &config);
+        let oracle = DistanceOracle::new(&expanded, &layout, &config);
         let internal = oracle.distance(Slot::zero(1), Slot::one(1));
         let external = oracle.distance(Slot::zero(0), Slot::zero(1));
         assert!(internal < external);
@@ -321,7 +332,7 @@ mod tests {
     #[test]
     fn bare_slot_one_unreachable() {
         let (expanded, layout, config) = setup(&[]);
-        let mut oracle = DistanceOracle::new(&expanded, &layout, &config);
+        let oracle = DistanceOracle::new(&expanded, &layout, &config);
         // Slot 1 of a bare unit has no usable edges.
         let d = oracle.distance(Slot::zero(0), Slot::one(2));
         assert!(d.is_infinite());
@@ -330,7 +341,7 @@ mod tests {
     #[test]
     fn path_recovery_matches_distance() {
         let (expanded, layout, config) = setup(&[]);
-        let mut oracle = DistanceOracle::new(&expanded, &layout, &config);
+        let oracle = DistanceOracle::new(&expanded, &layout, &config);
         let p = oracle.path(Slot::zero(0), Slot::zero(3)).unwrap();
         assert_eq!(p.first(), Some(&Slot::zero(0)));
         assert_eq!(p.last(), Some(&Slot::zero(3)));

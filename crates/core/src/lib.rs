@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![allow(clippy::needless_range_loop)] // index loops mirror the math
 
+mod batch;
 mod config;
 mod cost;
 mod layout;
@@ -46,17 +47,20 @@ mod scheduling;
 mod strategies;
 mod timeline;
 
+pub use batch::{run_batch, BatchJob, BatchJobResult, BatchRequest, BatchResult};
 pub use config::CompilerConfig;
 pub use cost::{cx_class, gate_cost, gate_success, swap_class, DistanceOracle};
 pub use layout::Layout;
 pub use mapping::{map_circuit, MappingOptions};
 pub use metrics::{coherence_eps, gate_eps_from_counts, Metrics};
 pub use physical::{swap4_moves, PhysicalOp, Schedule, ScheduledOp};
-pub use pipeline::{compile_with_options, CompilationResult};
-pub use routing::route;
+pub use pipeline::{
+    compile_with_options, compile_with_options_cached, CompilationResult, TopologyCache,
+};
+pub use routing::{route, route_cached};
 pub use scheduling::{merge_singles, schedule_ops, trace_coherence, CoherenceTrace};
 pub use strategies::{
-    compile, compile_exhaustive, EcObjective, ExhaustiveOptions, ExhaustiveStep, Strategy,
-    ALL_STRATEGIES,
+    compile, compile_cached, compile_exhaustive, compile_exhaustive_cached, EcObjective,
+    ExhaustiveOptions, ExhaustiveStep, Strategy, ALL_STRATEGIES,
 };
 pub use timeline::{parallelism_stats, render_timeline, ParallelismStats};

@@ -9,15 +9,63 @@
 //! overhead is attributed to the FQ strategy.
 
 use crate::config::CompilerConfig;
+use crate::cost::DistanceOracle;
 use crate::layout::Layout;
 use crate::mapping::{map_circuit, MappingOptions};
 use crate::metrics::Metrics;
 use crate::physical::Schedule;
-use crate::routing::route;
+use crate::routing::route_cached;
 use crate::scheduling::{merge_singles, schedule_ops, trace_coherence, CoherenceTrace};
 use qompress_arch::{ExpandedGraph, Topology};
 use qompress_circuit::{Circuit, CircuitDag};
 use std::fmt;
+use std::sync::Arc;
+
+/// Immutable per-topology precomputation, shared across compilations.
+///
+/// Building the expanded slot graph and the bare-encoding distance oracle
+/// is pure topology+config work; batches that compile many jobs on the
+/// same device reuse one cache behind an [`Arc`] instead of redoing it per
+/// job (see [`crate::run_batch`]). The bare oracle fills lazily on the
+/// first compilation that routes an unencoded layout, so encoded-layout
+/// jobs (and single-shot compiles through the plain entry points) never
+/// pay for it.
+#[derive(Debug, Clone)]
+pub struct TopologyCache {
+    expanded: Arc<ExpandedGraph>,
+    /// The configuration the cache (and its lazy oracle) is bound to.
+    config: CompilerConfig,
+    bare_oracle: std::sync::OnceLock<Arc<DistanceOracle>>,
+}
+
+impl TopologyCache {
+    /// Builds the shared structures for one topology under `config`.
+    pub fn new(topo: Topology, config: &CompilerConfig) -> Self {
+        TopologyCache {
+            expanded: Arc::new(ExpandedGraph::new(topo)),
+            config: config.clone(),
+            bare_oracle: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The physical topology this cache was built for.
+    pub fn topology(&self) -> &Topology {
+        self.expanded.topology()
+    }
+
+    /// The expanded slot graph.
+    pub fn expanded(&self) -> &Arc<ExpandedGraph> {
+        &self.expanded
+    }
+
+    /// The distance oracle valid while **no unit is encoded** (the state
+    /// every qubit-only compilation routes in), built on first use under
+    /// the cache's own configuration.
+    pub fn bare_oracle(&self) -> &Arc<DistanceOracle> {
+        self.bare_oracle
+            .get_or_init(|| Arc::new(DistanceOracle::bare(&self.expanded, &self.config)))
+    }
+}
 
 /// A fully compiled circuit with its evaluation statistics.
 #[derive(Debug, Clone)]
@@ -85,14 +133,31 @@ pub fn compile_with_options(
     config: &CompilerConfig,
     options: &MappingOptions,
 ) -> CompilationResult {
+    compile_with_options_cached(
+        circuit,
+        &TopologyCache::new(topo.clone(), config),
+        config,
+        options,
+    )
+}
+
+/// [`compile_with_options`] against a pre-built [`TopologyCache`], reusing
+/// the expanded graph and (for unencoded layouts) the bare distance oracle
+/// instead of rebuilding them per job.
+pub fn compile_with_options_cached(
+    circuit: &Circuit,
+    cache: &TopologyCache,
+    config: &CompilerConfig,
+    options: &MappingOptions,
+) -> CompilationResult {
+    let topo = cache.topology();
     let dag = CircuitDag::build(circuit);
-    let expanded = ExpandedGraph::new(topo.clone());
     let mut layout = map_circuit(circuit, topo, config, options);
     let initial_placements = layout.placements();
     let encoded_units = layout.encoded_flags().to_vec();
     let pairs = pairs_from_layout(&layout);
 
-    let ops = route(circuit, &dag, &mut layout, &expanded, config);
+    let ops = route_cached(circuit, &dag, &mut layout, cache, config);
     let ops = merge_singles(ops);
     let schedule = schedule_ops(ops, topo.n_nodes(), &config.library);
     let trace = trace_coherence(&schedule, &initial_placements, &encoded_units);

@@ -15,9 +15,11 @@ use crate::config::CompilerConfig;
 use crate::cost::{cx_class, swap_class, DistanceOracle};
 use crate::layout::Layout;
 use crate::physical::PhysicalOp;
+use crate::pipeline::TopologyCache;
 use qompress_arch::{ExpandedGraph, Slot, SlotIndex};
 use qompress_circuit::{Circuit, CircuitDag, Gate};
 use qompress_pulse::GateClass;
+use std::sync::Arc;
 
 /// Routes `circuit` starting from `layout`, emitting physical operations
 /// and mutating the layout to its final configuration.
@@ -32,7 +34,30 @@ pub fn route(
     expanded: &ExpandedGraph,
     config: &CompilerConfig,
 ) -> Vec<PhysicalOp> {
-    Router::new(circuit, dag, layout, expanded, config).run()
+    let oracle = Arc::new(DistanceOracle::new(expanded, layout, config));
+    Router::new(circuit, dag, layout, expanded, oracle, config).run()
+}
+
+/// [`route`] against a shared [`TopologyCache`].
+///
+/// Reuses the cache's expanded graph, and — when the mapped layout encodes
+/// no unit (qubit-only compilations) — its bare distance oracle, so the
+/// Dijkstra rows computed by one job serve every later job on the same
+/// topology.
+pub fn route_cached(
+    circuit: &Circuit,
+    dag: &CircuitDag,
+    layout: &mut Layout,
+    cache: &TopologyCache,
+    config: &CompilerConfig,
+) -> Vec<PhysicalOp> {
+    let oracle = if layout.encoded_flags().iter().any(|&e| e) {
+        // Encoded units change edge costs; the bare oracle does not apply.
+        Arc::new(DistanceOracle::new(cache.expanded(), layout, config))
+    } else {
+        Arc::clone(cache.bare_oracle())
+    };
+    Router::new(circuit, dag, layout, cache.expanded(), oracle, config).run()
 }
 
 struct Router<'a> {
@@ -41,7 +66,7 @@ struct Router<'a> {
     layout: &'a mut Layout,
     expanded: &'a ExpandedGraph,
     config: &'a CompilerConfig,
-    oracle: DistanceOracle,
+    oracle: Arc<DistanceOracle>,
     done: Vec<bool>,
     remaining_preds: Vec<usize>,
     ready: Vec<usize>,
@@ -56,6 +81,7 @@ impl<'a> Router<'a> {
         dag: &'a CircuitDag,
         layout: &'a mut Layout,
         expanded: &'a ExpandedGraph,
+        oracle: Arc<DistanceOracle>,
         config: &'a CompilerConfig,
     ) -> Self {
         let n = circuit.len();
@@ -64,7 +90,6 @@ impl<'a> Router<'a> {
             remaining_preds[idx] = dag.preds(idx).len();
         }
         let ready = (0..n).filter(|&i| remaining_preds[i] == 0).collect();
-        let oracle = DistanceOracle::new(expanded, layout, config);
         Router {
             circuit,
             dag,

@@ -12,7 +12,7 @@
 use crate::config::CompilerConfig;
 use crate::layout::Layout;
 use crate::mapping::MappingOptions;
-use crate::pipeline::{compile_with_options, CompilationResult};
+use crate::pipeline::{compile_with_options_cached, CompilationResult, TopologyCache};
 use qompress_arch::Topology;
 use qompress_circuit::{Circuit, CircuitDag, Gate};
 
@@ -76,14 +76,31 @@ pub fn compile_exhaustive(
     config: &CompilerConfig,
     options: &ExhaustiveOptions,
 ) -> (CompilationResult, Vec<ExhaustiveStep>) {
+    compile_exhaustive_cached(
+        circuit,
+        &TopologyCache::new(topo.clone(), config),
+        config,
+        options,
+    )
+}
+
+/// [`compile_exhaustive`] against a shared [`TopologyCache`] — the search
+/// recompiles the circuit once per candidate pair per round, so reusing the
+/// per-topology precomputation matters most here.
+pub fn compile_exhaustive_cached(
+    circuit: &Circuit,
+    cache: &TopologyCache,
+    config: &CompilerConfig,
+    options: &ExhaustiveOptions,
+) -> (CompilationResult, Vec<ExhaustiveStep>) {
     let objective = |r: &CompilationResult| match options.objective {
         EcObjective::GateEps => r.metrics.gate_eps,
         EcObjective::TotalEps => r.metrics.total_eps,
     };
     let mut pairs: Vec<(usize, usize)> = Vec::new();
-    let mut best = compile_with_options(
+    let mut best = compile_with_options_cached(
         circuit,
-        topo,
+        cache,
         config,
         &MappingOptions::with_pairs(pairs.clone()),
     );
@@ -119,16 +136,16 @@ pub fn compile_exhaustive(
                 continue;
             }
             let evaluated =
-                evaluate_parallel(circuit, topo, config, &pairs, group, options.objective);
+                evaluate_parallel(circuit, cache, config, &pairs, group, options.objective);
             let winner = evaluated
                 .into_iter()
                 .filter(|(_, eps)| *eps > objective(&best) + 1e-12)
                 .max_by(|(pa, a), (pb, b)| a.partial_cmp(b).unwrap().then_with(|| pb.cmp(pa)));
             if let Some((pair, eps)) = winner {
                 pairs.push(pair);
-                best = compile_with_options(
+                best = compile_with_options_cached(
                     circuit,
-                    topo,
+                    cache,
                     config,
                     &MappingOptions::with_pairs(pairs.clone()),
                 );
@@ -154,7 +171,7 @@ pub fn compile_exhaustive(
 /// `(pair, total EPS)`.
 fn evaluate_parallel(
     circuit: &Circuit,
-    topo: &Topology,
+    cache: &TopologyCache,
     config: &CompilerConfig,
     pairs: &[(usize, usize)],
     candidates: &[(usize, usize)],
@@ -175,9 +192,9 @@ fn evaluate_parallel(
                     .map(|&pair| {
                         let mut with = pairs.to_vec();
                         with.push(pair);
-                        let r = compile_with_options(
+                        let r = compile_with_options_cached(
                             circuit,
-                            topo,
+                            cache,
                             config,
                             &MappingOptions::with_pairs(with),
                         );
@@ -272,6 +289,7 @@ fn qubits_moved_by_communication(result: &CompilationResult) -> std::collections
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::compile_with_options;
 
     fn hot_pair_circuit() -> Circuit {
         let mut c = Circuit::new(4);

@@ -6,11 +6,13 @@ mod full_ququart;
 mod progressive;
 mod ring_based;
 
-pub use exhaustive::{compile_exhaustive, EcObjective, ExhaustiveOptions, ExhaustiveStep};
+pub use exhaustive::{
+    compile_exhaustive, compile_exhaustive_cached, EcObjective, ExhaustiveOptions, ExhaustiveStep,
+};
 
 use crate::config::CompilerConfig;
 use crate::mapping::MappingOptions;
-use crate::pipeline::{compile_with_options, CompilationResult};
+use crate::pipeline::{compile_with_options_cached, CompilationResult, TopologyCache};
 use qompress_arch::Topology;
 use qompress_circuit::Circuit;
 
@@ -90,27 +92,47 @@ pub fn compile(
     strategy: Strategy,
     config: &CompilerConfig,
 ) -> CompilationResult {
+    compile_cached(
+        circuit,
+        &TopologyCache::new(topo.clone(), config),
+        strategy,
+        config,
+    )
+}
+
+/// [`compile`] against a pre-built [`TopologyCache`], so batches share the
+/// per-topology precomputation (expanded graph, bare distance oracle)
+/// across jobs instead of rebuilding it for every compilation.
+pub fn compile_cached(
+    circuit: &Circuit,
+    cache: &TopologyCache,
+    strategy: Strategy,
+    config: &CompilerConfig,
+) -> CompilationResult {
+    let topo = cache.topology();
     let mut result = match strategy {
         Strategy::QubitOnly => {
-            compile_with_options(circuit, topo, config, &MappingOptions::qubit_only())
+            compile_with_options_cached(circuit, cache, config, &MappingOptions::qubit_only())
         }
-        Strategy::Eqm => compile_with_options(circuit, topo, config, &MappingOptions::eqm()),
+        Strategy::Eqm => {
+            compile_with_options_cached(circuit, cache, config, &MappingOptions::eqm())
+        }
         Strategy::RingBased => {
             let pairs = ring_based::find_pairs(circuit);
-            compile_with_options(circuit, topo, config, &MappingOptions::with_pairs(pairs))
+            compile_with_options_cached(circuit, cache, config, &MappingOptions::with_pairs(pairs))
         }
         Strategy::Awe => {
             let pairs = awe::find_pairs(circuit);
-            compile_with_options(circuit, topo, config, &MappingOptions::with_pairs(pairs))
+            compile_with_options_cached(circuit, cache, config, &MappingOptions::with_pairs(pairs))
         }
         Strategy::ProgressivePairing => {
-            let pairs = progressive::find_pairs(circuit, topo, config);
-            compile_with_options(circuit, topo, config, &MappingOptions::with_pairs(pairs))
+            let pairs = progressive::find_pairs_cached(circuit, cache, config);
+            compile_with_options_cached(circuit, cache, config, &MappingOptions::with_pairs(pairs))
         }
         Strategy::Exhaustive { ordered } => {
-            let (result, _) = compile_exhaustive(
+            let (result, _) = exhaustive::compile_exhaustive_cached(
                 circuit,
-                topo,
+                cache,
                 config,
                 &ExhaustiveOptions {
                     ordered,

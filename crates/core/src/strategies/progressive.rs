@@ -9,20 +9,25 @@
 use crate::config::CompilerConfig;
 use crate::cost::DistanceOracle;
 use crate::mapping::{map_circuit, MappingOptions};
-use qompress_arch::{ExpandedGraph, Slot, Topology};
+use crate::pipeline::TopologyCache;
+use qompress_arch::Slot;
 use qompress_circuit::{Circuit, InteractionGraph};
+use std::sync::Arc;
 
 /// Minimum estimated-fidelity gain to accept another pair.
 const MIN_GAIN: f64 = 1e-9;
 
-/// Selects compression pairs for `circuit` on `topo`.
-pub fn find_pairs(
+/// Selects compression pairs for `circuit` against a shared
+/// [`TopologyCache`]. The first iteration (no pairs committed yet) maps an
+/// all-bare layout, so it reuses the cache's bare oracle; later iterations
+/// rebuild for their encodings.
+pub fn find_pairs_cached(
     circuit: &Circuit,
-    topo: &Topology,
+    cache: &TopologyCache,
     config: &CompilerConfig,
 ) -> Vec<(usize, usize)> {
+    let topo = cache.topology();
     let ig = InteractionGraph::build(circuit);
-    let expanded = ExpandedGraph::new(topo.clone());
     let n = circuit.n_qubits();
     let mut pairs: Vec<(usize, usize)> = Vec::new();
 
@@ -33,11 +38,15 @@ pub fn find_pairs(
             config,
             &MappingOptions::with_pairs(pairs.clone()),
         );
-        let mut oracle = DistanceOracle::new(&expanded, &layout, config);
+        let oracle = if layout.encoded_flags().iter().any(|&e| e) {
+            Arc::new(DistanceOracle::new(cache.expanded(), &layout, config))
+        } else {
+            Arc::clone(cache.bare_oracle())
+        };
         let in_pair = |q: usize| pairs.iter().any(|&(a, b)| a == q || b == q);
 
         // Estimated score: Σ w(i,j) · S(path between current homes).
-        let score_with = |positions: &dyn Fn(usize) -> Slot, oracle: &mut DistanceOracle| -> f64 {
+        let score_with = |positions: &dyn Fn(usize) -> Slot, oracle: &DistanceOracle| -> f64 {
             let mut total = 0.0;
             for ((i, j), w) in ig.weighted_edges() {
                 let si = positions(i);
@@ -53,7 +62,7 @@ pub fn find_pairs(
         };
 
         let home = |q: usize| layout.slot_of(q).expect("mapped");
-        let base = score_with(&home, &mut oracle);
+        let base = score_with(&home, &oracle);
 
         let mut best: Option<((usize, usize), f64)> = None;
         for a in 0..n {
@@ -87,7 +96,7 @@ pub fn find_pairs(
                         s
                     }
                 };
-                let est = score_with(&approx, &mut oracle);
+                let est = score_with(&approx, &oracle);
                 let gain = est - base;
                 if gain <= MIN_GAIN {
                     continue;
@@ -118,7 +127,12 @@ pub fn find_pairs(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qompress_arch::Topology;
     use qompress_circuit::Gate;
+
+    fn find_pairs(c: &Circuit, topo: &Topology, config: &CompilerConfig) -> Vec<(usize, usize)> {
+        find_pairs_cached(c, &TopologyCache::new(topo.clone(), config), config)
+    }
 
     #[test]
     fn hot_pair_gets_compressed() {

@@ -1,0 +1,66 @@
+//! # qompress-qasm
+//!
+//! An OpenQASM 2.0 **subset** frontend for the Qompress compiler: enough of
+//! the language to ingest the standard benchmark interchange format and to
+//! round-trip the compiler's own circuit IR.
+//!
+//! Supported statements: the `OPENQASM 2.0;` header, `include` (ignored),
+//! `qreg`/`creg` declarations (classical registers are accepted and
+//! ignored), `barrier` (a scheduling no-op for this compiler, accepted and
+//! dropped), the single-qubit gates `x y z h s sdg t tdg rx ry rz`, and the
+//! two-qubit gates `cx`, `cz` and `swap`. `cz` is lowered on input to
+//! `H(t)·CX(c,t)·H(t)` since the compiler's logical gate set is
+//! `{1q, CX, SWAP}` (paper §3.4). Angle expressions accept literals and
+//! `pi` with `*`, `/` and unary minus (`-pi/2`, `3*pi/4`, `0.25`).
+//!
+//! The serializer ([`to_qasm`]) emits only constructs the parser accepts,
+//! and formats angles with Rust's shortest-round-trip float notation, so
+//! `parse_qasm(&to_qasm(&c))` reproduces `c` exactly — a property pinned by
+//! this crate's proptest suite.
+//!
+//! ```
+//! use qompress_qasm::{parse_qasm, random_circuit, to_qasm};
+//!
+//! let circuit = random_circuit(4, 20, 7);
+//! let text = to_qasm(&circuit);
+//! let reparsed = parse_qasm(&text).unwrap();
+//! assert_eq!(circuit, reparsed);
+//! ```
+
+#![warn(missing_docs)]
+
+mod parse;
+mod random;
+mod write;
+
+pub use parse::parse_qasm;
+pub use random::{random_circuit, RandomCircuitOptions};
+pub use write::to_qasm;
+
+use core::fmt;
+
+/// A parse failure with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QasmError {
+    /// 1-based line number of the offending statement.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl QasmError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        QasmError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for QasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qasm parse error (line {}): {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for QasmError {}

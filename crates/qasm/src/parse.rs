@@ -1,0 +1,483 @@
+//! The OpenQASM-2.0-subset parser.
+
+use crate::QasmError;
+use qompress_circuit::{Circuit, Gate, SingleQubitKind};
+
+/// One `;`-terminated statement with the line it started on.
+struct Statement {
+    text: String,
+    line: usize,
+}
+
+/// A declared quantum register: offset into the flattened qubit space.
+struct QReg {
+    name: String,
+    offset: usize,
+    size: usize,
+}
+
+/// Parses an OpenQASM 2.0 subset program into a [`Circuit`].
+///
+/// Quantum registers are flattened into one qubit space in declaration
+/// order (`qreg a[2]; qreg b[1];` gives qubits `a[0]=0, a[1]=1, b[0]=2`).
+/// See the crate docs for the accepted statement set.
+///
+/// # Errors
+///
+/// Returns a [`QasmError`] with the offending line for malformed syntax,
+/// unknown or unsupported statements, references to undeclared registers,
+/// out-of-range qubit indices, duplicate registers, wrong gate arity, bad
+/// angle expressions, and two-qubit gates addressing one qubit twice.
+pub fn parse_qasm(source: &str) -> Result<Circuit, QasmError> {
+    let statements = split_statements(source)?;
+    let mut qregs: Vec<QReg> = Vec::new();
+    let mut n_qubits = 0usize;
+    // Gates are collected before the circuit is sized: declarations may
+    // appear between gates (each gate sees the registers declared so far,
+    // per QASM's declare-before-use rule), so the final qubit count is
+    // only known after the whole program is read.
+    let mut gates: Vec<(Gate, usize)> = Vec::new();
+    let mut saw_header = false;
+
+    for stmt in &statements {
+        let text = stmt.text.as_str();
+        let line = stmt.line;
+        let (keyword, rest) = split_keyword(text);
+        if !saw_header {
+            if keyword != "OPENQASM" {
+                return Err(QasmError::new(line, "expected `OPENQASM 2.0;` header"));
+            }
+            if rest.trim() != "2.0" {
+                return Err(QasmError::new(
+                    line,
+                    format!("unsupported OPENQASM version `{}`", rest.trim()),
+                ));
+            }
+            saw_header = true;
+            continue;
+        }
+        match keyword {
+            "OPENQASM" => {
+                return Err(QasmError::new(line, "duplicate OPENQASM header"));
+            }
+            "include" => {} // headers carry no semantics for this subset
+            "creg" => {}    // classical registers are ignored
+            "barrier" => {} // scheduling hint; the compiler re-schedules anyway
+            "qreg" => {
+                let (name, size) = parse_declaration(rest, line)?;
+                if qregs.iter().any(|r| r.name == name) {
+                    return Err(QasmError::new(line, format!("duplicate register `{name}`")));
+                }
+                qregs.push(QReg {
+                    name,
+                    offset: n_qubits,
+                    size,
+                });
+                n_qubits += size;
+            }
+            "measure" | "reset" | "gate" | "if" | "opaque" => {
+                return Err(QasmError::new(
+                    line,
+                    format!("unsupported statement `{keyword}` (subset parser)"),
+                ));
+            }
+            "" => {
+                return Err(QasmError::new(line, "empty statement"));
+            }
+            _ => {
+                for gate in parse_gate(keyword, rest, &qregs, line)? {
+                    gates.push((gate, line));
+                }
+            }
+        }
+    }
+    if !saw_header {
+        return Err(QasmError::new(1, "expected `OPENQASM 2.0;` header"));
+    }
+
+    let mut circuit = Circuit::new(n_qubits);
+    for (gate, _line) in gates {
+        // Operands were validated against the register table above, so the
+        // push cannot panic.
+        circuit.push(gate);
+    }
+    Ok(circuit)
+}
+
+/// Strips comments and splits the source into `;`-terminated statements.
+fn split_statements(source: &str) -> Result<Vec<Statement>, QasmError> {
+    let mut statements = Vec::new();
+    let mut current = String::new();
+    let mut start_line = 1usize;
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = raw.split("//").next().unwrap_or("");
+        for ch in line.chars() {
+            if ch == ';' {
+                let text = current.trim().to_string();
+                if !text.is_empty() {
+                    statements.push(Statement {
+                        text,
+                        line: start_line,
+                    });
+                }
+                current.clear();
+            } else {
+                if current.trim().is_empty() && !ch.is_whitespace() {
+                    start_line = lineno + 1;
+                }
+                current.push(ch);
+            }
+        }
+        current.push(' ');
+    }
+    if !current.trim().is_empty() {
+        return Err(QasmError::new(
+            start_line,
+            format!("statement not terminated by `;`: `{}`", current.trim()),
+        ));
+    }
+    Ok(statements)
+}
+
+/// Splits a statement into its leading keyword and the remainder.
+fn split_keyword(text: &str) -> (&str, &str) {
+    let end = text
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '.'))
+        .unwrap_or(text.len());
+    (&text[..end], &text[end..])
+}
+
+/// Parses `name[size]` from a qreg/creg declaration.
+fn parse_declaration(rest: &str, line: usize) -> Result<(String, usize), QasmError> {
+    let rest = rest.trim();
+    let (name, idx) = split_indexed(rest, line)?;
+    if name.is_empty() {
+        return Err(QasmError::new(line, "register declaration needs a name"));
+    }
+    if idx == 0 {
+        return Err(QasmError::new(line, "register size must be positive"));
+    }
+    Ok((name.to_string(), idx))
+}
+
+/// Parses `name[index]`, rejecting anything else.
+fn split_indexed(text: &str, line: usize) -> Result<(&str, usize), QasmError> {
+    let text = text.trim();
+    let open = text
+        .find('[')
+        .ok_or_else(|| QasmError::new(line, format!("expected `name[index]`, got `{text}`")))?;
+    let close = text
+        .rfind(']')
+        .filter(|&c| c == text.len() - 1 && c > open)
+        .ok_or_else(|| QasmError::new(line, format!("unbalanced brackets in `{text}`")))?;
+    let name = text[..open].trim();
+    if !is_identifier(name) {
+        return Err(QasmError::new(line, format!("bad identifier `{name}`")));
+    }
+    let idx: usize = text[open + 1..close]
+        .trim()
+        .parse()
+        .map_err(|_| QasmError::new(line, format!("bad index in `{text}`")))?;
+    Ok((name, idx))
+}
+
+fn is_identifier(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_lowercase() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Resolves `name[index]` to a flattened qubit index.
+fn resolve_qubit(text: &str, qregs: &[QReg], line: usize) -> Result<usize, QasmError> {
+    let (name, idx) = split_indexed(text, line)?;
+    let reg = qregs
+        .iter()
+        .find(|r| r.name == name)
+        .ok_or_else(|| QasmError::new(line, format!("undeclared register `{name}`")))?;
+    if idx >= reg.size {
+        return Err(QasmError::new(
+            line,
+            format!("index {idx} out of range for `{name}[{}]`", reg.size),
+        ));
+    }
+    Ok(reg.offset + idx)
+}
+
+/// Parses one gate application, possibly lowering to several [`Gate`]s.
+fn parse_gate(name: &str, rest: &str, qregs: &[QReg], line: usize) -> Result<Vec<Gate>, QasmError> {
+    let rest = rest.trim();
+    // Optional parenthesized parameter list.
+    let (params, operands_text) = if let Some(stripped) = rest.strip_prefix('(') {
+        let close = stripped
+            .find(')')
+            .ok_or_else(|| QasmError::new(line, "unclosed parameter list"))?;
+        (Some(stripped[..close].trim()), stripped[close + 1..].trim())
+    } else {
+        (None, rest)
+    };
+    let operands: Vec<usize> = operands_text
+        .split(',')
+        .map(|op| resolve_qubit(op, qregs, line))
+        .collect::<Result<_, _>>()?;
+
+    let arity = |want: usize| -> Result<(), QasmError> {
+        if operands.len() == want {
+            Ok(())
+        } else {
+            Err(QasmError::new(
+                line,
+                format!("`{name}` takes {want} operand(s), got {}", operands.len()),
+            ))
+        }
+    };
+    let no_params = |gates: Vec<Gate>| -> Result<Vec<Gate>, QasmError> {
+        if params.is_some() {
+            Err(QasmError::new(
+                line,
+                format!("`{name}` takes no parameters"),
+            ))
+        } else {
+            Ok(gates)
+        }
+    };
+    let distinct = || -> Result<(), QasmError> {
+        if operands[0] == operands[1] {
+            Err(QasmError::new(
+                line,
+                format!("`{name}` addresses the same qubit twice"),
+            ))
+        } else {
+            Ok(())
+        }
+    };
+    let one_param = || -> Result<f64, QasmError> {
+        match params {
+            Some(p) => parse_angle(p, line),
+            None => Err(QasmError::new(
+                line,
+                format!("`{name}` needs an angle parameter"),
+            )),
+        }
+    };
+
+    let fixed_1q = |kind: SingleQubitKind| -> Result<Vec<Gate>, QasmError> {
+        arity(1)?;
+        no_params(vec![Gate::single(kind, operands[0])])
+    };
+    match name {
+        "x" => fixed_1q(SingleQubitKind::X),
+        "y" => fixed_1q(SingleQubitKind::Y),
+        "z" => fixed_1q(SingleQubitKind::Z),
+        "h" => fixed_1q(SingleQubitKind::H),
+        "s" => fixed_1q(SingleQubitKind::S),
+        "sdg" => fixed_1q(SingleQubitKind::Sdg),
+        "t" => fixed_1q(SingleQubitKind::T),
+        "tdg" => fixed_1q(SingleQubitKind::Tdg),
+        "rx" => {
+            arity(1)?;
+            Ok(vec![Gate::single(
+                SingleQubitKind::Rx(one_param()?),
+                operands[0],
+            )])
+        }
+        "ry" => {
+            arity(1)?;
+            Ok(vec![Gate::single(
+                SingleQubitKind::Ry(one_param()?),
+                operands[0],
+            )])
+        }
+        "rz" => {
+            arity(1)?;
+            Ok(vec![Gate::single(
+                SingleQubitKind::Rz(one_param()?),
+                operands[0],
+            )])
+        }
+        "cx" | "CX" => {
+            arity(2)?;
+            distinct()?;
+            no_params(vec![Gate::cx(operands[0], operands[1])])
+        }
+        "cz" => {
+            arity(2)?;
+            distinct()?;
+            // CZ = (I⊗H)·CX·(I⊗H): lowered into the compiler's gate set.
+            no_params(vec![
+                Gate::h(operands[1]),
+                Gate::cx(operands[0], operands[1]),
+                Gate::h(operands[1]),
+            ])
+        }
+        "swap" => {
+            arity(2)?;
+            distinct()?;
+            no_params(vec![Gate::swap(operands[0], operands[1])])
+        }
+        _ => Err(QasmError::new(line, format!("unknown gate `{name}`"))),
+    }
+}
+
+/// Evaluates an angle expression: `['-'] factor (('*'|'/') factor)*` where
+/// a factor is a float literal or `pi`.
+fn parse_angle(text: &str, line: usize) -> Result<f64, QasmError> {
+    let text = text.trim();
+    let bad = || QasmError::new(line, format!("bad angle expression `{text}`"));
+    let (negated, body) = match text.strip_prefix('-') {
+        Some(b) => (true, b.trim()),
+        None => (false, text),
+    };
+    if body.is_empty() {
+        return Err(bad());
+    }
+    let mut value = 1.0f64;
+    let mut op = '*';
+    let mut rest = body;
+    loop {
+        let end = rest.find(['*', '/']).unwrap_or(rest.len());
+        let factor_text = rest[..end].trim();
+        let factor = if factor_text == "pi" {
+            std::f64::consts::PI
+        } else {
+            factor_text.parse::<f64>().map_err(|_| bad())?
+        };
+        match op {
+            '*' => value *= factor,
+            '/' => value /= factor,
+            _ => unreachable!(),
+        }
+        if end == rest.len() {
+            break;
+        }
+        op = rest.as_bytes()[end] as char;
+        rest = &rest[end + 1..];
+        if rest.trim().is_empty() {
+            return Err(bad());
+        }
+    }
+    Ok(if negated { -value } else { value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HEADER: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+
+    fn parse(body: &str) -> Result<Circuit, QasmError> {
+        parse_qasm(&format!("{HEADER}{body}"))
+    }
+
+    #[test]
+    fn minimal_program() {
+        let c = parse("qreg q[3];\nh q[0];\ncx q[0], q[1];\nswap q[1], q[2];\n").unwrap();
+        assert_eq!(c.n_qubits(), 3);
+        assert_eq!(c.gates(), &[Gate::h(0), Gate::cx(0, 1), Gate::swap(1, 2)]);
+    }
+
+    #[test]
+    fn multiple_registers_flatten_in_order() {
+        let c = parse("qreg a[2];\nqreg b[2];\ncx a[1], b[0];\n").unwrap();
+        assert_eq!(c.n_qubits(), 4);
+        assert_eq!(c.gates(), &[Gate::cx(1, 2)]);
+    }
+
+    #[test]
+    fn cz_lowers_to_h_cx_h() {
+        let c = parse("qreg q[2];\ncz q[0], q[1];\n").unwrap();
+        assert_eq!(c.gates(), &[Gate::h(1), Gate::cx(0, 1), Gate::h(1)]);
+    }
+
+    #[test]
+    fn rotations_and_angle_expressions() {
+        let c =
+            parse("qreg q[1];\nrz(pi/2) q[0];\nrx(-pi) q[0];\nry(3*pi/4) q[0];\nrz(0.25) q[0];\n")
+                .unwrap();
+        let angles: Vec<f64> = c
+            .gates()
+            .iter()
+            .map(|g| match g {
+                Gate::Single { kind, .. } => match kind {
+                    SingleQubitKind::Rz(a) | SingleQubitKind::Rx(a) | SingleQubitKind::Ry(a) => *a,
+                    _ => panic!("unexpected kind"),
+                },
+                _ => panic!("unexpected gate"),
+            })
+            .collect();
+        let pi = std::f64::consts::PI;
+        assert_eq!(angles, vec![pi / 2.0, -pi, 3.0 * pi / 4.0, 0.25]);
+    }
+
+    #[test]
+    fn barriers_comments_and_creg_are_ignored() {
+        let c = parse(
+            "qreg q[2];\ncreg c[2];\n// comment\nh q[0]; barrier q[0], q[1];\ncx q[0], q[1];\n",
+        )
+        .unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let err = parse_qasm("qreg q[1];\n").unwrap_err();
+        assert!(err.message.contains("OPENQASM"));
+    }
+
+    #[test]
+    fn undeclared_register_rejected() {
+        let err = parse("qreg q[2];\nh r[0];\n").unwrap_err();
+        assert!(err.message.contains("undeclared register `r`"));
+        assert_eq!(err.line, 4);
+    }
+
+    #[test]
+    fn out_of_range_index_rejected() {
+        let err = parse("qreg q[2];\nx q[2];\n").unwrap_err();
+        assert!(err.message.contains("out of range"));
+    }
+
+    #[test]
+    fn duplicate_operand_rejected() {
+        let err = parse("qreg q[2];\ncx q[1], q[1];\n").unwrap_err();
+        assert!(err.message.contains("same qubit twice"));
+    }
+
+    #[test]
+    fn unknown_gate_rejected() {
+        let err = parse("qreg q[2];\nccx q[0], q[1], q[0];\n").unwrap_err();
+        assert!(err.message.contains("unknown gate"));
+    }
+
+    #[test]
+    fn unsupported_statement_rejected() {
+        let err = parse("qreg q[1];\ncreg c[1];\nmeasure q[0] -> c[0];\n").unwrap_err();
+        assert!(err.message.contains("unsupported statement"));
+    }
+
+    #[test]
+    fn missing_semicolon_rejected() {
+        let err = parse("qreg q[1];\nh q[0]\n").unwrap_err();
+        assert!(err.message.contains("not terminated"));
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let err = parse("qreg q[2];\ncx q[0];\n").unwrap_err();
+        assert!(err.message.contains("takes 2 operand(s)"));
+    }
+
+    #[test]
+    fn bad_angle_rejected() {
+        let err = parse("qreg q[1];\nrz(two) q[0];\n").unwrap_err();
+        assert!(err.message.contains("bad angle"));
+        let err = parse("qreg q[1];\nrz() q[0];\n").unwrap_err();
+        assert!(err.message.contains("bad angle"));
+    }
+
+    #[test]
+    fn error_display_includes_line() {
+        let err = parse("qreg q[1];\nbadgate q[0];\n").unwrap_err();
+        let text = format!("{err}");
+        assert!(text.contains("line 4"), "{text}");
+    }
+}

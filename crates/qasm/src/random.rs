@@ -1,0 +1,140 @@
+//! Seeded random circuit generation for differential and stress testing.
+
+use qompress_circuit::{Circuit, Gate, SingleQubitKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs for [`random_circuit`]'s gate mix.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomCircuitOptions {
+    /// Probability that a gate is two-qubit (CX or SWAP); ignored for
+    /// single-qubit circuits. CX is nine times likelier than SWAP.
+    pub two_qubit_fraction: f64,
+}
+
+impl Default for RandomCircuitOptions {
+    fn default() -> Self {
+        // Roughly the 2q density of the paper's benchmark suite.
+        RandomCircuitOptions {
+            two_qubit_fraction: 0.45,
+        }
+    }
+}
+
+/// Generates a deterministic pseudo-random circuit.
+///
+/// The same `(n_qubits, n_gates, seed)` triple always yields the same
+/// circuit (the vendored `rand` shim is platform-stable), so failures in
+/// downstream differential tests reproduce from the seed alone. The gate
+/// mix covers every single-qubit kind (fixed and rotation), CX and SWAP.
+///
+/// # Panics
+///
+/// Panics when `n_qubits` is zero.
+pub fn random_circuit(n_qubits: usize, n_gates: usize, seed: u64) -> Circuit {
+    random_circuit_with(n_qubits, n_gates, seed, RandomCircuitOptions::default())
+}
+
+/// [`random_circuit`] with an explicit gate mix.
+///
+/// # Panics
+///
+/// Panics when `n_qubits` is zero.
+pub fn random_circuit_with(
+    n_qubits: usize,
+    n_gates: usize,
+    seed: u64,
+    options: RandomCircuitOptions,
+) -> Circuit {
+    assert!(n_qubits > 0, "random circuit needs at least one qubit");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut circuit = Circuit::new(n_qubits);
+    for _ in 0..n_gates {
+        let two_qubit = n_qubits >= 2 && rng.gen_bool(options.two_qubit_fraction);
+        if two_qubit {
+            let a = rng.gen_range(0..n_qubits);
+            let b = (a + rng.gen_range(1..n_qubits)) % n_qubits;
+            if rng.gen_bool(0.1) {
+                circuit.push(Gate::swap(a, b));
+            } else {
+                circuit.push(Gate::cx(a, b));
+            }
+        } else {
+            let q = rng.gen_range(0..n_qubits);
+            let kind = match rng.gen_range(0..11) {
+                0 => SingleQubitKind::X,
+                1 => SingleQubitKind::Y,
+                2 => SingleQubitKind::Z,
+                3 => SingleQubitKind::H,
+                4 => SingleQubitKind::S,
+                5 => SingleQubitKind::Sdg,
+                6 => SingleQubitKind::T,
+                7 => SingleQubitKind::Tdg,
+                8 => {
+                    SingleQubitKind::Rx(rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI))
+                }
+                9 => {
+                    SingleQubitKind::Ry(rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI))
+                }
+                _ => {
+                    SingleQubitKind::Rz(rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI))
+                }
+            };
+            circuit.push(Gate::single(kind, q));
+        }
+    }
+    circuit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = random_circuit(5, 40, 11);
+        let b = random_circuit(5, 40, 11);
+        assert_eq!(a, b);
+        let c = random_circuit(5, 40, 12);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn respects_sizes() {
+        let c = random_circuit(7, 25, 3);
+        assert_eq!(c.n_qubits(), 7);
+        assert_eq!(c.len(), 25);
+    }
+
+    #[test]
+    fn single_qubit_circuits_have_no_2q_gates() {
+        let c = random_circuit(1, 30, 5);
+        assert_eq!(c.two_qubit_gate_count(), 0);
+    }
+
+    #[test]
+    fn mix_contains_both_arities() {
+        let c = random_circuit(6, 200, 9);
+        assert!(c.two_qubit_gate_count() > 20);
+        assert!(c.single_qubit_gate_count() > 20);
+    }
+
+    #[test]
+    fn pure_1q_mix_possible() {
+        let c = random_circuit_with(
+            4,
+            30,
+            2,
+            RandomCircuitOptions {
+                two_qubit_fraction: 0.0,
+            },
+        );
+        assert_eq!(c.two_qubit_gate_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one qubit")]
+    fn zero_qubits_rejected() {
+        random_circuit(0, 5, 1);
+    }
+}

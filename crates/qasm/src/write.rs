@@ -1,0 +1,92 @@
+//! Circuit → OpenQASM 2.0 serialization.
+
+use qompress_circuit::{Circuit, Gate, SingleQubitKind};
+use std::fmt::Write as _;
+
+/// Serializes a circuit as an OpenQASM 2.0 program over one register `q`.
+///
+/// Only constructs the subset parser accepts are emitted, and angles use
+/// Rust's shortest-round-trip float formatting, so
+/// `parse_qasm(&to_qasm(&c)) == c` exactly (including `f64` bits).
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\n");
+    out.push_str("include \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.n_qubits());
+    for gate in circuit.iter() {
+        match *gate {
+            Gate::Single { kind, qubit } => {
+                let _ = match kind {
+                    SingleQubitKind::X => writeln!(out, "x q[{qubit}];"),
+                    SingleQubitKind::Y => writeln!(out, "y q[{qubit}];"),
+                    SingleQubitKind::Z => writeln!(out, "z q[{qubit}];"),
+                    SingleQubitKind::H => writeln!(out, "h q[{qubit}];"),
+                    SingleQubitKind::S => writeln!(out, "s q[{qubit}];"),
+                    SingleQubitKind::Sdg => writeln!(out, "sdg q[{qubit}];"),
+                    SingleQubitKind::T => writeln!(out, "t q[{qubit}];"),
+                    SingleQubitKind::Tdg => writeln!(out, "tdg q[{qubit}];"),
+                    // `{:?}` prints the shortest decimal that parses back to
+                    // the same f64 — the exact-round-trip requirement.
+                    SingleQubitKind::Rx(a) => writeln!(out, "rx({a:?}) q[{qubit}];"),
+                    SingleQubitKind::Ry(a) => writeln!(out, "ry({a:?}) q[{qubit}];"),
+                    SingleQubitKind::Rz(a) => writeln!(out, "rz({a:?}) q[{qubit}];"),
+                };
+            }
+            Gate::Cx { control, target } => {
+                let _ = writeln!(out, "cx q[{control}], q[{target}];");
+            }
+            Gate::Swap { a, b } => {
+                let _ = writeln!(out, "swap q[{a}], q[{b}];");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_qasm;
+
+    #[test]
+    fn serializes_all_gate_forms() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::h(0));
+        c.push(Gate::single(SingleQubitKind::Sdg, 1));
+        c.push(Gate::rz(-0.75, 2));
+        c.push(Gate::cx(0, 2));
+        c.push(Gate::swap(1, 2));
+        let text = to_qasm(&c);
+        assert!(text.starts_with("OPENQASM 2.0;\n"));
+        assert!(text.contains("qreg q[3];"));
+        assert!(text.contains("sdg q[1];"));
+        assert!(text.contains("rz(-0.75) q[2];"));
+        assert!(text.contains("cx q[0], q[2];"));
+        assert!(text.contains("swap q[1], q[2];"));
+    }
+
+    #[test]
+    fn empty_circuit_serializes_header_only() {
+        let text = to_qasm(&Circuit::new(2));
+        let reparsed = parse_qasm(&text).unwrap();
+        assert_eq!(reparsed.n_qubits(), 2);
+        assert!(reparsed.is_empty());
+    }
+
+    #[test]
+    fn awkward_angles_round_trip_exactly() {
+        let mut c = Circuit::new(1);
+        for a in [
+            std::f64::consts::PI,
+            -std::f64::consts::FRAC_PI_3,
+            1.0e-12,
+            0.1 + 0.2, // famously not 0.3
+            f64::MIN_POSITIVE,
+        ] {
+            c.push(Gate::rz(a, 0));
+            c.push(Gate::single(SingleQubitKind::Rx(a), 0));
+            c.push(Gate::single(SingleQubitKind::Ry(a), 0));
+        }
+        assert_eq!(parse_qasm(&to_qasm(&c)).unwrap(), c);
+    }
+}

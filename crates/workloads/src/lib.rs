@@ -32,7 +32,18 @@ pub use qaoa::qaoa;
 pub use qram::{qram, qram_sized, QramLayout};
 pub use toffoli::{cnu, cnu_sized};
 
+// The OpenQASM frontend: arbitrary external circuits enter the workload
+// vocabulary next to the built-in generators.
+pub use qompress_qasm::{parse_qasm, random_circuit, to_qasm, QasmError};
+
 use qompress_circuit::Circuit;
+
+/// A seeded pseudo-random circuit with exactly `size` qubits, following
+/// the `*_sized` convention of the built-in families: ~4 gates per qubit
+/// at the benchmark suite's typical two-qubit density.
+pub fn random_sized(size: usize, seed: u64) -> Circuit {
+    random_circuit(size, 4 * size, seed)
+}
 
 /// The benchmark family identifiers used across the evaluation harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]

@@ -1,0 +1,175 @@
+//! Runs a strategy × benchmark × topology sweep through the parallel batch
+//! engine and emits per-job JSON metrics to `results/batch_sweep.json` —
+//! the paper's Figure 7/13 evaluation loop as one batched request.
+//!
+//! ```text
+//! cargo run --release --example batch_sweep [workers] [size]
+//! ```
+//!
+//! With no arguments the worker count defaults to the machine's available
+//! parallelism and the sweep size to 10 qubits. The example also re-runs
+//! the same jobs serially (1 worker) and reports the observed speedup, and
+//! exits non-zero if the parallel results diverge from the serial ones.
+
+use qompress::{run_batch, BatchJob, BatchRequest, BatchResult, Strategy};
+use qompress_arch::Topology;
+use qompress_workloads::{build, random_circuit, Benchmark};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+fn main() {
+    let workers: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
+    let size: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+
+    let jobs = sweep_jobs(size);
+    println!(
+        "batch sweep: {} jobs ({} qubits) on {} workers\n",
+        jobs.len(),
+        size,
+        workers
+    );
+
+    let parallel = run_batch(&BatchRequest::new(jobs.clone(), workers));
+    let serial = run_batch(&BatchRequest::new(jobs, 1));
+
+    // The batch engine's core guarantee: worker count never changes output.
+    // Compare every observable field, not just metrics, so a scheduling
+    // bug that happens to preserve EPS totals still fails CI.
+    for (p, s) in parallel.results.iter().zip(&serial.results) {
+        assert_eq!(
+            render_job(p),
+            render_job(s),
+            "job `{}` diverged between parallel and serial runs",
+            p.label
+        );
+    }
+
+    for r in &parallel.results {
+        println!(
+            "  {:<28} total EPS {:.4}  duration {:>8.0} ns  {:>4} comm ops",
+            r.label,
+            r.result.metrics.total_eps,
+            r.result.metrics.duration_ns,
+            r.result.metrics.communication_ops,
+        );
+    }
+    println!(
+        "\n{} jobs, {} shared topology caches",
+        parallel.results.len(),
+        parallel.distinct_topologies
+    );
+    println!(
+        "parallel ({workers} workers): {:>8.1} ms   ({:.1} jobs/s)",
+        parallel.elapsed.as_secs_f64() * 1e3,
+        parallel.throughput()
+    );
+    println!(
+        "serial   (1 worker):  {:>8.1} ms   speedup {:.2}x",
+        serial.elapsed.as_secs_f64() * 1e3,
+        serial.elapsed.as_secs_f64() / parallel.elapsed.as_secs_f64().max(1e-9)
+    );
+
+    let path = write_json(&parallel, workers);
+    println!("\nwrote {}", path.display());
+}
+
+/// Renders every observable field of one job result for the
+/// parallel-vs-serial divergence check.
+fn render_job(r: &qompress::BatchJobResult) -> String {
+    format!(
+        "{} #{} {} {:?} {:?} {:?} {:?} {:?} {:?}",
+        r.label,
+        r.job_index,
+        r.result.strategy,
+        r.result.metrics,
+        r.result.schedule,
+        r.result.initial_placements,
+        r.result.final_placements,
+        r.result.encoded_units,
+        r.result.pairs,
+    )
+}
+
+/// The job list: every strategy on two benchmarks and a QASM-generator
+/// random circuit, over the paper grid and the 65-qubit heavy-hex device.
+fn sweep_jobs(size: usize) -> Vec<BatchJob> {
+    let strategies = [
+        Strategy::QubitOnly,
+        Strategy::FullQuquart,
+        Strategy::Eqm,
+        Strategy::RingBased,
+        Strategy::Awe,
+        Strategy::ProgressivePairing,
+    ];
+    let circuits = vec![
+        ("cuccaro".to_string(), build(Benchmark::Cuccaro, size, 7)),
+        ("bv".to_string(), build(Benchmark::Bv, size, 7)),
+        ("qasm-random".to_string(), random_circuit(size, 4 * size, 7)),
+    ];
+    let topologies = vec![Topology::grid(size), Topology::heavy_hex_65()];
+
+    let mut jobs = Vec::new();
+    for (name, circuit) in &circuits {
+        for topo in &topologies {
+            for strategy in strategies {
+                jobs.push(BatchJob::new(
+                    format!("{name}/{}/{}", topo.name(), strategy.name()),
+                    circuit.clone(),
+                    strategy,
+                    topo.clone(),
+                ));
+            }
+        }
+    }
+    jobs
+}
+
+/// Hand-rolled JSON emission (the offline build has no serde); labels are
+/// `a-z0-9/-` only, so no string escaping is needed.
+fn write_json(batch: &BatchResult, workers: usize) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("batch_sweep.json");
+    let mut file = std::fs::File::create(&path).expect("create batch_sweep.json");
+
+    let mut rows = Vec::new();
+    for r in &batch.results {
+        let m = &r.result.metrics;
+        rows.push(format!(
+            "    {{\"label\": \"{}\", \"strategy\": \"{}\", \"gate_eps\": {:.9}, \
+             \"coherence_eps\": {:.9}, \"total_eps\": {:.9}, \"duration_ns\": {:.3}, \
+             \"physical_ops\": {}, \"communication_ops\": {}, \"logical_gates\": {}, \
+             \"pairs\": {}}}",
+            r.label,
+            r.result.strategy,
+            m.gate_eps,
+            m.coherence_eps,
+            m.total_eps,
+            m.duration_ns,
+            m.total_ops(),
+            m.communication_ops,
+            r.result.logical_gates,
+            r.result.pairs.len(),
+        ));
+    }
+    writeln!(
+        file,
+        "{{\n  \"workers\": {},\n  \"distinct_topologies\": {},\n  \"elapsed_ms\": {:.3},\n  \"jobs\": [\n{}\n  ]\n}}",
+        workers,
+        batch.distinct_topologies,
+        batch.elapsed.as_secs_f64() * 1e3,
+        rows.join(",\n")
+    )
+    .expect("write batch_sweep.json");
+    path
+}

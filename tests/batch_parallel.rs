@@ -1,0 +1,136 @@
+//! Batch-engine determinism: `run_batch` must return byte-identical
+//! results for the same job list at any worker count, and must agree with
+//! compiling each job directly through the serial `compile` entry point.
+
+use qompress::{run_batch, BatchJob, BatchRequest, BatchResult, Strategy, ALL_STRATEGIES};
+use qompress_arch::Topology;
+use qompress_circuit::Circuit;
+use qompress_workloads::{build, random_circuit, Benchmark};
+
+/// A mixed job list: built-in benchmarks and QASM-generator circuits,
+/// several strategies, and two shared topologies (so the per-topology
+/// cache dedup path is exercised).
+fn sweep_jobs() -> Vec<BatchJob> {
+    let mut jobs = Vec::new();
+    let topo_grid = Topology::grid(8);
+    let topo_line = Topology::line(8);
+    for (bench, size) in [(Benchmark::Cuccaro, 8), (Benchmark::Bv, 8)] {
+        let circuit = build(bench, size, 7);
+        for strategy in [Strategy::QubitOnly, Strategy::Eqm, Strategy::RingBased] {
+            jobs.push(BatchJob::new(
+                format!("{bench}-{}-grid", strategy.name()),
+                circuit.clone(),
+                strategy,
+                topo_grid.clone(),
+            ));
+        }
+        jobs.push(BatchJob::new(
+            format!("{bench}-awe-line"),
+            circuit,
+            Strategy::Awe,
+            topo_line.clone(),
+        ));
+    }
+    for seed in 0..3u64 {
+        jobs.push(BatchJob::new(
+            format!("random-{seed}"),
+            random_circuit(6, 24, seed),
+            Strategy::Eqm,
+            topo_grid.clone(),
+        ));
+    }
+    jobs
+}
+
+/// Renders every observable field of a batch result into one string, so
+/// "byte-identical" is a literal comparison.
+fn render(result: &BatchResult) -> String {
+    let mut out = String::new();
+    for r in &result.results {
+        out.push_str(&format!(
+            "{} #{}\nstrategy: {}\nmetrics: {:?}\nschedule: {:?}\nplacements: {:?} -> {:?}\nencoded: {:?}\npairs: {:?}\n",
+            r.label,
+            r.job_index,
+            r.result.strategy,
+            r.result.metrics,
+            r.result.schedule,
+            r.result.initial_placements,
+            r.result.final_placements,
+            r.result.encoded_units,
+            r.result.pairs,
+        ));
+    }
+    out
+}
+
+#[test]
+fn one_worker_and_many_workers_are_byte_identical() {
+    let jobs = sweep_jobs();
+    assert!(jobs.len() >= 8, "sweep must be at least 8 jobs");
+    let serial = run_batch(&BatchRequest::new(jobs.clone(), 1));
+    for workers in [2usize, 4, 8] {
+        let parallel = run_batch(&BatchRequest::new(jobs.clone(), workers));
+        assert_eq!(
+            render(&serial),
+            render(&parallel),
+            "worker count {workers} changed batch output"
+        );
+    }
+}
+
+#[test]
+fn batch_agrees_with_serial_compile() {
+    let jobs = sweep_jobs();
+    let out = run_batch(&BatchRequest::new(jobs.clone(), 4));
+    assert_eq!(out.results.len(), jobs.len());
+    let cfg = qompress::CompilerConfig::paper();
+    for (job, got) in jobs.iter().zip(&out.results) {
+        let want = qompress::compile(&job.circuit, &job.topology, job.strategy, &cfg);
+        assert_eq!(got.result.metrics, want.metrics, "{}", job.label);
+        assert_eq!(
+            format!("{:?}", got.result.schedule),
+            format!("{:?}", want.schedule),
+            "{}",
+            job.label
+        );
+    }
+}
+
+#[test]
+fn caches_are_shared_across_jobs_on_one_topology() {
+    let out = run_batch(&BatchRequest::new(sweep_jobs(), 4));
+    // grid-8 and line-8 only.
+    assert_eq!(out.distinct_topologies, 2);
+}
+
+#[test]
+fn every_strategy_runs_in_a_batch() {
+    let c = build(Benchmark::Cuccaro, 6, 7);
+    let topo = Topology::grid(6);
+    let jobs: Vec<BatchJob> = ALL_STRATEGIES
+        .into_iter()
+        .map(|s| BatchJob::new(s.name(), c.clone(), s, topo.clone()))
+        .collect();
+    let out = run_batch(&BatchRequest::new(jobs, 4));
+    for r in &out.results {
+        assert!(r.result.metrics.total_eps > 0.0, "{}", r.label);
+        assert!(
+            r.result.schedule.validate(&topo).is_empty(),
+            "{}: invalid schedule",
+            r.label
+        );
+    }
+    assert_eq!(out.distinct_topologies, 1);
+}
+
+#[test]
+fn empty_circuits_compile_in_batches() {
+    let jobs = vec![BatchJob::new(
+        "empty",
+        Circuit::new(3),
+        Strategy::QubitOnly,
+        Topology::grid(3),
+    )];
+    let out = run_batch(&BatchRequest::new(jobs, 2));
+    assert_eq!(out.results[0].result.logical_gates, 0);
+}

@@ -183,6 +183,65 @@ fn exhaustive_compilation_is_equivalent() {
 }
 
 #[test]
+fn random_circuits_differential_under_every_strategy() {
+    // Seeded 3-5 qubit circuits from the QASM frontend's generator (mixing
+    // every 1q kind, CX and logical SWAP), compiled under *every* strategy
+    // including the exhaustive search, must preserve logical semantics —
+    // not just the structured benchmark happy paths.
+    for seed in 0..6u64 {
+        let n = 3 + (seed as usize % 3);
+        let c = qompress_qasm::random_circuit(n, 16, seed);
+        let topo = Topology::grid(n);
+        for strategy in qompress::ALL_STRATEGIES {
+            assert_equivalent(&c, &topo, strategy);
+        }
+    }
+}
+
+#[test]
+fn random_circuits_differential_on_line_and_ring() {
+    // Sparser connectivity forces real routing; spot-check the partial
+    // strategies away from the grid.
+    for seed in 10..13u64 {
+        let c = qompress_qasm::random_circuit(4, 14, seed);
+        for topo in [Topology::line(4), Topology::ring(4)] {
+            for strategy in [
+                Strategy::QubitOnly,
+                Strategy::Eqm,
+                Strategy::RingBased,
+                Strategy::Awe,
+                Strategy::ProgressivePairing,
+            ] {
+                assert_equivalent(&c, &topo, strategy);
+            }
+        }
+    }
+}
+
+#[test]
+fn qasm_round_trip_compiles_identically() {
+    // Frontend integration: a circuit that has passed through QASM text
+    // must compile to the same schedule and metrics as the original.
+    let config = CompilerConfig::paper();
+    for seed in 0..3u64 {
+        let c = qompress_qasm::random_circuit(5, 20, seed);
+        let reparsed = qompress_qasm::parse_qasm(&qompress_qasm::to_qasm(&c)).unwrap();
+        assert_eq!(c, reparsed);
+        let topo = Topology::grid(5);
+        for strategy in [Strategy::QubitOnly, Strategy::Eqm, Strategy::Awe] {
+            let a = compile(&c, &topo, strategy, &config);
+            let b = compile(&reparsed, &topo, strategy, &config);
+            assert_eq!(a.metrics, b.metrics, "{strategy}");
+            assert_eq!(
+                format!("{:?}", a.schedule),
+                format!("{:?}", b.schedule),
+                "{strategy}"
+            );
+        }
+    }
+}
+
+#[test]
 fn random_circuits_equivalent_under_eqm() {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
