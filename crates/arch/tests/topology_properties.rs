@@ -77,6 +77,28 @@ proptest! {
     }
 
     #[test]
+    fn adjacency_sets_agree_with_edge_list(topo in arb_topology()) {
+        // `has_edge` now answers from per-node adjacency sets; it must
+        // agree with a literal scan of the normalized edge list for every
+        // node pair (including non-edges and out-of-range probes).
+        let n = topo.n_nodes();
+        let edge_scan = |a: usize, b: usize| {
+            topo.edges().contains(&(a.min(b), a.max(b)))
+        };
+        for a in 0..n.min(24) {
+            for b in 0..n.min(24) {
+                prop_assert_eq!(topo.has_edge(a, b), edge_scan(a, b), "pair ({}, {})", a, b);
+            }
+        }
+        // Degree bookkeeping: neighbor lists sum to twice the edge count.
+        let degree_sum: usize = (0..n).map(|v| topo.neighbors(v).len()).sum();
+        prop_assert_eq!(degree_sum, 2 * topo.n_edges());
+        // Out-of-range probes are never coupled.
+        prop_assert!(!topo.has_edge(n, 0));
+        prop_assert!(!topo.has_edge(0, n));
+    }
+
+    #[test]
     fn from_edges_is_idempotent_under_duplication(topo in arb_topology()) {
         // Feeding every edge again (in both orientations) must not change
         // the resulting topology.

@@ -2,9 +2,9 @@
 //! routing and full strategy pipelines (the paper discusses the classical
 //! scalability of EC vs the cheaper strategies, §5).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use qompress::{
-    compile, compile_with_options, run_batch, BatchJob, BatchRequest, CompilerConfig,
+    compile, compile_with_options, run_batch, BatchJob, BatchRequest, Compiler, CompilerConfig,
     MappingOptions, Strategy,
 };
 use qompress_arch::Topology;
@@ -104,11 +104,63 @@ fn bench_batch_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cached-vs-uncached recompilation of the same job: the session's
+/// content-addressed result cache must turn a repeat into a lookup that
+/// skips mapping, routing and scheduling entirely, so `cached_recompile`
+/// should run orders of magnitude faster than `uncached_recompile`.
+fn bench_result_cache(c: &mut Criterion) {
+    let circuit = build(Benchmark::Cuccaro, 16, 7);
+    let topo = Topology::grid(16);
+    let mut group = c.benchmark_group("result_cache");
+    group.sample_size(10);
+
+    let uncached = Compiler::builder().caching(false).build();
+    // Warm the topology registry so both variants measure (re)compilation,
+    // not first-touch graph construction.
+    let _ = uncached.compile(&circuit, &topo, Strategy::Eqm);
+    group.bench_function("uncached_recompile", |b| {
+        b.iter(|| uncached.compile(black_box(&circuit), &topo, Strategy::Eqm));
+    });
+
+    let cached = Compiler::builder().build();
+    let _ = cached.compile(&circuit, &topo, Strategy::Eqm);
+    group.bench_function("cached_recompile", |b| {
+        b.iter(|| cached.compile(black_box(&circuit), &topo, Strategy::Eqm));
+    });
+    group.finish();
+}
+
+/// Routing-hot-path adjacency probe: `Topology::has_edge` over every node
+/// pair of the 65-qubit heavy-hex device (the router queries it for every
+/// candidate two-unit op). The adjacency-set representation makes each
+/// probe `O(1)` instead of a scan of the 72-edge list.
+fn bench_has_edge(c: &mut Criterion) {
+    let topo = Topology::heavy_hex_65();
+    let n = topo.n_nodes();
+    let mut group = c.benchmark_group("topology_adjacency");
+    group.bench_function("has_edge_65x65", |b| {
+        b.iter(|| {
+            let mut coupled = 0usize;
+            for a in 0..n {
+                for v in 0..n {
+                    if topo.has_edge(black_box(a), black_box(v)) {
+                        coupled += 1;
+                    }
+                }
+            }
+            coupled
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_full_pipeline,
     bench_mapping_only,
     bench_strategy_search,
-    bench_batch_throughput
+    bench_batch_throughput,
+    bench_result_cache,
+    bench_has_edge
 );
 criterion_main!(benches);

@@ -2,25 +2,30 @@
 //!
 //! A [`BatchRequest`] carries a list of independent jobs — each a
 //! `(circuit, strategy, topology)` triple — and [`run_batch`] fans them
-//! over `std::thread::scope` workers. Distinct topologies are deduplicated
-//! into shared [`TopologyCache`]s behind `Arc`, so the expanded slot graph
-//! and the bare-encoding distance oracle are built once per topology
-//! instead of once per job, and Dijkstra rows computed by one worker serve
-//! every later job on the same device.
+//! over `std::thread::scope` workers via a one-shot [`crate::Compiler`]
+//! session. Distinct topologies are deduplicated into shared
+//! [`crate::TopologyCache`]s by structural fingerprint, so the expanded
+//! slot graph and the distance oracles are built once per topology instead
+//! of once per job, and repeated jobs are served out of the session's
+//! content-addressed result cache.
 //!
 //! Every individual compilation is deterministic, jobs never communicate,
 //! and results are stored at their input index — so the output is
 //! **identical for any worker count**, including the serial `workers = 1`
-//! run (pinned by `tests/batch_parallel.rs`).
+//! run (pinned by `tests/batch_parallel.rs`). Long-running services that
+//! submit many batches should hold one [`crate::Compiler`] and call
+//! [`crate::Compiler::compile_batch`] directly, so caches persist across
+//! requests; `run_batch` exists as the stateless convenience wrapper.
 
 use crate::config::CompilerConfig;
-use crate::pipeline::{CompilationResult, TopologyCache};
-use crate::strategies::{compile_cached, Strategy};
+use crate::pipeline::CompilationResult;
+use crate::result_cache::CacheStats;
+use crate::session::Compiler;
+use crate::strategies::Strategy;
 use qompress_arch::Topology;
 use qompress_circuit::Circuit;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// One independent compilation job.
 #[derive(Debug, Clone)]
@@ -76,6 +81,10 @@ impl BatchRequest {
 }
 
 /// The outcome of one job: its input label plus the compilation.
+///
+/// The result is behind an [`Arc`] because a session may serve the same
+/// compilation to several duplicate jobs from its result cache; field
+/// access works unchanged through deref.
 #[derive(Debug, Clone)]
 pub struct BatchJobResult {
     /// Label copied from the input job.
@@ -83,7 +92,7 @@ pub struct BatchJobResult {
     /// Position of the job in [`BatchRequest::jobs`].
     pub job_index: usize,
     /// The compiled circuit and its metrics.
-    pub result: CompilationResult,
+    pub result: Arc<CompilationResult>,
 }
 
 /// All results of a batch, in input order.
@@ -91,10 +100,13 @@ pub struct BatchJobResult {
 pub struct BatchResult {
     /// Per-job outcomes, `results[i]` belonging to `jobs[i]`.
     pub results: Vec<BatchJobResult>,
-    /// Number of distinct topologies (= shared caches built).
+    /// Number of distinct topology structures (= shared caches used).
     pub distinct_topologies: usize,
     /// Wall-clock time of the compilation phase.
     pub elapsed: Duration,
+    /// Result-cache activity attributable to this batch (all zeros when
+    /// the executing session has caching disabled).
+    pub cache: CacheStats,
 }
 
 impl BatchResult {
@@ -104,18 +116,25 @@ impl BatchResult {
     }
 
     /// Jobs per second over the compilation phase.
+    ///
+    /// Returns `0.0` for an empty batch or a sub-tick (zero-duration)
+    /// compilation phase — explicitly guarded so callers never see the
+    /// `inf`/`NaN` artifacts of float division.
     pub fn throughput(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
-        if secs > 0.0 {
-            self.results.len() as f64 / secs
+        if self.results.is_empty() || secs <= 0.0 {
+            0.0
         } else {
-            f64::INFINITY
+            self.results.len() as f64 / secs
         }
     }
 }
 
 /// Compiles every job of `request`, fanning over scoped worker threads.
 ///
+/// Stateless convenience wrapper: builds a one-shot [`Compiler`] session
+/// for `request.config` (with `0` workers meaning serial, matching the
+/// historical contract) and delegates to [`Compiler::compile_batch`].
 /// Workers pull job indices from a shared atomic counter, compile against
 /// the deduplicated per-topology caches, and write each result into its
 /// input slot — so the returned order (and content) is independent of
@@ -126,80 +145,11 @@ impl BatchResult {
 /// Panics if any job's compilation panics (e.g. a circuit too large for
 /// its topology); the panic propagates out of the thread scope.
 pub fn run_batch(request: &BatchRequest) -> BatchResult {
-    let caches = build_topology_caches(request);
-    let distinct_topologies = {
-        let mut seen: Vec<usize> = caches.iter().map(|c| Arc::as_ptr(c) as usize).collect();
-        seen.sort_unstable();
-        seen.dedup();
-        seen.len()
-    };
-
-    let n_jobs = request.jobs.len();
-    let workers = request.workers.max(1).min(n_jobs.max(1));
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<BatchJobResult>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
-
-    let started = Instant::now();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= n_jobs {
-                    break;
-                }
-                let job = &request.jobs[idx];
-                let result =
-                    compile_cached(&job.circuit, &caches[idx], job.strategy, &request.config);
-                *slots[idx].lock().expect("result slot poisoned") = Some(BatchJobResult {
-                    label: job.label.clone(),
-                    job_index: idx,
-                    result,
-                });
-            });
-        }
-    });
-    let elapsed = started.elapsed();
-
-    let results = slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every job index was claimed by a worker")
-        })
-        .collect();
-
-    BatchResult {
-        results,
-        distinct_topologies,
-        elapsed,
-    }
-}
-
-/// One shared cache per job, deduplicated across equal topologies.
-///
-/// Deduplication is by structural [`Topology`] equality; with `J` jobs and
-/// `T` distinct topologies this is an `O(J·T)` scan, which is negligible
-/// next to compilation.
-fn build_topology_caches(request: &BatchRequest) -> Vec<Arc<TopologyCache>> {
-    let mut distinct: Vec<(usize, Arc<TopologyCache>)> = Vec::new();
-    let mut per_job = Vec::with_capacity(request.jobs.len());
-    for (idx, job) in request.jobs.iter().enumerate() {
-        let found = distinct
-            .iter()
-            .find(|(first, _)| request.jobs[*first].topology == job.topology)
-            .map(|(_, cache)| Arc::clone(cache));
-        let cache = match found {
-            Some(cache) => cache,
-            None => {
-                let cache = Arc::new(TopologyCache::new(job.topology.clone(), &request.config));
-                distinct.push((idx, Arc::clone(&cache)));
-                cache
-            }
-        };
-        per_job.push(cache);
-    }
-    per_job
+    Compiler::builder()
+        .config(request.config.clone())
+        .workers(request.workers.max(1))
+        .build()
+        .compile_batch(&request.jobs)
 }
 
 #[cfg(test)]
@@ -253,12 +203,11 @@ mod tests {
     #[test]
     fn topologies_are_deduplicated() {
         let req = small_request(2);
-        let caches = build_topology_caches(&req);
-        let mut ptrs: Vec<usize> = caches.iter().map(|c| Arc::as_ptr(c) as usize).collect();
-        ptrs.sort_unstable();
-        ptrs.dedup();
-        assert_eq!(ptrs.len(), 2, "grid-5 and line-4 caches only");
-        assert_eq!(run_batch(&req).distinct_topologies, 2);
+        assert_eq!(
+            run_batch(&req).distinct_topologies,
+            2,
+            "grid-5 and line-4 caches only"
+        );
     }
 
     #[test]
@@ -286,5 +235,35 @@ mod tests {
         assert!(out.results.is_empty());
         assert_eq!(out.distinct_topologies, 0);
         assert_eq!(out.total_logical_gates(), 0);
+        assert_eq!(out.cache, CacheStats::default());
+    }
+
+    #[test]
+    fn throughput_guards_degenerate_batches() {
+        // Empty batch: no jobs, elapsed effectively zero.
+        let empty = run_batch(&BatchRequest::new(Vec::new(), 1));
+        assert_eq!(empty.throughput(), 0.0);
+
+        // Zero-duration phase with results present (constructed directly:
+        // a coarse clock can legitimately report 0 ns for a tiny batch).
+        let mut out = run_batch(&small_request(1));
+        out.elapsed = Duration::ZERO;
+        assert_eq!(out.throughput(), 0.0);
+
+        // Sanity: a real duration yields a finite positive rate.
+        out.elapsed = Duration::from_millis(500);
+        let rate = out.throughput();
+        assert!(rate.is_finite() && rate > 0.0);
+        assert!((rate - out.results.len() as f64 / 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_jobs_hit_the_cache() {
+        let mut jobs = small_request(1).jobs;
+        let dupes = jobs.clone();
+        jobs.extend(dupes);
+        let out = run_batch(&BatchRequest::new(jobs, 1));
+        assert_eq!(out.cache.misses, 6, "six distinct jobs");
+        assert_eq!(out.cache.hits, 6, "six exact repeats");
     }
 }

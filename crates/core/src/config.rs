@@ -1,5 +1,6 @@
 //! Compiler configuration.
 
+use qompress_arch::Fingerprinter;
 use qompress_pulse::GateLibrary;
 
 /// Tunable parameters of the Qompress pipeline.
@@ -73,6 +74,43 @@ impl CompilerConfig {
             ..self.clone()
         }
     }
+
+    /// A stable 64-bit content fingerprint over **every** field that can
+    /// influence a compilation: the full gate library (class names,
+    /// durations, fidelities in Table 1 order) and all numeric knobs.
+    /// Session caches key results on this value, so equal configurations
+    /// share cache entries across [`crate::Compiler`] calls and different
+    /// configurations can never collide into each other's results (up to
+    /// 64-bit hash collisions).
+    pub fn fingerprint(&self) -> u64 {
+        // Exhaustive destructuring (no `..`): adding a field to
+        // `CompilerConfig` fails to compile here until the fingerprint
+        // covers it, so the cache-key contract can never silently rot.
+        let CompilerConfig {
+            library,
+            t1_qubit_us,
+            t1_ratio,
+            lookahead,
+            lookahead_decay,
+            ququart_route_penalty,
+            seed,
+            max_router_steps_per_gate,
+        } = self;
+        let mut h = Fingerprinter::new();
+        for (class, spec) in library.iter() {
+            h.write_str(&class.to_string())
+                .write_f64(spec.duration_ns)
+                .write_f64(spec.fidelity);
+        }
+        h.write_f64(*t1_qubit_us)
+            .write_f64(*t1_ratio)
+            .write_usize(*lookahead)
+            .write_f64(*lookahead_decay)
+            .write_f64(*ququart_route_penalty)
+            .write_u64(*seed)
+            .write_usize(*max_router_steps_per_gate);
+        h.finish()
+    }
 }
 
 impl Default for CompilerConfig {
@@ -103,5 +141,22 @@ mod tests {
     #[test]
     fn default_is_paper() {
         assert_eq!(CompilerConfig::default(), CompilerConfig::paper());
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_knob() {
+        let base = CompilerConfig::paper();
+        assert_eq!(base.fingerprint(), CompilerConfig::paper().fingerprint());
+
+        let ratio = base.with_t1_ratio(1.5);
+        assert_ne!(base.fingerprint(), ratio.fingerprint());
+
+        let mut lookahead = base.clone();
+        lookahead.lookahead += 1;
+        assert_ne!(base.fingerprint(), lookahead.fingerprint());
+
+        let library =
+            base.with_library(qompress_pulse::GateLibrary::paper().with_qubit_error_improved(2.0));
+        assert_ne!(base.fingerprint(), library.fingerprint());
     }
 }

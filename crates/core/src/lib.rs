@@ -10,8 +10,15 @@
 //! exclusive physical units, and evaluates the Expected Probability of
 //! Success split into gate-fidelity and coherence components.
 //!
+//! The blessed entry path is a [`Compiler`] session: it owns the
+//! configuration, deduplicates per-topology precomputation across calls,
+//! and memoizes repeated compilations in a content-addressed result cache
+//! (see [`CacheStats`]). The free functions ([`compile`],
+//! [`compile_with_options`], [`run_batch`], …) remain as thin
+//! compatibility wrappers over one-shot sessions.
+//!
 //! ```
-//! use qompress::{compile, CompilerConfig, Strategy};
+//! use qompress::{Compiler, Strategy};
 //! use qompress_arch::Topology;
 //! use qompress_circuit::{Circuit, Gate};
 //!
@@ -23,12 +30,16 @@
 //! }
 //! c.push(Gate::cx(1, 2));
 //!
+//! let session = Compiler::builder().build(); // paper config, caching on
 //! let topo = Topology::grid(3);
-//! let config = CompilerConfig::paper();
-//! let baseline = compile(&c, &topo, Strategy::QubitOnly, &config);
-//! let eqm = compile(&c, &topo, Strategy::Eqm, &config);
+//! let baseline = session.compile(&c, &topo, Strategy::QubitOnly);
+//! let eqm = session.compile(&c, &topo, Strategy::Eqm);
 //! // Compressing the hot pair turns CX2 gates into internal CXs.
 //! assert!(eqm.metrics.gate_eps >= baseline.metrics.gate_eps);
+//! // Recompiling either job is now a cache hit.
+//! let again = session.compile(&c, &topo, Strategy::Eqm);
+//! assert_eq!(again.metrics, eqm.metrics);
+//! assert_eq!(session.cache_stats().hits, 1);
 //! ```
 
 #![warn(missing_docs)]
@@ -42,8 +53,10 @@ mod mapping;
 mod metrics;
 mod physical;
 mod pipeline;
+mod result_cache;
 mod routing;
 mod scheduling;
+mod session;
 mod strategies;
 mod timeline;
 
@@ -57,8 +70,10 @@ pub use physical::{swap4_moves, PhysicalOp, Schedule, ScheduledOp};
 pub use pipeline::{
     compile_with_options, compile_with_options_cached, CompilationResult, TopologyCache,
 };
+pub use result_cache::CacheStats;
 pub use routing::{route, route_cached};
 pub use scheduling::{merge_singles, schedule_ops, trace_coherence, CoherenceTrace};
+pub use session::{Compiler, CompilerBuilder};
 pub use strategies::{
     compile, compile_cached, compile_exhaustive, compile_exhaustive_cached, EcObjective,
     ExhaustiveOptions, ExhaustiveStep, Strategy, ALL_STRATEGIES,

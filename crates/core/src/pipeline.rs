@@ -21,21 +21,49 @@ use qompress_circuit::{Circuit, CircuitDag};
 use std::fmt;
 use std::sync::Arc;
 
+/// Upper bound on distinct encoded-signature oracles one [`TopologyCache`]
+/// retains. Beyond it, oracles are still built on demand but no longer
+/// memoized — a safety valve for adversarial workloads (e.g. an exhaustive
+/// search over a huge device) rather than a limit real sweeps hit.
+const MAX_ENCODED_ORACLES: usize = 128;
+
 /// Immutable per-topology precomputation, shared across compilations.
 ///
-/// Building the expanded slot graph and the bare-encoding distance oracle
-/// is pure topology+config work; batches that compile many jobs on the
-/// same device reuse one cache behind an [`Arc`] instead of redoing it per
-/// job (see [`crate::run_batch`]). The bare oracle fills lazily on the
-/// first compilation that routes an unencoded layout, so encoded-layout
-/// jobs (and single-shot compiles through the plain entry points) never
-/// pay for it.
-#[derive(Debug, Clone)]
+/// Building the expanded slot graph and the distance oracles is pure
+/// topology+config work; batches that compile many jobs on the same device
+/// reuse one cache behind an [`Arc`] instead of redoing it per job (see
+/// [`crate::Compiler`]). The bare-encoding oracle fills lazily on the
+/// first compilation that routes an unencoded layout; encoded layouts are
+/// served from a per-**encoding-signature** oracle map (the signature is
+/// the per-unit encoded-flag vector — the only layout state the oracle's
+/// edge weights depend on), so jobs whose layouts encode the same unit set
+/// stop rebuilding their oracle.
+#[derive(Debug)]
 pub struct TopologyCache {
     expanded: Arc<ExpandedGraph>,
-    /// The configuration the cache (and its lazy oracle) is bound to.
+    /// The configuration the cache (and its lazy oracles) is bound to.
     config: CompilerConfig,
     bare_oracle: std::sync::OnceLock<Arc<DistanceOracle>>,
+    /// Oracles keyed by encoded-flag signature, for layouts with at least
+    /// one encoded unit.
+    encoded_oracles: std::sync::Mutex<std::collections::HashMap<Vec<bool>, Arc<DistanceOracle>>>,
+}
+
+impl Clone for TopologyCache {
+    /// Clones the shared structures; already-memoized oracles ride along.
+    fn clone(&self) -> Self {
+        TopologyCache {
+            expanded: Arc::clone(&self.expanded),
+            config: self.config.clone(),
+            bare_oracle: self.bare_oracle.clone(),
+            encoded_oracles: std::sync::Mutex::new(
+                self.encoded_oracles
+                    .lock()
+                    .expect("oracle map poisoned")
+                    .clone(),
+            ),
+        }
+    }
 }
 
 impl TopologyCache {
@@ -45,6 +73,7 @@ impl TopologyCache {
             expanded: Arc::new(ExpandedGraph::new(topo)),
             config: config.clone(),
             bare_oracle: std::sync::OnceLock::new(),
+            encoded_oracles: std::sync::Mutex::new(std::collections::HashMap::new()),
         }
     }
 
@@ -64,6 +93,39 @@ impl TopologyCache {
     pub fn bare_oracle(&self) -> &Arc<DistanceOracle> {
         self.bare_oracle
             .get_or_init(|| Arc::new(DistanceOracle::bare(&self.expanded, &self.config)))
+    }
+
+    /// The distance oracle for `layout`'s encoding state, shared across
+    /// every compilation whose layout encodes the same unit set.
+    ///
+    /// Oracle edge weights depend only on the per-unit encoded flags (not
+    /// on which qubit occupies which slot), so the flag vector is a
+    /// complete cache signature. All-bare layouts reuse the
+    /// [`TopologyCache::bare_oracle`]; encoded signatures land in a bounded
+    /// map (beyond `MAX_ENCODED_ORACLES` entries the oracle is built fresh and
+    /// not retained).
+    pub fn oracle_for(&self, layout: &Layout) -> Arc<DistanceOracle> {
+        if !layout.encoded_flags().iter().any(|&e| e) {
+            return Arc::clone(self.bare_oracle());
+        }
+        let signature = layout.encoded_flags().to_vec();
+        let mut map = self.encoded_oracles.lock().expect("oracle map poisoned");
+        if let Some(oracle) = map.get(&signature) {
+            return Arc::clone(oracle);
+        }
+        let oracle = Arc::new(DistanceOracle::new(&self.expanded, layout, &self.config));
+        if map.len() < MAX_ENCODED_ORACLES {
+            map.insert(signature, Arc::clone(&oracle));
+        }
+        oracle
+    }
+
+    /// Number of memoized encoded-signature oracles (diagnostics/tests).
+    pub fn encoded_oracle_count(&self) -> usize {
+        self.encoded_oracles
+            .lock()
+            .expect("oracle map poisoned")
+            .len()
     }
 }
 
@@ -126,19 +188,22 @@ impl fmt::Display for CompilationResult {
 /// Compiles `circuit` onto `topo` with explicit mapping options.
 ///
 /// This is the single pipeline all strategies share; only the pair
-/// selection differs between them.
+/// selection differs between them. Compatibility wrapper over a one-shot
+/// [`crate::Compiler`] session (caching off); callers that compile more
+/// than once should hold a session and use
+/// [`crate::Compiler::compile_with_options`].
 pub fn compile_with_options(
     circuit: &Circuit,
     topo: &Topology,
     config: &CompilerConfig,
     options: &MappingOptions,
 ) -> CompilationResult {
-    compile_with_options_cached(
-        circuit,
-        &TopologyCache::new(topo.clone(), config),
-        config,
-        options,
-    )
+    let session = crate::session::Compiler::builder()
+        .config(config.clone())
+        .caching(false)
+        .build();
+    let result = session.compile_with_options(circuit, topo, options);
+    Arc::try_unwrap(result).unwrap_or_else(|arc| (*arc).clone())
 }
 
 /// [`compile_with_options`] against a pre-built [`TopologyCache`], reusing

@@ -40,10 +40,11 @@ pub fn route(
 
 /// [`route`] against a shared [`TopologyCache`].
 ///
-/// Reuses the cache's expanded graph, and — when the mapped layout encodes
-/// no unit (qubit-only compilations) — its bare distance oracle, so the
-/// Dijkstra rows computed by one job serve every later job on the same
-/// topology.
+/// Reuses the cache's expanded graph and its per-encoding-signature
+/// distance oracles ([`TopologyCache::oracle_for`]): qubit-only layouts
+/// share the bare oracle, and encoded layouts share one oracle per
+/// encoded-unit set — so the Dijkstra rows computed by one job serve every
+/// later job on the same topology with the same encodings.
 pub fn route_cached(
     circuit: &Circuit,
     dag: &CircuitDag,
@@ -51,12 +52,7 @@ pub fn route_cached(
     cache: &TopologyCache,
     config: &CompilerConfig,
 ) -> Vec<PhysicalOp> {
-    let oracle = if layout.encoded_flags().iter().any(|&e| e) {
-        // Encoded units change edge costs; the bare oracle does not apply.
-        Arc::new(DistanceOracle::new(cache.expanded(), layout, config))
-    } else {
-        Arc::clone(cache.bare_oracle())
-    };
+    let oracle = cache.oracle_for(layout);
     Router::new(circuit, dag, layout, cache.expanded(), oracle, config).run()
 }
 

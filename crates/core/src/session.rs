@@ -1,0 +1,591 @@
+//! The `Compiler` session: the one blessed entry path into the pipeline.
+//!
+//! A [`Compiler`] owns everything that is worth keeping *between*
+//! compilations:
+//!
+//! * a **topology registry** keyed by
+//!   [`Topology::structural_fingerprint`], deduplicating
+//!   [`TopologyCache`] construction (expanded slot graph, distance
+//!   oracles) across every call on the session — not just within one
+//!   batch;
+//! * a **content-addressed LRU result cache** keyed by `(circuit hash,
+//!   job kind, topology fingerprint, config fingerprint)` with exact
+//!   [`CacheStats`]; a hit is byte-identical to a fresh compile because
+//!   the pipeline is deterministic in exactly those inputs (pinned by the
+//!   session test-suite, and checkable per-hit via
+//!   [`CompilerBuilder::verify_hits`]);
+//! * the worker pool configuration for [`Compiler::compile_batch`].
+//!
+//! The paper's evaluation (§6) and its precursor communication/compression
+//! trade-off study recompile near-identical `(circuit, strategy,
+//! topology)` jobs across large sweeps; a session turns every repeat into
+//! a cache hit.
+//!
+//! ```
+//! use qompress::{Compiler, Strategy};
+//! use qompress_arch::Topology;
+//! use qompress_circuit::{Circuit, Gate};
+//!
+//! let mut c = Circuit::new(3);
+//! c.push(Gate::h(0));
+//! c.push(Gate::cx(0, 1));
+//!
+//! let session = Compiler::builder().build();
+//! let topo = Topology::grid(3);
+//! let first = session.compile(&c, &topo, Strategy::Eqm);
+//! let again = session.compile(&c, &topo, Strategy::Eqm); // cache hit
+//! assert_eq!(first.metrics, again.metrics);
+//! assert_eq!(session.cache_stats().hits, 1);
+//! ```
+
+use crate::batch::{BatchJob, BatchJobResult, BatchResult};
+use crate::config::CompilerConfig;
+use crate::mapping::MappingOptions;
+use crate::pipeline::{compile_with_options_cached, CompilationResult, TopologyCache};
+use crate::result_cache::{CacheKey, CacheStats, ResultCache};
+use crate::strategies::{compile_cached, Strategy};
+use qompress_arch::Topology;
+use qompress_circuit::Circuit;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default bound on memoized compilation results per session.
+const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// Bound on registered topology structures per session. A `TopologyCache`
+/// holds the expanded slot graph plus lazily-filled Dijkstra state, so a
+/// long-lived session serving arbitrarily many distinct device structures
+/// must not grow without limit; beyond the bound the oldest registration
+/// is dropped (outstanding `Arc`s stay valid, the structure just rebuilds
+/// on its next use). Real sweeps use a handful of devices and never hit
+/// this.
+const MAX_REGISTERED_TOPOLOGIES: usize = 64;
+
+/// The session's topology registry: fingerprint-keyed caches plus
+/// insertion order for deterministic oldest-first eviction at the bound.
+#[derive(Debug, Default)]
+struct TopologyRegistry {
+    map: HashMap<u64, Arc<TopologyCache>>,
+    order: std::collections::VecDeque<u64>,
+}
+
+/// Configures and builds a [`Compiler`] session.
+///
+/// Obtained from [`Compiler::builder`]; every knob has a production
+/// default, so `Compiler::builder().build()` is a fully working session.
+#[derive(Debug, Clone)]
+pub struct CompilerBuilder {
+    config: CompilerConfig,
+    workers: usize,
+    cache_capacity: usize,
+    caching: bool,
+    verify_hits: bool,
+}
+
+impl CompilerBuilder {
+    /// Sets the compiler configuration (default:
+    /// [`CompilerConfig::paper`]).
+    pub fn config(mut self, config: CompilerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the worker-thread count for [`Compiler::compile_batch`].
+    /// `0` (the default) autodetects the machine's available parallelism;
+    /// `1` forces serial execution.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the result-cache capacity in entries (default: 256). `0`
+    /// disables caching entirely, like `caching(false)`.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Enables or disables the result cache (default: enabled).
+    pub fn caching(mut self, enabled: bool) -> Self {
+        self.caching = enabled;
+        self
+    }
+
+    /// When enabled, every cache hit is re-compiled from scratch and the
+    /// two results are asserted byte-identical (`Debug`-rendering
+    /// comparison) before the hit is served — the cache's proof obligation
+    /// as a runtime check. This removes the entire speedup, so it is meant
+    /// for tests and audits, not production (default: disabled).
+    ///
+    /// With it on, a divergent hit panics instead of silently returning a
+    /// stale or collided entry.
+    pub fn verify_hits(mut self, enabled: bool) -> Self {
+        self.verify_hits = enabled;
+        self
+    }
+
+    /// Builds the session.
+    pub fn build(self) -> Compiler {
+        let workers = if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.workers
+        };
+        let cache = (self.caching && self.cache_capacity > 0)
+            .then(|| Mutex::new(ResultCache::new(self.cache_capacity)));
+        Compiler {
+            config_fp: self.config.fingerprint(),
+            config: self.config,
+            workers,
+            verify_hits: self.verify_hits,
+            topologies: Mutex::new(TopologyRegistry::default()),
+            cache,
+        }
+    }
+}
+
+impl Default for CompilerBuilder {
+    fn default() -> Self {
+        CompilerBuilder {
+            config: CompilerConfig::paper(),
+            workers: 0,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            caching: true,
+            verify_hits: false,
+        }
+    }
+}
+
+/// A compilation session owning shared state across compilations: the
+/// configuration, the per-topology precomputation registry, and the
+/// content-addressed result cache.
+///
+/// All methods take `&self`; the session is `Sync` and can be shared
+/// across threads (its own [`Compiler::compile_batch`] workers do exactly
+/// that). See the crate-level docs for the full story and an example.
+#[derive(Debug)]
+pub struct Compiler {
+    config: CompilerConfig,
+    config_fp: u64,
+    workers: usize,
+    verify_hits: bool,
+    topologies: Mutex<TopologyRegistry>,
+    cache: Option<Mutex<ResultCache>>,
+}
+
+impl Compiler {
+    /// Starts building a session.
+    pub fn builder() -> CompilerBuilder {
+        CompilerBuilder::default()
+    }
+
+    /// A default session: paper configuration, autodetected workers,
+    /// caching on.
+    pub fn new() -> Self {
+        Compiler::builder().build()
+    }
+
+    /// A session over `config` with every other knob at its default.
+    pub fn with_config(config: &CompilerConfig) -> Self {
+        Compiler::builder().config(config.clone()).build()
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &CompilerConfig {
+        &self.config
+    }
+
+    /// The session's worker-thread count for batches.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Compiles `circuit` onto `topo` with `strategy`, serving repeats
+    /// from the result cache.
+    pub fn compile(
+        &self,
+        circuit: &Circuit,
+        topo: &Topology,
+        strategy: Strategy,
+    ) -> Arc<CompilationResult> {
+        let topo_fp = topo.structural_fingerprint();
+        let tcache = self.topology_cache_by_fp(topo_fp, topo);
+        let key = CacheKey::for_strategy(circuit, strategy, topo_fp, self.config_fp);
+        self.memoized(key, || {
+            Arc::new(compile_cached(circuit, &tcache, strategy, &self.config))
+        })
+    }
+
+    /// Compiles `circuit` onto `topo` with explicit [`MappingOptions`]
+    /// (the options-level pipeline entry), serving repeats from the
+    /// result cache.
+    pub fn compile_with_options(
+        &self,
+        circuit: &Circuit,
+        topo: &Topology,
+        options: &MappingOptions,
+    ) -> Arc<CompilationResult> {
+        let topo_fp = topo.structural_fingerprint();
+        let tcache = self.topology_cache_by_fp(topo_fp, topo);
+        let key = CacheKey::for_options(circuit, options, topo_fp, self.config_fp);
+        self.memoized(key, || {
+            Arc::new(compile_with_options_cached(
+                circuit,
+                &tcache,
+                &self.config,
+                options,
+            ))
+        })
+    }
+
+    /// Compiles every job of `jobs`, fanning over the session's worker
+    /// threads and serving repeats (within this batch *and* from earlier
+    /// session work) out of the result cache.
+    ///
+    /// Results come back in input order and are byte-identical for any
+    /// worker count; [`BatchResult::cache`] reports the cache activity of
+    /// this batch alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job's compilation panics (e.g. a circuit too large
+    /// for its topology); the panic propagates out of the thread scope.
+    pub fn compile_batch(&self, jobs: &[BatchJob]) -> BatchResult {
+        let stats_before = self.cache_stats();
+        let per_job: Vec<(u64, Arc<TopologyCache>)> = jobs
+            .iter()
+            .map(|job| {
+                let fp = job.topology.structural_fingerprint();
+                (fp, self.topology_cache_by_fp(fp, &job.topology))
+            })
+            .collect();
+        let distinct_topologies = {
+            let mut fps: Vec<u64> = per_job.iter().map(|(fp, _)| *fp).collect();
+            fps.sort_unstable();
+            fps.dedup();
+            fps.len()
+        };
+
+        let n_jobs = jobs.len();
+        let workers = self.workers.max(1).min(n_jobs.max(1));
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<BatchJobResult>>> =
+            (0..n_jobs).map(|_| Mutex::new(None)).collect();
+
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= n_jobs {
+                        break;
+                    }
+                    let job = &jobs[idx];
+                    let (topo_fp, tcache) = &per_job[idx];
+                    let key = CacheKey::for_strategy(
+                        &job.circuit,
+                        job.strategy,
+                        *topo_fp,
+                        self.config_fp,
+                    );
+                    let result = self.memoized(key, || {
+                        Arc::new(compile_cached(
+                            &job.circuit,
+                            tcache,
+                            job.strategy,
+                            &self.config,
+                        ))
+                    });
+                    *slots[idx].lock().expect("result slot poisoned") = Some(BatchJobResult {
+                        label: job.label.clone(),
+                        job_index: idx,
+                        result,
+                    });
+                });
+            }
+        });
+        let elapsed = started.elapsed();
+
+        let results = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every job index was claimed by a worker")
+            })
+            .collect();
+
+        let after = self.cache_stats();
+        BatchResult {
+            results,
+            distinct_topologies,
+            elapsed,
+            // Saturating: a concurrent `clear_cache` between the two
+            // snapshots resets the counters, which would otherwise
+            // underflow the delta.
+            cache: CacheStats {
+                hits: after.hits.saturating_sub(stats_before.hits),
+                misses: after.misses.saturating_sub(stats_before.misses),
+                evictions: after.evictions.saturating_sub(stats_before.evictions),
+            },
+        }
+    }
+
+    /// The shared [`TopologyCache`] for `topo`, building it on first use
+    /// and deduplicating by structural fingerprint across every session
+    /// call (two same-structure topologies share one cache regardless of
+    /// name). The registry holds at most `MAX_REGISTERED_TOPOLOGIES`
+    /// structures; beyond that the oldest registration is dropped (in-use
+    /// `Arc`s stay valid).
+    pub fn topology_cache(&self, topo: &Topology) -> Arc<TopologyCache> {
+        self.topology_cache_by_fp(topo.structural_fingerprint(), topo)
+    }
+
+    fn topology_cache_by_fp(&self, topo_fp: u64, topo: &Topology) -> Arc<TopologyCache> {
+        let mut registry = self.topologies.lock().expect("topology registry poisoned");
+        if let Some(cache) = registry.map.get(&topo_fp) {
+            return Arc::clone(cache);
+        }
+        if registry.map.len() >= MAX_REGISTERED_TOPOLOGIES {
+            if let Some(oldest) = registry.order.pop_front() {
+                registry.map.remove(&oldest);
+            }
+        }
+        let cache = Arc::new(TopologyCache::new(topo.clone(), &self.config));
+        registry.map.insert(topo_fp, Arc::clone(&cache));
+        registry.order.push_back(topo_fp);
+        cache
+    }
+
+    /// Number of distinct topology structures registered so far.
+    pub fn registered_topologies(&self) -> usize {
+        self.topologies
+            .lock()
+            .expect("topology registry poisoned")
+            .map
+            .len()
+    }
+
+    /// Cumulative cache counters (all zeros when caching is disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
+            .as_ref()
+            .map(|c| c.lock().expect("result cache poisoned").stats())
+            .unwrap_or_default()
+    }
+
+    /// Number of results currently held by the cache.
+    pub fn cached_results(&self) -> usize {
+        self.cache
+            .as_ref()
+            .map(|c| c.lock().expect("result cache poisoned").len())
+            .unwrap_or(0)
+    }
+
+    /// Returns `true` when the session memoizes results.
+    pub fn caching_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Drops every cached result and resets the counters (the topology
+    /// registry is kept — it is pure precomputation, never stale).
+    pub fn clear_cache(&self) {
+        if let Some(c) = &self.cache {
+            c.lock().expect("result cache poisoned").clear();
+        }
+    }
+
+    /// Serves `key` from the cache or compiles via `fresh`, inserting the
+    /// result. The cache lock is *not* held while compiling, so parallel
+    /// batch workers never serialize on the pipeline; two workers racing
+    /// on the same key both compile and the (identical) results overwrite
+    /// harmlessly.
+    fn memoized(
+        &self,
+        key: CacheKey,
+        fresh: impl FnOnce() -> Arc<CompilationResult>,
+    ) -> Arc<CompilationResult> {
+        let Some(cache) = &self.cache else {
+            return fresh();
+        };
+        if let Some(hit) = cache.lock().expect("result cache poisoned").get(&key) {
+            if self.verify_hits {
+                let recompiled = fresh();
+                assert_eq!(
+                    format!("{:?}", *hit),
+                    format!("{:?}", *recompiled),
+                    "result-cache hit diverged from a fresh compile — \
+                     content fingerprint collision or nondeterministic pipeline"
+                );
+            }
+            return hit;
+        }
+        let result = fresh();
+        cache
+            .lock()
+            .expect("result cache poisoned")
+            .insert(key, Arc::clone(&result));
+        result
+    }
+}
+
+impl Default for Compiler {
+    fn default() -> Self {
+        Compiler::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qompress_circuit::Gate;
+
+    fn ghz(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.push(Gate::h(0));
+        for i in 0..n - 1 {
+            c.push(Gate::cx(i, i + 1));
+        }
+        c
+    }
+
+    #[test]
+    fn repeat_compile_hits_and_matches() {
+        let session = Compiler::builder().verify_hits(true).build();
+        let c = ghz(5);
+        let topo = Topology::grid(5);
+        let first = session.compile(&c, &topo, Strategy::Eqm);
+        let again = session.compile(&c, &topo, Strategy::Eqm);
+        assert!(Arc::ptr_eq(&first, &again), "hit must serve the cached Arc");
+        let stats = session.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn hit_equals_uncached_compile() {
+        let cached = Compiler::builder().build();
+        let uncached = Compiler::builder().caching(false).build();
+        let c = ghz(4);
+        let topo = Topology::grid(4);
+        for strategy in [Strategy::QubitOnly, Strategy::Eqm, Strategy::RingBased] {
+            let _warm = cached.compile(&c, &topo, strategy);
+            let hit = cached.compile(&c, &topo, strategy);
+            let fresh = uncached.compile(&c, &topo, strategy);
+            assert_eq!(format!("{:?}", *hit), format!("{:?}", *fresh), "{strategy}");
+        }
+        assert_eq!(uncached.cache_stats(), CacheStats::default());
+        assert_eq!(uncached.cached_results(), 0);
+    }
+
+    #[test]
+    fn distinct_jobs_do_not_collide() {
+        let session = Compiler::new();
+        let c = ghz(4);
+        let topo = Topology::grid(4);
+        let eqm = session.compile(&c, &topo, Strategy::Eqm);
+        let qubit_only = session.compile(&c, &topo, Strategy::QubitOnly);
+        assert_ne!(eqm.strategy, qubit_only.strategy);
+        // Options-level entry is keyed separately from the strategy entry.
+        let opts = session.compile_with_options(&c, &topo, &MappingOptions::eqm());
+        assert_eq!(opts.strategy, String::new());
+        assert_eq!(session.cache_stats().hits, 0);
+        assert_eq!(session.cache_stats().misses, 3);
+    }
+
+    #[test]
+    fn topology_registry_dedupes_across_calls_and_names() {
+        let session = Compiler::new();
+        let a = session.topology_cache(&Topology::grid(5));
+        let b = session.topology_cache(&Topology::grid(5));
+        assert!(Arc::ptr_eq(&a, &b));
+        // Same structure under another name shares the cache.
+        let renamed = Topology::from_edges(
+            "renamed",
+            Topology::grid(5).n_nodes(),
+            Topology::grid(5).edges().to_vec(),
+        );
+        let c = session.topology_cache(&renamed);
+        assert!(Arc::ptr_eq(&a, &c));
+        assert_eq!(session.registered_topologies(), 1);
+        let _ = session.topology_cache(&Topology::line(4));
+        assert_eq!(session.registered_topologies(), 2);
+    }
+
+    #[test]
+    fn config_changes_key_space() {
+        let paper = Compiler::new();
+        let swept = Compiler::with_config(&CompilerConfig::paper().with_t1_ratio(1.5));
+        let c = ghz(4);
+        let topo = Topology::grid(4);
+        let a = paper.compile(&c, &topo, Strategy::Eqm);
+        let b = swept.compile(&c, &topo, Strategy::Eqm);
+        // Different coherence model => different metrics; each session
+        // missed once (separate caches, separate key spaces).
+        assert_ne!(a.metrics.coherence_eps, b.metrics.coherence_eps);
+        assert_eq!(paper.cache_stats().misses, 1);
+        assert_eq!(swept.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn clear_cache_forgets_results_but_keeps_topologies() {
+        let session = Compiler::new();
+        let c = ghz(4);
+        let topo = Topology::grid(4);
+        let _ = session.compile(&c, &topo, Strategy::Eqm);
+        assert_eq!(session.cached_results(), 1);
+        session.clear_cache();
+        assert_eq!(session.cached_results(), 0);
+        assert_eq!(session.cache_stats(), CacheStats::default());
+        assert_eq!(session.registered_topologies(), 1);
+        let _ = session.compile(&c, &topo, Strategy::Eqm);
+        assert_eq!(session.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn capacity_bound_evicts() {
+        let session = Compiler::builder().cache_capacity(2).build();
+        let topo = Topology::grid(4);
+        for strategy in [Strategy::QubitOnly, Strategy::Eqm, Strategy::RingBased] {
+            let _ = session.compile(&ghz(4), &topo, strategy);
+        }
+        assert_eq!(session.cached_results(), 2);
+        assert_eq!(session.cache_stats().evictions, 1);
+    }
+
+    #[test]
+    fn topology_registry_is_bounded() {
+        let session = Compiler::builder().caching(false).build();
+        for n in 1..=(MAX_REGISTERED_TOPOLOGIES + 8) {
+            let _ = session.topology_cache(&Topology::line(n));
+        }
+        assert_eq!(
+            session.registered_topologies(),
+            MAX_REGISTERED_TOPOLOGIES,
+            "registry must evict oldest-first at the bound"
+        );
+        // The newest structure survived eviction and still dedupes.
+        let newest = Topology::line(MAX_REGISTERED_TOPOLOGIES + 8);
+        let a = session.topology_cache(&newest);
+        let b = session.topology_cache(&newest);
+        assert!(Arc::ptr_eq(&a, &b));
+        // The oldest was evicted; re-requesting it simply rebuilds.
+        let rebuilt = session.topology_cache(&Topology::line(1));
+        assert_eq!(rebuilt.topology().n_nodes(), 1);
+    }
+
+    #[test]
+    fn workers_autodetect_and_override() {
+        assert!(Compiler::builder().build().workers() >= 1);
+        assert_eq!(Compiler::builder().workers(3).build().workers(), 3);
+        assert!(Compiler::builder().caching(false).build().cache.is_none());
+        assert!(Compiler::builder()
+            .cache_capacity(0)
+            .build()
+            .cache
+            .is_none());
+    }
+}

@@ -75,6 +75,12 @@ impl std::fmt::Display for Strategy {
 
 /// Compiles `circuit` onto `topo` with the chosen strategy.
 ///
+/// Compatibility wrapper over a one-shot [`crate::Compiler`] session (with
+/// caching off — a single compile has nothing to reuse). Callers that
+/// compile more than once should hold a session and use
+/// [`crate::Compiler::compile`], which deduplicates per-topology
+/// precomputation and memoizes repeated jobs.
+///
 /// ```no_run
 /// use qompress::{compile, CompilerConfig, Strategy};
 /// use qompress_arch::Topology;
@@ -92,12 +98,12 @@ pub fn compile(
     strategy: Strategy,
     config: &CompilerConfig,
 ) -> CompilationResult {
-    compile_cached(
-        circuit,
-        &TopologyCache::new(topo.clone(), config),
-        strategy,
-        config,
-    )
+    let session = crate::session::Compiler::builder()
+        .config(config.clone())
+        .caching(false)
+        .build();
+    let result = session.compile(circuit, topo, strategy);
+    std::sync::Arc::try_unwrap(result).unwrap_or_else(|arc| (*arc).clone())
 }
 
 /// [`compile`] against a pre-built [`TopologyCache`], so batches share the

@@ -12,7 +12,6 @@ use crate::mapping::{map_circuit, MappingOptions};
 use crate::pipeline::TopologyCache;
 use qompress_arch::Slot;
 use qompress_circuit::{Circuit, InteractionGraph};
-use std::sync::Arc;
 
 /// Minimum estimated-fidelity gain to accept another pair.
 const MIN_GAIN: f64 = 1e-9;
@@ -20,7 +19,9 @@ const MIN_GAIN: f64 = 1e-9;
 /// Selects compression pairs for `circuit` against a shared
 /// [`TopologyCache`]. The first iteration (no pairs committed yet) maps an
 /// all-bare layout, so it reuses the cache's bare oracle; later iterations
-/// rebuild for their encodings.
+/// fetch the oracle for their encoded-unit signature from the cache's
+/// per-signature map ([`TopologyCache::oracle_for`]), sharing it with any
+/// other job that encodes the same units.
 pub fn find_pairs_cached(
     circuit: &Circuit,
     cache: &TopologyCache,
@@ -38,11 +39,7 @@ pub fn find_pairs_cached(
             config,
             &MappingOptions::with_pairs(pairs.clone()),
         );
-        let oracle = if layout.encoded_flags().iter().any(|&e| e) {
-            Arc::new(DistanceOracle::new(cache.expanded(), &layout, config))
-        } else {
-            Arc::clone(cache.bare_oracle())
-        };
+        let oracle = cache.oracle_for(&layout);
         let in_pair = |q: usize| pairs.iter().any(|&(a, b)| a == q || b == q);
 
         // Estimated score: Σ w(i,j) · S(path between current homes).

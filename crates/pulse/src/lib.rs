@@ -3,7 +3,7 @@
 //! The device-physics substrate of the Qompress reproduction: the paper's
 //! two-transmon Hamiltonian (Eq. 3), a GRAPE-style quantum optimal control
 //! optimizer standing in for Juqbox, the incremental duration-minimization
-//! search of [39], and the canonical [`GateLibrary`] carrying Table 1's
+//! search of \[39\], and the canonical [`GateLibrary`] carrying Table 1's
 //! pulse durations and fidelity targets.
 //!
 //! The compiler consumes only [`GateClass`] and [`GateLibrary`]; the

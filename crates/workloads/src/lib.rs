@@ -48,15 +48,15 @@ pub fn random_sized(size: usize, seed: u64) -> Circuit {
 /// The benchmark family identifiers used across the evaluation harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Benchmark {
-    /// Cuccaro ripple-carry adder [15].
+    /// Cuccaro ripple-carry adder \[15\].
     Cuccaro,
-    /// Generalized Toffoli / CNU [6].
+    /// Generalized Toffoli / CNU \[6\].
     Cnu,
-    /// Bucket-brigade QRAM [21].
+    /// Bucket-brigade QRAM \[21\].
     Qram,
-    /// Bernstein–Vazirani [7].
+    /// Bernstein–Vazirani \[7\].
     Bv,
-    /// QAOA on a random graph with 30% edge density [16].
+    /// QAOA on a random graph with 30% edge density \[16\].
     QaoaRandom,
     /// QAOA on a cylinder graph (Figure 6a).
     QaoaCylinder,

@@ -6,7 +6,7 @@
 //! cargo run --release --example adder_compression [bits]
 //! ```
 
-use qompress::{compile, CompilerConfig, ALL_STRATEGIES};
+use qompress::{Compiler, ALL_STRATEGIES};
 use qompress_arch::Topology;
 use qompress_pulse::GateClass;
 use qompress_workloads::cuccaro_adder;
@@ -18,7 +18,9 @@ fn main() {
         .unwrap_or(5);
     let circuit = cuccaro_adder(bits);
     let topology = Topology::grid(circuit.n_qubits());
-    let config = CompilerConfig::paper();
+    // One session for the whole strategy table: the expanded graph and
+    // distance oracles are built once and shared by all seven compiles.
+    let session = Compiler::builder().build();
 
     println!(
         "{}-bit Cuccaro adder: {} qubits, {} gates ({} two-qubit)",
@@ -34,7 +36,7 @@ fn main() {
     );
 
     for strategy in ALL_STRATEGIES {
-        let r = compile(&circuit, &topology, strategy, &config);
+        let r = session.compile(&circuit, &topology, strategy);
         let internal = r.metrics.count(GateClass::Cx0) + r.metrics.count(GateClass::Cx1);
         println!(
             "{:<14}{:>10.4}{:>12.4}{:>12.4}{:>12.0}{:>8}{:>10}{:>8}",

@@ -1,17 +1,20 @@
-//! Runs a strategy × benchmark × topology sweep through the parallel batch
-//! engine and emits per-job JSON metrics to `results/batch_sweep.json` —
-//! the paper's Figure 7/13 evaluation loop as one batched request.
+//! Runs a strategy × benchmark × topology sweep through a `Compiler`
+//! session's parallel batch engine and emits per-job JSON metrics to
+//! `results/batch_sweep.json` — the paper's Figure 7/13 evaluation loop as
+//! one batched request.
 //!
 //! ```text
 //! cargo run --release --example batch_sweep [workers] [size]
 //! ```
 //!
 //! With no arguments the worker count defaults to the machine's available
-//! parallelism and the sweep size to 10 qubits. The example also re-runs
-//! the same jobs serially (1 worker) and reports the observed speedup, and
-//! exits non-zero if the parallel results diverge from the serial ones.
+//! parallelism and the sweep size to 10 qubits. The example re-runs the
+//! same jobs serially on the **same session** — every repeat must be a
+//! result-cache hit (asserted nonzero) — and once more through a
+//! caching-disabled session, and exits non-zero if any of the three runs
+//! diverge: worker count and caching may change timing, never output.
 
-use qompress::{run_batch, BatchJob, BatchRequest, BatchResult, Strategy};
+use qompress::{BatchJob, BatchResult, Compiler, Strategy};
 use qompress_arch::Topology;
 use qompress_workloads::{build, random_circuit, Benchmark};
 use std::io::Write as _;
@@ -39,12 +42,18 @@ fn main() {
         workers
     );
 
-    let parallel = run_batch(&BatchRequest::new(jobs.clone(), workers));
-    let serial = run_batch(&BatchRequest::new(jobs, 1));
+    let session = Compiler::builder().workers(workers).build();
+    let parallel = session.compile_batch(&jobs);
 
-    // The batch engine's core guarantee: worker count never changes output.
-    // Compare every observable field, not just metrics, so a scheduling
-    // bug that happens to preserve EPS totals still fails CI.
+    // Re-run the sweep serially on the same session: byte-identical output
+    // served entirely from the result cache.
+    let serial_session = Compiler::builder().workers(1).build();
+    let serial = serial_session.compile_batch(&jobs);
+    let replay = session.compile_batch(&jobs);
+
+    // The batch engine's core guarantee: worker count and caching never
+    // change output. Compare every observable field, not just metrics, so
+    // a scheduling bug that happens to preserve EPS totals still fails CI.
     for (p, s) in parallel.results.iter().zip(&serial.results) {
         assert_eq!(
             render_job(p),
@@ -53,6 +62,22 @@ fn main() {
             p.label
         );
     }
+    for (p, r) in parallel.results.iter().zip(&replay.results) {
+        assert_eq!(
+            render_job(p),
+            render_job(r),
+            "job `{}` diverged between fresh compile and cache replay",
+            p.label
+        );
+    }
+    assert!(
+        replay.cache.hits > 0,
+        "replaying the duplicate-topology sweep on the same session must hit the cache"
+    );
+    assert_eq!(
+        replay.cache.misses, 0,
+        "every replayed job was already cached"
+    );
 
     for r in &parallel.results {
         println!(
@@ -78,13 +103,19 @@ fn main() {
         serial.elapsed.as_secs_f64() * 1e3,
         serial.elapsed.as_secs_f64() / parallel.elapsed.as_secs_f64().max(1e-9)
     );
+    println!(
+        "cache replay:         {:>8.1} ms   {} hits / {} misses",
+        replay.elapsed.as_secs_f64() * 1e3,
+        replay.cache.hits,
+        replay.cache.misses
+    );
 
     let path = write_json(&parallel, workers);
     println!("\nwrote {}", path.display());
 }
 
-/// Renders every observable field of one job result for the
-/// parallel-vs-serial divergence check.
+/// Renders every observable field of one job result for the divergence
+/// checks.
 fn render_job(r: &qompress::BatchJobResult) -> String {
     format!(
         "{} #{} {} {:?} {:?} {:?} {:?} {:?} {:?}",

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use qompress::{compile, CompilerConfig, Strategy};
+use qompress::{Compiler, Strategy};
 use qompress_arch::Topology;
 use qompress_circuit::{Circuit, Gate};
 
@@ -22,9 +22,11 @@ fn main() {
     circuit.push(Gate::cx(0, 3));
 
     // The paper's evaluation setup: a just-large-enough grid, Table 1 gate
-    // library, worst-case ququart T1.
+    // library, worst-case ququart T1 — all defaults of a Compiler session,
+    // which also shares the per-topology precomputation across the three
+    // strategy compiles below.
     let topology = Topology::grid(circuit.n_qubits());
-    let config = CompilerConfig::paper();
+    let session = Compiler::builder().build();
 
     println!(
         "input: {} gates on {} qubits",
@@ -34,7 +36,7 @@ fn main() {
     println!("architecture: {topology}\n");
 
     for strategy in [Strategy::QubitOnly, Strategy::Eqm, Strategy::RingBased] {
-        let result = compile(&circuit, &topology, strategy, &config);
+        let result = session.compile(&circuit, &topology, strategy);
         print!("{result}");
         if !result.pairs.is_empty() {
             println!("  compressed pairs: {:?}", result.pairs);

@@ -7,7 +7,7 @@
 //! cargo run --release --example verified_compilation
 //! ```
 
-use qompress::{compile, CompilerConfig, PhysicalOp, Strategy};
+use qompress::{Compiler, PhysicalOp, Strategy};
 use qompress_arch::Topology;
 use qompress_circuit::{Circuit, Gate};
 use qompress_sim::{
@@ -23,8 +23,8 @@ fn main() {
     circuit.push_ccx(0, 1, 2);
 
     let topology = Topology::line(3);
-    let config = CompilerConfig::paper();
-    let result = compile(&circuit, &topology, Strategy::RingBased, &config);
+    let session = Compiler::builder().build();
+    let result = session.compile(&circuit, &topology, Strategy::RingBased);
 
     println!(
         "compiled with {}: {} physical ops, pairs {:?}",

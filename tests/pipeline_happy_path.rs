@@ -4,10 +4,18 @@
 //! finite gate/depth metrics, and — for the compressing strategies — no
 //! more two-qubit communication than the qubit-only baseline.
 
-use qompress::{compile, CompilationResult, CompilerConfig, Strategy};
+use qompress::{compile, CompilationResult, Compiler, CompilerConfig, Strategy};
 use qompress_arch::Topology;
 use qompress_circuit::Circuit;
 use qompress_workloads::cuccaro_sized;
+use std::sync::OnceLock;
+
+/// One shared session for the suite: the 8-qubit adder baseline repeats
+/// across tests and comes back as verified cache hits.
+fn session() -> &'static Compiler {
+    static SESSION: OnceLock<Compiler> = OnceLock::new();
+    SESSION.get_or_init(|| Compiler::builder().verify_hits(true).build())
+}
 
 /// The compressing strategies under test, in the paper's order (§5).
 const COMPRESSING: [Strategy; 5] = [
@@ -78,14 +86,13 @@ fn check_result(label: &str, r: &CompilationResult, topo: &Topology) {
 fn every_strategy_compiles_the_adder_with_finite_metrics() {
     let circuit = small_adder();
     let topo = Topology::grid(circuit.n_qubits());
-    let config = CompilerConfig::paper();
 
-    let baseline = compile(&circuit, &topo, Strategy::QubitOnly, &config);
+    let baseline = session().compile(&circuit, &topo, Strategy::QubitOnly);
     check_result("qubit-only", &baseline, &topo);
     assert!(baseline.pairs.is_empty(), "baseline must not compress");
 
     for strategy in COMPRESSING {
-        let r = compile(&circuit, &topo, strategy, &config);
+        let r = session().compile(&circuit, &topo, strategy);
         check_result(strategy.name(), &r, &topo);
     }
 }
@@ -94,9 +101,8 @@ fn every_strategy_compiles_the_adder_with_finite_metrics() {
 fn compression_reduces_two_qubit_communication() {
     let circuit = small_adder();
     let topo = Topology::grid(circuit.n_qubits());
-    let config = CompilerConfig::paper();
 
-    let baseline = compile(&circuit, &topo, Strategy::QubitOnly, &config);
+    let baseline = session().compile(&circuit, &topo, Strategy::QubitOnly);
     assert!(
         baseline.metrics.communication_ops > 0,
         "the adder on a grid must need routing for the comparison to mean anything"
@@ -104,7 +110,7 @@ fn compression_reduces_two_qubit_communication() {
 
     let mut strictly_better = 0usize;
     for strategy in PARTIAL {
-        let r = compile(&circuit, &topo, strategy, &config);
+        let r = session().compile(&circuit, &topo, strategy);
         // Communication the paper counts: SWAP family plus ENC/DEC. A
         // partial-compression strategy may pay ENC/DEC overhead, but on a
         // communication-heavy circuit it must never need *more*
@@ -127,7 +133,7 @@ fn compression_reduces_two_qubit_communication() {
     // The prior-work full-ququart baseline compresses everything and pays
     // for it in encode/decode and ququart SWAP traffic — the paper's §6.2
     // motivation for partial compression. Pin that relationship too.
-    let fq = compile(&circuit, &topo, Strategy::FullQuquart, &config);
+    let fq = session().compile(&circuit, &topo, Strategy::FullQuquart);
     assert!(
         fq.metrics.communication_ops > baseline.metrics.communication_ops,
         "full-ququart unexpectedly needed no extra communication ({} vs {})",
@@ -140,15 +146,9 @@ fn compression_reduces_two_qubit_communication() {
 fn exhaustive_on_tiny_instance_matches_or_beats_baseline_gate_eps() {
     let circuit = cuccaro_sized(6);
     let topo = Topology::grid(6);
-    let config = CompilerConfig::paper();
 
-    let baseline = compile(&circuit, &topo, Strategy::QubitOnly, &config);
-    let ec = compile(
-        &circuit,
-        &topo,
-        Strategy::Exhaustive { ordered: true },
-        &config,
-    );
+    let baseline = session().compile(&circuit, &topo, Strategy::QubitOnly);
+    let ec = session().compile(&circuit, &topo, Strategy::Exhaustive { ordered: true });
     check_result("ec-tiny", &ec, &topo);
     // EC only commits a compression when it improves the objective, so it
     // can never end up worse than the uncompressed starting point (§5.1).
@@ -162,6 +162,10 @@ fn exhaustive_on_tiny_instance_matches_or_beats_baseline_gate_eps() {
 
 #[test]
 fn compilation_is_deterministic_across_runs() {
+    // Deliberately uses the free `compile` wrapper (one-shot uncached
+    // sessions) so both runs really execute the pipeline — through the
+    // shared session the second run would be a cache hit and this test
+    // would be vacuous.
     let circuit = small_adder();
     let topo = Topology::grid(circuit.n_qubits());
     let config = CompilerConfig::paper();

@@ -2,15 +2,25 @@
 //! (§7): FQ loses to qubit-only, compression wins on structured circuits,
 //! RB finds nothing on BV, and EQM produces internal interactions.
 
-use qompress::{compile, CompilerConfig, Strategy};
+use qompress::{Compiler, CompilerConfig, Strategy};
 use qompress_arch::Topology;
 use qompress_pulse::GateClass;
 use qompress_workloads::{build, Benchmark};
+use std::sync::{Arc, OnceLock};
 
-fn run(bench: Benchmark, size: usize, strategy: Strategy) -> qompress::CompilationResult {
+/// One shared session for the whole suite: tests run concurrently against
+/// it (exercising the registry/cache locking), repeated baselines (e.g.
+/// qubit-only Cuccaro-12) are served from the result cache, and
+/// `verify_hits` recompiles every hit to prove it byte-identical.
+fn session() -> &'static Compiler {
+    static SESSION: OnceLock<Compiler> = OnceLock::new();
+    SESSION.get_or_init(|| Compiler::builder().verify_hits(true).build())
+}
+
+fn run(bench: Benchmark, size: usize, strategy: Strategy) -> Arc<qompress::CompilationResult> {
     let circuit = build(bench, size, 11);
     let topo = Topology::grid(size);
-    compile(&circuit, &topo, strategy, &CompilerConfig::paper())
+    session().compile(&circuit, &topo, strategy)
 }
 
 #[test]
@@ -126,7 +136,7 @@ fn exhaustive_matches_or_beats_singleton_strategies_on_small_input() {
             objective: qompress::EcObjective::TotalEps,
         },
     );
-    let qo = compile(&circuit, &topo, Strategy::QubitOnly, &config);
+    let qo = session().compile(&circuit, &topo, Strategy::QubitOnly);
     assert!(ec.metrics.total_eps >= qo.metrics.total_eps * 0.999);
 }
 

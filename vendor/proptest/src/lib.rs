@@ -34,7 +34,7 @@ pub mod collection {
         size: SizeRange,
     }
 
-    /// A fixed or bounded length specification for [`vec`].
+    /// A fixed or bounded length specification for [`vec()`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
