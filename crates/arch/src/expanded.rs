@@ -105,6 +105,13 @@ pub struct ExpandedGraph {
     topology: Topology,
     /// Adjacency over slot indices.
     adj: Vec<Vec<usize>>,
+    /// Dense unit-coupling bit matrix (`a * n_nodes + b`). The router asks
+    /// "are these slots adjacent?" in its innermost loops (executability
+    /// checks, front construction, fallback routing), so the probe must be
+    /// a plain bit test rather than a hashed set lookup. `V²` bits is tiny
+    /// at device scale (a 65-unit heavy-hex is ~0.5 KB), and the graph is
+    /// built once per topology and shared.
+    unit_adj: Vec<u64>,
 }
 
 impl ExpandedGraph {
@@ -120,7 +127,14 @@ impl ExpandedGraph {
             adj[b].push(a);
         }
         // Four cross edges per physical coupling.
+        let mut unit_adj = vec![0u64; (v * v).div_ceil(64)];
+        let mut couple = |a: usize, b: usize| {
+            let bit = a * v + b;
+            unit_adj[bit / 64] |= 1 << (bit % 64);
+        };
         for &(p, q) in topology.edges() {
+            couple(p, q);
+            couple(q, p);
             for sp in [Slot::zero(p), Slot::one(p)] {
                 for sq in [Slot::zero(q), Slot::one(q)] {
                     adj[sp.index()].push(sq.index());
@@ -128,7 +142,19 @@ impl ExpandedGraph {
                 }
             }
         }
-        ExpandedGraph { topology, adj }
+        ExpandedGraph {
+            topology,
+            adj,
+            unit_adj,
+        }
+    }
+
+    /// Whether two physical units are coupled (dense bit-matrix probe;
+    /// agrees with [`Topology::has_edge`] by construction).
+    #[inline]
+    pub fn units_coupled(&self, a: usize, b: usize) -> bool {
+        let bit = a * self.topology.n_nodes() + b;
+        (self.unit_adj[bit / 64] >> (bit % 64)) & 1 == 1
     }
 
     /// The underlying physical topology.
@@ -153,11 +179,12 @@ impl ExpandedGraph {
 
     /// Whether two slots can interact directly: same unit, or units coupled
     /// in the physical topology.
+    #[inline]
     pub fn slots_adjacent(&self, a: Slot, b: Slot) -> bool {
         if a == b {
             return false;
         }
-        a.node == b.node || self.topology.has_edge(a.node, b.node)
+        a.node == b.node || self.units_coupled(a.node, b.node)
     }
 
     /// All slots.
@@ -213,6 +240,27 @@ mod tests {
         assert!(ex.slots_adjacent(Slot::one(0), Slot::one(1)));
         assert!(!ex.slots_adjacent(Slot::zero(0), Slot::zero(2)));
         assert!(!ex.slots_adjacent(Slot::zero(1), Slot::zero(1)));
+    }
+
+    #[test]
+    fn unit_coupling_bitmap_matches_has_edge() {
+        for topo in [
+            Topology::line(5),
+            Topology::grid(9),
+            Topology::ring(6),
+            Topology::heavy_hex_65(),
+        ] {
+            let ex = ExpandedGraph::new(topo.clone());
+            for a in 0..topo.n_nodes() {
+                for b in 0..topo.n_nodes() {
+                    assert_eq!(
+                        ex.units_coupled(a, b),
+                        topo.has_edge(a, b),
+                        "bitmap disagrees with has_edge at ({a}, {b}) on {topo}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

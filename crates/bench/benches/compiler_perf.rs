@@ -4,10 +4,11 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use qompress::{
-    compile, compile_with_options, run_batch, BatchJob, BatchRequest, Compiler, CompilerConfig,
-    MappingOptions, Strategy,
+    compile, compile_with_options, map_circuit, route_cached, run_batch, BatchJob, BatchRequest,
+    Compiler, CompilerConfig, ExhaustiveOptions, MappingOptions, Strategy,
 };
 use qompress_arch::Topology;
+use qompress_circuit::CircuitDag;
 use qompress_workloads::{build, random_circuit, Benchmark};
 
 fn bench_full_pipeline(c: &mut Criterion) {
@@ -130,6 +131,68 @@ fn bench_result_cache(c: &mut Criterion) {
     group.finish();
 }
 
+/// Route-phase-only timings (mapping excluded) on communication-heavy
+/// circuits over line/grid/ring, plus a one-round exhaustive search
+/// through a session. This is the hot loop the incremental router
+/// targets: lookahead via the pending-gate list instead of an O(gates)
+/// rescan, scratch-buffer scoring, and memoized fallback paths. The
+/// `routing_perf` example emits the same shape as JSON for the CI bench
+/// trajectory.
+fn bench_routing_perf(c: &mut Criterion) {
+    let config = CompilerConfig::paper();
+    let session = Compiler::builder().config(config.clone()).build();
+    let mut group = c.benchmark_group("routing_perf");
+    group.sample_size(20);
+    let size = 16usize;
+    let circuits = [
+        ("cuccaro16", build(Benchmark::Cuccaro, size, 7)),
+        ("qram16", build(Benchmark::Qram, size, 7)),
+        ("qasm-random16", random_circuit(size, 6 * size, 7)),
+    ];
+    for (name, circuit) in &circuits {
+        let dag = CircuitDag::build(circuit);
+        for topo in [
+            Topology::line(size),
+            Topology::grid(size),
+            Topology::ring(size),
+        ] {
+            let tcache = session.topology_cache(&topo);
+            let base = map_circuit(circuit, &topo, &config, &MappingOptions::qubit_only());
+            // Warm the shared oracle rows so iterations time routing, not
+            // first-touch Dijkstra.
+            let mut warm = base.clone();
+            let _ = route_cached(circuit, &dag, &mut warm, &tcache, &config);
+            group.bench_function(BenchmarkId::new(*name, topo.name()), |b| {
+                b.iter(|| {
+                    let mut layout = base.clone();
+                    route_cached(black_box(circuit), &dag, &mut layout, &tcache, &config)
+                });
+            });
+        }
+    }
+    // One exhaustive round on a fresh session per iteration (a reused
+    // session would serve every candidate from its result cache and time
+    // the cache instead of the search).
+    let ec_circuit = build(Benchmark::Cuccaro, 8, 7);
+    let ec_topo = Topology::grid(8);
+    group.sample_size(10);
+    group.bench_function("ec_round_session", |b| {
+        b.iter(|| {
+            let fresh = Compiler::builder().config(config.clone()).build();
+            fresh.compile_exhaustive(
+                &ec_circuit,
+                &ec_topo,
+                &ExhaustiveOptions {
+                    ordered: true,
+                    max_rounds: 1,
+                    ..ExhaustiveOptions::default()
+                },
+            )
+        });
+    });
+    group.finish();
+}
+
 /// Routing-hot-path adjacency probe: `Topology::has_edge` over every node
 /// pair of the 65-qubit heavy-hex device (the router queries it for every
 /// candidate two-unit op). The adjacency-set representation makes each
@@ -161,6 +224,7 @@ criterion_group!(
     bench_strategy_search,
     bench_batch_throughput,
     bench_result_cache,
+    bench_routing_perf,
     bench_has_edge
 );
 criterion_main!(benches);

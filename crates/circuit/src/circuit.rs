@@ -97,6 +97,18 @@ impl Circuit {
         self.gates.iter().filter(|g| g.is_two_qubit()).count()
     }
 
+    /// Indices of the two-qubit gates (CX and SWAP), in circuit order.
+    ///
+    /// The router's incremental lookahead walks exactly this sequence, so
+    /// it is exposed here rather than re-derived per compilation.
+    pub fn two_qubit_gate_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.gates
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.is_two_qubit())
+            .map(|(i, _)| i)
+    }
+
     /// Count of single-qubit gates.
     pub fn single_qubit_gate_count(&self) -> usize {
         self.gates.iter().filter(|g| g.is_single_qubit()).count()
@@ -196,6 +208,19 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert_eq!(c.single_qubit_gate_count(), 1);
         assert_eq!(c.two_qubit_gate_count(), 1);
+    }
+
+    #[test]
+    fn two_qubit_indices_in_order() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::h(0)); // 0
+        c.push(Gate::cx(0, 1)); // 1
+        c.push(Gate::x(2)); // 2
+        c.push(Gate::swap(1, 2)); // 3
+        c.push(Gate::cx(2, 0)); // 4
+        let idx: Vec<usize> = c.two_qubit_gate_indices().collect();
+        assert_eq!(idx, vec![1, 3, 4]);
+        assert_eq!(idx.len(), c.two_qubit_gate_count());
     }
 
     #[test]

@@ -235,8 +235,26 @@ impl WGraph {
 
     /// Dijkstra distances from `src`; unreachable vertices get `f64::INFINITY`.
     pub fn dijkstra(&self, src: usize) -> Vec<f64> {
+        self.dijkstra_core(src, None)
+    }
+
+    /// Dijkstra with path recovery: returns `(distances, predecessor)`.
+    ///
+    /// Runs the exact same search as [`WGraph::dijkstra`] (shared core), so
+    /// the distance vector is bit-identical between the two entry points —
+    /// callers memoizing both rows may fill either from one run.
+    pub fn dijkstra_with_prev(&self, src: usize) -> (Vec<f64>, Vec<usize>) {
+        let mut prev = vec![usize::MAX; self.len()];
+        let dist = self.dijkstra_core(src, Some(&mut prev));
+        (dist, prev)
+    }
+
+    /// The single Dijkstra implementation behind both public entry points;
+    /// predecessor tracking is the only difference, so distances cannot
+    /// drift between [`WGraph::dijkstra`] and [`WGraph::dijkstra_with_prev`].
+    fn dijkstra_core(&self, src: usize, mut prev: Option<&mut Vec<usize>>) -> Vec<f64> {
         let mut dist = vec![f64::INFINITY; self.len()];
-        let mut heap = BinaryHeap::new();
+        let mut heap = BinaryHeap::with_capacity(self.len());
         dist[src] = 0.0;
         heap.push(HeapItem {
             cost: 0.0,
@@ -250,6 +268,9 @@ impl WGraph {
                 let nd = cost + w;
                 if nd < dist[next] {
                     dist[next] = nd;
+                    if let Some(prev) = prev.as_deref_mut() {
+                        prev[next] = vertex;
+                    }
                     heap.push(HeapItem {
                         cost: nd,
                         vertex: next,
@@ -258,35 +279,6 @@ impl WGraph {
             }
         }
         dist
-    }
-
-    /// Dijkstra with path recovery: returns `(distances, predecessor)`.
-    pub fn dijkstra_with_prev(&self, src: usize) -> (Vec<f64>, Vec<usize>) {
-        let mut dist = vec![f64::INFINITY; self.len()];
-        let mut prev = vec![usize::MAX; self.len()];
-        let mut heap = BinaryHeap::new();
-        dist[src] = 0.0;
-        heap.push(HeapItem {
-            cost: 0.0,
-            vertex: src,
-        });
-        while let Some(HeapItem { cost, vertex }) = heap.pop() {
-            if cost > dist[vertex] {
-                continue;
-            }
-            for &(next, w) in &self.adj[vertex] {
-                let nd = cost + w;
-                if nd < dist[next] {
-                    dist[next] = nd;
-                    prev[next] = vertex;
-                    heap.push(HeapItem {
-                        cost: nd,
-                        vertex: next,
-                    });
-                }
-            }
-        }
-        (dist, prev)
     }
 
     /// Recovers the `src..dst` path from a predecessor table produced by
@@ -393,6 +385,23 @@ mod tests {
         let (_, prev) = g.dijkstra_with_prev(0);
         let p = WGraph::path_from_prev(&prev, 0, 3).unwrap();
         assert_eq!(p, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dijkstra_and_with_prev_distances_agree_bitwise() {
+        let mut g = WGraph::new(6);
+        g.add_edge(0, 1, 0.3);
+        g.add_edge(1, 2, 0.7);
+        g.add_edge(0, 2, 1.1);
+        g.add_edge(2, 3, 0.05);
+        g.add_edge(3, 4, 2.0);
+        for src in 0..6 {
+            let plain = g.dijkstra(src);
+            let (with_prev, _) = g.dijkstra_with_prev(src);
+            for (a, b) in plain.iter().zip(&with_prev) {
+                assert_eq!(a.to_bits(), b.to_bits(), "distances drifted from {src}");
+            }
+        }
     }
 
     #[test]

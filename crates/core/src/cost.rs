@@ -151,11 +151,15 @@ pub fn gate_cost(
 /// Per-source rows fill lazily through a [`OnceLock`], so lookups take
 /// `&self` and a fully immutable oracle can be shared across compilation
 /// threads behind an `Arc` (the batch engine reuses one bare-encoding
-/// oracle per topology this way).
+/// oracle per topology this way). Predecessor rows for
+/// [`DistanceOracle::path`] are memoized the same way, and the single
+/// Dijkstra run that fills a predecessor row also populates the matching
+/// distance row — fallback routing no longer pays a fresh search per call.
 #[derive(Debug)]
 pub struct DistanceOracle {
     graph: WGraph,
     cache: Vec<OnceLock<Vec<f64>>>,
+    prev_cache: Vec<OnceLock<Vec<usize>>>,
 }
 
 impl DistanceOracle {
@@ -180,6 +184,7 @@ impl DistanceOracle {
         DistanceOracle {
             graph,
             cache: std::iter::repeat_with(OnceLock::new).take(n).collect(),
+            prev_cache: std::iter::repeat_with(OnceLock::new).take(n).collect(),
         }
     }
 
@@ -210,15 +215,31 @@ impl DistanceOracle {
     }
 
     /// Shortest path between two slots (vertex list), for fallback routing.
+    ///
+    /// Predecessor rows are memoized per source slot, so repeated calls
+    /// (the fallback router re-queries after every hop) cost one Dijkstra
+    /// total per source. The run that fills a predecessor row also fills
+    /// the source's distance row — the two entry points share one search.
     pub fn path(&self, from: Slot, to: Slot) -> Option<Vec<Slot>> {
-        let (_, prev) = self.graph.dijkstra_with_prev(from.index());
-        WGraph::path_from_prev(&prev, from.index(), to.index())
+        let prev = self.prev_cache[from.index()].get_or_init(|| {
+            let (dist, prev) = self.graph.dijkstra_with_prev(from.index());
+            // Bit-identical to what `distance` would compute (shared
+            // Dijkstra core), so seeding the distance row is free; ignore
+            // the error if that row already exists.
+            let _ = self.cache[from.index()].set(dist);
+            prev
+        });
+        WGraph::path_from_prev(prev, from.index(), to.index())
             .map(|p| p.into_iter().map(Slot::from_index).collect())
     }
 
-    /// Drops all cached distances (after encoding changes).
+    /// Drops all cached distances and predecessor rows (after encoding
+    /// changes).
     pub fn invalidate(&mut self) {
         for c in &mut self.cache {
+            *c = OnceLock::new();
+        }
+        for c in &mut self.prev_cache {
             *c = OnceLock::new();
         }
     }
@@ -346,5 +367,44 @@ mod tests {
         assert_eq!(p.first(), Some(&Slot::zero(0)));
         assert_eq!(p.last(), Some(&Slot::zero(3)));
         assert_eq!(p.len(), 4); // line of 4 units, slot0 chain
+    }
+
+    #[test]
+    fn repeated_path_calls_reuse_memoized_rows() {
+        let (expanded, layout, config) = setup(&[]);
+        let oracle = DistanceOracle::new(&expanded, &layout, &config);
+        let first = oracle.path(Slot::zero(0), Slot::zero(3)).unwrap();
+        for _ in 0..3 {
+            assert_eq!(oracle.path(Slot::zero(0), Slot::zero(3)).unwrap(), first);
+        }
+        // Different destination, same memoized source row.
+        let shorter = oracle.path(Slot::zero(0), Slot::zero(2)).unwrap();
+        assert_eq!(shorter.len(), 3);
+    }
+
+    #[test]
+    fn path_call_seeds_distance_row_bitwise() {
+        let (expanded, layout, config) = setup(&[]);
+        // Oracle A: path first (seeds the distance row from the shared
+        // Dijkstra); oracle B: distance only. The rows must agree bitwise.
+        let a = DistanceOracle::new(&expanded, &layout, &config);
+        let b = DistanceOracle::new(&expanded, &layout, &config);
+        let _ = a.path(Slot::zero(0), Slot::zero(3));
+        for t in expanded.slots() {
+            let da = a.distance(Slot::zero(0), t);
+            let db = b.distance(Slot::zero(0), t);
+            assert_eq!(da.to_bits(), db.to_bits(), "row drifted at {t}");
+        }
+    }
+
+    #[test]
+    fn invalidate_clears_predecessor_rows() {
+        let (expanded, layout, config) = setup(&[]);
+        let mut oracle = DistanceOracle::new(&expanded, &layout, &config);
+        let before = oracle.path(Slot::zero(0), Slot::zero(3)).unwrap();
+        oracle.invalidate();
+        // Rows rebuild transparently after invalidation.
+        assert_eq!(oracle.path(Slot::zero(0), Slot::zero(3)).unwrap(), before);
+        assert!(oracle.distance(Slot::zero(0), Slot::zero(1)).is_finite());
     }
 }

@@ -108,14 +108,16 @@ impl TopologyCache {
         if !layout.encoded_flags().iter().any(|&e| e) {
             return Arc::clone(self.bare_oracle());
         }
-        let signature = layout.encoded_flags().to_vec();
         let mut map = self.encoded_oracles.lock().expect("oracle map poisoned");
-        if let Some(oracle) = map.get(&signature) {
+        // Borrowed-slice lookup (`Vec<bool>: Borrow<[bool]>`): the hit path
+        // — every encoded candidate compile of an exhaustive sweep —
+        // allocates nothing.
+        if let Some(oracle) = map.get(layout.encoded_flags()) {
             return Arc::clone(oracle);
         }
         let oracle = Arc::new(DistanceOracle::new(&self.expanded, layout, &self.config));
         if map.len() < MAX_ENCODED_ORACLES {
-            map.insert(signature, Arc::clone(&oracle));
+            map.insert(layout.encoded_flags().to_vec(), Arc::clone(&oracle));
         }
         oracle
     }

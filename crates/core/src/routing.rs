@@ -10,6 +10,27 @@
 //! penalty for disturbing encoded ququarts. Encodings are never created or
 //! destroyed. A progress guard falls back to deterministic shortest-path
 //! routing, guaranteeing termination.
+//!
+//! # Hot-loop design
+//!
+//! The blocked-step loop is incremental and allocation-free in steady
+//! state, while producing **byte-identical** op sequences to the
+//! straightforward formulation (pinned by `tests/routing_determinism.rs`):
+//!
+//! * the lookahead window walks an intrusive linked list of not-yet-ready
+//!   two-qubit gates, maintained in `finish_gate` — `O(lookahead)` per
+//!   blocked step instead of a rescan of the whole circuit;
+//! * gate membership (done / ready / pending) lives in dense bitsets, so
+//!   no step performs a linear membership probe;
+//! * the front, lookahead and candidate-move lists are reusable scratch
+//!   buffers on the `Router`, and candidate dedup uses a stamped
+//!   directed-edge table (linear in the device) instead of an `O(n²)`
+//!   `Vec::contains` scan;
+//! * scoring computes each front/lookahead pair's base distance once per
+//!   step and re-evaluates only the pairs a candidate move actually
+//!   perturbs (a move of `(s, t)` leaves every pair not touching `s` or
+//!   `t` with a bit-exact zero contribution, so skipping them cannot
+//!   change the score).
 
 use crate::config::CompilerConfig;
 use crate::cost::{cx_class, swap_class, DistanceOracle};
@@ -20,6 +41,9 @@ use qompress_arch::{ExpandedGraph, Slot, SlotIndex};
 use qompress_circuit::{Circuit, CircuitDag, Gate};
 use qompress_pulse::GateClass;
 use std::sync::Arc;
+
+/// Sentinel for "no gate" in the intrusive pending-gate list.
+const NO_GATE: usize = usize::MAX;
 
 /// Routes `circuit` starting from `layout`, emitting physical operations
 /// and mutating the layout to its final configuration.
@@ -56,6 +80,36 @@ pub fn route_cached(
     Router::new(circuit, dag, layout, cache.expanded(), oracle, config).run()
 }
 
+/// Dense fixed-capacity bit set over `u64` words, for O(1) gate-index
+/// membership tests in the router's inner loop.
+#[derive(Debug, Clone)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn new(n: usize) -> Self {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    #[inline]
+    fn remove(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    #[inline]
+    fn contains(&self, i: usize) -> bool {
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+}
+
 struct Router<'a> {
     circuit: &'a Circuit,
     dag: &'a CircuitDag,
@@ -63,12 +117,43 @@ struct Router<'a> {
     expanded: &'a ExpandedGraph,
     config: &'a CompilerConfig,
     oracle: Arc<DistanceOracle>,
-    done: Vec<bool>,
+    /// Emitted-gate membership.
+    done: BitSet,
     remaining_preds: Vec<usize>,
+    /// Ready gates, kept sorted ascending (`ready[0]` feeds the fallback).
     ready: Vec<usize>,
+    /// Ready-gate membership (mirrors `ready`).
+    is_ready: BitSet,
+    /// Intrusive linked list (in circuit order) over the two-qubit gates
+    /// that are not yet ready: the incremental lookahead window. A gate is
+    /// unlinked the moment it becomes ready, so walking the head of this
+    /// list is exactly the "upcoming two-qubit gates beyond the front"
+    /// scan, without revisiting emitted gates.
+    pending_next: Vec<usize>,
+    pending_prev: Vec<usize>,
+    pending_head: usize,
+    /// Pending-list membership.
+    pending: BitSet,
     ops: Vec<PhysicalOp>,
     last_move: Option<(Slot, Slot)>,
     steps_since_progress: usize,
+    // Reusable per-step scratch (no per-step allocation in steady state).
+    front_buf: Vec<(Slot, Slot)>,
+    front_base: Vec<f64>,
+    look_buf: Vec<(Slot, Slot)>,
+    look_base: Vec<f64>,
+    moves_buf: Vec<(Slot, Slot)>,
+    /// CSR-style offsets into `edge_stamp`: directed edge `(s, j)` — the
+    /// `j`-th neighbor of slot `s` — lives at `edge_offset[s.index()] + j`.
+    edge_offset: Vec<usize>,
+    /// Stamped dedup table over *directed expanded-graph edges* (every
+    /// candidate move is an edge incident to a front slot); a cell equal
+    /// to the current stamp means the move was already pushed this step.
+    /// Linear in the device (`4E + V` edges), unlike a slot-pair grid.
+    edge_stamp: Vec<u64>,
+    stamp: u64,
+    /// Per-slot mark: slot is an operand of a front gate this step.
+    front_mark: Vec<bool>,
 }
 
 impl<'a> Router<'a> {
@@ -85,7 +170,41 @@ impl<'a> Router<'a> {
         for idx in 0..n {
             remaining_preds[idx] = dag.preds(idx).len();
         }
-        let ready = (0..n).filter(|&i| remaining_preds[i] == 0).collect();
+        let ready: Vec<usize> = (0..n).filter(|&i| remaining_preds[i] == 0).collect();
+        let mut is_ready = BitSet::new(n);
+        for &g in &ready {
+            is_ready.insert(g);
+        }
+
+        // Link the not-yet-ready two-qubit gates in circuit order; gates
+        // born ready never enter the lookahead window.
+        let mut pending_next = vec![NO_GATE; n];
+        let mut pending_prev = vec![NO_GATE; n];
+        let mut pending_head = NO_GATE;
+        let mut pending = BitSet::new(n);
+        let mut tail = NO_GATE;
+        for idx in circuit.two_qubit_gate_indices() {
+            if remaining_preds[idx] == 0 {
+                continue;
+            }
+            pending.insert(idx);
+            pending_prev[idx] = tail;
+            if tail == NO_GATE {
+                pending_head = idx;
+            } else {
+                pending_next[tail] = idx;
+            }
+            tail = idx;
+        }
+
+        let n_slots = expanded.n_slots();
+        let mut edge_offset = Vec::with_capacity(n_slots + 1);
+        let mut directed_edges = 0usize;
+        for s in expanded.slots() {
+            edge_offset.push(directed_edges);
+            directed_edges += expanded.neighbors(s).count();
+        }
+        edge_offset.push(directed_edges);
         Router {
             circuit,
             dag,
@@ -93,12 +212,26 @@ impl<'a> Router<'a> {
             expanded,
             config,
             oracle,
-            done: vec![false; n],
+            done: BitSet::new(n),
             remaining_preds,
             ready,
+            is_ready,
+            pending_next,
+            pending_prev,
+            pending_head,
+            pending,
             ops: Vec::new(),
             last_move: None,
             steps_since_progress: 0,
+            front_buf: Vec::new(),
+            front_base: Vec::new(),
+            look_buf: Vec::new(),
+            look_base: Vec::new(),
+            moves_buf: Vec::new(),
+            edge_stamp: vec![0; directed_edges],
+            edge_offset,
+            stamp: 0,
+            front_mark: vec![false; n_slots],
         }
     }
 
@@ -178,13 +311,39 @@ impl<'a> Router<'a> {
             })
     }
 
+    /// Unlinks a gate from the pending (lookahead) list, if present.
+    fn unlink_pending(&mut self, idx: usize) {
+        if !self.pending.contains(idx) {
+            return;
+        }
+        self.pending.remove(idx);
+        let prev = self.pending_prev[idx];
+        let next = self.pending_next[idx];
+        if prev == NO_GATE {
+            self.pending_head = next;
+        } else {
+            self.pending_next[prev] = next;
+        }
+        if next != NO_GATE {
+            self.pending_prev[next] = prev;
+        }
+    }
+
     fn finish_gate(&mut self, idx: usize) {
-        self.done[idx] = true;
+        debug_assert!(
+            self.is_ready.contains(idx) && !self.done.contains(idx),
+            "gates finish exactly once, from the ready set"
+        );
+        self.done.insert(idx);
+        self.is_ready.remove(idx);
         self.ready.retain(|&g| g != idx);
-        for &s in self.dag.succs(idx) {
+        let dag: &CircuitDag = self.dag;
+        for &s in dag.succs(idx) {
             self.remaining_preds[s] -= 1;
             if self.remaining_preds[s] == 0 {
                 self.ready.push(s);
+                self.is_ready.insert(s);
+                self.unlink_pending(s);
             }
         }
         self.ready.sort_unstable();
@@ -229,31 +388,35 @@ impl<'a> Router<'a> {
         }
     }
 
-    /// Front gates: ready two-qubit gates with non-adjacent operands.
-    fn front(&self) -> Vec<(Slot, Slot)> {
-        self.ready
-            .iter()
-            .filter_map(|&g| self.circuit.gates()[g].qubit_pair())
-            .map(|(a, b)| (self.slot_of(a), self.slot_of(b)))
-            .filter(|&(sa, sb)| !self.expanded.slots_adjacent(sa, sb))
-            .collect()
-    }
-
-    /// Upcoming two-qubit gates beyond the front (by gate index order).
-    fn lookahead(&self) -> Vec<(usize, usize)> {
-        let mut out = Vec::new();
-        for idx in 0..self.circuit.len() {
-            if self.done[idx] || self.ready.contains(&idx) {
-                continue;
-            }
-            if let Some(pair) = self.circuit.gates()[idx].qubit_pair() {
-                out.push(pair);
-                if out.len() >= self.config.lookahead {
-                    break;
+    /// Fills `out` with the front: ready two-qubit gates with non-adjacent
+    /// operands, in ready (ascending-index) order.
+    fn fill_front(&self, out: &mut Vec<(Slot, Slot)>) {
+        for &g in &self.ready {
+            if let Some((qa, qb)) = self.circuit.gates()[g].qubit_pair() {
+                let sa = self.slot_of(qa);
+                let sb = self.slot_of(qb);
+                if !self.expanded.slots_adjacent(sa, sb) {
+                    out.push((sa, sb));
                 }
             }
         }
-        out
+    }
+
+    /// Fills `out` with the operand slots of the upcoming two-qubit gates
+    /// beyond the front, by walking the pending list head (gate-index
+    /// order, `O(lookahead)`).
+    fn fill_lookahead(&self, out: &mut Vec<(Slot, Slot)>) {
+        let mut idx = self.pending_head;
+        while idx != NO_GATE {
+            let (qa, qb) = self.circuit.gates()[idx]
+                .qubit_pair()
+                .expect("pending list holds two-qubit gates only");
+            out.push((self.slot_of(qa), self.slot_of(qb)));
+            if out.len() >= self.config.lookahead {
+                break;
+            }
+            idx = self.pending_next[idx];
+        }
     }
 
     /// A slot is usable as a move endpoint when it is slot 0, or slot 1 of
@@ -262,38 +425,60 @@ impl<'a> Router<'a> {
         s.slot == SlotIndex::Zero || self.layout.is_encoded(s.node)
     }
 
-    fn candidate_moves(&self, front: &[(Slot, Slot)]) -> Vec<(Slot, Slot)> {
-        let mut moves = Vec::new();
-        let mut push = |s: Slot, t: Slot| {
-            let mv = if s.index() <= t.index() {
-                (s, t)
-            } else {
-                (t, s)
-            };
-            if !moves.contains(&mv) {
-                moves.push(mv);
-            }
-        };
+    /// Fills `out` with the deduplicated candidate moves adjacent to the
+    /// front slots, preserving first-insertion order (the stamped
+    /// directed-edge table replaces the quadratic `Vec::contains` probe).
+    ///
+    /// An unordered move `{s, t}` has exactly two directed
+    /// representations; pushing it stamps both, so a later arrival from
+    /// either direction (the same front slot again, or the opposite
+    /// endpoint) is skipped — the same set, in the same order, the
+    /// reference's linear scan produces.
+    fn fill_candidates(&mut self, front: &[(Slot, Slot)], out: &mut Vec<(Slot, Slot)>) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        let expanded: &ExpandedGraph = self.expanded;
         for &(sa, sb) in front {
             for s in [sa, sb] {
-                for t in self.expanded.neighbors(s) {
+                for (j, t) in expanded.neighbors(s).enumerate() {
                     if !self.slot_usable(t) {
                         continue;
                     }
-                    push(s, t);
+                    let forward = self.edge_offset[s.index()] + j;
+                    if self.edge_stamp[forward] == stamp {
+                        continue;
+                    }
+                    self.edge_stamp[forward] = stamp;
+                    let back = self.edge_offset[t.index()]
+                        + expanded
+                            .neighbors(t)
+                            .position(|x| x == s)
+                            .expect("expanded graph edges are symmetric");
+                    self.edge_stamp[back] = stamp;
+                    out.push(if s.index() <= t.index() {
+                        (s, t)
+                    } else {
+                        (t, s)
+                    });
                 }
             }
         }
-        moves
     }
 
     /// Scores a move: change in total front + decayed lookahead distance,
     /// plus the encoded-disturbance penalty and an anti-oscillation term.
+    ///
+    /// Only the pairs that touch the move's endpoints are re-measured; an
+    /// untouched pair's term is `d(a, b) − d(a, b)`, which is exactly
+    /// `+0.0`, and adding a signed zero never changes an IEEE-754
+    /// accumulator — so the skip is bit-identical to the full sum.
     fn score_move(
-        &mut self,
+        &self,
         mv: (Slot, Slot),
         front: &[(Slot, Slot)],
-        lookahead: &[(usize, usize)],
+        front_base: &[f64],
+        look: &[(Slot, Slot)],
+        look_base: &[f64],
     ) -> f64 {
         let (s, t) = mv;
         let relocate = |x: Slot| {
@@ -306,25 +491,24 @@ impl<'a> Router<'a> {
             }
         };
         let mut delta = 0.0;
-        for &(a, b) in front {
-            let before = self.oracle.distance(a, b);
-            let after = self.oracle.distance(relocate(a), relocate(b));
-            delta += after - before;
+        for (i, &(a, b)) in front.iter().enumerate() {
+            if a == s || a == t || b == s || b == t {
+                let after = self.oracle.distance(relocate(a), relocate(b));
+                delta += after - front_base[i];
+            }
         }
         let mut decay = self.config.lookahead_decay;
-        for &(qa, qb) in lookahead {
-            let a = self.slot_of(qa);
-            let b = self.slot_of(qb);
-            let before = self.oracle.distance(a, b);
-            let after = self.oracle.distance(relocate(a), relocate(b));
-            delta += decay * (after - before);
+        for (j, &(a, b)) in look.iter().enumerate() {
+            if a == s || a == t || b == s || b == t {
+                let after = self.oracle.distance(relocate(a), relocate(b));
+                delta += decay * (after - look_base[j]);
+            }
             decay *= self.config.lookahead_decay;
         }
         // Penalty for moving occupants of encoded ququarts that are not
         // front operands ("avoid swapping through ququarts").
-        let front_slots: Vec<Slot> = front.iter().flat_map(|&(a, b)| [a, b]).collect();
         for x in [s, t] {
-            if self.layout.is_encoded(x.node) && !front_slots.contains(&x) {
+            if self.layout.is_encoded(x.node) && !self.front_mark[x.index()] {
                 delta += self.config.ququart_route_penalty;
             }
         }
@@ -338,15 +522,38 @@ impl<'a> Router<'a> {
     }
 
     fn best_move(&mut self) -> Option<(Slot, Slot)> {
-        let front = self.front();
+        let mut front = std::mem::take(&mut self.front_buf);
+        front.clear();
+        self.fill_front(&mut front);
         if front.is_empty() {
+            self.front_buf = front;
             return None;
         }
-        let lookahead = self.lookahead();
-        let moves = self.candidate_moves(&front);
+        let mut look = std::mem::take(&mut self.look_buf);
+        look.clear();
+        self.fill_lookahead(&mut look);
+
+        // Base distance of every pair, computed once per step.
+        let mut front_base = std::mem::take(&mut self.front_base);
+        front_base.clear();
+        front_base.extend(front.iter().map(|&(a, b)| self.oracle.distance(a, b)));
+        let mut look_base = std::mem::take(&mut self.look_base);
+        look_base.clear();
+        look_base.extend(look.iter().map(|&(a, b)| self.oracle.distance(a, b)));
+
+        // Mark the front slots for the encoded-disturbance penalty test.
+        for &(a, b) in &front {
+            self.front_mark[a.index()] = true;
+            self.front_mark[b.index()] = true;
+        }
+
+        let mut moves = std::mem::take(&mut self.moves_buf);
+        moves.clear();
+        self.fill_candidates(&front, &mut moves);
+
         let mut best: Option<((Slot, Slot), f64)> = None;
-        for mv in moves {
-            let score = self.score_move(mv, &front, &lookahead);
+        for &mv in &moves {
+            let score = self.score_move(mv, &front, &front_base, &look, &look_base);
             if !score.is_finite() {
                 continue;
             }
@@ -362,6 +569,17 @@ impl<'a> Router<'a> {
                 best = Some((mv, score));
             }
         }
+
+        // Un-mark only the touched slots (no full sweep).
+        for &(a, b) in &front {
+            self.front_mark[a.index()] = false;
+            self.front_mark[b.index()] = false;
+        }
+        self.front_buf = front;
+        self.look_buf = look;
+        self.front_base = front_base;
+        self.look_base = look_base;
+        self.moves_buf = moves;
         best.map(|(mv, _)| mv)
     }
 
@@ -379,6 +597,10 @@ impl<'a> Router<'a> {
 
     /// Deterministic fallback: walk one operand of `gate` along the
     /// cheapest path until the gate's operands are adjacent.
+    ///
+    /// Each hop re-queries [`DistanceOracle::path`]; the oracle memoizes
+    /// one predecessor row per source slot, so the whole walk costs at most
+    /// one Dijkstra per distinct source instead of one per call.
     fn force_route(&mut self, gate: usize) {
         let (qa, qb) = self.circuit.gates()[gate]
             .qubit_pair()
@@ -428,6 +650,19 @@ mod tests {
 
     fn count_2q_logical(ops: &[PhysicalOp]) -> usize {
         ops.iter().filter(|op| op.class().is_cx()).count()
+    }
+
+    #[test]
+    fn bitset_membership() {
+        let mut s = BitSet::new(130);
+        assert!(!s.contains(0) && !s.contains(129));
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(129));
+        s.remove(64);
+        assert!(!s.contains(64) && s.contains(63) && s.contains(129));
     }
 
     #[test]

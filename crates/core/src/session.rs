@@ -43,7 +43,9 @@ use crate::config::CompilerConfig;
 use crate::mapping::MappingOptions;
 use crate::pipeline::{compile_with_options_cached, CompilationResult, TopologyCache};
 use crate::result_cache::{CacheKey, CacheStats, ResultCache};
-use crate::strategies::{compile_cached, Strategy};
+use crate::strategies::{
+    compile_cached, run_exhaustive, ExhaustiveOptions, ExhaustiveStep, Strategy,
+};
 use qompress_arch::Topology;
 use qompress_circuit::Circuit;
 use std::collections::HashMap;
@@ -216,8 +218,51 @@ impl Compiler {
         let tcache = self.topology_cache_by_fp(topo_fp, topo);
         let key = CacheKey::for_strategy(circuit, strategy, topo_fp, self.config_fp);
         self.memoized(key, || {
-            Arc::new(compile_cached(circuit, &tcache, strategy, &self.config))
+            Arc::new(self.compile_strategy_job(circuit, &tcache, strategy))
         })
+    }
+
+    /// Runs the exhaustive-compression search (§5.1) through this session:
+    /// every per-candidate evaluation reuses the session's per-topology
+    /// precomputation and is memoized in the result cache under its
+    /// `(circuit, pair-set)` key, so repeated sweeps on one session stop
+    /// recompiling identical candidates. Returns the best compilation and
+    /// the per-round Figure 4 trace.
+    pub fn compile_exhaustive(
+        &self,
+        circuit: &Circuit,
+        topo: &Topology,
+        options: &ExhaustiveOptions,
+    ) -> (Arc<CompilationResult>, Vec<ExhaustiveStep>) {
+        run_exhaustive(self, circuit, topo, options)
+    }
+
+    /// One strategy-level compilation against a registered topology cache.
+    /// The exhaustive strategies are dispatched through the session itself
+    /// (their candidate evaluations must land in this session's result
+    /// cache); everything else goes through the stateless pipeline.
+    fn compile_strategy_job(
+        &self,
+        circuit: &Circuit,
+        tcache: &TopologyCache,
+        strategy: Strategy,
+    ) -> CompilationResult {
+        if let Strategy::Exhaustive { ordered } = strategy {
+            let (best, _) = run_exhaustive(
+                self,
+                circuit,
+                tcache.topology(),
+                &ExhaustiveOptions {
+                    ordered,
+                    ..ExhaustiveOptions::default()
+                },
+            );
+            let mut result = (*best).clone();
+            result.strategy = strategy.name().to_string();
+            result
+        } else {
+            compile_cached(circuit, tcache, strategy, &self.config)
+        }
     }
 
     /// Compiles `circuit` onto `topo` with explicit [`MappingOptions`]
@@ -293,12 +338,7 @@ impl Compiler {
                         self.config_fp,
                     );
                     let result = self.memoized(key, || {
-                        Arc::new(compile_cached(
-                            &job.circuit,
-                            tcache,
-                            job.strategy,
-                            &self.config,
-                        ))
+                        Arc::new(self.compile_strategy_job(&job.circuit, tcache, job.strategy))
                     });
                     *slots[idx].lock().expect("result slot poisoned") = Some(BatchJobResult {
                         label: job.label.clone(),
@@ -361,6 +401,26 @@ impl Compiler {
         cache
     }
 
+    /// Registers an externally built [`TopologyCache`] under its
+    /// topology's structural fingerprint, so the session's compilations
+    /// reuse its precomputation (expanded graph, memoized oracles)
+    /// instead of rebuilding it. An existing registration for the same
+    /// structure wins — precomputation is pure, so either copy is valid.
+    pub(crate) fn adopt_topology_cache(&self, cache: Arc<TopologyCache>) {
+        let topo_fp = cache.topology().structural_fingerprint();
+        let mut registry = self.topologies.lock().expect("topology registry poisoned");
+        if registry.map.contains_key(&topo_fp) {
+            return;
+        }
+        if registry.map.len() >= MAX_REGISTERED_TOPOLOGIES {
+            if let Some(oldest) = registry.order.pop_front() {
+                registry.map.remove(&oldest);
+            }
+        }
+        registry.map.insert(topo_fp, cache);
+        registry.order.push_back(topo_fp);
+    }
+
     /// Number of distinct topology structures registered so far.
     pub fn registered_topologies(&self) -> usize {
         self.topologies
@@ -412,7 +472,13 @@ impl Compiler {
         let Some(cache) = &self.cache else {
             return fresh();
         };
-        if let Some(hit) = cache.lock().expect("result cache poisoned").get(&key) {
+        // Bind the lookup to a statement of its own so the MutexGuard
+        // drops *before* any recompilation: `fresh` may re-enter this
+        // cache on the same thread (the exhaustive search compiles its
+        // candidates through the session), and an `if let` scrutinee
+        // would keep the lock alive across the whole branch.
+        let looked_up = cache.lock().expect("result cache poisoned").get(&key);
+        if let Some(hit) = looked_up {
             if self.verify_hits {
                 let recompiled = fresh();
                 assert_eq!(

@@ -8,13 +8,24 @@
 //! (1) operand pairs of critical-path CX gates, (2) pairs touching qubits
 //! involved in inserted communication, (3) everything else. The unordered
 //! variant pools all candidates.
+//!
+//! The search runs **through a [`Compiler`] session**: every candidate
+//! evaluation is an options-level session compile, so it reuses the
+//! session's per-topology precomputation ([`Compiler::topology_cache`])
+//! and is memoized in the session's content-addressed result cache under
+//! its `(circuit, pair-set)` key. Within one search that turns the
+//! post-commit recompile of each round's winner into a cache hit; across
+//! calls it lets repeated sweeps on one session (the Figure 4 bench loop)
+//! skip recompiling identical candidates entirely.
 
 use crate::config::CompilerConfig;
 use crate::layout::Layout;
 use crate::mapping::MappingOptions;
-use crate::pipeline::{compile_with_options_cached, CompilationResult, TopologyCache};
+use crate::pipeline::CompilationResult;
+use crate::session::Compiler;
 use qompress_arch::Topology;
 use qompress_circuit::{Circuit, CircuitDag, Gate};
+use std::sync::Arc;
 
 /// What the exhaustive search maximizes.
 ///
@@ -70,40 +81,53 @@ pub struct ExhaustiveStep {
 
 /// Runs the exhaustive search; returns the best compilation and the
 /// per-round trace.
+///
+/// Compatibility wrapper over a one-shot [`Compiler`] session with caching
+/// **on** — even a single search benefits, because each round's winning
+/// candidate is recompiled after the commit and that recompile is a cache
+/// hit. Callers sweeping more than once should hold a session and use
+/// [`Compiler::compile_exhaustive`].
 pub fn compile_exhaustive(
     circuit: &Circuit,
     topo: &Topology,
     config: &CompilerConfig,
     options: &ExhaustiveOptions,
 ) -> (CompilationResult, Vec<ExhaustiveStep>) {
-    compile_exhaustive_cached(
-        circuit,
-        &TopologyCache::new(topo.clone(), config),
-        config,
-        options,
+    let session = Compiler::builder().config(config.clone()).build();
+    let (best, steps) = run_exhaustive(&session, circuit, topo, options);
+    (
+        Arc::try_unwrap(best).unwrap_or_else(|arc| (*arc).clone()),
+        steps,
     )
 }
 
-/// [`compile_exhaustive`] against a shared [`TopologyCache`] — the search
-/// recompiles the circuit once per candidate pair per round, so reusing the
-/// per-topology precomputation matters most here.
+/// [`compile_exhaustive`] against a caller-held [`Compiler`] session — the
+/// search recompiles the circuit once per candidate pair per round, and
+/// every one of those evaluations is served from (and feeds) the session's
+/// result cache and per-topology precomputation.
 pub fn compile_exhaustive_cached(
     circuit: &Circuit,
-    cache: &TopologyCache,
-    config: &CompilerConfig,
+    session: &Compiler,
+    topo: &Topology,
     options: &ExhaustiveOptions,
-) -> (CompilationResult, Vec<ExhaustiveStep>) {
+) -> (Arc<CompilationResult>, Vec<ExhaustiveStep>) {
+    run_exhaustive(session, circuit, topo, options)
+}
+
+/// The session-threaded search shared by every public EC entry point.
+pub(crate) fn run_exhaustive(
+    session: &Compiler,
+    circuit: &Circuit,
+    topo: &Topology,
+    options: &ExhaustiveOptions,
+) -> (Arc<CompilationResult>, Vec<ExhaustiveStep>) {
     let objective = |r: &CompilationResult| match options.objective {
         EcObjective::GateEps => r.metrics.gate_eps,
         EcObjective::TotalEps => r.metrics.total_eps,
     };
     let mut pairs: Vec<(usize, usize)> = Vec::new();
-    let mut best = compile_with_options_cached(
-        circuit,
-        cache,
-        config,
-        &MappingOptions::with_pairs(pairs.clone()),
-    );
+    let mut best =
+        session.compile_with_options(circuit, topo, &MappingOptions::with_pairs(pairs.clone()));
     let mut steps = Vec::new();
 
     for _ in 0..options.max_rounds {
@@ -136,17 +160,18 @@ pub fn compile_exhaustive_cached(
                 continue;
             }
             let evaluated =
-                evaluate_parallel(circuit, cache, config, &pairs, group, options.objective);
+                evaluate_parallel(session, circuit, topo, &pairs, group, options.objective);
             let winner = evaluated
                 .into_iter()
                 .filter(|(_, eps)| *eps > objective(&best) + 1e-12)
                 .max_by(|(pa, a), (pb, b)| a.partial_cmp(b).unwrap().then_with(|| pb.cmp(pa)));
             if let Some((pair, eps)) = winner {
                 pairs.push(pair);
-                best = compile_with_options_cached(
+                // A cache hit: the winner was just evaluated with exactly
+                // this pair set.
+                best = session.compile_with_options(
                     circuit,
-                    cache,
-                    config,
+                    topo,
                     &MappingOptions::with_pairs(pairs.clone()),
                 );
                 steps.push(ExhaustiveStep {
@@ -167,20 +192,17 @@ pub fn compile_exhaustive_cached(
     (best, steps)
 }
 
-/// Evaluates each candidate compression in parallel, returning
-/// `(pair, total EPS)`.
+/// Evaluates each candidate compression in parallel through the session,
+/// returning `(pair, objective value)`.
 fn evaluate_parallel(
+    session: &Compiler,
     circuit: &Circuit,
-    cache: &TopologyCache,
-    config: &CompilerConfig,
+    topo: &Topology,
     pairs: &[(usize, usize)],
     candidates: &[(usize, usize)],
     objective: EcObjective,
 ) -> Vec<((usize, usize), f64)> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(candidates.len().max(1));
+    let threads = session.workers().min(candidates.len().max(1));
     let chunk = candidates.len().div_ceil(threads);
     let mut out = Vec::with_capacity(candidates.len());
     std::thread::scope(|scope| {
@@ -192,10 +214,9 @@ fn evaluate_parallel(
                     .map(|&pair| {
                         let mut with = pairs.to_vec();
                         with.push(pair);
-                        let r = compile_with_options_cached(
+                        let r = session.compile_with_options(
                             circuit,
-                            cache,
-                            config,
+                            topo,
                             &MappingOptions::with_pairs(with),
                         );
                         let value = match objective {
@@ -395,5 +416,69 @@ mod tests {
         if let Some(s) = steps.first() {
             assert_eq!(s.group, 1, "hot pair sits on the critical path");
         }
+    }
+
+    #[test]
+    fn search_hits_its_own_session_cache() {
+        // Each round's winner is evaluated as a candidate, committed, and
+        // recompiled — the recompile must be a result-cache hit, and a
+        // replay of the whole search must recompile nothing.
+        let c = hot_pair_circuit();
+        let topo = Topology::grid(4);
+        let session = Compiler::builder().build();
+        let (first, steps) =
+            compile_exhaustive_cached(&c, &session, &topo, &ExhaustiveOptions::default());
+        let after_first = session.cache_stats();
+        assert!(
+            after_first.hits >= steps.len() as u64,
+            "each committed round's recompile must hit ({} hits, {} steps)",
+            after_first.hits,
+            steps.len()
+        );
+        let (replay, replay_steps) =
+            compile_exhaustive_cached(&c, &session, &topo, &ExhaustiveOptions::default());
+        let after_replay = session.cache_stats();
+        assert_eq!(
+            after_replay.misses, after_first.misses,
+            "a replayed sweep must be served entirely from the cache"
+        );
+        assert!(after_replay.hits > after_first.hits);
+        assert_eq!(format!("{:?}", *first), format!("{:?}", *replay));
+        assert_eq!(steps, replay_steps);
+    }
+
+    #[test]
+    fn verify_hits_replays_exhaustive_strategy_without_deadlock() {
+        // Regression: a verified hit on the *outer* EC strategy key
+        // recompiles the whole search, which re-enters the result cache
+        // on the same thread for every candidate. The cache lock must not
+        // be held across that recompilation.
+        let c = hot_pair_circuit();
+        let topo = Topology::grid(4);
+        let session = Compiler::builder().verify_hits(true).build();
+        let strategy = crate::strategies::Strategy::Exhaustive { ordered: true };
+        let first = crate::strategies::compile_cached(
+            &c,
+            &crate::pipeline::TopologyCache::new(topo.clone(), session.config()),
+            strategy,
+            session.config(),
+        );
+        let a = session.compile(&c, &topo, strategy);
+        let b = session.compile(&c, &topo, strategy); // verified outer hit
+        assert_eq!(format!("{:?}", *a), format!("{:?}", *b));
+        assert_eq!(format!("{first:?}"), format!("{:?}", *a));
+    }
+
+    #[test]
+    fn session_method_matches_free_function() {
+        let c = hot_pair_circuit();
+        let topo = Topology::grid(4);
+        let config = CompilerConfig::paper();
+        let opts = ExhaustiveOptions::default();
+        let (free, free_steps) = compile_exhaustive(&c, &topo, &config, &opts);
+        let session = Compiler::with_config(&config);
+        let (via_session, session_steps) = session.compile_exhaustive(&c, &topo, &opts);
+        assert_eq!(format!("{free:?}"), format!("{:?}", *via_session));
+        assert_eq!(free_steps, session_steps);
     }
 }

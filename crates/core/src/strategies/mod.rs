@@ -6,6 +6,7 @@ mod full_ququart;
 mod progressive;
 mod ring_based;
 
+pub(crate) use exhaustive::run_exhaustive;
 pub use exhaustive::{
     compile_exhaustive, compile_exhaustive_cached, EcObjective, ExhaustiveOptions, ExhaustiveStep,
 };
@@ -136,16 +137,28 @@ pub fn compile_cached(
             compile_with_options_cached(circuit, cache, config, &MappingOptions::with_pairs(pairs))
         }
         Strategy::Exhaustive { ordered } => {
-            let (result, _) = exhaustive::compile_exhaustive_cached(
+            // EC is a *search*, not a single pipeline pass: it needs a
+            // session for its per-candidate memoization. Callers holding a
+            // session reach `run_exhaustive` through the session's own
+            // strategy dispatch instead of this arm; the one-shot session
+            // here serves direct `compile_cached` callers — it adopts the
+            // caller's `TopologyCache` (shared expanded graph + memoized
+            // oracles ride along via the `Arc`s inside the clone) so the
+            // function's precomputation-sharing contract still holds.
+            let session = crate::session::Compiler::builder()
+                .config(config.clone())
+                .build();
+            session.adopt_topology_cache(std::sync::Arc::new(cache.clone()));
+            let (result, _) = exhaustive::run_exhaustive(
+                &session,
                 circuit,
-                cache,
-                config,
+                topo,
                 &ExhaustiveOptions {
                     ordered,
                     ..ExhaustiveOptions::default()
                 },
             );
-            result
+            (*result).clone()
         }
         Strategy::FullQuquart => full_ququart::compile_full_ququart(circuit, topo, config),
     };

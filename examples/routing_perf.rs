@@ -1,0 +1,167 @@
+//! Routing hot-path performance snapshot.
+//!
+//! Times the route phase alone (mapping excluded) for a set of
+//! communication-heavy circuits over line/grid/ring topologies, plus one
+//! exhaustive-search round and a repeated exhaustive sweep on a single
+//! `Compiler` session (whose replay must be served from the session's
+//! result cache). Writes a machine-readable snapshot to
+//! `results/routing_perf.json` so CI accumulates a bench trajectory
+//! across PRs.
+//!
+//! ```text
+//! cargo run --release --example routing_perf [repeats]
+//! ```
+
+use qompress::{route_cached, Compiler, CompilerConfig, ExhaustiveOptions, MappingOptions};
+use qompress_arch::Topology;
+use qompress_circuit::{Circuit, CircuitDag};
+use qompress_workloads::{build, random_circuit, Benchmark};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Entry {
+    circuit: String,
+    topology: String,
+    logical_gates: usize,
+    route_us: f64,
+    ops: usize,
+}
+
+fn main() {
+    let repeats: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9);
+
+    let config = CompilerConfig::paper();
+    let size = 16usize;
+    let circuits: Vec<(String, Circuit)> = vec![
+        ("cuccaro16".into(), build(Benchmark::Cuccaro, size, 7)),
+        ("qram16".into(), build(Benchmark::Qram, size, 7)),
+        ("qasm-random16".into(), random_circuit(size, 6 * size, 7)),
+    ];
+    let topologies = vec![
+        Topology::line(size),
+        Topology::grid(size),
+        Topology::ring(size),
+    ];
+
+    let session = Compiler::builder().config(config.clone()).build();
+    let mut entries = Vec::new();
+    println!("route-only timings (median of {repeats} runs):\n");
+    for (name, circuit) in &circuits {
+        let dag = CircuitDag::build(circuit);
+        for topo in &topologies {
+            let tcache = session.topology_cache(topo);
+            let base_layout =
+                qompress::map_circuit(circuit, topo, &config, &MappingOptions::qubit_only());
+            // Warm the topology cache's oracle rows so the median measures
+            // steady-state routing, not first-touch Dijkstra.
+            let mut warm = base_layout.clone();
+            let ops = route_cached(circuit, &dag, &mut warm, &tcache, &config);
+
+            let mut samples = Vec::with_capacity(repeats);
+            for _ in 0..repeats {
+                let mut layout = base_layout.clone();
+                let t = Instant::now();
+                let out = route_cached(circuit, &dag, &mut layout, &tcache, &config);
+                samples.push(t.elapsed().as_secs_f64() * 1e6);
+                assert_eq!(out.len(), ops.len(), "routing must be deterministic");
+            }
+            samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let route_us = samples[samples.len() / 2];
+            println!(
+                "  {:<14} {:<8} {:>4} gates -> {:>4} ops  {:>10.1} us",
+                name,
+                topo.name(),
+                circuit.len(),
+                ops.len(),
+                route_us
+            );
+            entries.push(Entry {
+                circuit: name.clone(),
+                topology: topo.name().to_string(),
+                logical_gates: circuit.len(),
+                route_us,
+                ops: ops.len(),
+            });
+        }
+    }
+
+    // One exhaustive round plus a full-sweep replay on the same session:
+    // the replay recompiles nothing, so every candidate evaluation must be
+    // served from the session's result cache.
+    let ec_circuit = build(Benchmark::Cuccaro, 8, 7);
+    let ec_topo = Topology::grid(8);
+    let ec_opts = ExhaustiveOptions {
+        ordered: true,
+        max_rounds: 1,
+        ..ExhaustiveOptions::default()
+    };
+    let t = Instant::now();
+    let (first, _) = session.compile_exhaustive(&ec_circuit, &ec_topo, &ec_opts);
+    let first_ms = t.elapsed().as_secs_f64() * 1e3;
+    let before = session.cache_stats();
+    let t = Instant::now();
+    let (replay, _) = session.compile_exhaustive(&ec_circuit, &ec_topo, &ec_opts);
+    let replay_ms = t.elapsed().as_secs_f64() * 1e3;
+    let after = session.cache_stats();
+    let replay_hits = after.hits.saturating_sub(before.hits);
+    let replay_misses = after.misses.saturating_sub(before.misses);
+    assert!(
+        replay_hits > 0,
+        "replaying an exhaustive sweep on one session must hit the result cache"
+    );
+    assert_eq!(
+        format!("{:?}", first.metrics),
+        format!("{:?}", replay.metrics),
+        "cache replay diverged from the fresh exhaustive sweep"
+    );
+    println!(
+        "\nexhaustive round (cuccaro-8, grid): {first_ms:.1} ms fresh, \
+         {replay_ms:.1} ms replay ({replay_hits} hits / {replay_misses} misses)"
+    );
+
+    let path = write_json(&entries, first_ms, replay_ms, replay_hits, repeats);
+    println!("\nwrote {}", path.display());
+}
+
+/// Hand-rolled JSON emission (the offline build has no serde); names are
+/// `a-z0-9-` only, so no string escaping is needed.
+fn write_json(
+    entries: &[Entry],
+    ec_first_ms: f64,
+    ec_replay_ms: f64,
+    ec_replay_hits: u64,
+    repeats: usize,
+) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("routing_perf.json");
+    let mut file = std::fs::File::create(&path).expect("create routing_perf.json");
+
+    let rows: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            format!(
+                "    {{\"circuit\": \"{}\", \"topology\": \"{}\", \"logical_gates\": {}, \
+                 \"route_us\": {:.2}, \"ops\": {}}}",
+                e.circuit, e.topology, e.logical_gates, e.route_us, e.ops
+            )
+        })
+        .collect();
+    writeln!(
+        file,
+        "{{\n  \"repeats\": {},\n  \"route\": [\n{}\n  ],\n  \"exhaustive\": \
+         {{\"circuit\": \"cuccaro8\", \"topology\": \"grid8\", \"fresh_ms\": {:.3}, \
+         \"replay_ms\": {:.3}, \"replay_cache_hits\": {}}}\n}}",
+        repeats,
+        rows.join(",\n"),
+        ec_first_ms,
+        ec_replay_ms,
+        ec_replay_hits
+    )
+    .expect("write routing_perf.json");
+    path
+}

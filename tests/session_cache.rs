@@ -189,6 +189,52 @@ fn session_outlives_batches_and_keeps_hitting() {
 }
 
 #[test]
+fn exhaustive_strategy_memoizes_candidates_in_the_session_cache() {
+    // A strategy-level EC compile runs the §5.1 search *through* the
+    // session: its per-candidate (circuit, pair-set) evaluations land in
+    // the result cache (misses), each round's post-commit recompile is a
+    // hit, and a repeated sweep recompiles nothing at all.
+    let circuit = {
+        let mut c = qompress_circuit::Circuit::new(4);
+        for _ in 0..10 {
+            c.push(qompress_circuit::Gate::cx(0, 1));
+        }
+        c.push(qompress_circuit::Gate::cx(1, 2));
+        c.push(qompress_circuit::Gate::cx(2, 3));
+        c
+    };
+    let topo = Topology::grid(4);
+    let strategy = Strategy::Exhaustive { ordered: true };
+
+    let session = Compiler::builder().build();
+    let first = session.compile(&circuit, &topo, strategy);
+    let after_first = session.cache_stats();
+    assert!(
+        after_first.misses > 1,
+        "candidate evaluations must be cached individually: {after_first:?}"
+    );
+    assert!(
+        after_first.hits > 0,
+        "post-commit recompiles must hit: {after_first:?}"
+    );
+
+    let replay = session.compile(&circuit, &topo, strategy);
+    let after_replay = session.cache_stats();
+    assert_eq!(
+        after_replay.misses, after_first.misses,
+        "the repeated sweep must be pure hits"
+    );
+    assert!(after_replay.hits > after_first.hits);
+    assert_eq!(render(&first), render(&replay));
+
+    // And the whole search stays observationally identical to a
+    // caching-off session.
+    let uncached = Compiler::builder().caching(false).build();
+    let fresh = uncached.compile(&circuit, &topo, strategy);
+    assert_eq!(render(&first), render(&fresh));
+}
+
+#[test]
 fn free_functions_agree_with_session_methods() {
     // The demoted compatibility wrappers must return exactly what the
     // session returns.
