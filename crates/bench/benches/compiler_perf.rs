@@ -105,6 +105,38 @@ fn bench_batch_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-job overhead of the session job service: submit-then-wait through
+/// the persistent worker pool and its MPMC queue versus calling the
+/// pipeline on the session directly. The delta is the queue handoff +
+/// handle wakeup cost a streaming client pays per job; `submit_wait_hit`
+/// isolates it fully by serving the job from the result cache.
+fn bench_job_service(c: &mut Criterion) {
+    let circuit = build(Benchmark::Cuccaro, 16, 7);
+    let topo = Topology::grid(16);
+    let mut group = c.benchmark_group("job_service");
+    group.sample_size(10);
+
+    let direct = Compiler::builder().workers(1).caching(false).build();
+    let _ = direct.compile(&circuit, &topo, Strategy::Eqm); // warm registry
+    group.bench_function("direct_compile", |b| {
+        b.iter(|| direct.compile(black_box(&circuit), &topo, Strategy::Eqm));
+    });
+
+    let pooled = Compiler::builder().workers(1).caching(false).build();
+    let template = BatchJob::new("bench", circuit.clone(), Strategy::Eqm, topo.clone());
+    let _ = pooled.submit(template.clone()).wait(); // warm registry + pool
+    group.bench_function("submit_wait", |b| {
+        b.iter(|| pooled.submit(black_box(template.clone())).wait());
+    });
+
+    let cached = Compiler::builder().workers(1).build();
+    let _ = cached.submit(template.clone()).wait();
+    group.bench_function("submit_wait_hit", |b| {
+        b.iter(|| cached.submit(black_box(template.clone())).wait());
+    });
+    group.finish();
+}
+
 /// Cached-vs-uncached recompilation of the same job: the session's
 /// content-addressed result cache must turn a repeat into a lookup that
 /// skips mapping, routing and scheduling entirely, so `cached_recompile`
@@ -223,6 +255,7 @@ criterion_group!(
     bench_mapping_only,
     bench_strategy_search,
     bench_batch_throughput,
+    bench_job_service,
     bench_result_cache,
     bench_routing_perf,
     bench_has_edge

@@ -1,13 +1,14 @@
 //! Parallel batch compilation.
 //!
 //! A [`BatchRequest`] carries a list of independent jobs — each a
-//! `(circuit, strategy, topology)` triple — and [`run_batch`] fans them
-//! over `std::thread::scope` workers via a one-shot [`crate::Compiler`]
-//! session. Distinct topologies are deduplicated into shared
-//! [`crate::TopologyCache`]s by structural fingerprint, so the expanded
-//! slot graph and the distance oracles are built once per topology instead
-//! of once per job, and repeated jobs are served out of the session's
-//! content-addressed result cache.
+//! `(circuit, strategy, topology)` triple — and [`run_batch`] submits them
+//! to the persistent worker pool of a one-shot [`crate::Compiler`]
+//! session's job service, then waits for every result. Distinct
+//! topologies are deduplicated into shared [`crate::TopologyCache`]s by
+//! structural fingerprint, so the expanded slot graph and the distance
+//! oracles are built once per topology instead of once per job, and
+//! repeated jobs are served out of the session's content-addressed result
+//! cache.
 //!
 //! Every individual compilation is deterministic, jobs never communicate,
 //! and results are stored at their input index — so the output is
@@ -130,14 +131,15 @@ impl BatchResult {
     }
 }
 
-/// Compiles every job of `request`, fanning over scoped worker threads.
+/// Compiles every job of `request` over a worker pool.
 ///
 /// Stateless convenience wrapper: builds a one-shot [`Compiler`] session
 /// for `request.config` (with `0` workers meaning serial, matching the
-/// historical contract) and delegates to [`Compiler::compile_batch`].
-/// Workers pull job indices from a shared atomic counter, compile against
-/// the deduplicated per-topology caches, and write each result into its
-/// input slot — so the returned order (and content) is independent of
+/// historical contract) and delegates to [`Compiler::compile_batch`],
+/// which submits every job to the session's job service and waits.
+/// Workers pull jobs from the shared FIFO queue, compile against the
+/// deduplicated per-topology caches, and results are collected back in
+/// input order — so the returned order (and content) is independent of
 /// scheduling.
 ///
 /// # Panics

@@ -12,10 +12,16 @@
 //!
 //! The blessed entry path is a [`Compiler`] session: it owns the
 //! configuration, deduplicates per-topology precomputation across calls,
-//! and memoizes repeated compilations in a content-addressed result cache
-//! (see [`CacheStats`]). The free functions ([`compile`],
+//! memoizes repeated compilations in a content-addressed result cache
+//! (see [`CacheStats`]), and runs a persistent worker pool behind an MPMC
+//! job queue — submit jobs with [`Compiler::submit`] and poll/wait/cancel
+//! them through [`JobHandle`]s, or hand a whole list to
+//! [`Compiler::compile_batch`] (a thin submit-all-then-wait wrapper over
+//! the same pool). The free functions ([`compile`],
 //! [`compile_with_options`], [`run_batch`], …) remain as thin
-//! compatibility wrappers over one-shot sessions.
+//! compatibility wrappers over one-shot sessions. The `qompress-service`
+//! crate exposes the job service over a line-delimited JSON wire
+//! protocol.
 //!
 //! ```
 //! use qompress::{Compiler, Strategy};
@@ -48,6 +54,7 @@
 mod batch;
 mod config;
 mod cost;
+mod jobs;
 mod layout;
 mod mapping;
 mod metrics;
@@ -56,6 +63,7 @@ mod pipeline;
 mod result_cache;
 mod routing;
 mod scheduling;
+mod service;
 mod session;
 mod strategies;
 mod timeline;
@@ -63,6 +71,7 @@ mod timeline;
 pub use batch::{run_batch, BatchJob, BatchJobResult, BatchRequest, BatchResult};
 pub use config::CompilerConfig;
 pub use cost::{cx_class, gate_cost, gate_success, swap_class, DistanceOracle};
+pub use jobs::{CompletionQueue, JobHandle, JobId, JobOutcome, JobStatus};
 pub use layout::Layout;
 pub use mapping::{map_circuit, MappingOptions};
 pub use metrics::{coherence_eps, gate_eps_from_counts, Metrics};
@@ -73,6 +82,7 @@ pub use pipeline::{
 pub use result_cache::CacheStats;
 pub use routing::{route, route_cached};
 pub use scheduling::{merge_singles, schedule_ops, trace_coherence, CoherenceTrace};
+pub use service::ServiceMetrics;
 pub use session::{Compiler, CompilerBuilder};
 pub use strategies::{
     compile, compile_cached, compile_exhaustive, compile_exhaustive_cached, EcObjective,

@@ -42,6 +42,41 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// The stats as a JSON object string —
+    /// `{"hits": …, "misses": …, "evictions": …, "hit_rate": …}` — the
+    /// one snapshot shape shared by the examples' report files and the
+    /// `qompress-service` stats response. Lives here so a new counter
+    /// field is added to every emitter in one place.
+    pub fn to_json(&self) -> String {
+        // Exhaustive destructuring: a new field fails to compile here
+        // until the JSON shape covers it.
+        let CacheStats {
+            hits,
+            misses,
+            evictions,
+        } = *self;
+        format!(
+            "{{\"hits\": {hits}, \"misses\": {misses}, \"evictions\": {evictions}, \
+             \"hit_rate\": {:.6}}}",
+            self.hit_rate()
+        )
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    /// Renders the counters plus the derived hit rate, e.g.
+    /// `3 hits / 1 misses / 0 evictions (75.0% hit rate)`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses / {} evictions ({:.1}% hit rate)",
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.hit_rate() * 100.0
+        )
+    }
 }
 
 /// The content address of one compilation job.
@@ -279,6 +314,18 @@ mod tests {
         assert_eq!(stats.misses, 2);
         assert_eq!(stats.evictions, 1);
         assert!((stats.hit_rate() - 0.6).abs() < 1e-12);
+        assert_eq!(
+            format!("{stats}"),
+            "3 hits / 2 misses / 1 evictions (60.0% hit rate)"
+        );
+        assert_eq!(
+            format!("{}", CacheStats::default()),
+            "0 hits / 0 misses / 0 evictions (0.0% hit rate)"
+        );
+        assert_eq!(
+            stats.to_json(),
+            "{\"hits\": 3, \"misses\": 2, \"evictions\": 1, \"hit_rate\": 0.600000}"
+        );
     }
 
     #[test]

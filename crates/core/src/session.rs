@@ -14,7 +14,15 @@
 //!   the pipeline is deterministic in exactly those inputs (pinned by the
 //!   session test-suite, and checkable per-hit via
 //!   [`CompilerBuilder::verify_hits`]);
-//! * the worker pool configuration for [`Compiler::compile_batch`].
+//! * a **persistent worker pool** behind an MPMC job queue — the job
+//!   service. [`Compiler::submit`] enqueues one job and returns a
+//!   [`crate::JobHandle`] (poll/wait/cancel, exact
+//!   [`crate::ServiceMetrics`]); [`Compiler::compile_batch`] is a thin
+//!   submit-all-then-wait wrapper over the same pool, so streaming and
+//!   batch callers share one queue, one topology registry and one result
+//!   cache. Workers spawn on demand — the pool grows with outstanding
+//!   jobs up to the configured bound — and are joined when the session
+//!   drops (still-queued jobs are cancelled, waiters woken).
 //!
 //! The paper's evaluation (§6) and its precursor communication/compression
 //! trade-off study recompile near-identical `(circuit, strategy,
@@ -40,16 +48,17 @@
 
 use crate::batch::{BatchJob, BatchJobResult, BatchResult};
 use crate::config::CompilerConfig;
+use crate::jobs::{CompletionQueue, JobHandle, JobOutcome};
 use crate::mapping::MappingOptions;
 use crate::pipeline::{compile_with_options_cached, CompilationResult, TopologyCache};
 use crate::result_cache::{CacheKey, CacheStats, ResultCache};
+use crate::service::{JobService, ServiceMetrics};
 use crate::strategies::{
     compile_cached, run_exhaustive, ExhaustiveOptions, ExhaustiveStep, Strategy,
 };
 use qompress_arch::Topology;
 use qompress_circuit::Circuit;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -94,9 +103,17 @@ impl CompilerBuilder {
         self
     }
 
-    /// Sets the worker-thread count for [`Compiler::compile_batch`].
-    /// `0` (the default) autodetects the machine's available parallelism;
-    /// `1` forces serial execution.
+    /// Sets the worker-thread count for the session's job service
+    /// ([`Compiler::submit`] / [`Compiler::compile_batch`]). `0` (the
+    /// default) autodetects the machine's available parallelism; `1`
+    /// forces serial execution.
+    ///
+    /// Autodetection is clamped to **at least one worker** in every case:
+    /// [`std::thread::available_parallelism`] can fail (it returns an
+    /// `Err` on platforms or sandboxes where the CPU count is unknowable,
+    /// and cgroup/affinity masks can legitimately report a single CPU —
+    /// the common CI-container case), and a session must still be able to
+    /// make progress then.
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers;
         self
@@ -131,21 +148,28 @@ impl CompilerBuilder {
     /// Builds the session.
     pub fn build(self) -> Compiler {
         let workers = if self.workers == 0 {
+            // `available_parallelism` may *fail* (unsupported platform,
+            // unreadable cgroup limits); the `.max(1)` keeps the pool
+            // non-empty even if a platform ever reported zero.
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
+                .max(1)
         } else {
             self.workers
         };
         let cache = (self.caching && self.cache_capacity > 0)
             .then(|| Mutex::new(ResultCache::new(self.cache_capacity)));
         Compiler {
-            config_fp: self.config.fingerprint(),
-            config: self.config,
-            workers,
-            verify_hits: self.verify_hits,
-            topologies: Mutex::new(TopologyRegistry::default()),
-            cache,
+            state: Arc::new(SessionState {
+                config_fp: self.config.fingerprint(),
+                config: self.config,
+                workers,
+                verify_hits: self.verify_hits,
+                topologies: Mutex::new(TopologyRegistry::default()),
+                cache,
+            }),
+            service: JobService::new(),
         }
     }
 }
@@ -162,53 +186,24 @@ impl Default for CompilerBuilder {
     }
 }
 
-/// A compilation session owning shared state across compilations: the
-/// configuration, the per-topology precomputation registry, and the
-/// content-addressed result cache.
-///
-/// All methods take `&self`; the session is `Sync` and can be shared
-/// across threads (its own [`Compiler::compile_batch`] workers do exactly
-/// that). See the crate-level docs for the full story and an example.
+/// The shared heart of a session: configuration plus every cross-request
+/// cache. Worker threads of the job service hold an `Arc` of this (never
+/// of the [`Compiler`] itself, which owns the pool and must be able to
+/// join it on drop).
 #[derive(Debug)]
-pub struct Compiler {
-    config: CompilerConfig,
-    config_fp: u64,
-    workers: usize,
+pub(crate) struct SessionState {
+    pub(crate) config: CompilerConfig,
+    pub(crate) config_fp: u64,
+    pub(crate) workers: usize,
     verify_hits: bool,
     topologies: Mutex<TopologyRegistry>,
     cache: Option<Mutex<ResultCache>>,
 }
 
-impl Compiler {
-    /// Starts building a session.
-    pub fn builder() -> CompilerBuilder {
-        CompilerBuilder::default()
-    }
-
-    /// A default session: paper configuration, autodetected workers,
-    /// caching on.
-    pub fn new() -> Self {
-        Compiler::builder().build()
-    }
-
-    /// A session over `config` with every other knob at its default.
-    pub fn with_config(config: &CompilerConfig) -> Self {
-        Compiler::builder().config(config.clone()).build()
-    }
-
-    /// The session's configuration.
-    pub fn config(&self) -> &CompilerConfig {
-        &self.config
-    }
-
-    /// The session's worker-thread count for batches.
-    pub fn workers(&self) -> usize {
-        self.workers
-    }
-
+impl SessionState {
     /// Compiles `circuit` onto `topo` with `strategy`, serving repeats
     /// from the result cache.
-    pub fn compile(
+    pub(crate) fn compile(
         &self,
         circuit: &Circuit,
         topo: &Topology,
@@ -222,25 +217,31 @@ impl Compiler {
         })
     }
 
-    /// Runs the exhaustive-compression search (§5.1) through this session:
-    /// every per-candidate evaluation reuses the session's per-topology
-    /// precomputation and is memoized in the result cache under its
-    /// `(circuit, pair-set)` key, so repeated sweeps on one session stop
-    /// recompiling identical candidates. Returns the best compilation and
-    /// the per-round Figure 4 trace.
-    pub fn compile_exhaustive(
+    /// One whole service/batch job, memoized in the result cache. When
+    /// the submitter pre-resolved the job's topology fingerprint and
+    /// [`TopologyCache`] (the batch wrapper does), both are used directly
+    /// — no per-job re-hash of the topology, and immunity to registry
+    /// eviction, so a batch spanning more distinct topologies than the
+    /// registry bound never rebuilds precomputation mid-flight; otherwise
+    /// the cache is looked up (or built) through the registry.
+    pub(crate) fn compile_queued_job(
         &self,
-        circuit: &Circuit,
-        topo: &Topology,
-        options: &ExhaustiveOptions,
-    ) -> (Arc<CompilationResult>, Vec<ExhaustiveStep>) {
-        run_exhaustive(self, circuit, topo, options)
+        job: &BatchJob,
+        resolved: Option<(u64, &TopologyCache)>,
+    ) -> Arc<CompilationResult> {
+        let Some((topo_fp, tcache)) = resolved else {
+            return self.compile(&job.circuit, &job.topology, job.strategy);
+        };
+        let key = CacheKey::for_strategy(&job.circuit, job.strategy, topo_fp, self.config_fp);
+        self.memoized(key, || {
+            Arc::new(self.compile_strategy_job(&job.circuit, tcache, job.strategy))
+        })
     }
 
     /// One strategy-level compilation against a registered topology cache.
-    /// The exhaustive strategies are dispatched through the session itself
-    /// (their candidate evaluations must land in this session's result
-    /// cache); everything else goes through the stateless pipeline.
+    /// The exhaustive strategies are dispatched through the session state
+    /// itself (their candidate evaluations must land in this session's
+    /// result cache); everything else goes through the stateless pipeline.
     fn compile_strategy_job(
         &self,
         circuit: &Circuit,
@@ -265,10 +266,8 @@ impl Compiler {
         }
     }
 
-    /// Compiles `circuit` onto `topo` with explicit [`MappingOptions`]
-    /// (the options-level pipeline entry), serving repeats from the
-    /// result cache.
-    pub fn compile_with_options(
+    /// Options-level session compile (see [`Compiler::compile_with_options`]).
+    pub(crate) fn compile_with_options(
         &self,
         circuit: &Circuit,
         topo: &Topology,
@@ -287,105 +286,7 @@ impl Compiler {
         })
     }
 
-    /// Compiles every job of `jobs`, fanning over the session's worker
-    /// threads and serving repeats (within this batch *and* from earlier
-    /// session work) out of the result cache.
-    ///
-    /// Results come back in input order and are byte-identical for any
-    /// worker count; [`BatchResult::cache`] reports the cache activity of
-    /// this batch alone.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any job's compilation panics (e.g. a circuit too large
-    /// for its topology); the panic propagates out of the thread scope.
-    pub fn compile_batch(&self, jobs: &[BatchJob]) -> BatchResult {
-        let stats_before = self.cache_stats();
-        let per_job: Vec<(u64, Arc<TopologyCache>)> = jobs
-            .iter()
-            .map(|job| {
-                let fp = job.topology.structural_fingerprint();
-                (fp, self.topology_cache_by_fp(fp, &job.topology))
-            })
-            .collect();
-        let distinct_topologies = {
-            let mut fps: Vec<u64> = per_job.iter().map(|(fp, _)| *fp).collect();
-            fps.sort_unstable();
-            fps.dedup();
-            fps.len()
-        };
-
-        let n_jobs = jobs.len();
-        let workers = self.workers.max(1).min(n_jobs.max(1));
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<BatchJobResult>>> =
-            (0..n_jobs).map(|_| Mutex::new(None)).collect();
-
-        let started = Instant::now();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= n_jobs {
-                        break;
-                    }
-                    let job = &jobs[idx];
-                    let (topo_fp, tcache) = &per_job[idx];
-                    let key = CacheKey::for_strategy(
-                        &job.circuit,
-                        job.strategy,
-                        *topo_fp,
-                        self.config_fp,
-                    );
-                    let result = self.memoized(key, || {
-                        Arc::new(self.compile_strategy_job(&job.circuit, tcache, job.strategy))
-                    });
-                    *slots[idx].lock().expect("result slot poisoned") = Some(BatchJobResult {
-                        label: job.label.clone(),
-                        job_index: idx,
-                        result,
-                    });
-                });
-            }
-        });
-        let elapsed = started.elapsed();
-
-        let results = slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every job index was claimed by a worker")
-            })
-            .collect();
-
-        let after = self.cache_stats();
-        BatchResult {
-            results,
-            distinct_topologies,
-            elapsed,
-            // Saturating: a concurrent `clear_cache` between the two
-            // snapshots resets the counters, which would otherwise
-            // underflow the delta.
-            cache: CacheStats {
-                hits: after.hits.saturating_sub(stats_before.hits),
-                misses: after.misses.saturating_sub(stats_before.misses),
-                evictions: after.evictions.saturating_sub(stats_before.evictions),
-            },
-        }
-    }
-
-    /// The shared [`TopologyCache`] for `topo`, building it on first use
-    /// and deduplicating by structural fingerprint across every session
-    /// call (two same-structure topologies share one cache regardless of
-    /// name). The registry holds at most `MAX_REGISTERED_TOPOLOGIES`
-    /// structures; beyond that the oldest registration is dropped (in-use
-    /// `Arc`s stay valid).
-    pub fn topology_cache(&self, topo: &Topology) -> Arc<TopologyCache> {
-        self.topology_cache_by_fp(topo.structural_fingerprint(), topo)
-    }
-
-    fn topology_cache_by_fp(&self, topo_fp: u64, topo: &Topology) -> Arc<TopologyCache> {
+    pub(crate) fn topology_cache_by_fp(&self, topo_fp: u64, topo: &Topology) -> Arc<TopologyCache> {
         let mut registry = self.topologies.lock().expect("topology registry poisoned");
         if let Some(cache) = registry.map.get(&topo_fp) {
             return Arc::clone(cache);
@@ -401,12 +302,7 @@ impl Compiler {
         cache
     }
 
-    /// Registers an externally built [`TopologyCache`] under its
-    /// topology's structural fingerprint, so the session's compilations
-    /// reuse its precomputation (expanded graph, memoized oracles)
-    /// instead of rebuilding it. An existing registration for the same
-    /// structure wins — precomputation is pure, so either copy is valid.
-    pub(crate) fn adopt_topology_cache(&self, cache: Arc<TopologyCache>) {
+    fn adopt_topology_cache(&self, cache: Arc<TopologyCache>) {
         let topo_fp = cache.topology().structural_fingerprint();
         let mut registry = self.topologies.lock().expect("topology registry poisoned");
         if registry.map.contains_key(&topo_fp) {
@@ -421,42 +317,11 @@ impl Compiler {
         registry.order.push_back(topo_fp);
     }
 
-    /// Number of distinct topology structures registered so far.
-    pub fn registered_topologies(&self) -> usize {
-        self.topologies
-            .lock()
-            .expect("topology registry poisoned")
-            .map
-            .len()
-    }
-
-    /// Cumulative cache counters (all zeros when caching is disabled).
-    pub fn cache_stats(&self) -> CacheStats {
+    pub(crate) fn cache_stats(&self) -> CacheStats {
         self.cache
             .as_ref()
             .map(|c| c.lock().expect("result cache poisoned").stats())
             .unwrap_or_default()
-    }
-
-    /// Number of results currently held by the cache.
-    pub fn cached_results(&self) -> usize {
-        self.cache
-            .as_ref()
-            .map(|c| c.lock().expect("result cache poisoned").len())
-            .unwrap_or(0)
-    }
-
-    /// Returns `true` when the session memoizes results.
-    pub fn caching_enabled(&self) -> bool {
-        self.cache.is_some()
-    }
-
-    /// Drops every cached result and resets the counters (the topology
-    /// registry is kept — it is pure precomputation, never stale).
-    pub fn clear_cache(&self) {
-        if let Some(c) = &self.cache {
-            c.lock().expect("result cache poisoned").clear();
-        }
     }
 
     /// Serves `key` from the cache or compiles via `fresh`, inserting the
@@ -496,6 +361,293 @@ impl Compiler {
             .expect("result cache poisoned")
             .insert(key, Arc::clone(&result));
         result
+    }
+}
+
+/// A compilation session owning shared state across compilations: the
+/// configuration, the per-topology precomputation registry, the
+/// content-addressed result cache, and the persistent worker pool of the
+/// job service.
+///
+/// All methods take `&self`; the session is `Sync` and can be shared
+/// across threads (its own service workers do exactly that). See the
+/// crate-level docs for the full story and an example.
+///
+/// Dropping the session shuts the job service down: still-queued jobs are
+/// cancelled (their [`JobHandle`]s observe [`crate::JobStatus::Cancelled`]
+/// and every `wait` returns), in-flight compilations finish, and all
+/// worker threads are joined.
+#[derive(Debug)]
+pub struct Compiler {
+    state: Arc<SessionState>,
+    service: JobService,
+}
+
+impl Compiler {
+    /// Starts building a session.
+    pub fn builder() -> CompilerBuilder {
+        CompilerBuilder::default()
+    }
+
+    /// A default session: paper configuration, autodetected workers,
+    /// caching on.
+    pub fn new() -> Self {
+        Compiler::builder().build()
+    }
+
+    /// A session over `config` with every other knob at its default.
+    pub fn with_config(config: &CompilerConfig) -> Self {
+        Compiler::builder().config(config.clone()).build()
+    }
+
+    /// The shared state, for crate-internal callers (the exhaustive
+    /// search threads candidate evaluations through it).
+    pub(crate) fn state(&self) -> &Arc<SessionState> {
+        &self.state
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &CompilerConfig {
+        &self.state.config
+    }
+
+    /// The session's worker-thread count for the job service.
+    pub fn workers(&self) -> usize {
+        self.state.workers
+    }
+
+    /// Compiles `circuit` onto `topo` with `strategy`, serving repeats
+    /// from the result cache.
+    pub fn compile(
+        &self,
+        circuit: &Circuit,
+        topo: &Topology,
+        strategy: Strategy,
+    ) -> Arc<CompilationResult> {
+        self.state.compile(circuit, topo, strategy)
+    }
+
+    /// Runs the exhaustive-compression search (§5.1) through this session:
+    /// every per-candidate evaluation reuses the session's per-topology
+    /// precomputation and is memoized in the result cache under its
+    /// `(circuit, pair-set)` key, so repeated sweeps on one session stop
+    /// recompiling identical candidates. Returns the best compilation and
+    /// the per-round Figure 4 trace.
+    pub fn compile_exhaustive(
+        &self,
+        circuit: &Circuit,
+        topo: &Topology,
+        options: &ExhaustiveOptions,
+    ) -> (Arc<CompilationResult>, Vec<ExhaustiveStep>) {
+        run_exhaustive(&self.state, circuit, topo, options)
+    }
+
+    /// Compiles `circuit` onto `topo` with explicit [`MappingOptions`]
+    /// (the options-level pipeline entry), serving repeats from the
+    /// result cache.
+    pub fn compile_with_options(
+        &self,
+        circuit: &Circuit,
+        topo: &Topology,
+        options: &MappingOptions,
+    ) -> Arc<CompilationResult> {
+        self.state.compile_with_options(circuit, topo, options)
+    }
+
+    /// Enqueues one job on the session's persistent worker pool and
+    /// returns its [`JobHandle`] immediately.
+    ///
+    /// The pool (bounded by [`CompilerBuilder::workers`]) grows on
+    /// demand — up to `min(bound, outstanding jobs)` threads — and serves
+    /// every subsequent submit and batch of this session. The handle supports [`JobHandle::poll`],
+    /// [`JobHandle::wait`] and [`JobHandle::cancel`]; a job cancelled
+    /// while still queued is never compiled and never touches the
+    /// session's result cache.
+    pub fn submit(&self, job: BatchJob) -> JobHandle {
+        self.service.submit(&self.state, job, None, None)
+    }
+
+    /// Like [`Compiler::submit`], additionally registering `watcher` to
+    /// receive the job's id when it reaches a terminal state — the
+    /// primitive for streaming per-job completions out of a large sweep
+    /// as they finish (the `qompress-service` wire front-end is built on
+    /// exactly this).
+    pub fn submit_watched(&self, job: BatchJob, watcher: &CompletionQueue) -> JobHandle {
+        self.service
+            .submit(&self.state, job, None, Some(watcher.clone()))
+    }
+
+    /// Exact lifecycle counters of the session's job service.
+    pub fn service_metrics(&self) -> ServiceMetrics {
+        self.service.metrics()
+    }
+
+    /// Stops workers from claiming further jobs. In-flight compilations
+    /// finish normally; queued jobs stay queued (and cancellable) until
+    /// [`Compiler::resume_workers`]. Note that [`Compiler::compile_batch`]
+    /// and [`JobHandle::wait`] block for as long as the service is paused.
+    pub fn pause_workers(&self) {
+        self.service.pause();
+    }
+
+    /// Resumes job claiming after [`Compiler::pause_workers`].
+    pub fn resume_workers(&self) {
+        self.service.resume();
+    }
+
+    /// Compiles every job of `jobs` through the session's job service —
+    /// a thin submit-all-then-wait wrapper over [`Compiler::submit`] —
+    /// serving repeats (within this batch *and* from earlier session
+    /// work) out of the result cache.
+    ///
+    /// Results come back in input order and are byte-identical for any
+    /// worker count; [`BatchResult::cache`] reports the cache activity
+    /// observed during this batch (exact when the session runs one batch
+    /// at a time; concurrent submitters on the same session fold into the
+    /// same counters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job's compilation panics (e.g. a circuit too large
+    /// for its topology); streaming callers that prefer an error value
+    /// should [`Compiler::submit`] instead and match on
+    /// [`JobOutcome::Failed`].
+    pub fn compile_batch(&self, jobs: &[BatchJob]) -> BatchResult {
+        let stats_before = self.state.cache_stats();
+        // Resolve every job's topology cache up front (deduplicated by
+        // structural fingerprint) so the expensive expanded-graph
+        // construction happens once, outside the timed window, exactly as
+        // the scoped-thread engine did. The per-job `Arc` rides along
+        // with the queued job, so even a batch spanning more distinct
+        // topologies than the registry bound never rebuilds one
+        // mid-flight.
+        let per_job: Vec<(u64, Arc<TopologyCache>)> = jobs
+            .iter()
+            .map(|job| {
+                let fp = job.topology.structural_fingerprint();
+                (fp, self.state.topology_cache_by_fp(fp, &job.topology))
+            })
+            .collect();
+        let distinct_topologies = {
+            let mut fps: Vec<u64> = per_job.iter().map(|(fp, _)| *fp).collect();
+            fps.sort_unstable();
+            fps.dedup();
+            fps.len()
+        };
+
+        let started = Instant::now();
+        let handles: Vec<JobHandle> = jobs
+            .iter()
+            .zip(&per_job)
+            .map(|(job, (fp, tcache))| {
+                self.service.submit(
+                    &self.state,
+                    job.clone(),
+                    Some((*fp, Arc::clone(tcache))),
+                    None,
+                )
+            })
+            .collect();
+        let results: Vec<BatchJobResult> = handles
+            .iter()
+            .enumerate()
+            .map(|(job_index, handle)| match handle.wait() {
+                JobOutcome::Done(result) => BatchJobResult {
+                    label: handle.label().to_string(),
+                    job_index,
+                    result,
+                },
+                JobOutcome::Failed(message) => {
+                    panic!("batch job `{}` panicked: {message}", handle.label())
+                }
+                JobOutcome::Cancelled => {
+                    // Unreachable through this wrapper: the handles never
+                    // escape, so nothing can cancel them.
+                    panic!("batch job `{}` was cancelled mid-batch", handle.label())
+                }
+            })
+            .collect();
+        let elapsed = started.elapsed();
+
+        let after = self.state.cache_stats();
+        BatchResult {
+            results,
+            distinct_topologies,
+            elapsed,
+            // Saturating: a concurrent `clear_cache` between the two
+            // snapshots resets the counters, which would otherwise
+            // underflow the delta.
+            cache: CacheStats {
+                hits: after.hits.saturating_sub(stats_before.hits),
+                misses: after.misses.saturating_sub(stats_before.misses),
+                evictions: after.evictions.saturating_sub(stats_before.evictions),
+            },
+        }
+    }
+
+    /// The shared [`TopologyCache`] for `topo`, building it on first use
+    /// and deduplicating by structural fingerprint across every session
+    /// call (two same-structure topologies share one cache regardless of
+    /// name). The registry holds at most `MAX_REGISTERED_TOPOLOGIES`
+    /// structures; beyond that the oldest registration is dropped (in-use
+    /// `Arc`s stay valid).
+    pub fn topology_cache(&self, topo: &Topology) -> Arc<TopologyCache> {
+        self.state
+            .topology_cache_by_fp(topo.structural_fingerprint(), topo)
+    }
+
+    /// Registers an externally built [`TopologyCache`] under its
+    /// topology's structural fingerprint, so the session's compilations
+    /// reuse its precomputation (expanded graph, memoized oracles)
+    /// instead of rebuilding it. An existing registration for the same
+    /// structure wins — precomputation is pure, so either copy is valid.
+    pub(crate) fn adopt_topology_cache(&self, cache: Arc<TopologyCache>) {
+        self.state.adopt_topology_cache(cache);
+    }
+
+    /// Number of distinct topology structures registered so far.
+    pub fn registered_topologies(&self) -> usize {
+        self.state
+            .topologies
+            .lock()
+            .expect("topology registry poisoned")
+            .map
+            .len()
+    }
+
+    /// Cumulative cache counters (all zeros when caching is disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.state.cache_stats()
+    }
+
+    /// Number of results currently held by the cache.
+    pub fn cached_results(&self) -> usize {
+        self.state
+            .cache
+            .as_ref()
+            .map(|c| c.lock().expect("result cache poisoned").len())
+            .unwrap_or(0)
+    }
+
+    /// Returns `true` when the session memoizes results.
+    pub fn caching_enabled(&self) -> bool {
+        self.state.cache.is_some()
+    }
+
+    /// Drops every cached result and resets the counters (the topology
+    /// registry is kept — it is pure precomputation, never stale).
+    pub fn clear_cache(&self) {
+        if let Some(c) = &self.state.cache {
+            c.lock().expect("result cache poisoned").clear();
+        }
+    }
+}
+
+impl Drop for Compiler {
+    /// Cancels every still-queued job, wakes all waiters, and joins the
+    /// worker pool (a no-op for sessions that never submitted).
+    fn drop(&mut self) {
+        self.service.shutdown();
     }
 }
 
@@ -647,11 +799,100 @@ mod tests {
     fn workers_autodetect_and_override() {
         assert!(Compiler::builder().build().workers() >= 1);
         assert_eq!(Compiler::builder().workers(3).build().workers(), 3);
-        assert!(Compiler::builder().caching(false).build().cache.is_none());
+        assert!(Compiler::builder()
+            .caching(false)
+            .build()
+            .state
+            .cache
+            .is_none());
         assert!(Compiler::builder()
             .cache_capacity(0)
             .build()
+            .state
             .cache
             .is_none());
+    }
+
+    #[test]
+    fn pool_grows_with_demand_not_bound() {
+        // A wide bound must not cost threads a narrow workload never
+        // uses: one outstanding job at a time keeps a one-thread pool.
+        let session = Compiler::builder().workers(8).build();
+        assert_eq!(session.service.worker_count(), 0, "no submit, no pool");
+        for _ in 0..3 {
+            let h = session.submit(BatchJob::new(
+                "serial",
+                ghz(4),
+                Strategy::QubitOnly,
+                Topology::grid(4),
+            ));
+            assert!(h.wait().result().is_some());
+        }
+        assert_eq!(
+            session.service.worker_count(),
+            1,
+            "serial submits never need a second worker"
+        );
+        // Piling up outstanding work grows the pool toward the bound.
+        session.pause_workers();
+        for i in 0..5 {
+            let _ = session.submit(BatchJob::new(
+                format!("burst-{i}"),
+                ghz(4),
+                Strategy::QubitOnly,
+                Topology::grid(4),
+            ));
+        }
+        let grown = session.service.worker_count();
+        assert!(
+            (2..=5).contains(&grown),
+            "burst of 5 queued jobs must grow the pool (got {grown})"
+        );
+        session.resume_workers();
+    }
+
+    #[test]
+    fn batch_survives_topology_registry_eviction() {
+        // More distinct topologies than the registry holds: the per-job
+        // `Arc<TopologyCache>` rides along with each queued job, so the
+        // batch completes without rebuilding precomputation mid-flight
+        // even though the registry evicted the earliest structures.
+        let session = Compiler::builder().workers(2).build();
+        let n = MAX_REGISTERED_TOPOLOGIES + 8;
+        let jobs: Vec<BatchJob> = (0..n)
+            .map(|i| {
+                BatchJob::new(
+                    format!("line-{}", i + 2),
+                    ghz(2),
+                    Strategy::QubitOnly,
+                    Topology::line(i + 2),
+                )
+            })
+            .collect();
+        let out = session.compile_batch(&jobs);
+        assert_eq!(out.results.len(), n);
+        assert_eq!(out.distinct_topologies, n);
+        assert_eq!(session.registered_topologies(), MAX_REGISTERED_TOPOLOGIES);
+        for (job, r) in jobs.iter().zip(&out.results) {
+            assert_eq!(r.label, job.label);
+            assert!(r.result.metrics.total_eps > 0.0, "{}", job.label);
+        }
+    }
+
+    #[test]
+    fn workers_zero_autodetects_at_least_one_on_any_box() {
+        // The CI container reports a single CPU; `workers(0)` must still
+        // yield a usable pool (and would even if `available_parallelism`
+        // errored — the builder clamps to ≥ 1).
+        let session = Compiler::builder().workers(0).build();
+        assert!(session.workers() >= 1);
+        // …and the autodetected pool actually serves work.
+        let handle = session.submit(BatchJob::new(
+            "autodetect",
+            ghz(4),
+            Strategy::QubitOnly,
+            Topology::grid(4),
+        ));
+        assert!(handle.wait().result().is_some());
     }
 }

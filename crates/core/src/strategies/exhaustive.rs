@@ -22,7 +22,7 @@ use crate::config::CompilerConfig;
 use crate::layout::Layout;
 use crate::mapping::MappingOptions;
 use crate::pipeline::CompilationResult;
-use crate::session::Compiler;
+use crate::session::{Compiler, SessionState};
 use qompress_arch::Topology;
 use qompress_circuit::{Circuit, CircuitDag, Gate};
 use std::sync::Arc;
@@ -94,7 +94,7 @@ pub fn compile_exhaustive(
     options: &ExhaustiveOptions,
 ) -> (CompilationResult, Vec<ExhaustiveStep>) {
     let session = Compiler::builder().config(config.clone()).build();
-    let (best, steps) = run_exhaustive(&session, circuit, topo, options);
+    let (best, steps) = run_exhaustive(session.state(), circuit, topo, options);
     (
         Arc::try_unwrap(best).unwrap_or_else(|arc| (*arc).clone()),
         steps,
@@ -111,12 +111,15 @@ pub fn compile_exhaustive_cached(
     topo: &Topology,
     options: &ExhaustiveOptions,
 ) -> (Arc<CompilationResult>, Vec<ExhaustiveStep>) {
-    run_exhaustive(session, circuit, topo, options)
+    run_exhaustive(session.state(), circuit, topo, options)
 }
 
 /// The session-threaded search shared by every public EC entry point.
+/// Takes the shared [`SessionState`] (not the [`Compiler`] wrapper) so
+/// the job-service worker threads — which hold only the state `Arc` — can
+/// dispatch exhaustive-strategy jobs through the very same memoization.
 pub(crate) fn run_exhaustive(
-    session: &Compiler,
+    session: &SessionState,
     circuit: &Circuit,
     topo: &Topology,
     options: &ExhaustiveOptions,
@@ -195,14 +198,14 @@ pub(crate) fn run_exhaustive(
 /// Evaluates each candidate compression in parallel through the session,
 /// returning `(pair, objective value)`.
 fn evaluate_parallel(
-    session: &Compiler,
+    session: &SessionState,
     circuit: &Circuit,
     topo: &Topology,
     pairs: &[(usize, usize)],
     candidates: &[(usize, usize)],
     objective: EcObjective,
 ) -> Vec<((usize, usize), f64)> {
-    let threads = session.workers().min(candidates.len().max(1));
+    let threads = session.workers.min(candidates.len().max(1));
     let chunk = candidates.len().div_ceil(threads);
     let mut out = Vec::with_capacity(candidates.len());
     std::thread::scope(|scope| {

@@ -150,7 +150,7 @@ pub fn compile_cached(
                 .build();
             session.adopt_topology_cache(std::sync::Arc::new(cache.clone()));
             let (result, _) = exhaustive::run_exhaustive(
-                &session,
+                session.state(),
                 circuit,
                 topo,
                 &ExhaustiveOptions {

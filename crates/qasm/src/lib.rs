@@ -12,6 +12,9 @@
 //! `H(t)·CX(c,t)·H(t)` since the compiler's logical gate set is
 //! `{1q, CX, SWAP}` (paper §3.4). Angle expressions accept literals and
 //! `pi` with `*`, `/` and unary minus (`-pi/2`, `3*pi/4`, `0.25`).
+//! Single-qubit gates accept OpenQASM's whole-register broadcast
+//! (`h q;` ≡ `h q[0]; … h q[n-1];`, in register order); two-qubit gates
+//! reject broadcast operands.
 //!
 //! The serializer ([`to_qasm`]) emits only constructs the parser accepts,
 //! and formats angles with Rust's shortest-round-trip float notation, so

@@ -187,20 +187,59 @@ fn is_identifier(s: &str) -> bool {
         && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
-/// Resolves `name[index]` to a flattened qubit index.
-fn resolve_qubit(text: &str, qregs: &[QReg], line: usize) -> Result<usize, QasmError> {
+/// One resolved gate operand: a single qubit (`q[3]`) or a whole-register
+/// broadcast (`q`), which OpenQASM applies element-wise.
+enum Operand {
+    One(usize),
+    /// Flattened qubit range `offset..offset + size` of the register.
+    All {
+        offset: usize,
+        size: usize,
+    },
+}
+
+impl Operand {
+    /// The flattened qubit indices this operand covers, in register order.
+    fn qubits(&self) -> std::ops::Range<usize> {
+        match *self {
+            Operand::One(q) => q..q + 1,
+            Operand::All { offset, size } => offset..offset + size,
+        }
+    }
+}
+
+/// Resolves `name[index]` to a flattened qubit index, or a bare declared
+/// register name to a broadcast over its qubits.
+fn resolve_operand(text: &str, qregs: &[QReg], line: usize) -> Result<Operand, QasmError> {
+    let text = text.trim();
+    let lookup = |name: &str| -> Result<&QReg, QasmError> {
+        qregs
+            .iter()
+            .find(|r| r.name == name)
+            .ok_or_else(|| QasmError::new(line, format!("undeclared register `{name}`")))
+    };
+    if !text.contains('[') {
+        if !is_identifier(text) {
+            return Err(QasmError::new(
+                line,
+                format!("expected `name[index]` or a register name, got `{text}`"),
+            ));
+        }
+        let reg = lookup(text)?;
+        return Ok(Operand::All {
+            offset: reg.offset,
+            size: reg.size,
+        });
+    }
     let (name, idx) = split_indexed(text, line)?;
-    let reg = qregs
-        .iter()
-        .find(|r| r.name == name)
-        .ok_or_else(|| QasmError::new(line, format!("undeclared register `{name}`")))?;
+    let reg = lookup(name)?;
     if idx >= reg.size {
         return Err(QasmError::new(
             line,
             format!("index {idx} out of range for `{name}[{}]`", reg.size),
         ));
     }
-    Ok(reg.offset + idx)
+    Ok(Operand::One(reg.offset + idx))
 }
 
 /// Parses one gate application, possibly lowering to several [`Gate`]s.
@@ -215,9 +254,9 @@ fn parse_gate(name: &str, rest: &str, qregs: &[QReg], line: usize) -> Result<Vec
     } else {
         (None, rest)
     };
-    let operands: Vec<usize> = operands_text
+    let operands: Vec<Operand> = operands_text
         .split(',')
-        .map(|op| resolve_qubit(op, qregs, line))
+        .map(|op| resolve_operand(op, qregs, line))
         .collect::<Result<_, _>>()?;
 
     let arity = |want: usize| -> Result<(), QasmError> {
@@ -240,14 +279,29 @@ fn parse_gate(name: &str, rest: &str, qregs: &[QReg], line: usize) -> Result<Vec
             Ok(gates)
         }
     };
-    let distinct = || -> Result<(), QasmError> {
-        if operands[0] == operands[1] {
+    // Two-qubit gates take exactly one qubit per operand: whole-register
+    // broadcast is a single-qubit-gate convenience in this subset.
+    let two_distinct = || -> Result<(usize, usize), QasmError> {
+        arity(2)?;
+        let (a, b) = match (&operands[0], &operands[1]) {
+            (Operand::One(a), Operand::One(b)) => (*a, *b),
+            _ => {
+                return Err(QasmError::new(
+                    line,
+                    format!(
+                        "`{name}` does not support whole-register broadcast \
+                         (single-qubit gates only)"
+                    ),
+                ))
+            }
+        };
+        if a == b {
             Err(QasmError::new(
                 line,
                 format!("`{name}` addresses the same qubit twice"),
             ))
         } else {
-            Ok(())
+            Ok((a, b))
         }
     };
     let one_param = || -> Result<f64, QasmError> {
@@ -260,9 +314,24 @@ fn parse_gate(name: &str, rest: &str, qregs: &[QReg], line: usize) -> Result<Vec
         }
     };
 
+    // Single-qubit gates broadcast: `h q;` applies `h` to every qubit of
+    // `q` in register order.
     let fixed_1q = |kind: SingleQubitKind| -> Result<Vec<Gate>, QasmError> {
         arity(1)?;
-        no_params(vec![Gate::single(kind, operands[0])])
+        no_params(
+            operands[0]
+                .qubits()
+                .map(|q| Gate::single(kind, q))
+                .collect(),
+        )
+    };
+    let rotation_1q = |make: fn(f64) -> SingleQubitKind| -> Result<Vec<Gate>, QasmError> {
+        arity(1)?;
+        let angle = one_param()?;
+        Ok(operands[0]
+            .qubits()
+            .map(|q| Gate::single(make(angle), q))
+            .collect())
     };
     match name {
         "x" => fixed_1q(SingleQubitKind::X),
@@ -273,46 +342,21 @@ fn parse_gate(name: &str, rest: &str, qregs: &[QReg], line: usize) -> Result<Vec
         "sdg" => fixed_1q(SingleQubitKind::Sdg),
         "t" => fixed_1q(SingleQubitKind::T),
         "tdg" => fixed_1q(SingleQubitKind::Tdg),
-        "rx" => {
-            arity(1)?;
-            Ok(vec![Gate::single(
-                SingleQubitKind::Rx(one_param()?),
-                operands[0],
-            )])
-        }
-        "ry" => {
-            arity(1)?;
-            Ok(vec![Gate::single(
-                SingleQubitKind::Ry(one_param()?),
-                operands[0],
-            )])
-        }
-        "rz" => {
-            arity(1)?;
-            Ok(vec![Gate::single(
-                SingleQubitKind::Rz(one_param()?),
-                operands[0],
-            )])
-        }
+        "rx" => rotation_1q(SingleQubitKind::Rx),
+        "ry" => rotation_1q(SingleQubitKind::Ry),
+        "rz" => rotation_1q(SingleQubitKind::Rz),
         "cx" | "CX" => {
-            arity(2)?;
-            distinct()?;
-            no_params(vec![Gate::cx(operands[0], operands[1])])
+            let (c, t) = two_distinct()?;
+            no_params(vec![Gate::cx(c, t)])
         }
         "cz" => {
-            arity(2)?;
-            distinct()?;
+            let (c, t) = two_distinct()?;
             // CZ = (I⊗H)·CX·(I⊗H): lowered into the compiler's gate set.
-            no_params(vec![
-                Gate::h(operands[1]),
-                Gate::cx(operands[0], operands[1]),
-                Gate::h(operands[1]),
-            ])
+            no_params(vec![Gate::h(t), Gate::cx(c, t), Gate::h(t)])
         }
         "swap" => {
-            arity(2)?;
-            distinct()?;
-            no_params(vec![Gate::swap(operands[0], operands[1])])
+            let (a, b) = two_distinct()?;
+            no_params(vec![Gate::swap(a, b)])
         }
         _ => Err(QasmError::new(line, format!("unknown gate `{name}`"))),
     }
@@ -415,6 +459,39 @@ mod tests {
         )
         .unwrap();
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn broadcast_expands_single_qubit_gates() {
+        let c = parse("qreg q[3];\nh q;\n").unwrap();
+        assert_eq!(c.gates(), &[Gate::h(0), Gate::h(1), Gate::h(2)]);
+        // Broadcast respects register offsets and declaration order.
+        let c = parse("qreg a[2];\nqreg b[2];\nx b;\n").unwrap();
+        assert_eq!(c.gates(), &[Gate::x(2), Gate::x(3)]);
+        // Rotations broadcast with one shared angle.
+        let c = parse("qreg q[2];\nrz(pi/2) q;\n").unwrap();
+        let pi = std::f64::consts::PI;
+        assert_eq!(c.gates(), &[Gate::rz(pi / 2.0, 0), Gate::rz(pi / 2.0, 1)]);
+    }
+
+    #[test]
+    fn broadcast_rejected_for_two_qubit_gates() {
+        for stmt in ["cx q, r;", "cx q[0], r;", "swap q, r;", "cz r, q[1];"] {
+            let err = parse(&format!("qreg q[2];\nqreg r[2];\n{stmt}\n")).unwrap_err();
+            assert!(
+                err.message.contains("whole-register broadcast"),
+                "{stmt}: {}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn broadcast_of_undeclared_register_rejected() {
+        let err = parse("qreg q[2];\nh r;\n").unwrap_err();
+        assert!(err.message.contains("undeclared register `r`"));
+        let err = parse("qreg q[2];\nh 3;\n").unwrap_err();
+        assert!(err.message.contains("register name"), "{}", err.message);
     }
 
     #[test]

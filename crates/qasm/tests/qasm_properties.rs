@@ -52,6 +52,73 @@ proptest! {
     }
 
     #[test]
+    fn broadcast_equals_explicit_expansion(
+        n in 1usize..9,
+        picks in proptest::collection::vec(0usize..8, 1..12),
+    ) {
+        // A program of whole-register single-qubit gates must parse to
+        // exactly the circuit of its element-wise expansion, and the
+        // parsed circuit must survive a serializer round-trip (the
+        // serializer re-emits it in expanded form).
+        const GATES: [&str; 8] = ["x", "y", "z", "h", "s", "sdg", "t", "tdg"];
+        let mut broadcast = format!("OPENQASM 2.0;\nqreg q[{n}];\n");
+        let mut expanded = broadcast.clone();
+        for &pick in &picks {
+            let gate = GATES[pick];
+            broadcast.push_str(&format!("{gate} q;\n"));
+            for i in 0..n {
+                expanded.push_str(&format!("{gate} q[{i}];\n"));
+            }
+        }
+        let from_broadcast = parse_qasm(&broadcast)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let from_expanded = parse_qasm(&expanded)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(&from_broadcast, &from_expanded);
+        prop_assert_eq!(from_broadcast.len(), picks.len() * n);
+        let reparsed = parse_qasm(&to_qasm(&from_broadcast))
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(&reparsed, &from_broadcast);
+    }
+
+    #[test]
+    fn broadcast_rotations_share_the_angle(n in 1usize..9, thirds in 1usize..12) {
+        let src = format!("OPENQASM 2.0;\nqreg q[{n}];\nrz({thirds}*pi/3) q;\n");
+        let c = parse_qasm(&src).map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(c.len(), n);
+        let want = thirds as f64 * std::f64::consts::PI / 3.0;
+        for gate in c.gates() {
+            match gate {
+                qompress_circuit::Gate::Single {
+                    kind: qompress_circuit::SingleQubitKind::Rz(a),
+                    ..
+                } => prop_assert_eq!(*a, want),
+                other => return Err(TestCaseError::fail(format!("unexpected {other:?}"))),
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_on_two_qubit_gates_rejected(n in 2usize..7, gate in 0usize..3) {
+        let name = ["cx", "cz", "swap"][gate];
+        // Every operand shape mixing in a bare register must be rejected.
+        for operands in [
+            "q, r".to_string(),
+            format!("q, r[{}]", n - 1),
+            format!("q[{}], r", n - 1),
+        ] {
+            let src = format!(
+                "OPENQASM 2.0;\nqreg q[{n}];\nqreg r[{n}];\n{name} {operands};\n"
+            );
+            let err = parse_qasm(&src).unwrap_err();
+            prop_assert!(
+                err.message.contains("whole-register broadcast"),
+                "{}: {}", name, err
+            );
+        }
+    }
+
+    #[test]
     fn truncated_programs_never_panic(seed in 0u64..200, cut in 1usize..120) {
         let text = to_qasm(&random_circuit(4, 12, seed));
         let cut = cut.min(text.len());

@@ -1,0 +1,111 @@
+//! `qompress-serve` — run the compilation service on a socket.
+//!
+//! ```text
+//! qompress-serve --tcp 127.0.0.1:7878 [--workers N] [--cache-capacity N]
+//! qompress-serve --unix /tmp/qompress.sock [--workers N]
+//! ```
+//!
+//! One long-lived `Compiler` session (shared worker pool, topology
+//! registry, result cache) serves every connection; the protocol is
+//! line-delimited JSON (see the `qompress-service` crate docs). Exits 2
+//! on bad flags.
+
+use qompress::Compiler;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: qompress-serve (--tcp ADDR | --unix PATH) \
+         [--workers N] [--cache-capacity N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut tcp: Option<String> = None;
+    let mut unix: Option<String> = None;
+    let mut workers = 0usize;
+    let mut cache_capacity: Option<usize> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| -> Option<String> {
+            let v = args.next();
+            if v.is_none() {
+                eprintln!("`{name}` needs a value");
+            }
+            v
+        };
+        match flag.as_str() {
+            "--tcp" => match value("--tcp") {
+                Some(v) => tcp = Some(v),
+                None => return usage(),
+            },
+            "--unix" => match value("--unix") {
+                Some(v) => unix = Some(v),
+                None => return usage(),
+            },
+            "--workers" => match value("--workers").and_then(|v| v.parse().ok()) {
+                Some(v) => workers = v,
+                None => return usage(),
+            },
+            "--cache-capacity" => match value("--cache-capacity").and_then(|v| v.parse().ok()) {
+                Some(v) => cache_capacity = Some(v),
+                None => return usage(),
+            },
+            _ => {
+                eprintln!("unknown flag `{flag}`");
+                return usage();
+            }
+        }
+    }
+
+    let mut builder = Compiler::builder().workers(workers);
+    if let Some(capacity) = cache_capacity {
+        builder = builder.cache_capacity(capacity);
+    }
+    let session = Arc::new(builder.build());
+
+    match (tcp, unix) {
+        (Some(addr), None) => {
+            let listener = match std::net::TcpListener::bind(&addr) {
+                Ok(l) => l,
+                Err(err) => {
+                    eprintln!("cannot bind tcp {addr}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!(
+                "qompress-serve: tcp {} ({} workers)",
+                listener.local_addr().map_or(addr, |a| a.to_string()),
+                session.workers()
+            );
+            if let Err(err) = qompress_service::serve_tcp(listener, session) {
+                eprintln!("accept failed: {err}");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        #[cfg(unix)]
+        (None, Some(path)) => {
+            let listener = match std::os::unix::net::UnixListener::bind(&path) {
+                Ok(l) => l,
+                Err(err) => {
+                    eprintln!("cannot bind unix socket {path}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!(
+                "qompress-serve: unix {path} ({} workers)",
+                session.workers()
+            );
+            if let Err(err) = qompress_service::serve_unix(listener, session) {
+                eprintln!("accept failed: {err}");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,222 @@
+//! A blocking client for the wire protocol.
+//!
+//! [`ServiceClient`] wraps any `(BufRead, Write)` pair — a TCP stream, a
+//! Unix socket, or a [`crate::loopback`] end — and demultiplexes the
+//! server's single response stream: every request gets exactly one
+//! response, and asynchronous completion events arriving in between are
+//! buffered for [`ServiceClient::next_event`].
+
+use crate::json::Json;
+use crate::proto::{Request, ServiceEvent};
+use qompress::{CacheStats, ServiceMetrics, Strategy};
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The transport failed.
+    Io(io::Error),
+    /// The server's bytes did not parse as protocol messages.
+    Protocol(String),
+    /// The server answered `{"ok":false,…}` with this message.
+    Remote(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Io(err) => write!(f, "service I/O error: {err}"),
+            ServiceError::Protocol(msg) => write!(f, "service protocol error: {msg}"),
+            ServiceError::Remote(msg) => write!(f, "service error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<io::Error> for ServiceError {
+    fn from(err: io::Error) -> Self {
+        ServiceError::Io(err)
+    }
+}
+
+/// Service-side statistics returned by [`ServiceClient::stats`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsSnapshot {
+    /// Job-service lifecycle counters.
+    pub service: ServiceMetrics,
+    /// Result-cache counters.
+    pub cache: CacheStats,
+    /// Server-computed hit rate (redundant with `cache.hit_rate()`, kept
+    /// for wire-visibility in logs).
+    pub hit_rate: f64,
+}
+
+/// A blocking wire-protocol client over any transport.
+#[derive(Debug)]
+pub struct ServiceClient<R, W> {
+    reader: R,
+    writer: W,
+    pending_events: VecDeque<ServiceEvent>,
+}
+
+impl<R: BufRead, W: Write> ServiceClient<R, W> {
+    /// Wraps a connected transport.
+    pub fn new(reader: R, writer: W) -> Self {
+        ServiceClient {
+            reader,
+            writer,
+            pending_events: VecDeque::new(),
+        }
+    }
+
+    /// Submits one job; returns the server-assigned job id.
+    pub fn submit(
+        &mut self,
+        label: &str,
+        strategy: Strategy,
+        topology_spec: &str,
+        qasm: &str,
+    ) -> Result<u64, ServiceError> {
+        let response = self.request(&Request::Submit {
+            label: label.to_string(),
+            strategy,
+            topology: topology_spec.to_string(),
+            qasm: qasm.to_string(),
+        })?;
+        response
+            .get("job")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ServiceError::Protocol("submit response missing `job`".into()))
+    }
+
+    /// Queries one job's lifecycle status name
+    /// (`"queued"`/`"running"`/`"done"`/`"cancelled"`/`"failed"`).
+    pub fn poll(&mut self, job: u64) -> Result<String, ServiceError> {
+        let response = self.request(&Request::Poll { job })?;
+        response
+            .get("status")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ServiceError::Protocol("poll response missing `status`".into()))
+    }
+
+    /// Cancels a still-queued job; `Ok(true)` iff this call cancelled it.
+    pub fn cancel(&mut self, job: u64) -> Result<bool, ServiceError> {
+        let response = self.request(&Request::Cancel { job })?;
+        response
+            .get("cancelled")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| ServiceError::Protocol("cancel response missing `cancelled`".into()))
+    }
+
+    /// Snapshots the server's job-service metrics and cache stats.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ServiceError> {
+        let response = self.request(&Request::Stats)?;
+        let counter = |name: &str| -> Result<u64, ServiceError> {
+            response
+                .get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ServiceError::Protocol(format!("stats missing `{name}`")))
+        };
+        let cache = response
+            .get("cache")
+            .ok_or_else(|| ServiceError::Protocol("stats missing `cache`".into()))?;
+        let cache_counter = |name: &str| -> Result<u64, ServiceError> {
+            cache
+                .get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ServiceError::Protocol(format!("stats missing cache `{name}`")))
+        };
+        Ok(StatsSnapshot {
+            service: ServiceMetrics {
+                submitted: counter("submitted")?,
+                queued: counter("queued")?,
+                running: counter("running")?,
+                completed: counter("completed")?,
+                cancelled: counter("cancelled")?,
+                failed: counter("failed")?,
+            },
+            cache: CacheStats {
+                hits: cache_counter("hits")?,
+                misses: cache_counter("misses")?,
+                evictions: cache_counter("evictions")?,
+            },
+            hit_rate: cache.get("hit_rate").and_then(Json::as_f64).unwrap_or(0.0),
+        })
+    }
+
+    /// Pauses the server session's workers (queued jobs stay queued and
+    /// cancellable until [`ServiceClient::resume`]).
+    pub fn pause(&mut self) -> Result<(), ServiceError> {
+        self.request(&Request::Pause).map(|_| ())
+    }
+
+    /// Resumes the server session's workers.
+    pub fn resume(&mut self) -> Result<(), ServiceError> {
+        self.request(&Request::Resume).map(|_| ())
+    }
+
+    /// Returns the next completion event, blocking until one arrives.
+    /// Events buffered while reading responses are returned first, in
+    /// arrival order.
+    pub fn next_event(&mut self) -> Result<ServiceEvent, ServiceError> {
+        if let Some(event) = self.pending_events.pop_front() {
+            return Ok(event);
+        }
+        let value = self.read_message()?;
+        match ServiceEvent::parse(&value).map_err(ServiceError::Protocol)? {
+            Some(event) => Ok(event),
+            None => Err(ServiceError::Protocol(format!(
+                "expected an event, got response `{value}`"
+            ))),
+        }
+    }
+
+    /// Sends one request and reads its response, buffering any events
+    /// that arrive first.
+    fn request(&mut self, request: &Request) -> Result<Json, ServiceError> {
+        writeln!(self.writer, "{}", request.to_line())?;
+        self.writer.flush()?;
+        loop {
+            let value = self.read_message()?;
+            if let Some(event) = ServiceEvent::parse(&value).map_err(ServiceError::Protocol)? {
+                self.pending_events.push_back(event);
+                continue;
+            }
+            return match value.get("ok").and_then(Json::as_bool) {
+                Some(true) => Ok(value),
+                Some(false) => Err(ServiceError::Remote(
+                    value
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unspecified server error")
+                        .to_string(),
+                )),
+                None => Err(ServiceError::Protocol(format!(
+                    "message is neither response nor event: `{value}`"
+                ))),
+            };
+        }
+    }
+
+    /// Reads one non-empty line and parses it.
+    fn read_message(&mut self) -> Result<Json, ServiceError> {
+        loop {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(ServiceError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )));
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Json::parse(line.trim()).map_err(ServiceError::Protocol);
+        }
+    }
+}

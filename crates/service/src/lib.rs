@@ -1,0 +1,60 @@
+//! # qompress-service
+//!
+//! A wire-protocol front-end for the [`qompress`] compiler's session job
+//! service: submit OpenQASM circuits over a socket, stream per-job
+//! completions as they finish, cancel still-queued work mid-sweep, and
+//! read exact queue/cache metrics — all against one long-lived
+//! [`qompress::Compiler`] session whose worker pool, topology registry
+//! and result cache are shared by every connection.
+//!
+//! The protocol is line-delimited JSON (one object per line, both
+//! directions) — see [`proto`] for the exact message shapes. Transports:
+//!
+//! * **TCP** — [`serve_tcp`] over a caller-bound `TcpListener`;
+//! * **Unix socket** — [`serve_unix`] (unix only);
+//! * **in-memory loopback** — [`loopback`], for tests and the CI smoke
+//!   example (`examples/service_sweep.rs` at the workspace root), which
+//!   exercise the full protocol with no kernel sockets at all.
+//!
+//! [`ServiceClient`] is a blocking client over any of the three.
+//!
+//! ```
+//! use qompress::{Compiler, Strategy};
+//! use qompress_service::{loopback, serve_duplex, ServiceClient};
+//! use std::io::BufReader;
+//! use std::sync::Arc;
+//!
+//! let session = Arc::new(Compiler::builder().workers(1).build());
+//! let (client_end, server_end) = loopback();
+//! let (server_reader, server_writer) = server_end.split();
+//! let server = std::thread::spawn(move || {
+//!     serve_duplex(session, server_reader, server_writer)
+//! });
+//!
+//! let (reader, writer) = client_end.split();
+//! let mut client = ServiceClient::new(BufReader::new(reader), writer);
+//! let qasm = "OPENQASM 2.0;\nqreg q[3];\nh q;\ncx q[0], q[1];\n";
+//! let job = client.submit("ghz", Strategy::Eqm, "grid:3", qasm).unwrap();
+//! let event = client.next_event().unwrap();
+//! assert_eq!(event.job(), job);
+//! drop(client); // EOF ends the connection…
+//! server.join().unwrap().unwrap(); // …and the server thread returns.
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+mod loopback;
+pub mod proto;
+
+mod client;
+mod server;
+
+pub use client::{ServiceClient, ServiceError, StatsSnapshot};
+pub use loopback::{loopback, LoopbackEnd, LoopbackReader, LoopbackWriter};
+pub use proto::{
+    parse_topology_spec, result_fingerprint, strategy_by_name, Request, ServiceEvent, WireMetrics,
+};
+#[cfg(unix)]
+pub use server::serve_unix;
+pub use server::{serve_duplex, serve_tcp};

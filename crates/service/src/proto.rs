@@ -1,0 +1,523 @@
+//! The line-delimited JSON wire protocol: request/response/event shapes
+//! shared by the server and the bundled client.
+//!
+//! Every message is one JSON object on one line (`\n`-terminated). The
+//! client sends **requests** and reads **responses** (exactly one per
+//! request, in request order) interleaved with asynchronous **events**
+//! (one per submitted job reaching a terminal state, in completion
+//! order). A job's event is never written before its submit response —
+//! the client always learns the id first:
+//!
+//! ```text
+//! → {"op":"submit","label":"cuccaro/eqm","strategy":"eqm","topology":"grid:8","qasm":"OPENQASM 2.0;..."}
+//! ← {"ok":true,"op":"submit","job":1,"status":"queued"}
+//! → {"op":"poll","job":1}
+//! ← {"ok":true,"op":"poll","job":1,"status":"running"}
+//! ← {"event":"done","job":1,"label":"cuccaro/eqm","strategy":"eqm","result_fp":"91b2…",
+//!    "metrics":{"gate_eps":0.97,…},"logical_gates":120,"pairs":2}
+//! → {"op":"cancel","job":2}
+//! ← {"ok":true,"op":"cancel","job":2,"cancelled":true}
+//! → {"op":"stats"}
+//! ← {"ok":true,"op":"stats","submitted":3,…,"cache":{"hits":1,…,"hit_rate":0.33}}
+//! ```
+//!
+//! Failures are responses with `"ok":false` and an `"error"` string; the
+//! connection stays usable. `result_fp` is the 64-bit FNV fingerprint of
+//! the full `Debug` rendering of the [`CompilationResult`] — two results
+//! share a fingerprint iff they are byte-identical — sent as a hex string
+//! because JSON numbers cannot carry 64 bits exactly.
+
+use crate::json::{escape, Json};
+use qompress::{CompilationResult, JobStatus, Strategy, ALL_STRATEGIES};
+use qompress_arch::{Fingerprinter, Topology};
+
+/// Requests understood by the server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit one compilation job.
+    Submit {
+        /// Free-form label echoed into the completion event.
+        label: String,
+        /// Strategy name (see [`strategy_by_name`]).
+        strategy: Strategy,
+        /// Topology spec, parsed server-side by [`parse_topology_spec`]
+        /// (kept as the raw string so the request round-trips the wire
+        /// losslessly).
+        topology: String,
+        /// OpenQASM 2.0 source of the circuit.
+        qasm: String,
+    },
+    /// Query one job's lifecycle status.
+    Poll {
+        /// The id returned by the submit response.
+        job: u64,
+    },
+    /// Cancel one still-queued job.
+    Cancel {
+        /// The id returned by the submit response.
+        job: u64,
+    },
+    /// Snapshot service metrics and cache stats.
+    Stats,
+    /// Stop claiming queued jobs (session-wide; for drains and tests).
+    Pause,
+    /// Resume claiming after a pause.
+    Resume,
+}
+
+impl Request {
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let value = Json::parse(line)?;
+        let op = value
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "request needs a string `op` field".to_string())?;
+        let job_id = |value: &Json| -> Result<u64, String> {
+            value
+                .get("job")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("`{op}` needs an integer `job` field"))
+        };
+        match op {
+            "submit" => {
+                let field = |name: &str| -> Result<String, String> {
+                    value
+                        .get(name)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("`submit` needs a string `{name}` field"))
+                };
+                Ok(Request::Submit {
+                    label: field("label")?,
+                    strategy: strategy_by_name(&field("strategy")?)?,
+                    topology: field("topology")?,
+                    qasm: field("qasm")?,
+                })
+            }
+            "poll" => Ok(Request::Poll {
+                job: job_id(&value)?,
+            }),
+            "cancel" => Ok(Request::Cancel {
+                job: job_id(&value)?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "pause" => Ok(Request::Pause),
+            "resume" => Ok(Request::Resume),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+
+    /// Serializes the request to its wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Submit {
+                label,
+                strategy,
+                topology,
+                qasm,
+            } => format!(
+                "{{\"op\":\"submit\",\"label\":\"{}\",\"strategy\":\"{}\",\
+                 \"topology\":\"{}\",\"qasm\":\"{}\"}}",
+                escape(label),
+                strategy.name(),
+                escape(topology),
+                escape(qasm)
+            ),
+            Request::Poll { job } => format!("{{\"op\":\"poll\",\"job\":{job}}}"),
+            Request::Cancel { job } => format!("{{\"op\":\"cancel\",\"job\":{job}}}"),
+            Request::Stats => "{\"op\":\"stats\"}".to_string(),
+            Request::Pause => "{\"op\":\"pause\"}".to_string(),
+            Request::Resume => "{\"op\":\"resume\"}".to_string(),
+        }
+    }
+}
+
+/// Looks a [`Strategy`] up by its wire name — every member of
+/// [`ALL_STRATEGIES`] plus the unordered exhaustive variant.
+pub fn strategy_by_name(name: &str) -> Result<Strategy, String> {
+    ALL_STRATEGIES
+        .into_iter()
+        .chain([Strategy::Exhaustive { ordered: false }])
+        .find(|s| s.name() == name)
+        .ok_or_else(|| format!("unknown strategy `{name}`"))
+}
+
+/// Parses a topology spec string: `line:N`, `grid:N`, `ring:N` (N = the
+/// qubit count the constructor takes) or `heavy_hex_65`.
+pub fn parse_topology_spec(spec: &str) -> Result<Topology, String> {
+    if spec == "heavy_hex_65" {
+        return Ok(Topology::heavy_hex_65());
+    }
+    let (kind, size) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("bad topology spec `{spec}` (want `kind:size`)"))?;
+    let size: usize = size
+        .parse()
+        .map_err(|_| format!("bad topology size in `{spec}`"))?;
+    if size == 0 {
+        return Err(format!("topology size must be positive in `{spec}`"));
+    }
+    match kind {
+        "line" => Ok(Topology::line(size)),
+        "grid" => Ok(Topology::grid(size)),
+        "ring" => Ok(Topology::ring(size)),
+        other => Err(format!("unknown topology kind `{other}`")),
+    }
+}
+
+/// Stable 64-bit fingerprint of a full compilation result: the FNV-1a
+/// hash of its `Debug` rendering, which covers every observable field
+/// (schedule, metrics, placements, pairs, trace). Two results fingerprint
+/// equal iff their renderings are byte-identical — the wire protocol's
+/// proxy for "the streamed result is the same compilation".
+pub fn result_fingerprint(result: &CompilationResult) -> u64 {
+    let mut h = Fingerprinter::new();
+    h.write_str(&format!("{result:?}"));
+    h.finish()
+}
+
+/// Per-job summary metrics carried by a `done` event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireMetrics {
+    /// Product of gate fidelities.
+    pub gate_eps: f64,
+    /// Coherence-limited EPS component.
+    pub coherence_eps: f64,
+    /// `gate_eps × coherence_eps`.
+    pub total_eps: f64,
+    /// Scheduled duration in nanoseconds.
+    pub duration_ns: f64,
+    /// Total physical operations emitted.
+    pub physical_ops: u64,
+    /// Inserted communication operations.
+    pub communication_ops: u64,
+    /// Logical gates in the input circuit.
+    pub logical_gates: u64,
+    /// Compressed pairs committed by the strategy.
+    pub pairs: u64,
+}
+
+impl WireMetrics {
+    /// Extracts the wire summary from a full result.
+    pub fn of(result: &CompilationResult) -> WireMetrics {
+        WireMetrics {
+            gate_eps: result.metrics.gate_eps,
+            coherence_eps: result.metrics.coherence_eps,
+            total_eps: result.metrics.total_eps,
+            duration_ns: result.metrics.duration_ns,
+            physical_ops: result.metrics.total_ops() as u64,
+            communication_ops: result.metrics.communication_ops as u64,
+            logical_gates: result.logical_gates as u64,
+            pairs: result.pairs.len() as u64,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"gate_eps\":{:?},\"coherence_eps\":{:?},\"total_eps\":{:?},\
+             \"duration_ns\":{:?},\"physical_ops\":{},\"communication_ops\":{},\
+             \"logical_gates\":{},\"pairs\":{}}}",
+            self.gate_eps,
+            self.coherence_eps,
+            self.total_eps,
+            self.duration_ns,
+            self.physical_ops,
+            self.communication_ops,
+            self.logical_gates,
+            self.pairs
+        )
+    }
+
+    fn from_json(value: &Json) -> Result<WireMetrics, String> {
+        let f = |name: &str| -> Result<f64, String> {
+            value
+                .get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("metrics missing `{name}`"))
+        };
+        let u = |name: &str| -> Result<u64, String> {
+            value
+                .get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("metrics missing `{name}`"))
+        };
+        Ok(WireMetrics {
+            gate_eps: f("gate_eps")?,
+            coherence_eps: f("coherence_eps")?,
+            total_eps: f("total_eps")?,
+            duration_ns: f("duration_ns")?,
+            physical_ops: u("physical_ops")?,
+            communication_ops: u("communication_ops")?,
+            logical_gates: u("logical_gates")?,
+            pairs: u("pairs")?,
+        })
+    }
+}
+
+/// One asynchronous server→client event: a job reached a terminal state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceEvent {
+    /// The job compiled successfully.
+    Done {
+        /// The job's id.
+        job: u64,
+        /// Label echoed from the submit request.
+        label: String,
+        /// Realized strategy name.
+        strategy: String,
+        /// [`result_fingerprint`] of the full result.
+        result_fp: u64,
+        /// Summary metrics.
+        metrics: WireMetrics,
+    },
+    /// The job was cancelled while queued.
+    Cancelled {
+        /// The job's id.
+        job: u64,
+        /// Label echoed from the submit request.
+        label: String,
+    },
+    /// The job's compilation panicked.
+    Failed {
+        /// The job's id.
+        job: u64,
+        /// Label echoed from the submit request.
+        label: String,
+        /// The panic message.
+        error: String,
+    },
+}
+
+impl ServiceEvent {
+    /// The job id the event is about.
+    pub fn job(&self) -> u64 {
+        match self {
+            ServiceEvent::Done { job, .. }
+            | ServiceEvent::Cancelled { job, .. }
+            | ServiceEvent::Failed { job, .. } => *job,
+        }
+    }
+
+    /// The terminal status the event reports.
+    pub fn status(&self) -> JobStatus {
+        match self {
+            ServiceEvent::Done { .. } => JobStatus::Done,
+            ServiceEvent::Cancelled { .. } => JobStatus::Cancelled,
+            ServiceEvent::Failed { .. } => JobStatus::Failed,
+        }
+    }
+
+    /// Serializes the event to its wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            ServiceEvent::Done {
+                job,
+                label,
+                strategy,
+                result_fp,
+                metrics,
+            } => format!(
+                "{{\"event\":\"done\",\"job\":{job},\"label\":\"{}\",\
+                 \"strategy\":\"{}\",\"result_fp\":\"{result_fp:016x}\",\
+                 \"metrics\":{}}}",
+                escape(label),
+                escape(strategy),
+                metrics.to_json()
+            ),
+            ServiceEvent::Cancelled { job, label } => format!(
+                "{{\"event\":\"cancelled\",\"job\":{job},\"label\":\"{}\"}}",
+                escape(label)
+            ),
+            ServiceEvent::Failed { job, label, error } => format!(
+                "{{\"event\":\"failed\",\"job\":{job},\"label\":\"{}\",\"error\":\"{}\"}}",
+                escape(label),
+                escape(error)
+            ),
+        }
+    }
+
+    /// Parses an event line; `Ok(None)` when the line is not an event
+    /// (e.g. a response).
+    pub fn parse(value: &Json) -> Result<Option<ServiceEvent>, String> {
+        let Some(kind) = value.get("event").and_then(Json::as_str) else {
+            return Ok(None);
+        };
+        let job = value
+            .get("job")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| "event missing `job`".to_string())?;
+        let label = value
+            .get("label")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        match kind {
+            "done" => {
+                let fp_text = value
+                    .get("result_fp")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "done event missing `result_fp`".to_string())?;
+                let result_fp = u64::from_str_radix(fp_text, 16)
+                    .map_err(|_| format!("bad result_fp `{fp_text}`"))?;
+                let metrics = WireMetrics::from_json(
+                    value
+                        .get("metrics")
+                        .ok_or_else(|| "done event missing `metrics`".to_string())?,
+                )?;
+                Ok(Some(ServiceEvent::Done {
+                    job,
+                    label,
+                    strategy: value
+                        .get("strategy")
+                        .and_then(Json::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
+                    result_fp,
+                    metrics,
+                }))
+            }
+            "cancelled" => Ok(Some(ServiceEvent::Cancelled { job, label })),
+            "failed" => Ok(Some(ServiceEvent::Failed {
+                job,
+                label,
+                error: value
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+            })),
+            other => Err(format!("unknown event `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategies_resolve_by_wire_name() {
+        for strategy in ALL_STRATEGIES {
+            assert_eq!(strategy_by_name(strategy.name()).unwrap(), strategy);
+        }
+        assert_eq!(
+            strategy_by_name("ec-unordered").unwrap(),
+            Strategy::Exhaustive { ordered: false }
+        );
+        assert!(strategy_by_name("bogus").is_err());
+    }
+
+    #[test]
+    fn topology_specs_build_the_constructors() {
+        assert_eq!(parse_topology_spec("line:5").unwrap(), Topology::line(5));
+        assert_eq!(parse_topology_spec("grid:9").unwrap(), Topology::grid(9));
+        assert_eq!(parse_topology_spec("ring:12").unwrap(), Topology::ring(12));
+        assert_eq!(
+            parse_topology_spec("heavy_hex_65").unwrap(),
+            Topology::heavy_hex_65()
+        );
+        for bad in ["grid", "grid:", "grid:x", "grid:0", "torus:4", ""] {
+            assert!(parse_topology_spec(bad).is_err(), "`{bad}`");
+        }
+    }
+
+    #[test]
+    fn requests_round_trip_the_wire() {
+        let requests = [
+            Request::Submit {
+                label: "a/b \"quoted\"".to_string(),
+                strategy: Strategy::Eqm,
+                topology: "grid:4".to_string(),
+                qasm: "OPENQASM 2.0;\nqreg q[2];\nh q;\n".to_string(),
+            },
+            Request::Poll { job: 3 },
+            Request::Cancel { job: 9 },
+            Request::Stats,
+            Request::Pause,
+            Request::Resume,
+        ];
+        for request in requests {
+            let line = request.to_line();
+            assert_eq!(Request::parse(&line).unwrap(), request, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_rejected() {
+        for bad in [
+            "not json",
+            "{}",
+            r#"{"op":"warp"}"#,
+            r#"{"op":"poll"}"#,
+            r#"{"op":"poll","job":"three"}"#,
+            r#"{"op":"submit","label":"x"}"#,
+            r#"{"op":"submit","label":"x","strategy":"nope","topology":"grid:4","qasm":""}"#,
+        ] {
+            assert!(Request::parse(bad).is_err(), "`{bad}`");
+        }
+        // Topology specs are validated when the job is built, not at
+        // request parse time (the raw spec round-trips the wire).
+        assert!(Request::parse(
+            r#"{"op":"submit","label":"x","strategy":"eqm","topology":"blob","qasm":""}"#
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn events_round_trip_the_wire() {
+        let events = [
+            ServiceEvent::Done {
+                job: 7,
+                label: "cuccaro/grid:8/eqm".to_string(),
+                strategy: "eqm".to_string(),
+                result_fp: 0xdead_beef_0102_0304,
+                metrics: WireMetrics {
+                    gate_eps: 0.971234,
+                    coherence_eps: 0.75,
+                    total_eps: 0.72842550,
+                    duration_ns: 48000.0,
+                    physical_ops: 412,
+                    communication_ops: 33,
+                    logical_gates: 120,
+                    pairs: 2,
+                },
+            },
+            ServiceEvent::Cancelled {
+                job: 8,
+                label: "late".to_string(),
+            },
+            ServiceEvent::Failed {
+                job: 9,
+                label: "boom".to_string(),
+                error: "architecture offers only 2 slots".to_string(),
+            },
+        ];
+        for event in events {
+            let line = event.to_line();
+            let value = Json::parse(&line).unwrap();
+            let parsed = ServiceEvent::parse(&value).unwrap().unwrap();
+            assert_eq!(parsed, event, "{line}");
+        }
+        // Responses are not events.
+        let value = Json::parse(r#"{"ok":true,"op":"stats"}"#).unwrap();
+        assert_eq!(ServiceEvent::parse(&value).unwrap(), None);
+    }
+
+    #[test]
+    fn result_fingerprint_separates_results() {
+        use qompress::{Compiler, Strategy};
+        use qompress_circuit::{Circuit, Gate};
+        let mut c = Circuit::new(4);
+        c.push(Gate::h(0));
+        c.push(Gate::cx(0, 1));
+        c.push(Gate::cx(1, 2));
+        let session = Compiler::builder().caching(false).build();
+        let topo = parse_topology_spec("grid:4").unwrap();
+        let a = session.compile(&c, &topo, Strategy::Eqm);
+        let b = session.compile(&c, &topo, Strategy::Eqm);
+        assert_eq!(result_fingerprint(&a), result_fingerprint(&b));
+        let other = session.compile(&c, &topo, Strategy::QubitOnly);
+        assert_ne!(result_fingerprint(&a), result_fingerprint(&other));
+    }
+}

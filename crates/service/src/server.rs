@@ -1,0 +1,358 @@
+//! The wire-protocol server: one reader loop + one completion pump per
+//! connection, multiplexed onto a shared [`Compiler`] session.
+//!
+//! [`serve_duplex`] drives one connection over any `(Read, Write)` pair —
+//! a TCP stream, a Unix socket, or the in-memory [`crate::loopback`]
+//! transport. [`serve_tcp`] and [`serve_unix`] accept connections in a
+//! loop and spawn one `serve_duplex` thread each; every connection shares
+//! the session's worker pool, topology registry and result cache, so a
+//! circuit submitted twice — by the same client or two different ones —
+//! compiles once.
+
+use crate::proto::{parse_topology_spec, result_fingerprint, Request, ServiceEvent, WireMetrics};
+use qompress::{BatchJob, Compiler, CompletionQueue, JobHandle, JobOutcome, JobStatus};
+use qompress_qasm::parse_qasm;
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpListener;
+use std::sync::{Arc, Mutex};
+
+/// Upper bound on one request line. Generous for line-delimited JSON
+/// (a multi-megabyte QASM program fits many times over) while keeping a
+/// hostile no-newline byte stream from growing a connection buffer
+/// without limit.
+const MAX_LINE_BYTES: usize = 16 * 1024 * 1024;
+
+/// One tracked job of a connection. `Active` holds the live handle; once
+/// the pump has streamed the terminal event, the entry collapses to
+/// `Finished(status)` so the handle — and with it the job's retained
+/// `Arc<CompilationResult>` — is dropped. A long-lived connection
+/// streaming an unbounded sweep therefore holds O(outstanding) results,
+/// not O(submitted): `poll` keeps answering from the slim record.
+#[derive(Debug)]
+enum ConnJob {
+    Active(JobHandle),
+    Finished(JobStatus),
+}
+
+/// Serves one client connection until EOF, blocking the calling thread.
+///
+/// Requests are answered in order on `writer`; completion events for
+/// every job submitted on *this* connection are interleaved as the jobs
+/// finish (a dedicated pump thread waits on the connection's
+/// [`CompletionQueue`]). When the client disconnects, still-running jobs
+/// keep the session's caches warm but their events go nowhere.
+///
+/// The caller constructed the transport, so this single connection is
+/// trusted with the session-wide admin ops (`pause`/`resume`); the
+/// shared listeners ([`serve_tcp`]/[`serve_unix`]) disable those per
+/// connection.
+///
+/// # Errors
+///
+/// Returns the first transport-level I/O error; protocol-level problems
+/// (malformed JSON, unknown ops, bad QASM) are reported to the client as
+/// `{"ok":false,…}` responses and do not end the connection.
+pub fn serve_duplex<R, W>(session: Arc<Compiler>, reader: R, writer: W) -> io::Result<()>
+where
+    R: Read,
+    W: Write + Send + 'static,
+{
+    serve_conn(session, reader, writer, true)
+}
+
+/// [`serve_duplex`] with an explicit admin switch: when `admin` is false,
+/// the session-wide `pause`/`resume` ops answer `{"ok":false,…}` instead
+/// of acting. Shared listeners ([`serve_tcp`]/[`serve_unix`]) run every
+/// connection with `admin = false`, so no single remote client can stall
+/// every other client's jobs; the single-connection [`serve_duplex`]
+/// (whose transport the caller constructed and controls) allows them.
+fn serve_conn<R, W>(session: Arc<Compiler>, reader: R, writer: W, admin: bool) -> io::Result<()>
+where
+    R: Read,
+    W: Write + Send + 'static,
+{
+    let writer = Arc::new(Mutex::new(writer));
+    let handles: Arc<Mutex<HashMap<u64, ConnJob>>> = Arc::new(Mutex::new(HashMap::new()));
+    let completions = CompletionQueue::new();
+
+    let pump = {
+        let writer = Arc::clone(&writer);
+        let handles = Arc::clone(&handles);
+        let completions = completions.clone();
+        std::thread::Builder::new()
+            .name("qompress-service-pump".to_string())
+            .spawn(move || pump_loop(&writer, &handles, &completions))
+            .expect("spawn completion pump")
+    };
+
+    let mut result = Ok(());
+    let mut reader = BufReader::new(reader);
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    loop {
+        // Bounded line read: a client streaming bytes with no `\n` (or an
+        // absurdly long line) must not grow this buffer without limit and
+        // OOM a shared server. Oversized lines end the connection with an
+        // error line — resynchronizing mid-line is not worth trusting.
+        buf.clear();
+        let n = match (&mut reader)
+            .take(MAX_LINE_BYTES as u64 + 1)
+            .read_until(b'\n', &mut buf)
+        {
+            Ok(n) => n,
+            Err(err) => {
+                result = Err(err);
+                break;
+            }
+        };
+        if n == 0 {
+            break; // clean EOF
+        }
+        if buf.len() > MAX_LINE_BYTES {
+            let mut w = writer.lock().expect("service writer poisoned");
+            let _ = writeln!(
+                w,
+                "{}",
+                error_line(&format!("request line exceeds {MAX_LINE_BYTES} bytes"))
+            );
+            let _ = w.flush();
+            break;
+        }
+        let line = String::from_utf8_lossy(&buf);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Take the writer lock *before* handling the request: a submit's
+        // job can finish (e.g. a cache hit) before this thread writes the
+        // response, and the pump must not slip that job's event onto the
+        // wire first — a client should never see an event for a job id it
+        // has not been told about. The pump never holds the handles lock
+        // while waiting for the writer, so this ordering cannot deadlock.
+        let mut w = writer.lock().expect("service writer poisoned");
+        let response = handle_line(&session, &handles, &completions, line, admin);
+        if let Err(err) = writeln!(w, "{response}").and_then(|()| w.flush()) {
+            result = Err(err);
+            break;
+        }
+        drop(w);
+    }
+
+    // EOF (or error): wake the pump; it drains already-buffered
+    // completions and exits.
+    completions.close();
+    pump.join().expect("completion pump panicked");
+    result
+}
+
+/// Writes one event line per completed job until the queue closes.
+fn pump_loop(
+    writer: &Mutex<impl Write>,
+    handles: &Mutex<HashMap<u64, ConnJob>>,
+    completions: &CompletionQueue,
+) {
+    while let Some(id) = completions.pop() {
+        let handle = match handles.lock().expect("service handles poisoned").get(&id.0) {
+            Some(ConnJob::Active(handle)) => handle.clone(),
+            _ => continue,
+        };
+        let Some(outcome) = handle.poll() else {
+            continue;
+        };
+        // The event below is this job's terminal notification: collapse
+        // the tracked entry to its status so the handle (and the full
+        // result it retains) is freed, bounding a long-lived
+        // connection's memory by outstanding work, not total submits.
+        handles
+            .lock()
+            .expect("service handles poisoned")
+            .insert(id.0, ConnJob::Finished(outcome.status()));
+        let event = match outcome {
+            JobOutcome::Done(result) => ServiceEvent::Done {
+                job: id.0,
+                label: handle.label().to_string(),
+                strategy: result.strategy.clone(),
+                result_fp: result_fingerprint(&result),
+                metrics: WireMetrics::of(&result),
+            },
+            JobOutcome::Cancelled => ServiceEvent::Cancelled {
+                job: id.0,
+                label: handle.label().to_string(),
+            },
+            JobOutcome::Failed(error) => ServiceEvent::Failed {
+                job: id.0,
+                label: handle.label().to_string(),
+                error,
+            },
+        };
+        let mut w = writer.lock().expect("service writer poisoned");
+        if writeln!(w, "{}", event.to_line())
+            .and_then(|()| w.flush())
+            .is_err()
+        {
+            // Client gone; stop streaming (jobs keep running).
+            return;
+        }
+    }
+}
+
+/// Handles one request line, returning the response line.
+fn handle_line(
+    session: &Compiler,
+    handles: &Mutex<HashMap<u64, ConnJob>>,
+    completions: &CompletionQueue,
+    line: &str,
+    admin: bool,
+) -> String {
+    let request = match Request::parse(line) {
+        Ok(request) => request,
+        Err(message) => return error_line(&message),
+    };
+    match request {
+        Request::Submit {
+            label,
+            strategy,
+            topology,
+            qasm,
+        } => {
+            let topology = match parse_topology_spec(&topology) {
+                Ok(t) => t,
+                Err(message) => return error_line(&message),
+            };
+            let circuit = match parse_qasm(&qasm) {
+                Ok(c) => c,
+                Err(err) => return error_line(&format!("{err}")),
+            };
+            // Hold the handles lock across submit + insert: a fast job
+            // (e.g. a cache hit) can reach the completion queue before
+            // this thread runs again, and the pump must find the handle
+            // when it pops that id — it blocks on this same lock until
+            // the insert is done.
+            let mut map = handles.lock().expect("service handles poisoned");
+            let handle = session.submit_watched(
+                BatchJob::new(label, circuit, strategy, topology),
+                completions,
+            );
+            let id = handle.id().0;
+            let status = handle.status();
+            map.insert(id, ConnJob::Active(handle));
+            format!(
+                "{{\"ok\":true,\"op\":\"submit\",\"job\":{id},\"status\":\"{}\"}}",
+                status.name()
+            )
+        }
+        Request::Poll { job } => {
+            let status = match handles.lock().expect("service handles poisoned").get(&job) {
+                Some(ConnJob::Active(handle)) => handle.status(),
+                Some(ConnJob::Finished(status)) => *status,
+                None => return error_line(&format!("unknown job {job}")),
+            };
+            format!(
+                "{{\"ok\":true,\"op\":\"poll\",\"job\":{job},\"status\":\"{}\"}}",
+                status.name()
+            )
+        }
+        Request::Cancel { job } => {
+            let handle = match handles.lock().expect("service handles poisoned").get(&job) {
+                Some(ConnJob::Active(handle)) => Some(handle.clone()),
+                // Already terminal and pruned: nothing left to cancel.
+                Some(ConnJob::Finished(_)) => None,
+                None => return error_line(&format!("unknown job {job}")),
+            };
+            let cancelled = handle.map(|h| h.cancel()).unwrap_or(false);
+            format!("{{\"ok\":true,\"op\":\"cancel\",\"job\":{job},\"cancelled\":{cancelled}}}")
+        }
+        Request::Stats => {
+            let m = session.service_metrics();
+            let c = session.cache_stats();
+            format!(
+                "{{\"ok\":true,\"op\":\"stats\",\"submitted\":{},\"queued\":{},\
+                 \"running\":{},\"completed\":{},\"cancelled\":{},\"failed\":{},\
+                 \"cache\":{}}}",
+                m.submitted,
+                m.queued,
+                m.running,
+                m.completed,
+                m.cancelled,
+                m.failed,
+                c.to_json()
+            )
+        }
+        Request::Pause => {
+            if !admin {
+                return error_line("`pause` is disabled on shared listeners");
+            }
+            session.pause_workers();
+            "{\"ok\":true,\"op\":\"pause\"}".to_string()
+        }
+        Request::Resume => {
+            if !admin {
+                return error_line("`resume` is disabled on shared listeners");
+            }
+            session.resume_workers();
+            "{\"ok\":true,\"op\":\"resume\"}".to_string()
+        }
+    }
+}
+
+fn error_line(message: &str) -> String {
+    format!(
+        "{{\"ok\":false,\"error\":\"{}\"}}",
+        crate::json::escape(message)
+    )
+}
+
+/// Accepts TCP connections forever, serving each on its own thread over
+/// the shared session. Bind the listener yourself (port 0 for tests):
+///
+/// ```no_run
+/// use std::net::TcpListener;
+/// use std::sync::Arc;
+/// let session = Arc::new(qompress::Compiler::builder().build());
+/// let listener = TcpListener::bind("127.0.0.1:7878").unwrap();
+/// qompress_service::serve_tcp(listener, session).unwrap();
+/// ```
+///
+/// # Errors
+///
+/// Returns the first `accept` error; per-connection I/O errors only end
+/// their own connection thread.
+pub fn serve_tcp(listener: TcpListener, session: Arc<Compiler>) -> io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let session = Arc::clone(&session);
+        let reader = stream.try_clone()?;
+        std::thread::Builder::new()
+            .name("qompress-service-conn".to_string())
+            .spawn(move || {
+                let _ = serve_conn(session, reader, stream, false);
+            })
+            .expect("spawn connection thread");
+    }
+    Ok(())
+}
+
+/// [`serve_tcp`] over a Unix-domain socket listener.
+///
+/// # Errors
+///
+/// Returns the first `accept` error; per-connection I/O errors only end
+/// their own connection thread.
+#[cfg(unix)]
+pub fn serve_unix(
+    listener: std::os::unix::net::UnixListener,
+    session: Arc<Compiler>,
+) -> io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let session = Arc::clone(&session);
+        let reader = stream.try_clone()?;
+        std::thread::Builder::new()
+            .name("qompress-service-conn".to_string())
+            .spawn(move || {
+                let _ = serve_conn(session, reader, stream, false);
+            })
+            .expect("spawn connection thread");
+    }
+    Ok(())
+}

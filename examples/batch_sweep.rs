@@ -104,13 +104,16 @@ fn main() {
         serial.elapsed.as_secs_f64() / parallel.elapsed.as_secs_f64().max(1e-9)
     );
     println!(
-        "cache replay:         {:>8.1} ms   {} hits / {} misses",
+        "cache replay:         {:>8.1} ms   {}",
         replay.elapsed.as_secs_f64() * 1e3,
-        replay.cache.hits,
-        replay.cache.misses
+        replay.cache
+    );
+    assert!(
+        (replay.cache.hit_rate() - 1.0).abs() < f64::EPSILON,
+        "a full replay on one session must be a 100% hit rate"
     );
 
-    let path = write_json(&parallel, workers);
+    let path = write_json(&parallel, &replay, workers);
     println!("\nwrote {}", path.display());
 }
 
@@ -167,7 +170,7 @@ fn sweep_jobs(size: usize) -> Vec<BatchJob> {
 
 /// Hand-rolled JSON emission (the offline build has no serde); labels are
 /// `a-z0-9/-` only, so no string escaping is needed.
-fn write_json(batch: &BatchResult, workers: usize) -> PathBuf {
+fn write_json(batch: &BatchResult, replay: &BatchResult, workers: usize) -> PathBuf {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results");
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join("batch_sweep.json");
@@ -195,10 +198,13 @@ fn write_json(batch: &BatchResult, workers: usize) -> PathBuf {
     }
     writeln!(
         file,
-        "{{\n  \"workers\": {},\n  \"distinct_topologies\": {},\n  \"elapsed_ms\": {:.3},\n  \"jobs\": [\n{}\n  ]\n}}",
+        "{{\n  \"workers\": {},\n  \"distinct_topologies\": {},\n  \"elapsed_ms\": {:.3},\n  \
+         \"cache\": {},\n  \"replay_cache\": {},\n  \"jobs\": [\n{}\n  ]\n}}",
         workers,
         batch.distinct_topologies,
         batch.elapsed.as_secs_f64() * 1e3,
+        batch.cache.to_json(),
+        replay.cache.to_json(),
         rows.join(",\n")
     )
     .expect("write batch_sweep.json");

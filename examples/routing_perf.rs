@@ -122,8 +122,17 @@ fn main() {
         "\nexhaustive round (cuccaro-8, grid): {first_ms:.1} ms fresh, \
          {replay_ms:.1} ms replay ({replay_hits} hits / {replay_misses} misses)"
     );
+    let session_cache = session.cache_stats();
+    println!("session cache: {session_cache}");
 
-    let path = write_json(&entries, first_ms, replay_ms, replay_hits, repeats);
+    let path = write_json(
+        &entries,
+        first_ms,
+        replay_ms,
+        replay_hits,
+        repeats,
+        &session_cache,
+    );
     println!("\nwrote {}", path.display());
 }
 
@@ -135,6 +144,7 @@ fn write_json(
     ec_replay_ms: f64,
     ec_replay_hits: u64,
     repeats: usize,
+    cache: &qompress::CacheStats,
 ) -> PathBuf {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results");
     std::fs::create_dir_all(&dir).expect("create results dir");
@@ -155,12 +165,14 @@ fn write_json(
         file,
         "{{\n  \"repeats\": {},\n  \"route\": [\n{}\n  ],\n  \"exhaustive\": \
          {{\"circuit\": \"cuccaro8\", \"topology\": \"grid8\", \"fresh_ms\": {:.3}, \
-         \"replay_ms\": {:.3}, \"replay_cache_hits\": {}}}\n}}",
+         \"replay_ms\": {:.3}, \"replay_cache_hits\": {}}},\n  \"session_cache\": \
+         {}\n}}",
         repeats,
         rows.join(",\n"),
         ec_first_ms,
         ec_replay_ms,
-        ec_replay_hits
+        ec_replay_hits,
+        cache.to_json()
     )
     .expect("write routing_perf.json");
     path

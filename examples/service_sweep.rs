@@ -1,0 +1,270 @@
+//! CI smoke test of the compilation service: drives a 13-job sweep
+//! through the wire protocol over the in-memory loopback transport —
+//! submit, poll, deterministic cancellation of still-queued jobs, and
+//! streamed per-job completions — then asserts the streamed results are
+//! **byte-identical** (by full-result fingerprint) to the same sweep run
+//! through `Compiler::compile_batch`, and writes a machine-readable
+//! snapshot to `results/service_sweep.json`.
+//!
+//! ```text
+//! cargo run --release --example service_sweep [workers]
+//! ```
+
+use qompress::{BatchJob, Compiler, Strategy};
+use qompress_arch::Topology;
+use qompress_circuit::Circuit;
+use qompress_qasm::to_qasm;
+use qompress_service::{loopback, result_fingerprint, serve_duplex, ServiceClient, ServiceEvent};
+use qompress_workloads::{build, random_circuit, Benchmark};
+use std::collections::HashMap;
+use std::io::{BufReader, Write as _};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// One sweep entry: label, circuit, strategy, topology spec.
+struct SweepJob {
+    label: String,
+    circuit: Circuit,
+    strategy: Strategy,
+    topology: String,
+}
+
+fn main() {
+    let workers: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+
+    let jobs = sweep_jobs(8);
+    assert_eq!(jobs.len(), 13, "the CI sweep is pinned at 13 jobs");
+    println!(
+        "service sweep: {} jobs over the loopback wire protocol ({workers} workers)\n",
+        jobs.len()
+    );
+
+    // The server side: one shared session behind the wire protocol.
+    let session = Arc::new(Compiler::builder().workers(workers).build());
+    let (client_end, server_end) = loopback();
+    let (server_reader, server_writer) = server_end.split();
+    let server = std::thread::spawn(move || serve_duplex(session, server_reader, server_writer));
+    let (reader, writer) = client_end.split();
+    let mut client = ServiceClient::new(BufReader::new(reader), writer);
+
+    // Phase 1 — deterministic cancellation: with the workers paused,
+    // submit three extra jobs, verify they are queued, cancel them. No
+    // race: a paused pool claims nothing.
+    client.pause().expect("pause");
+    let mut cancelled_ids = Vec::new();
+    for i in 0..3 {
+        let id = client
+            .submit(
+                &format!("cancelled-{i}"),
+                Strategy::Eqm,
+                "grid:8",
+                &to_qasm(&build(Benchmark::Cuccaro, 8, 11 + i)),
+            )
+            .expect("submit cancel-target");
+        assert_eq!(client.poll(id).expect("poll"), "queued");
+        assert!(client.cancel(id).expect("cancel"), "queued job must cancel");
+        assert_eq!(client.poll(id).expect("poll"), "cancelled");
+        cancelled_ids.push(id);
+    }
+
+    // Phase 2 — the sweep itself, still paused so ids are stable, then
+    // one resume releases the whole queue.
+    let mut submitted = HashMap::new();
+    for job in &jobs {
+        let id = client
+            .submit(
+                &job.label,
+                job.strategy,
+                &job.topology,
+                &to_qasm(&job.circuit),
+            )
+            .expect("submit sweep job");
+        submitted.insert(id, job.label.clone());
+    }
+    client.resume().expect("resume");
+
+    // Phase 3 — stream completions as they finish: 3 cancellations (they
+    // fired at cancel time) + 13 dones, interleaved in completion order.
+    let mut done_events = HashMap::new();
+    let mut cancelled_seen = Vec::new();
+    while done_events.len() < jobs.len() || cancelled_seen.len() < cancelled_ids.len() {
+        match client.next_event().expect("event stream") {
+            ServiceEvent::Done {
+                job,
+                label,
+                strategy,
+                result_fp,
+                metrics,
+            } => {
+                assert_eq!(submitted[&job], label, "event label matches submit");
+                done_events.insert(label, (job, strategy, result_fp, metrics));
+            }
+            ServiceEvent::Cancelled { job, .. } => cancelled_seen.push(job),
+            ServiceEvent::Failed { job, label, error } => {
+                panic!("job {job} `{label}` failed: {error}")
+            }
+        }
+    }
+    cancelled_seen.sort_unstable();
+    assert_eq!(cancelled_seen, cancelled_ids, "every cancel streamed");
+    for id in submitted.keys() {
+        assert_eq!(client.poll(*id).expect("poll"), "done");
+    }
+
+    // Phase 4 — the equivalence pin: run the identical sweep through
+    // `compile_batch` on a fresh session and compare full-result
+    // fingerprints (byte-identity of every observable field).
+    let batch_jobs: Vec<BatchJob> = jobs
+        .iter()
+        .map(|j| {
+            BatchJob::new(
+                j.label.clone(),
+                j.circuit.clone(),
+                j.strategy,
+                topology_of(&j.topology),
+            )
+        })
+        .collect();
+    let batch_session = Compiler::builder().workers(workers).build();
+    let batch = batch_session.compile_batch(&batch_jobs);
+    for r in &batch.results {
+        let (_, strategy, wire_fp, metrics) = &done_events[&r.label];
+        let want_fp = result_fingerprint(&r.result);
+        assert_eq!(
+            *wire_fp, want_fp,
+            "`{}`: streamed result differs from compile_batch",
+            r.label
+        );
+        assert_eq!(strategy, &r.result.strategy, "{}", r.label);
+        assert_eq!(metrics.total_eps, r.result.metrics.total_eps, "{}", r.label);
+        println!(
+            "  {:<28} total EPS {:.4}  fp {:016x}  == batch ✓",
+            r.label, r.result.metrics.total_eps, want_fp
+        );
+    }
+
+    // Phase 5 — exact service-side accounting over the wire.
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        stats.service.submitted,
+        (jobs.len() + cancelled_ids.len()) as u64
+    );
+    assert_eq!(stats.service.completed, jobs.len() as u64);
+    assert_eq!(stats.service.cancelled, cancelled_ids.len() as u64);
+    assert_eq!(
+        stats.service.queued + stats.service.running + stats.service.failed,
+        0
+    );
+    println!("\nservice: {}", stats.service);
+    println!("server cache: {}", stats.cache);
+    println!("batch-session cache: {}", batch_session.cache_stats());
+
+    let path = write_json(&batch, &stats, workers, &cancelled_ids, &done_events);
+    println!("\nwrote {}", path.display());
+
+    drop(client);
+    server
+        .join()
+        .expect("server thread")
+        .expect("clean server shutdown");
+}
+
+/// The pinned 13-job sweep: two benchmarks × four strategies on the paper
+/// grid, the AWE contraction on a line, and three QASM-generator random
+/// circuits.
+fn sweep_jobs(size: usize) -> Vec<SweepJob> {
+    let cuccaro = build(Benchmark::Cuccaro, size, 7);
+    let bv = build(Benchmark::Bv, size, 7);
+    let mut jobs = Vec::new();
+    for (name, circuit) in [("cuccaro", &cuccaro), ("bv", &bv)] {
+        for strategy in [
+            Strategy::QubitOnly,
+            Strategy::Eqm,
+            Strategy::RingBased,
+            Strategy::ProgressivePairing,
+        ] {
+            jobs.push(SweepJob {
+                label: format!("{name}/grid/{}", strategy.name()),
+                circuit: circuit.clone(),
+                strategy,
+                topology: format!("grid:{size}"),
+            });
+        }
+    }
+    jobs.push(SweepJob {
+        label: "cuccaro/line/awe".to_string(),
+        circuit: cuccaro,
+        strategy: Strategy::Awe,
+        topology: format!("line:{size}"),
+    });
+    jobs.push(SweepJob {
+        label: "bv/ring/awe".to_string(),
+        circuit: bv,
+        strategy: Strategy::Awe,
+        topology: format!("ring:{size}"),
+    });
+    for seed in 0..3u64 {
+        jobs.push(SweepJob {
+            label: format!("random-{seed}/grid/eqm"),
+            circuit: random_circuit(6, 24, seed),
+            strategy: Strategy::Eqm,
+            topology: "grid:6".to_string(),
+        });
+    }
+    jobs
+}
+
+/// Builds the topology a spec names (mirrors the server's parser — the
+/// example compares against an in-process batch, so it needs the same
+/// structures client-side).
+fn topology_of(spec: &str) -> Topology {
+    qompress_service::parse_topology_spec(spec).expect("example specs are valid")
+}
+
+/// Hand-rolled JSON emission (the offline build has no serde); labels are
+/// `a-z0-9/-` only, so no string escaping is needed.
+fn write_json(
+    batch: &qompress::BatchResult,
+    stats: &qompress_service::StatsSnapshot,
+    workers: usize,
+    cancelled: &[u64],
+    done: &HashMap<String, (u64, String, u64, qompress_service::WireMetrics)>,
+) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("service_sweep.json");
+    let mut file = std::fs::File::create(&path).expect("create service_sweep.json");
+
+    let mut rows = Vec::new();
+    for r in &batch.results {
+        let (job, strategy, fp, metrics) = &done[&r.label];
+        rows.push(format!(
+            "    {{\"job\": {job}, \"label\": \"{}\", \"strategy\": \"{strategy}\", \
+             \"total_eps\": {:.9}, \"duration_ns\": {:.3}, \"communication_ops\": {}, \
+             \"result_fp\": \"{fp:016x}\", \"matches_batch\": true}}",
+            r.label, metrics.total_eps, metrics.duration_ns, metrics.communication_ops,
+        ));
+    }
+    let cancelled_list: Vec<String> = cancelled.iter().map(u64::to_string).collect();
+    let s = &stats.service;
+    let c = &stats.cache;
+    writeln!(
+        file,
+        "{{\n  \"workers\": {},\n  \"cancelled_jobs\": [{}],\n  \"service\": \
+         {{\"submitted\": {}, \"completed\": {}, \"cancelled\": {}, \"failed\": {}}},\n  \
+         \"cache\": {},\n  \"jobs\": [\n{}\n  ]\n}}",
+        workers,
+        cancelled_list.join(", "),
+        s.submitted,
+        s.completed,
+        s.cancelled,
+        s.failed,
+        c.to_json(),
+        rows.join(",\n")
+    )
+    .expect("write service_sweep.json");
+    path
+}
