@@ -249,6 +249,43 @@ fn bench_has_edge(c: &mut Criterion) {
     group.finish();
 }
 
+/// Parametric skeleton serving: what one angle set costs on the warm
+/// path versus recompiling the bound circuit from scratch. `bind_only`
+/// is the pure skeleton→circuit materialisation, `bind_stamp` the full
+/// serving cost (bind is implicit in the stamp — it validates and
+/// writes the angles into a clone of the cached template), and
+/// `full_compile` the mapping/routing/scheduling pipeline the stamp
+/// path skips. `sweep_warm_32` measures a whole 32-binding
+/// `compile_sweep` served from the skeleton cache.
+fn bench_parametric_bind(c: &mut Criterion) {
+    let skeleton = qompress_qasm::random_parametric_circuit(12, 260, 4, 7);
+    let topo = Topology::grid(12);
+    let session = Compiler::new();
+    let artifact = session.compile_skeleton(&skeleton, &topo, Strategy::Eqm);
+    let angles = vec![0.17, 1.3, -2.4, 0.9];
+    let bindings: Vec<Vec<f64>> = (0..32)
+        .map(|i| angles.iter().map(|a| a + 0.05 * i as f64).collect())
+        .collect();
+    let uncached = Compiler::builder().caching(false).build();
+    let _ = uncached.compile(&skeleton.bind(&angles), &topo, Strategy::Eqm); // warm registry
+
+    let mut group = c.benchmark_group("parametric_bind");
+    group.bench_function("bind_only", |b| {
+        b.iter(|| skeleton.bind(black_box(&angles)));
+    });
+    group.bench_function("bind_stamp", |b| {
+        b.iter(|| artifact.stamp(black_box(&angles)));
+    });
+    group.bench_function("full_compile", |b| {
+        b.iter(|| uncached.compile(&skeleton.bind(black_box(&angles)), &topo, Strategy::Eqm));
+    });
+    group.sample_size(20);
+    group.bench_function("sweep_warm_32", |b| {
+        b.iter(|| session.compile_sweep(&skeleton, &topo, Strategy::Eqm, black_box(&bindings)));
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_full_pipeline,
@@ -258,6 +295,7 @@ criterion_group!(
     bench_job_service,
     bench_result_cache,
     bench_routing_perf,
-    bench_has_edge
+    bench_has_edge,
+    bench_parametric_bind
 );
 criterion_main!(benches);

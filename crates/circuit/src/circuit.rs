@@ -74,6 +74,17 @@ impl Circuit {
         self.gates.push(gate);
     }
 
+    /// Builds a circuit from gates that are already known to be valid for
+    /// `n_qubits` (operands in range, no self-loop two-qubit gates).
+    ///
+    /// Used by the parametric bind path, which validates operands once at
+    /// skeleton-construction time and must not pay per-gate re-validation
+    /// (or the `Vec` allocation `Gate::qubits` implies) on every stamp-out.
+    #[inline]
+    pub(crate) fn from_validated(n_qubits: usize, gates: Vec<Gate>) -> Self {
+        Circuit { n_qubits, gates }
+    }
+
     /// Appends every gate of `other`, which must act on no more qubits than
     /// `self` has.
     ///

@@ -27,8 +27,10 @@ mod dag;
 mod gate;
 pub mod graph;
 mod interaction;
+mod parametric;
 
 pub use circuit::Circuit;
 pub use dag::{ActivityTable, CircuitDag};
 pub use gate::{Gate, Qubit, SingleQubitKind};
 pub use interaction::InteractionGraph;
+pub use parametric::{ParamId, ParametricCircuit, ParametricGate, RotationAxis};

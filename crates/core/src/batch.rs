@@ -34,6 +34,10 @@ pub struct BatchJob {
     /// Free-form identifier echoed into the result (benchmark name, file
     /// stem, sweep coordinates, …).
     pub label: String,
+    /// When the job was minted by [`crate::ParamSweep::job`], the sweep
+    /// binding that routes it through the skeleton-stamp path instead of a
+    /// full pipeline run. `None` for ordinary jobs.
+    pub(crate) binding: Option<crate::parametric::SweepBinding>,
     /// The logical circuit to compile.
     pub circuit: Circuit,
     /// The compression strategy to apply.
@@ -52,6 +56,7 @@ impl BatchJob {
     ) -> Self {
         BatchJob {
             label: label.into(),
+            binding: None,
             circuit,
             strategy,
             topology,

@@ -58,6 +58,7 @@ mod jobs;
 mod layout;
 mod mapping;
 mod metrics;
+mod parametric;
 mod physical;
 mod pipeline;
 mod result_cache;
@@ -75,6 +76,7 @@ pub use jobs::{CompletionQueue, JobHandle, JobId, JobOutcome, JobStatus};
 pub use layout::Layout;
 pub use mapping::{map_circuit, MappingOptions};
 pub use metrics::{coherence_eps, gate_eps_from_counts, Metrics};
+pub use parametric::{ParamSweep, SkeletonArtifact, SweepResult};
 pub use physical::{swap4_moves, PhysicalOp, Schedule, ScheduledOp};
 pub use pipeline::{
     compile_with_options, compile_with_options_cached, CompilationResult, TopologyCache,

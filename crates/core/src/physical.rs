@@ -172,6 +172,16 @@ impl Schedule {
         &self.ops
     }
 
+    /// Mutable access to the scheduled operations, for the parametric
+    /// stamp path which overwrites rotation-angle payloads in place.
+    ///
+    /// Crate-internal: callers must not change anything start/duration
+    /// accounting depends on (the cached `total_duration_ns` is not
+    /// recomputed).
+    pub(crate) fn ops_mut(&mut self) -> &mut [ScheduledOp] {
+        &mut self.ops
+    }
+
     /// Number of physical units on the device.
     pub fn n_units(&self) -> usize {
         self.n_units

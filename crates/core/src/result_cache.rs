@@ -13,12 +13,12 @@
 //! counts hits, misses and evictions exactly.
 
 use crate::mapping::MappingOptions;
-use crate::pipeline::CompilationResult;
 use crate::strategies::Strategy;
 use qompress_arch::Fingerprinter;
-use qompress_circuit::{Circuit, Gate, SingleQubitKind};
+use qompress_circuit::{
+    Circuit, Gate, ParametricCircuit, ParametricGate, RotationAxis, SingleQubitKind,
+};
 use std::collections::HashMap;
-use std::sync::Arc;
 
 /// Hit/miss/eviction counters of a session's result cache (see
 /// [`crate::Compiler::cache_stats`]).
@@ -136,6 +136,26 @@ impl CacheKey {
             config: config_fp,
         }
     }
+
+    /// Key for a skeleton-level (structural) compile: the circuit
+    /// component is the *structural* fingerprint, which ignores angle
+    /// values at parametric sites while still distinguishing parameter
+    /// wiring, so every binding of one skeleton shares this key.
+    pub(crate) fn for_skeleton(
+        skeleton: &ParametricCircuit,
+        strategy: Strategy,
+        topology_fp: u64,
+        config_fp: u64,
+    ) -> Self {
+        let mut h = Fingerprinter::new();
+        h.write_str("skeleton-strategy").write_str(strategy.name());
+        CacheKey {
+            circuit: skeleton_fingerprint(skeleton),
+            job: h.finish(),
+            topology: topology_fp,
+            config: config_fp,
+        }
+    }
 }
 
 /// Stable content fingerprint of a circuit: qubit count plus the exact
@@ -144,59 +164,101 @@ pub(crate) fn circuit_fingerprint(circuit: &Circuit) -> u64 {
     let mut h = Fingerprinter::new();
     h.write_usize(circuit.n_qubits()).write_usize(circuit.len());
     for gate in circuit.iter() {
+        hash_gate(&mut h, gate);
+    }
+    h.finish()
+}
+
+/// Hashes one concrete gate into `h` (shared by the circuit and skeleton
+/// fingerprints so a zero-parameter skeleton's gate stream hashes like the
+/// circuit it wraps — the domains still differ by the leading tag below).
+fn hash_gate(h: &mut Fingerprinter, gate: &Gate) {
+    match *gate {
+        Gate::Single { kind, qubit } => {
+            h.write_u64(1).write_usize(qubit);
+            let (tag, angle) = match kind {
+                SingleQubitKind::X => (0u64, None),
+                SingleQubitKind::Y => (1, None),
+                SingleQubitKind::Z => (2, None),
+                SingleQubitKind::H => (3, None),
+                SingleQubitKind::T => (4, None),
+                SingleQubitKind::Tdg => (5, None),
+                SingleQubitKind::S => (6, None),
+                SingleQubitKind::Sdg => (7, None),
+                SingleQubitKind::Rz(a) => (8, Some(a)),
+                SingleQubitKind::Rx(a) => (9, Some(a)),
+                SingleQubitKind::Ry(a) => (10, Some(a)),
+            };
+            h.write_u64(tag);
+            if let Some(a) = angle {
+                h.write_f64(a);
+            }
+        }
+        Gate::Cx { control, target } => {
+            h.write_u64(2).write_usize(control).write_usize(target);
+        }
+        Gate::Swap { a, b } => {
+            h.write_u64(3).write_usize(a).write_usize(b);
+        }
+    }
+}
+
+/// Stable *structural* fingerprint of a parametric skeleton: qubit count,
+/// the exact gate stream, and at each parametric site the rotation axis,
+/// target qubit and **parameter id** — never an angle value. Two bindings
+/// of one skeleton therefore share a fingerprint, while skeletons that
+/// wire parameters differently (`rz(theta0); rz(theta1)` vs
+/// `rz(theta0); rz(theta0)`) do not.
+pub(crate) fn skeleton_fingerprint(skeleton: &ParametricCircuit) -> u64 {
+    let mut h = Fingerprinter::new();
+    h.write_str("parametric")
+        .write_usize(skeleton.n_qubits())
+        .write_usize(skeleton.len());
+    for gate in skeleton.gates() {
         match *gate {
-            Gate::Single { kind, qubit } => {
-                h.write_u64(1).write_usize(qubit);
-                let (tag, angle) = match kind {
-                    SingleQubitKind::X => (0u64, None),
-                    SingleQubitKind::Y => (1, None),
-                    SingleQubitKind::Z => (2, None),
-                    SingleQubitKind::H => (3, None),
-                    SingleQubitKind::T => (4, None),
-                    SingleQubitKind::Tdg => (5, None),
-                    SingleQubitKind::S => (6, None),
-                    SingleQubitKind::Sdg => (7, None),
-                    SingleQubitKind::Rz(a) => (8, Some(a)),
-                    SingleQubitKind::Rx(a) => (9, Some(a)),
-                    SingleQubitKind::Ry(a) => (10, Some(a)),
+            ParametricGate::Fixed(ref g) => hash_gate(&mut h, g),
+            ParametricGate::Rotation { axis, param, qubit } => {
+                let axis_tag = match axis {
+                    RotationAxis::Rx => 0u64,
+                    RotationAxis::Ry => 1,
+                    RotationAxis::Rz => 2,
                 };
-                h.write_u64(tag);
-                if let Some(a) = angle {
-                    h.write_f64(a);
-                }
-            }
-            Gate::Cx { control, target } => {
-                h.write_u64(2).write_usize(control).write_usize(target);
-            }
-            Gate::Swap { a, b } => {
-                h.write_u64(3).write_usize(a).write_usize(b);
+                h.write_u64(4)
+                    .write_u64(axis_tag)
+                    .write_u64(param as u64)
+                    .write_usize(qubit);
             }
         }
     }
     h.finish()
 }
 
-/// A bounded LRU cache of compilation results, content-addressed by
+/// A bounded LRU cache of compilation artifacts, content-addressed by
 /// [`CacheKey`].
+///
+/// Generic over the cached value `T` (cloned out on hits — in practice an
+/// `Arc`, so a hit is a reference-count bump): the session keeps one cache
+/// of concrete `CompilationResult`s and one of skeleton-level
+/// `SkeletonArtifact`s, with identical accounting.
 ///
 /// Recency is a monotonic access counter; eviction removes the entry with
 /// the smallest counter via an `O(len)` scan — negligible next to the cost
 /// of even one compilation, and free of unsafe linked-list bookkeeping.
 #[derive(Debug)]
-pub(crate) struct ResultCache {
+pub(crate) struct ResultCache<T> {
     capacity: usize,
     tick: u64,
-    map: HashMap<CacheKey, Entry>,
+    map: HashMap<CacheKey, Entry<T>>,
     stats: CacheStats,
 }
 
 #[derive(Debug)]
-struct Entry {
-    result: Arc<CompilationResult>,
+struct Entry<T> {
+    result: T,
     last_used: u64,
 }
 
-impl ResultCache {
+impl<T: Clone> ResultCache<T> {
     /// An empty cache holding at most `capacity` results (`0` stores
     /// nothing and every lookup misses).
     pub(crate) fn new(capacity: usize) -> Self {
@@ -209,13 +271,13 @@ impl ResultCache {
     }
 
     /// Looks up `key`, counting a hit or a miss.
-    pub(crate) fn get(&mut self, key: &CacheKey) -> Option<Arc<CompilationResult>> {
+    pub(crate) fn get(&mut self, key: &CacheKey) -> Option<T> {
         self.tick += 1;
         match self.map.get_mut(key) {
             Some(entry) => {
                 entry.last_used = self.tick;
                 self.stats.hits += 1;
-                Some(Arc::clone(&entry.result))
+                Some(entry.result.clone())
             }
             None => {
                 self.stats.misses += 1;
@@ -227,7 +289,7 @@ impl ResultCache {
     /// Stores a freshly compiled result, evicting the least-recently-used
     /// entry if the cache is full. Overwriting an existing key (two racing
     /// workers compiling the same job) is not an eviction.
-    pub(crate) fn insert(&mut self, key: CacheKey, result: Arc<CompilationResult>) {
+    pub(crate) fn insert(&mut self, key: CacheKey, result: T) {
         if self.capacity == 0 {
             return;
         }
@@ -274,8 +336,9 @@ impl ResultCache {
 mod tests {
     use super::*;
     use crate::config::CompilerConfig;
-    use crate::pipeline::compile_with_options;
+    use crate::pipeline::{compile_with_options, CompilationResult};
     use qompress_arch::Topology;
+    use std::sync::Arc;
 
     fn key(tag: u64) -> CacheKey {
         CacheKey {
@@ -398,6 +461,80 @@ mod tests {
         let mut rz2 = Circuit::new(1);
         rz2.push(Gate::rz(0.25, 0));
         assert_ne!(circuit_fingerprint(&rz1), circuit_fingerprint(&rz2));
+    }
+
+    #[test]
+    fn skeleton_fingerprint_ignores_values_but_not_wiring() {
+        use qompress_circuit::RotationAxis;
+        let mut shared = ParametricCircuit::new(2);
+        shared.push(Gate::h(0));
+        shared.push_param(RotationAxis::Rz, 0, 0);
+        shared.push_param(RotationAxis::Rz, 0, 1);
+
+        let mut distinct = ParametricCircuit::new(2);
+        distinct.push(Gate::h(0));
+        distinct.push_param(RotationAxis::Rz, 0, 0);
+        distinct.push_param(RotationAxis::Rz, 1, 1);
+
+        // Same wiring → same fingerprint (trivially: it never sees angles).
+        assert_eq!(
+            skeleton_fingerprint(&shared),
+            skeleton_fingerprint(&shared.clone())
+        );
+        // Different parameter wiring over an identical gate shape differs.
+        assert_ne!(
+            skeleton_fingerprint(&shared),
+            skeleton_fingerprint(&distinct)
+        );
+
+        // Axis and qubit matter too.
+        let mut other_axis = ParametricCircuit::new(2);
+        other_axis.push(Gate::h(0));
+        other_axis.push_param(RotationAxis::Rx, 0, 0);
+        other_axis.push_param(RotationAxis::Rz, 0, 1);
+        assert_ne!(
+            skeleton_fingerprint(&shared),
+            skeleton_fingerprint(&other_axis)
+        );
+
+        // A concrete rotation is not a parametric site, even at the same
+        // position.
+        let mut concrete = ParametricCircuit::new(2);
+        concrete.push(Gate::h(0));
+        concrete.push(Gate::rz(0.5, 0));
+        concrete.push_param(RotationAxis::Rz, 0, 1);
+        assert_ne!(
+            skeleton_fingerprint(&shared),
+            skeleton_fingerprint(&concrete)
+        );
+
+        // A zero-parameter skeleton does not collide with the concrete
+        // circuit fingerprint domain.
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(0));
+        c.push(Gate::rz(0.5, 0));
+        assert_ne!(
+            skeleton_fingerprint(&ParametricCircuit::from(&c)),
+            circuit_fingerprint(&c)
+        );
+    }
+
+    #[test]
+    fn skeleton_keys_separate_strategy_topology_config() {
+        use qompress_circuit::RotationAxis;
+        let mut s = ParametricCircuit::new(2);
+        s.push_param(RotationAxis::Rz, 0, 0);
+        let a = CacheKey::for_skeleton(&s, Strategy::QubitOnly, 7, 9);
+        assert_eq!(a, CacheKey::for_skeleton(&s, Strategy::QubitOnly, 7, 9));
+        assert_ne!(a, CacheKey::for_skeleton(&s, Strategy::Eqm, 7, 9));
+        assert_ne!(a, CacheKey::for_skeleton(&s, Strategy::QubitOnly, 8, 9));
+        assert_ne!(a, CacheKey::for_skeleton(&s, Strategy::QubitOnly, 7, 10));
+        // Skeleton keys live in a different job domain than strategy keys
+        // over the bound circuit.
+        assert_ne!(
+            a,
+            CacheKey::for_strategy(&s.bind(&[0.5]), Strategy::QubitOnly, 7, 9)
+        );
     }
 
     #[test]

@@ -50,6 +50,7 @@ use crate::batch::{BatchJob, BatchJobResult, BatchResult};
 use crate::config::CompilerConfig;
 use crate::jobs::{CompletionQueue, JobHandle, JobOutcome};
 use crate::mapping::MappingOptions;
+use crate::parametric::{SkeletonArtifact, SweepResult};
 use crate::pipeline::{compile_with_options_cached, CompilationResult, TopologyCache};
 use crate::result_cache::{CacheKey, CacheStats, ResultCache};
 use crate::service::{JobService, ServiceMetrics};
@@ -57,7 +58,7 @@ use crate::strategies::{
     compile_cached, run_exhaustive, ExhaustiveOptions, ExhaustiveStep, Strategy,
 };
 use qompress_arch::Topology;
-use qompress_circuit::Circuit;
+use qompress_circuit::{Circuit, ParametricCircuit};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -160,6 +161,8 @@ impl CompilerBuilder {
         };
         let cache = (self.caching && self.cache_capacity > 0)
             .then(|| Mutex::new(ResultCache::new(self.cache_capacity)));
+        let skeletons = (self.caching && self.cache_capacity > 0)
+            .then(|| Mutex::new(ResultCache::new(self.cache_capacity)));
         Compiler {
             state: Arc::new(SessionState {
                 config_fp: self.config.fingerprint(),
@@ -168,6 +171,7 @@ impl CompilerBuilder {
                 verify_hits: self.verify_hits,
                 topologies: Mutex::new(TopologyRegistry::default()),
                 cache,
+                skeletons,
             }),
             service: JobService::new(),
         }
@@ -197,7 +201,11 @@ pub(crate) struct SessionState {
     pub(crate) workers: usize,
     verify_hits: bool,
     topologies: Mutex<TopologyRegistry>,
-    cache: Option<Mutex<ResultCache>>,
+    cache: Option<Mutex<ResultCache<Arc<CompilationResult>>>>,
+    /// Compiled skeleton artifacts, keyed by the skeleton's *structural*
+    /// fingerprint (parameter wiring, not values) — shares the concrete
+    /// cache's capacity knob and on/off switch.
+    skeletons: Option<Mutex<ResultCache<Arc<SkeletonArtifact>>>>,
 }
 
 impl SessionState {
@@ -229,6 +237,24 @@ impl SessionState {
         job: &BatchJob,
         resolved: Option<(u64, &TopologyCache)>,
     ) -> Arc<CompilationResult> {
+        if let Some(binding) = &job.binding {
+            // A sweep job: resolve the skeleton artifact (sweep-shared
+            // `OnceLock` first, then the session's skeleton cache) and
+            // stamp this job's angles into it — no pipeline run.
+            let held;
+            let (topo_fp, tcache): (u64, &TopologyCache) = match resolved {
+                Some((fp, t)) => (fp, t),
+                None => {
+                    let fp = job.topology.structural_fingerprint();
+                    held = self.topology_cache_by_fp(fp, &job.topology);
+                    (fp, &held)
+                }
+            };
+            let artifact = binding.artifact.get_or_init(|| {
+                self.skeleton_artifact(&binding.skeleton, tcache, topo_fp, job.strategy)
+            });
+            return Arc::new(artifact.stamp(&binding.angles));
+        }
         let Some((topo_fp, tcache)) = resolved else {
             return self.compile(&job.circuit, &job.topology, job.strategy);
         };
@@ -242,7 +268,7 @@ impl SessionState {
     /// The exhaustive strategies are dispatched through the session state
     /// itself (their candidate evaluations must land in this session's
     /// result cache); everything else goes through the stateless pipeline.
-    fn compile_strategy_job(
+    pub(crate) fn compile_strategy_job(
         &self,
         circuit: &Circuit,
         tcache: &TopologyCache,
@@ -324,44 +350,82 @@ impl SessionState {
             .unwrap_or_default()
     }
 
-    /// Serves `key` from the cache or compiles via `fresh`, inserting the
-    /// result. The cache lock is *not* held while compiling, so parallel
-    /// batch workers never serialize on the pipeline; two workers racing
-    /// on the same key both compile and the (identical) results overwrite
-    /// harmlessly.
+    pub(crate) fn skeleton_cache_stats(&self) -> CacheStats {
+        self.skeletons
+            .as_ref()
+            .map(|c| c.lock().expect("skeleton cache poisoned").stats())
+            .unwrap_or_default()
+    }
+
+    /// The compiled artifact for `skeleton` under `strategy`, serving
+    /// repeats of the same parameter *structure* from the skeleton cache.
+    /// A miss runs the full pipeline once on the sentinel probe (see
+    /// [`crate::parametric`]).
+    pub(crate) fn skeleton_artifact(
+        &self,
+        skeleton: &ParametricCircuit,
+        tcache: &TopologyCache,
+        topo_fp: u64,
+        strategy: Strategy,
+    ) -> Arc<SkeletonArtifact> {
+        let key = CacheKey::for_skeleton(skeleton, strategy, topo_fp, self.config_fp);
+        memoized_in(self.skeletons.as_ref(), self.verify_hits, key, || {
+            Arc::new(SkeletonArtifact::build(skeleton, |probe| {
+                self.compile_strategy_job(probe, tcache, strategy)
+            }))
+        })
+    }
+
+    /// Serves `key` from the concrete result cache or compiles via
+    /// `fresh`, inserting the result.
     fn memoized(
         &self,
         key: CacheKey,
         fresh: impl FnOnce() -> Arc<CompilationResult>,
     ) -> Arc<CompilationResult> {
-        let Some(cache) = &self.cache else {
-            return fresh();
-        };
-        // Bind the lookup to a statement of its own so the MutexGuard
-        // drops *before* any recompilation: `fresh` may re-enter this
-        // cache on the same thread (the exhaustive search compiles its
-        // candidates through the session), and an `if let` scrutinee
-        // would keep the lock alive across the whole branch.
-        let looked_up = cache.lock().expect("result cache poisoned").get(&key);
-        if let Some(hit) = looked_up {
-            if self.verify_hits {
-                let recompiled = fresh();
-                assert_eq!(
-                    format!("{:?}", *hit),
-                    format!("{:?}", *recompiled),
-                    "result-cache hit diverged from a fresh compile — \
-                     content fingerprint collision or nondeterministic pipeline"
-                );
-            }
-            return hit;
-        }
-        let result = fresh();
-        cache
-            .lock()
-            .expect("result cache poisoned")
-            .insert(key, Arc::clone(&result));
-        result
+        memoized_in(self.cache.as_ref(), self.verify_hits, key, fresh)
     }
+}
+
+/// Serves `key` from `cache` or builds via `fresh`, inserting the result.
+/// The cache lock is *not* held while building, so parallel batch workers
+/// never serialize on the pipeline; two workers racing on the same key
+/// both build and the (identical) results overwrite harmlessly. With
+/// `verify_hits`, every hit is rebuilt and `Debug`-compared before being
+/// served.
+fn memoized_in<T: Clone + std::fmt::Debug>(
+    cache: Option<&Mutex<ResultCache<T>>>,
+    verify_hits: bool,
+    key: CacheKey,
+    fresh: impl FnOnce() -> T,
+) -> T {
+    let Some(cache) = cache else {
+        return fresh();
+    };
+    // Bind the lookup to a statement of its own so the MutexGuard drops
+    // *before* any recompilation: `fresh` may re-enter this cache on the
+    // same thread (the exhaustive search compiles its candidates through
+    // the session), and an `if let` scrutinee would keep the lock alive
+    // across the whole branch.
+    let looked_up = cache.lock().expect("result cache poisoned").get(&key);
+    if let Some(hit) = looked_up {
+        if verify_hits {
+            let rebuilt = fresh();
+            assert_eq!(
+                format!("{hit:?}"),
+                format!("{rebuilt:?}"),
+                "result-cache hit diverged from a fresh compile — \
+                 content fingerprint collision or nondeterministic pipeline"
+            );
+        }
+        return hit;
+    }
+    let result = fresh();
+    cache
+        .lock()
+        .expect("result cache poisoned")
+        .insert(key, result.clone());
+    result
 }
 
 /// A compilation session owning shared state across compilations: the
@@ -452,6 +516,87 @@ impl Compiler {
         options: &MappingOptions,
     ) -> Arc<CompilationResult> {
         self.state.compile_with_options(circuit, topo, options)
+    }
+
+    /// Compiles the angle-independent structure of `skeleton` once —
+    /// mapping, routing, merging and scheduling with traceable sentinel
+    /// angles — and returns the reusable [`SkeletonArtifact`]. Repeats of
+    /// the same parameter *structure* (values never matter, wiring does)
+    /// are served from the session's skeleton cache; each concrete angle
+    /// set then costs one [`SkeletonArtifact::stamp`] instead of a
+    /// pipeline run.
+    pub fn compile_skeleton(
+        &self,
+        skeleton: &ParametricCircuit,
+        topo: &Topology,
+        strategy: Strategy,
+    ) -> Arc<SkeletonArtifact> {
+        let topo_fp = topo.structural_fingerprint();
+        let tcache = self.state.topology_cache_by_fp(topo_fp, topo);
+        self.state
+            .skeleton_artifact(skeleton, &tcache, topo_fp, strategy)
+    }
+
+    /// Compiles one skeleton against `bindings.len()` angle sets: one
+    /// structural compile (or a skeleton-cache hit from earlier session
+    /// work), then one stamp per binding. Each result is byte-identical
+    /// to `compile(&skeleton.bind(angles), topo, strategy)`; a cold sweep
+    /// of N bindings reports exactly 1 skeleton-cache miss and N−1 hits
+    /// in [`SweepResult::skeleton_cache`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when a binding has the wrong length or a non-finite angle
+    /// (the [`SkeletonArtifact::stamp`] contract).
+    pub fn compile_sweep(
+        &self,
+        skeleton: &ParametricCircuit,
+        topo: &Topology,
+        strategy: Strategy,
+        bindings: &[Vec<f64>],
+    ) -> SweepResult {
+        let stats_before = self.state.skeleton_cache_stats();
+        let started = Instant::now();
+        let topo_fp = topo.structural_fingerprint();
+        let tcache = self.state.topology_cache_by_fp(topo_fp, topo);
+        // With the skeleton cache off there is nothing to pin stats
+        // against, so hoist one artifact for the whole sweep instead of
+        // recompiling the structure per binding.
+        let mut hoisted: Option<Arc<SkeletonArtifact>> = None;
+        let results: Vec<Arc<CompilationResult>> = bindings
+            .iter()
+            .map(|angles| {
+                let artifact = if self.state.skeletons.is_some() {
+                    self.state
+                        .skeleton_artifact(skeleton, &tcache, topo_fp, strategy)
+                } else {
+                    Arc::clone(hoisted.get_or_insert_with(|| {
+                        self.state
+                            .skeleton_artifact(skeleton, &tcache, topo_fp, strategy)
+                    }))
+                };
+                Arc::new(artifact.stamp(angles))
+            })
+            .collect();
+        let elapsed = started.elapsed();
+        let after = self.state.skeleton_cache_stats();
+        SweepResult {
+            results,
+            // Saturating for the same reason as `compile_batch`: a
+            // concurrent counter reset must not underflow the delta.
+            skeleton_cache: CacheStats {
+                hits: after.hits.saturating_sub(stats_before.hits),
+                misses: after.misses.saturating_sub(stats_before.misses),
+                evictions: after.evictions.saturating_sub(stats_before.evictions),
+            },
+            elapsed,
+        }
+    }
+
+    /// Cumulative skeleton-cache counters (all zeros when caching is
+    /// disabled).
+    pub fn skeleton_cache_stats(&self) -> CacheStats {
+        self.state.skeleton_cache_stats()
     }
 
     /// Enqueues one job on the session's persistent worker pool and
@@ -639,6 +784,9 @@ impl Compiler {
     pub fn clear_cache(&self) {
         if let Some(c) = &self.state.cache {
             c.lock().expect("result cache poisoned").clear();
+        }
+        if let Some(c) = &self.state.skeletons {
+            c.lock().expect("skeleton cache poisoned").clear();
         }
     }
 }

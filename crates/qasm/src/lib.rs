@@ -19,7 +19,16 @@
 //! The serializer ([`to_qasm`]) emits only constructs the parser accepts,
 //! and formats angles with Rust's shortest-round-trip float notation, so
 //! `parse_qasm(&to_qasm(&c))` reproduces `c` exactly — a property pinned by
-//! this crate's proptest suite.
+//! this crate's proptest suite. Angle expressions that evaluate to a
+//! non-finite value (`inf`, `NaN`, `pi/0`) are rejected with the offending
+//! line.
+//!
+//! For parameter-sweep traffic the crate also speaks a **parametric**
+//! dialect: rotation arguments spelled `theta<id>` (`rz(theta0) q[0];`)
+//! parse into [`qompress_circuit::ParametricCircuit`] skeletons via
+//! [`parse_parametric_qasm`], serialize back via [`to_parametric_qasm`],
+//! and round-trip exactly. This is the wire format the service's
+//! `submit_sweep` op ships skeletons in.
 //!
 //! ```
 //! use qompress_qasm::{parse_qasm, random_circuit, to_qasm};
@@ -36,9 +45,9 @@ mod parse;
 mod random;
 mod write;
 
-pub use parse::parse_qasm;
-pub use random::{random_circuit, RandomCircuitOptions};
-pub use write::to_qasm;
+pub use parse::{parse_parametric_qasm, parse_qasm};
+pub use random::{random_circuit, random_parametric_circuit, RandomCircuitOptions};
+pub use write::{to_parametric_qasm, to_qasm};
 
 use core::fmt;
 

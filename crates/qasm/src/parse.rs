@@ -1,7 +1,13 @@
 //! The OpenQASM-2.0-subset parser.
 
 use crate::QasmError;
-use qompress_circuit::{Circuit, Gate, SingleQubitKind};
+use qompress_circuit::{
+    Circuit, Gate, ParamId, ParametricCircuit, ParametricGate, RotationAxis, SingleQubitKind,
+};
+
+/// Upper bound on formal parameter ids (`theta<id>`): keeps a hostile
+/// program from forcing a gigantic bind vector via `rz(theta999999999)`.
+const MAX_PARAM_ID: ParamId = 1 << 16;
 
 /// One `;`-terminated statement with the line it started on.
 struct Statement {
@@ -29,6 +35,31 @@ struct QReg {
 /// out-of-range qubit indices, duplicate registers, wrong gate arity, bad
 /// angle expressions, and two-qubit gates addressing one qubit twice.
 pub fn parse_qasm(source: &str) -> Result<Circuit, QasmError> {
+    // `allow_params = false` guarantees a zero-parameter skeleton, so the
+    // empty bind is total and just moves the gates into a `Circuit`.
+    Ok(parse_program(source, false)?.bind(&[]))
+}
+
+/// Parses an OpenQASM 2.0 subset program that may carry formal rotation
+/// parameters (`rz(theta0) q[0];`) into a [`ParametricCircuit`] skeleton.
+///
+/// A formal parameter is spelled `theta<id>` with a decimal id (`theta0`,
+/// `theta17`); every other angle expression is evaluated to a concrete
+/// value exactly as in [`parse_qasm`]. The same id may appear at several
+/// rotation sites, which then share one bound angle.
+///
+/// # Errors
+///
+/// Everything [`parse_qasm`] rejects, plus parameter ids at or above
+/// `2^16` (an anti-DoS bound on the bind-vector length).
+pub fn parse_parametric_qasm(source: &str) -> Result<ParametricCircuit, QasmError> {
+    parse_program(source, true)
+}
+
+/// The shared parse loop behind [`parse_qasm`] and
+/// [`parse_parametric_qasm`]; `allow_params` gates whether `theta<id>`
+/// spellings are accepted as formal parameters.
+fn parse_program(source: &str, allow_params: bool) -> Result<ParametricCircuit, QasmError> {
     let statements = split_statements(source)?;
     let mut qregs: Vec<QReg> = Vec::new();
     let mut n_qubits = 0usize;
@@ -36,7 +67,7 @@ pub fn parse_qasm(source: &str) -> Result<Circuit, QasmError> {
     // appear between gates (each gate sees the registers declared so far,
     // per QASM's declare-before-use rule), so the final qubit count is
     // only known after the whole program is read.
-    let mut gates: Vec<(Gate, usize)> = Vec::new();
+    let mut gates: Vec<(ParametricGate, usize)> = Vec::new();
     let mut saw_header = false;
 
     for stmt in &statements {
@@ -85,7 +116,7 @@ pub fn parse_qasm(source: &str) -> Result<Circuit, QasmError> {
                 return Err(QasmError::new(line, "empty statement"));
             }
             _ => {
-                for gate in parse_gate(keyword, rest, &qregs, line)? {
+                for gate in parse_gate(keyword, rest, &qregs, line, allow_params)? {
                     gates.push((gate, line));
                 }
             }
@@ -95,13 +126,18 @@ pub fn parse_qasm(source: &str) -> Result<Circuit, QasmError> {
         return Err(QasmError::new(1, "expected `OPENQASM 2.0;` header"));
     }
 
-    let mut circuit = Circuit::new(n_qubits);
+    let mut skeleton = ParametricCircuit::new(n_qubits);
     for (gate, _line) in gates {
         // Operands were validated against the register table above, so the
-        // push cannot panic.
-        circuit.push(gate);
+        // pushes cannot panic.
+        match gate {
+            ParametricGate::Fixed(g) => skeleton.push(g),
+            ParametricGate::Rotation { axis, param, qubit } => {
+                skeleton.push_param(axis, param, qubit)
+            }
+        }
     }
-    Ok(circuit)
+    Ok(skeleton)
 }
 
 /// Strips comments and splits the source into `;`-terminated statements.
@@ -242,8 +278,18 @@ fn resolve_operand(text: &str, qregs: &[QReg], line: usize) -> Result<Operand, Q
     Ok(Operand::One(reg.offset + idx))
 }
 
-/// Parses one gate application, possibly lowering to several [`Gate`]s.
-fn parse_gate(name: &str, rest: &str, qregs: &[QReg], line: usize) -> Result<Vec<Gate>, QasmError> {
+/// Parses one gate application, possibly lowering to several gates.
+///
+/// Concrete gates come back as [`ParametricGate::Fixed`]; with
+/// `allow_params` set, `theta<id>` rotation arguments become
+/// [`ParametricGate::Rotation`] sites.
+fn parse_gate(
+    name: &str,
+    rest: &str,
+    qregs: &[QReg],
+    line: usize,
+    allow_params: bool,
+) -> Result<Vec<ParametricGate>, QasmError> {
     let rest = rest.trim();
     // Optional parenthesized parameter list.
     let (params, operands_text) = if let Some(stripped) = rest.strip_prefix('(') {
@@ -269,14 +315,14 @@ fn parse_gate(name: &str, rest: &str, qregs: &[QReg], line: usize) -> Result<Vec
             ))
         }
     };
-    let no_params = |gates: Vec<Gate>| -> Result<Vec<Gate>, QasmError> {
+    let no_params = |gates: Vec<Gate>| -> Result<Vec<ParametricGate>, QasmError> {
         if params.is_some() {
             Err(QasmError::new(
                 line,
                 format!("`{name}` takes no parameters"),
             ))
         } else {
-            Ok(gates)
+            Ok(gates.into_iter().map(ParametricGate::Fixed).collect())
         }
     };
     // Two-qubit gates take exactly one qubit per operand: whole-register
@@ -304,19 +350,9 @@ fn parse_gate(name: &str, rest: &str, qregs: &[QReg], line: usize) -> Result<Vec
             Ok((a, b))
         }
     };
-    let one_param = || -> Result<f64, QasmError> {
-        match params {
-            Some(p) => parse_angle(p, line),
-            None => Err(QasmError::new(
-                line,
-                format!("`{name}` needs an angle parameter"),
-            )),
-        }
-    };
-
     // Single-qubit gates broadcast: `h q;` applies `h` to every qubit of
     // `q` in register order.
-    let fixed_1q = |kind: SingleQubitKind| -> Result<Vec<Gate>, QasmError> {
+    let fixed_1q = |kind: SingleQubitKind| -> Result<Vec<ParametricGate>, QasmError> {
         arity(1)?;
         no_params(
             operands[0]
@@ -325,12 +361,38 @@ fn parse_gate(name: &str, rest: &str, qregs: &[QReg], line: usize) -> Result<Vec
                 .collect(),
         )
     };
-    let rotation_1q = |make: fn(f64) -> SingleQubitKind| -> Result<Vec<Gate>, QasmError> {
+    let rotation_1q = |axis: RotationAxis| -> Result<Vec<ParametricGate>, QasmError> {
         arity(1)?;
-        let angle = one_param()?;
+        let text = params
+            .ok_or_else(|| QasmError::new(line, format!("`{name}` needs an angle parameter")))?;
+        if let Some(param) = parse_formal_param(text) {
+            if !allow_params {
+                return Err(QasmError::new(
+                    line,
+                    format!(
+                        "formal parameter `{}` is only accepted by the \
+                         parametric parser",
+                        text.trim()
+                    ),
+                ));
+            }
+            if param >= MAX_PARAM_ID {
+                return Err(QasmError::new(
+                    line,
+                    format!("parameter id {param} exceeds the limit of {MAX_PARAM_ID}"),
+                ));
+            }
+            // Rotations broadcast like every single-qubit gate; broadcast
+            // sites share the formal parameter (and thus the bound angle).
+            return Ok(operands[0]
+                .qubits()
+                .map(|qubit| ParametricGate::Rotation { axis, param, qubit })
+                .collect());
+        }
+        let angle = parse_angle(text, line)?;
         Ok(operands[0]
             .qubits()
-            .map(|q| Gate::single(make(angle), q))
+            .map(|q| ParametricGate::Fixed(Gate::single(axis.kind(angle), q)))
             .collect())
     };
     match name {
@@ -342,9 +404,9 @@ fn parse_gate(name: &str, rest: &str, qregs: &[QReg], line: usize) -> Result<Vec
         "sdg" => fixed_1q(SingleQubitKind::Sdg),
         "t" => fixed_1q(SingleQubitKind::T),
         "tdg" => fixed_1q(SingleQubitKind::Tdg),
-        "rx" => rotation_1q(SingleQubitKind::Rx),
-        "ry" => rotation_1q(SingleQubitKind::Ry),
-        "rz" => rotation_1q(SingleQubitKind::Rz),
+        "rx" => rotation_1q(RotationAxis::Rx),
+        "ry" => rotation_1q(RotationAxis::Ry),
+        "rz" => rotation_1q(RotationAxis::Rz),
         "cx" | "CX" => {
             let (c, t) = two_distinct()?;
             no_params(vec![Gate::cx(c, t)])
@@ -360,6 +422,18 @@ fn parse_gate(name: &str, rest: &str, qregs: &[QReg], line: usize) -> Result<Vec
         }
         _ => Err(QasmError::new(line, format!("unknown gate `{name}`"))),
     }
+}
+
+/// Recognizes a formal parameter spelling `theta<decimal id>`.
+///
+/// Anything else (including `theta` with no digits or with a sign) is not
+/// a formal parameter and falls through to concrete angle evaluation.
+fn parse_formal_param(text: &str) -> Option<ParamId> {
+    let digits = text.trim().strip_prefix("theta")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
 }
 
 /// Evaluates an angle expression: `['-'] factor (('*'|'/') factor)*` where
@@ -399,7 +473,18 @@ fn parse_angle(text: &str, line: usize) -> Result<f64, QasmError> {
             return Err(bad());
         }
     }
-    Ok(if negated { -value } else { value })
+    let value = if negated { -value } else { value };
+    // `f64::parse` happily accepts `inf`/`NaN` literals, and division by
+    // zero (`pi/0`) overflows to infinity. A non-finite angle would poison
+    // fingerprints and routing costs downstream, so reject it here with
+    // the offending line.
+    if !value.is_finite() {
+        return Err(QasmError::new(
+            line,
+            format!("angle expression `{text}` is not finite"),
+        ));
+    }
+    Ok(value)
 }
 
 #[cfg(test)]
@@ -549,6 +634,92 @@ mod tests {
         assert!(err.message.contains("bad angle"));
         let err = parse("qreg q[1];\nrz() q[0];\n").unwrap_err();
         assert!(err.message.contains("bad angle"));
+    }
+
+    #[test]
+    fn non_finite_angle_rejected() {
+        for expr in ["inf", "-inf", "NaN", "nan", "pi/0", "1e308*1e308", "0/0"] {
+            let err = parse(&format!("qreg q[1];\nrz({expr}) q[0];\n")).unwrap_err();
+            assert!(
+                err.message.contains("not finite"),
+                "{expr}: {}",
+                err.message
+            );
+            assert_eq!(err.line, 4, "{expr}");
+        }
+    }
+
+    #[test]
+    fn formal_params_rejected_by_concrete_parser() {
+        let err = parse("qreg q[1];\nrz(theta0) q[0];\n").unwrap_err();
+        assert!(err.message.contains("parametric parser"), "{}", err.message);
+    }
+
+    #[test]
+    fn parametric_program_parses_to_skeleton() {
+        let src = format!(
+            "{HEADER}qreg q[3];\nh q[0];\nrz(theta0) q[0];\ncx q[0], q[1];\n\
+             rx(theta1) q[1];\nrz(pi/2) q[2];\nrz(theta0) q[2];\n"
+        );
+        let s = parse_parametric_qasm(&src).unwrap();
+        assert_eq!(s.n_qubits(), 3);
+        assert_eq!(s.n_params(), 2);
+        assert_eq!(s.site_count(), 3);
+        let pi = std::f64::consts::PI;
+        let c = s.bind(&[0.25, -0.5]);
+        assert_eq!(
+            c.gates(),
+            &[
+                Gate::h(0),
+                Gate::rz(0.25, 0),
+                Gate::cx(0, 1),
+                Gate::single(SingleQubitKind::Rx(-0.5), 1),
+                Gate::rz(pi / 2.0, 2),
+                Gate::rz(0.25, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn parametric_rotations_broadcast_sharing_the_param() {
+        let src = format!("{HEADER}qreg q[2];\nry(theta3) q;\n");
+        let s = parse_parametric_qasm(&src).unwrap();
+        assert_eq!(s.n_params(), 4);
+        assert_eq!(s.site_count(), 2);
+        let c = s.bind(&[0.0, 0.0, 0.0, 1.5]);
+        assert_eq!(
+            c.gates(),
+            &[
+                Gate::single(SingleQubitKind::Ry(1.5), 0),
+                Gate::single(SingleQubitKind::Ry(1.5), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn parametric_parser_still_accepts_concrete_programs() {
+        let src = format!("{HEADER}qreg q[2];\nh q[0];\ncx q[0], q[1];\nrz(0.5) q[0];\n");
+        let s = parse_parametric_qasm(&src).unwrap();
+        assert_eq!(s.n_params(), 0);
+        assert_eq!(s.bind(&[]), parse_qasm(&src).unwrap());
+    }
+
+    #[test]
+    fn oversized_param_id_rejected() {
+        let src = format!("{HEADER}qreg q[1];\nrz(theta9999999) q[0];\n");
+        let err = parse_parametric_qasm(&src).unwrap_err();
+        assert!(err.message.contains("exceeds the limit"), "{}", err.message);
+    }
+
+    #[test]
+    fn theta_like_identifiers_are_not_params() {
+        // `thetaX`, bare `theta`, and signed spellings are ordinary (bad)
+        // angle expressions, not formal parameters.
+        for expr in ["theta", "thetaX", "-theta0", "theta0x"] {
+            let src = format!("{HEADER}qreg q[1];\nrz({expr}) q[0];\n");
+            let err = parse_parametric_qasm(&src).unwrap_err();
+            assert!(err.message.contains("bad angle"), "{expr}: {}", err.message);
+        }
     }
 
     #[test]

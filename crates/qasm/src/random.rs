@@ -1,6 +1,6 @@
 //! Seeded random circuit generation for differential and stress testing.
 
-use qompress_circuit::{Circuit, Gate, SingleQubitKind};
+use qompress_circuit::{Circuit, Gate, ParametricCircuit, RotationAxis, SingleQubitKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -86,6 +86,71 @@ pub fn random_circuit_with(
     circuit
 }
 
+/// Generates a deterministic pseudo-random parametric skeleton.
+///
+/// The gate mix is [`random_circuit`]'s, but every rotation the generator
+/// would have drawn becomes a parametric site instead, its parameter id
+/// drawn uniformly from `0..n_params` (so parameters are typically shared
+/// across several sites, like a QAOA layer schedule). With `n_params = 0`
+/// rotations stay concrete and the skeleton binds with an empty vector.
+///
+/// # Panics
+///
+/// Panics when `n_qubits` is zero.
+pub fn random_parametric_circuit(
+    n_qubits: usize,
+    n_gates: usize,
+    n_params: usize,
+    seed: u64,
+) -> ParametricCircuit {
+    assert!(n_qubits > 0, "random circuit needs at least one qubit");
+    let options = RandomCircuitOptions::default();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut skeleton = ParametricCircuit::new(n_qubits);
+    for _ in 0..n_gates {
+        let two_qubit = n_qubits >= 2 && rng.gen_bool(options.two_qubit_fraction);
+        if two_qubit {
+            let a = rng.gen_range(0..n_qubits);
+            let b = (a + rng.gen_range(1..n_qubits)) % n_qubits;
+            if rng.gen_bool(0.1) {
+                skeleton.push(Gate::swap(a, b));
+            } else {
+                skeleton.push(Gate::cx(a, b));
+            }
+        } else {
+            let q = rng.gen_range(0..n_qubits);
+            let kind = match rng.gen_range(0..11) {
+                0 => SingleQubitKind::X,
+                1 => SingleQubitKind::Y,
+                2 => SingleQubitKind::Z,
+                3 => SingleQubitKind::H,
+                4 => SingleQubitKind::S,
+                5 => SingleQubitKind::Sdg,
+                6 => SingleQubitKind::T,
+                7 => SingleQubitKind::Tdg,
+                axis_tag => {
+                    let axis = match axis_tag {
+                        8 => RotationAxis::Rx,
+                        9 => RotationAxis::Ry,
+                        _ => RotationAxis::Rz,
+                    };
+                    // Consume the angle draw either way so the structural
+                    // stream stays aligned with `random_circuit`'s.
+                    let angle = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+                    if n_params > 0 {
+                        skeleton.push_param(axis, rng.gen_range(0..n_params), q);
+                    } else {
+                        skeleton.push(Gate::single(axis.kind(angle), q));
+                    }
+                    continue;
+                }
+            };
+            skeleton.push(Gate::single(kind, q));
+        }
+    }
+    skeleton
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +201,27 @@ mod tests {
     #[should_panic(expected = "at least one qubit")]
     fn zero_qubits_rejected() {
         random_circuit(0, 5, 1);
+    }
+
+    #[test]
+    fn parametric_generator_is_deterministic() {
+        let a = random_parametric_circuit(5, 60, 4, 11);
+        let b = random_parametric_circuit(5, 60, 4, 11);
+        assert_eq!(a, b);
+        assert_ne!(a, random_parametric_circuit(5, 60, 4, 12));
+    }
+
+    #[test]
+    fn parametric_generator_draws_sites() {
+        let s = random_parametric_circuit(5, 200, 3, 7);
+        assert!(s.site_count() > 5, "sites: {}", s.site_count());
+        assert!(s.n_params() <= 3);
+    }
+
+    #[test]
+    fn zero_params_matches_random_circuit_structure() {
+        let s = random_parametric_circuit(5, 60, 0, 9);
+        assert_eq!(s.n_params(), 0);
+        assert_eq!(s.bind(&[]), random_circuit(5, 60, 9));
     }
 }

@@ -1,6 +1,6 @@
 //! Circuit → OpenQASM 2.0 serialization.
 
-use qompress_circuit::{Circuit, Gate, SingleQubitKind};
+use qompress_circuit::{Circuit, Gate, ParametricCircuit, ParametricGate, SingleQubitKind};
 use std::fmt::Write as _;
 
 /// Serializes a circuit as an OpenQASM 2.0 program over one register `q`.
@@ -14,29 +14,57 @@ pub fn to_qasm(circuit: &Circuit) -> String {
     out.push_str("include \"qelib1.inc\";\n");
     let _ = writeln!(out, "qreg q[{}];", circuit.n_qubits());
     for gate in circuit.iter() {
+        write_gate(&mut out, gate);
+    }
+    out
+}
+
+/// Emits one concrete gate as a statement line.
+fn write_gate(out: &mut String, gate: &Gate) {
+    match *gate {
+        Gate::Single { kind, qubit } => {
+            let _ = match kind {
+                SingleQubitKind::X => writeln!(out, "x q[{qubit}];"),
+                SingleQubitKind::Y => writeln!(out, "y q[{qubit}];"),
+                SingleQubitKind::Z => writeln!(out, "z q[{qubit}];"),
+                SingleQubitKind::H => writeln!(out, "h q[{qubit}];"),
+                SingleQubitKind::S => writeln!(out, "s q[{qubit}];"),
+                SingleQubitKind::Sdg => writeln!(out, "sdg q[{qubit}];"),
+                SingleQubitKind::T => writeln!(out, "t q[{qubit}];"),
+                SingleQubitKind::Tdg => writeln!(out, "tdg q[{qubit}];"),
+                // `{:?}` prints the shortest decimal that parses back to
+                // the same f64 — the exact-round-trip requirement.
+                SingleQubitKind::Rx(a) => writeln!(out, "rx({a:?}) q[{qubit}];"),
+                SingleQubitKind::Ry(a) => writeln!(out, "ry({a:?}) q[{qubit}];"),
+                SingleQubitKind::Rz(a) => writeln!(out, "rz({a:?}) q[{qubit}];"),
+            };
+        }
+        Gate::Cx { control, target } => {
+            let _ = writeln!(out, "cx q[{control}], q[{target}];");
+        }
+        Gate::Swap { a, b } => {
+            let _ = writeln!(out, "swap q[{a}], q[{b}];");
+        }
+    }
+}
+
+/// Serializes a parametric skeleton as an OpenQASM 2.0 program over one
+/// register `q`, spelling rotation sites as `rz(theta0) q[3];`.
+///
+/// Mirrors [`to_qasm`]: concrete gates (including literal-angle rotations)
+/// serialize identically, so
+/// `parse_parametric_qasm(&to_parametric_qasm(&s)) == s` exactly — the
+/// wire format `submit_sweep` ships skeletons in.
+pub fn to_parametric_qasm(skeleton: &ParametricCircuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\n");
+    out.push_str("include \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", skeleton.n_qubits());
+    for gate in skeleton.gates() {
         match *gate {
-            Gate::Single { kind, qubit } => {
-                let _ = match kind {
-                    SingleQubitKind::X => writeln!(out, "x q[{qubit}];"),
-                    SingleQubitKind::Y => writeln!(out, "y q[{qubit}];"),
-                    SingleQubitKind::Z => writeln!(out, "z q[{qubit}];"),
-                    SingleQubitKind::H => writeln!(out, "h q[{qubit}];"),
-                    SingleQubitKind::S => writeln!(out, "s q[{qubit}];"),
-                    SingleQubitKind::Sdg => writeln!(out, "sdg q[{qubit}];"),
-                    SingleQubitKind::T => writeln!(out, "t q[{qubit}];"),
-                    SingleQubitKind::Tdg => writeln!(out, "tdg q[{qubit}];"),
-                    // `{:?}` prints the shortest decimal that parses back to
-                    // the same f64 — the exact-round-trip requirement.
-                    SingleQubitKind::Rx(a) => writeln!(out, "rx({a:?}) q[{qubit}];"),
-                    SingleQubitKind::Ry(a) => writeln!(out, "ry({a:?}) q[{qubit}];"),
-                    SingleQubitKind::Rz(a) => writeln!(out, "rz({a:?}) q[{qubit}];"),
-                };
-            }
-            Gate::Cx { control, target } => {
-                let _ = writeln!(out, "cx q[{control}], q[{target}];");
-            }
-            Gate::Swap { a, b } => {
-                let _ = writeln!(out, "swap q[{a}], q[{b}];");
+            ParametricGate::Fixed(ref g) => write_gate(&mut out, g),
+            ParametricGate::Rotation { axis, param, qubit } => {
+                let _ = writeln!(out, "{}(theta{param}) q[{qubit}];", axis.name());
             }
         }
     }
@@ -71,6 +99,32 @@ mod tests {
         let reparsed = parse_qasm(&text).unwrap();
         assert_eq!(reparsed.n_qubits(), 2);
         assert!(reparsed.is_empty());
+    }
+
+    #[test]
+    fn parametric_skeleton_round_trips() {
+        use qompress_circuit::RotationAxis;
+        let mut s = ParametricCircuit::new(3);
+        s.push(Gate::h(0));
+        s.push_param(RotationAxis::Rz, 0, 0);
+        s.push(Gate::cx(0, 1));
+        s.push(Gate::rz(-0.75, 2));
+        s.push_param(RotationAxis::Rx, 2, 1);
+        let text = to_parametric_qasm(&s);
+        assert!(text.contains("rz(theta0) q[0];"), "{text}");
+        assert!(text.contains("rx(theta2) q[1];"), "{text}");
+        assert!(text.contains("rz(-0.75) q[2];"), "{text}");
+        assert_eq!(crate::parse_parametric_qasm(&text).unwrap(), s);
+    }
+
+    #[test]
+    fn concrete_skeleton_serializes_like_its_circuit() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(0));
+        c.push(Gate::rz(0.5, 1));
+        c.push(Gate::swap(0, 1));
+        let s = ParametricCircuit::from(&c);
+        assert_eq!(to_parametric_qasm(&s), to_qasm(&c));
     }
 
     #[test]

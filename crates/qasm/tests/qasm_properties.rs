@@ -3,7 +3,10 @@
 //! stable, and malformed programs are rejected instead of panicking.
 
 use proptest::prelude::*;
-use qompress_qasm::{parse_qasm, random_circuit, to_qasm};
+use qompress_qasm::{
+    parse_parametric_qasm, parse_qasm, random_circuit, random_parametric_circuit,
+    to_parametric_qasm, to_qasm,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -114,6 +117,72 @@ proptest! {
             prop_assert!(
                 err.message.contains("whole-register broadcast"),
                 "{}: {}", name, err
+            );
+        }
+    }
+
+    #[test]
+    fn parsed_angles_are_always_finite(
+        n in 1usize..9,
+        gates in 0usize..60,
+        seed in 0u64..10_000,
+        numerator_bits in 0u64..u64::MAX,
+        denominator_bits in 0u64..u64::MAX,
+    ) {
+        // Two fronts: every program the serializer emits parses back to
+        // finite angles, and an adversarial `a/b` expression (any f64
+        // bit patterns, including inf/NaN/zero) either errors or yields
+        // a finite angle — never a non-finite one.
+        let numerator = f64::from_bits(numerator_bits);
+        let denominator = f64::from_bits(denominator_bits);
+        let circuit = random_circuit(n, gates, seed);
+        let reparsed = parse_qasm(&to_qasm(&circuit))
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        for gate in reparsed.gates() {
+            if let qompress_circuit::Gate::Single { kind, .. } = gate {
+                use qompress_circuit::SingleQubitKind as K;
+                if let K::Rz(a) | K::Rx(a) | K::Ry(a) = kind {
+                    prop_assert!(a.is_finite(), "round-trip produced {a}");
+                }
+            }
+        }
+        let src = format!(
+            "OPENQASM 2.0;\nqreg q[1];\nrz({numerator:?}/{denominator:?}) q[0];\n"
+        );
+        if let Ok(c) = parse_qasm(&src) {
+            match c.gates() {
+                [qompress_circuit::Gate::Single {
+                    kind: qompress_circuit::SingleQubitKind::Rz(a), ..
+                }] => prop_assert!(
+                    a.is_finite(),
+                    "`{numerator:?}/{denominator:?}` parsed to non-finite {a}"
+                ),
+                other => return Err(TestCaseError::fail(format!("unexpected {other:?}"))),
+            }
+        }
+    }
+
+    #[test]
+    fn parametric_round_trip_is_exact(
+        n in 1usize..9,
+        gates in 0usize..60,
+        params in 0usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let skeleton = random_parametric_circuit(n, gates, params, seed);
+        let text = to_parametric_qasm(&skeleton);
+        let reparsed = parse_parametric_qasm(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(&reparsed, &skeleton);
+        // Fixed point, and the concrete parser rejects any skeleton with
+        // at least one live parameter site.
+        prop_assert_eq!(to_parametric_qasm(&reparsed), text.clone());
+        if skeleton.site_count() > 0 {
+            prop_assert!(parse_qasm(&text).is_err());
+        } else {
+            prop_assert_eq!(
+                parse_qasm(&text).map_err(|e| TestCaseError::fail(format!("{e}")))?,
+                skeleton.bind(&[])
             );
         }
     }

@@ -92,6 +92,40 @@ impl<R: BufRead, W: Write> ServiceClient<R, W> {
             .ok_or_else(|| ServiceError::Protocol("submit response missing `job`".into()))
     }
 
+    /// Submits one parametric skeleton with many angle bindings; returns
+    /// the server-assigned job ids, one per binding, in binding order
+    /// (binding `i`'s job is labeled `label#i`). The server compiles the
+    /// structure once and stamps each binding; completions stream as
+    /// ordinary events.
+    pub fn submit_sweep(
+        &mut self,
+        label: &str,
+        strategy: Strategy,
+        topology_spec: &str,
+        qasm: &str,
+        bindings: &[Vec<f64>],
+    ) -> Result<Vec<u64>, ServiceError> {
+        let response = self.request(&Request::SubmitSweep {
+            label: label.to_string(),
+            strategy,
+            topology: topology_spec.to_string(),
+            qasm: qasm.to_string(),
+            bindings: bindings.to_vec(),
+        })?;
+        let Some(Json::Arr(ids)) = response.get("jobs") else {
+            return Err(ServiceError::Protocol(
+                "submit_sweep response missing `jobs`".into(),
+            ));
+        };
+        ids.iter()
+            .map(|id| {
+                id.as_u64().ok_or_else(|| {
+                    ServiceError::Protocol("submit_sweep `jobs` entry is not an id".into())
+                })
+            })
+            .collect()
+    }
+
     /// Queries one job's lifecycle status name
     /// (`"queued"`/`"running"`/`"done"`/`"cancelled"`/`"failed"`).
     pub fn poll(&mut self, job: u64) -> Result<String, ServiceError> {

@@ -67,9 +67,14 @@ impl Json {
     }
 
     /// The numeric payload as an unsigned integer, if it is one exactly.
+    ///
+    /// The bound is strictly below `2^53` (matching the emitter): at
+    /// `2^53` and above, distinct written integers collapse to the same
+    /// `f64` during parsing (e.g. `9007199254740993` rounds to `2^53`),
+    /// so "exactly" can no longer be promised.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < 2f64.powi(53) => Some(*n as u64),
             _ => None,
         }
     }
@@ -357,6 +362,25 @@ mod tests {
         assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(v.get("x"), Some(&Json::Null));
         assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn as_u64_bound_is_strictly_below_2_pow_53() {
+        // 2^53 - 1 is the largest integer every neighbor of which is
+        // still exactly representable; it must be accepted.
+        let max_exact = (1u64 << 53) - 1;
+        let v = Json::parse(&format!("{{\"n\":{max_exact}}}")).unwrap();
+        assert_eq!(v.get("n").and_then(Json::as_u64), Some(max_exact));
+
+        // At 2^53 exactness breaks down: 9007199254740993 parses to the
+        // same f64 as 9007199254740992, so both must be rejected (the
+        // emitter already refuses to write integers this large).
+        for written in ["9007199254740992", "9007199254740993"] {
+            let v = Json::parse(&format!("{{\"n\":{written}}}")).unwrap();
+            assert_eq!(v.get("n").and_then(Json::as_u64), None, "{written}");
+            // The value is still reachable as a float.
+            assert_eq!(v.get("n").and_then(Json::as_f64), Some(2f64.powi(53)));
+        }
     }
 
     #[test]

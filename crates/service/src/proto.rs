@@ -47,6 +47,24 @@ pub enum Request {
         /// OpenQASM 2.0 source of the circuit.
         qasm: String,
     },
+    /// Submit one parametric skeleton with many angle bindings: the
+    /// server compiles the structure once and stamps each binding,
+    /// streaming one completion event per binding through the normal job
+    /// plumbing.
+    SubmitSweep {
+        /// Free-form label; binding `i`'s job is labeled `label#i`.
+        label: String,
+        /// Strategy name (see [`strategy_by_name`]).
+        strategy: Strategy,
+        /// Topology spec (see [`parse_topology_spec`]).
+        topology: String,
+        /// OpenQASM 2.0 source of the *parametric* circuit — rotations
+        /// may carry `theta<N>` formal parameters.
+        qasm: String,
+        /// One angle vector per binding; every angle must be finite and
+        /// every vector as long as the skeleton's parameter count.
+        bindings: Vec<Vec<f64>>,
+    },
     /// Query one job's lifecycle status.
     Poll {
         /// The id returned by the submit response.
@@ -95,6 +113,45 @@ impl Request {
                     qasm: field("qasm")?,
                 })
             }
+            "submit_sweep" => {
+                let field = |name: &str| -> Result<String, String> {
+                    value
+                        .get(name)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("`submit_sweep` needs a string `{name}` field"))
+                };
+                let rows = match value.get("bindings") {
+                    Some(Json::Arr(rows)) => rows,
+                    _ => return Err("`submit_sweep` needs a `bindings` array".to_string()),
+                };
+                let mut bindings = Vec::with_capacity(rows.len());
+                for (i, row) in rows.iter().enumerate() {
+                    let Json::Arr(items) = row else {
+                        return Err(format!("`bindings[{i}]` must be an array of numbers"));
+                    };
+                    let mut angles = Vec::with_capacity(items.len());
+                    for item in items {
+                        let angle = item
+                            .as_f64()
+                            .ok_or_else(|| format!("`bindings[{i}]` must contain numbers"))?;
+                        if !angle.is_finite() {
+                            return Err(format!(
+                                "`bindings[{i}]` contains the non-finite angle {angle}"
+                            ));
+                        }
+                        angles.push(angle);
+                    }
+                    bindings.push(angles);
+                }
+                Ok(Request::SubmitSweep {
+                    label: field("label")?,
+                    strategy: strategy_by_name(&field("strategy")?)?,
+                    topology: field("topology")?,
+                    qasm: field("qasm")?,
+                    bindings,
+                })
+            }
             "poll" => Ok(Request::Poll {
                 job: job_id(&value)?,
             }),
@@ -124,6 +181,31 @@ impl Request {
                 escape(topology),
                 escape(qasm)
             ),
+            Request::SubmitSweep {
+                label,
+                strategy,
+                topology,
+                qasm,
+                bindings,
+            } => {
+                // Serialize bindings through `Json` so angles round-trip
+                // the wire exactly (shortest-round-trip float format).
+                let bindings = Json::Arr(
+                    bindings
+                        .iter()
+                        .map(|row| Json::Arr(row.iter().map(|&a| Json::Num(a)).collect()))
+                        .collect(),
+                );
+                format!(
+                    "{{\"op\":\"submit_sweep\",\"label\":\"{}\",\"strategy\":\"{}\",\
+                     \"topology\":\"{}\",\"qasm\":\"{}\",\"bindings\":{}}}",
+                    escape(label),
+                    strategy.name(),
+                    escape(topology),
+                    escape(qasm),
+                    bindings
+                )
+            }
             Request::Poll { job } => format!("{{\"op\":\"poll\",\"job\":{job}}}"),
             Request::Cancel { job } => format!("{{\"op\":\"cancel\",\"job\":{job}}}"),
             Request::Stats => "{\"op\":\"stats\"}".to_string(),
@@ -431,6 +513,13 @@ mod tests {
                 topology: "grid:4".to_string(),
                 qasm: "OPENQASM 2.0;\nqreg q[2];\nh q;\n".to_string(),
             },
+            Request::SubmitSweep {
+                label: "sweep/vqe".to_string(),
+                strategy: Strategy::FullQuquart,
+                topology: "line:6".to_string(),
+                qasm: "OPENQASM 2.0;\nqreg q[2];\nrz(theta0) q[0];\n".to_string(),
+                bindings: vec![vec![0.5, -1.25], vec![3.0, 0.0078125], vec![]],
+            },
             Request::Poll { job: 3 },
             Request::Cancel { job: 9 },
             Request::Stats,
@@ -453,6 +542,13 @@ mod tests {
             r#"{"op":"poll","job":"three"}"#,
             r#"{"op":"submit","label":"x"}"#,
             r#"{"op":"submit","label":"x","strategy":"nope","topology":"grid:4","qasm":""}"#,
+            // submit_sweep: bindings must be a present array of arrays of
+            // finite numbers.
+            r#"{"op":"submit_sweep","label":"x","strategy":"eqm","topology":"grid:4","qasm":""}"#,
+            r#"{"op":"submit_sweep","label":"x","strategy":"eqm","topology":"grid:4","qasm":"","bindings":7}"#,
+            r#"{"op":"submit_sweep","label":"x","strategy":"eqm","topology":"grid:4","qasm":"","bindings":[7]}"#,
+            r#"{"op":"submit_sweep","label":"x","strategy":"eqm","topology":"grid:4","qasm":"","bindings":[["x"]]}"#,
+            r#"{"op":"submit_sweep","label":"x","strategy":"eqm","topology":"grid:4","qasm":"","bindings":[[1e999]]}"#,
         ] {
             assert!(Request::parse(bad).is_err(), "`{bad}`");
         }

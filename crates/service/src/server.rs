@@ -10,8 +10,8 @@
 //! compiles once.
 
 use crate::proto::{parse_topology_spec, result_fingerprint, Request, ServiceEvent, WireMetrics};
-use qompress::{BatchJob, Compiler, CompletionQueue, JobHandle, JobOutcome, JobStatus};
-use qompress_qasm::parse_qasm;
+use qompress::{BatchJob, Compiler, CompletionQueue, JobHandle, JobOutcome, JobStatus, ParamSweep};
+use qompress_qasm::{parse_parametric_qasm, parse_qasm};
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpListener;
@@ -239,6 +239,53 @@ fn handle_line(
             format!(
                 "{{\"ok\":true,\"op\":\"submit\",\"job\":{id},\"status\":\"{}\"}}",
                 status.name()
+            )
+        }
+        Request::SubmitSweep {
+            label,
+            strategy,
+            topology,
+            qasm,
+            bindings,
+        } => {
+            let topology = match parse_topology_spec(&topology) {
+                Ok(t) => t,
+                Err(message) => return error_line(&message),
+            };
+            let skeleton = match parse_parametric_qasm(&qasm) {
+                Ok(s) => s,
+                Err(err) => return error_line(&format!("{err}")),
+            };
+            // Arity is validated before anything is enqueued, so a sweep
+            // is accepted or rejected atomically (angles are already
+            // known finite from request parsing).
+            for (i, angles) in bindings.iter().enumerate() {
+                if angles.len() != skeleton.n_params() {
+                    return error_line(&format!(
+                        "bindings[{i}] has {} angle(s) but the skeleton has {} parameter(s)",
+                        angles.len(),
+                        skeleton.n_params()
+                    ));
+                }
+            }
+            let sweep = ParamSweep::new(skeleton);
+            // Same lock discipline as `submit`: the pump must find every
+            // handle when its completion pops.
+            let mut map = handles.lock().expect("service handles poisoned");
+            let ids: Vec<u64> = bindings
+                .iter()
+                .enumerate()
+                .map(|(i, angles)| {
+                    let job = sweep.job(format!("{label}#{i}"), strategy, topology.clone(), angles);
+                    let handle = session.submit_watched(job, completions);
+                    let id = handle.id().0;
+                    map.insert(id, ConnJob::Active(handle));
+                    id
+                })
+                .collect();
+            let ids = ids.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+            format!(
+                "{{\"ok\":true,\"op\":\"submit_sweep\",\"jobs\":[{ids}],\"status\":\"queued\"}}"
             )
         }
         Request::Poll { job } => {

@@ -105,6 +105,74 @@ fn streamed_results_match_direct_compilation_byte_for_byte() {
 }
 
 #[test]
+fn submit_sweep_streams_stamped_results_identical_to_direct_compiles() {
+    let session = Arc::new(Compiler::builder().workers(2).build());
+    let (mut client, server) = connect(Arc::clone(&session));
+
+    // A two-parameter skeleton; theta0 and theta1 each appear twice.
+    let qasm = "OPENQASM 2.0;\nqreg q[4];\nh q[0];\nrz(theta0) q[0];\n\
+                cx q[0], q[1];\nrx(theta1) q[1];\ncx q[1], q[2];\n\
+                ry(theta0) q[2];\ncx q[2], q[3];\nrz(theta1) q[3];\n";
+    let bindings: Vec<Vec<f64>> = (0..4)
+        .map(|i| vec![0.05 + 0.1 * i as f64, 2.0 - 0.3 * i as f64])
+        .collect();
+    let ids = client
+        .submit_sweep("vqe", Strategy::Eqm, "grid:4", qasm, &bindings)
+        .unwrap();
+    assert_eq!(ids.len(), bindings.len());
+
+    // Every streamed (stamped) result must be byte-identical to directly
+    // compiling the bound circuit on an independent session.
+    let skeleton = qompress_qasm::parse_parametric_qasm(qasm).unwrap();
+    let reference = Compiler::builder().caching(false).build();
+    let topo = parse_topology_spec("grid:4").unwrap();
+    let mut want = HashMap::new();
+    for (i, (id, angles)) in ids.iter().zip(&bindings).enumerate() {
+        let direct = reference.compile(&skeleton.bind(angles), &topo, Strategy::Eqm);
+        want.insert(*id, (format!("vqe#{i}"), result_fingerprint(&direct)));
+    }
+    let mut seen = 0;
+    while seen < ids.len() {
+        match client.next_event().unwrap() {
+            ServiceEvent::Done {
+                job,
+                label,
+                result_fp,
+                ..
+            } => {
+                let (want_label, want_fp) = &want[&job];
+                assert_eq!(&label, want_label);
+                assert_eq!(
+                    result_fp, *want_fp,
+                    "stamped result for `{label}` diverged from direct compilation"
+                );
+                seen += 1;
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+    for id in &ids {
+        assert_eq!(client.poll(*id).unwrap(), "done");
+    }
+
+    // Sweep jobs stamp from the skeleton artifact — the concrete result
+    // cache is never consulted, and an arity-mismatched sweep is rejected
+    // atomically (nothing enqueued).
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.service.completed, ids.len() as u64);
+    assert_eq!((stats.cache.hits, stats.cache.misses), (0, 0));
+    let err = client
+        .submit_sweep("bad", Strategy::Eqm, "grid:4", qasm, &[vec![0.1]])
+        .unwrap_err();
+    assert!(matches!(err, ServiceError::Remote(_)), "{err}");
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.service.submitted, ids.len() as u64);
+
+    drop(client);
+    server.join().unwrap().unwrap();
+}
+
+#[test]
 fn pause_cancel_resume_is_deterministic() {
     let session = Arc::new(Compiler::builder().workers(1).build());
     let (mut client, server) = connect(Arc::clone(&session));

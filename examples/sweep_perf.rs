@@ -1,0 +1,147 @@
+//! CI gate for parametric skeleton compilation: runs one 32-binding
+//! sweep as **1 structural compile + 32 stamps** and the same workload
+//! as **32 full compiles**, asserts the sweep did exactly one structural
+//! compile (pinned by skeleton-cache stats), that every stamped result
+//! is byte-identical to its direct compile, and that the warm bind+stamp
+//! path is at least 10x faster than recompiling. Writes a
+//! machine-readable snapshot to `results/sweep_perf.json`.
+//!
+//! ```text
+//! cargo run --release --example sweep_perf
+//! ```
+
+use qompress::{Compiler, Strategy};
+use qompress_arch::Topology;
+use qompress_qasm::random_parametric_circuit;
+use qompress_service::result_fingerprint;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Pinned sweep width: one VQE-style iteration batch.
+const N_BINDINGS: usize = 32;
+
+/// Floor on the warm bind+stamp speedup over full recompilation.
+const MIN_STAMP_SPEEDUP: f64 = 10.0;
+
+fn main() {
+    let skeleton = random_parametric_circuit(12, 260, 4, 7);
+    assert!(skeleton.site_count() > 0, "fixture must have live sites");
+    let topo = Topology::grid(12);
+    let strategy = Strategy::Eqm;
+    let bindings: Vec<Vec<f64>> = (0..N_BINDINGS)
+        .map(|i| {
+            (0..skeleton.n_params())
+                .map(|p| 0.1 + 0.19 * i as f64 + 0.47 * p as f64)
+                .collect()
+        })
+        .collect();
+    println!(
+        "sweep perf: {} qubits, {} gates ({} parametric sites over {} params), {} bindings\n",
+        skeleton.n_qubits(),
+        skeleton.len(),
+        skeleton.site_count(),
+        skeleton.n_params(),
+        N_BINDINGS
+    );
+
+    // Sweep path, cold: one structural compile + N stamps.
+    let session = Compiler::new();
+    let cold = session.compile_sweep(&skeleton, &topo, strategy, &bindings);
+    assert_eq!(
+        (cold.skeleton_cache.misses, cold.skeleton_cache.hits),
+        (1, N_BINDINGS as u64 - 1),
+        "a cold sweep must compile the structure exactly once"
+    );
+
+    // Direct path: N full pipeline runs, caching off.
+    let direct_session = Compiler::builder().caching(false).build();
+    let direct_start = Instant::now();
+    let direct: Vec<_> = bindings
+        .iter()
+        .map(|angles| direct_session.compile(&skeleton.bind(angles), &topo, strategy))
+        .collect();
+    let direct_elapsed = direct_start.elapsed();
+
+    // Byte-identity, binding by binding.
+    for (i, (stamped, fresh)) in cold.results.iter().zip(&direct).enumerate() {
+        assert_eq!(
+            result_fingerprint(stamped),
+            result_fingerprint(fresh),
+            "binding {i}: stamped result diverged from its direct compile"
+        );
+    }
+
+    // Sweep path, warm: the artifact is cached, so this times the pure
+    // bind+stamp serving cost.
+    let warm_start = Instant::now();
+    let warm = session.compile_sweep(&skeleton, &topo, strategy, &bindings);
+    let warm_elapsed = warm_start.elapsed();
+    assert_eq!(warm.skeleton_cache.misses, 0, "warm sweep recompiled");
+
+    let cold_ratio = ratio(direct_elapsed, cold.elapsed);
+    let warm_ratio = ratio(direct_elapsed, warm_elapsed);
+    println!("  direct : {N_BINDINGS} full compiles        {direct_elapsed:>12.3?}");
+    println!(
+        "  cold   : 1 compile + {N_BINDINGS} stamps    {:>12.3?}  ({cold_ratio:.1}x)",
+        cold.elapsed
+    );
+    println!(
+        "  warm   : {N_BINDINGS} stamps              {warm_elapsed:>12.3?}  ({warm_ratio:.1}x)"
+    );
+    println!("  skeleton cache: {}", session.skeleton_cache_stats());
+    assert!(
+        warm_ratio >= MIN_STAMP_SPEEDUP,
+        "bind+stamp must be at least {MIN_STAMP_SPEEDUP}x faster than \
+         recompiling (got {warm_ratio:.1}x)"
+    );
+
+    let path = write_json(
+        &skeleton,
+        direct_elapsed,
+        cold.elapsed,
+        warm_elapsed,
+        cold_ratio,
+        warm_ratio,
+        &session.skeleton_cache_stats().to_json(),
+    );
+    println!("\nwrote {}", path.display());
+}
+
+fn ratio(slow: Duration, fast: Duration) -> f64 {
+    slow.as_secs_f64() / fast.as_secs_f64().max(1e-12)
+}
+
+/// Hand-rolled JSON emission (the offline build has no serde).
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    skeleton: &qompress_circuit::ParametricCircuit,
+    direct: Duration,
+    cold: Duration,
+    warm: Duration,
+    cold_ratio: f64,
+    warm_ratio: f64,
+    skeleton_cache: &str,
+) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("sweep_perf.json");
+    let mut file = std::fs::File::create(&path).expect("create sweep_perf.json");
+    writeln!(
+        file,
+        "{{\n  \"bindings\": {N_BINDINGS},\n  \"qubits\": {},\n  \"gates\": {},\n  \
+         \"parametric_sites\": {},\n  \"params\": {},\n  \"structural_compiles\": 1,\n  \
+         \"direct_ms\": {:.3},\n  \"cold_sweep_ms\": {:.3},\n  \"warm_sweep_ms\": {:.3},\n  \
+         \"cold_speedup\": {cold_ratio:.2},\n  \"warm_speedup\": {warm_ratio:.2},\n  \
+         \"skeleton_cache\": {skeleton_cache}\n}}",
+        skeleton.n_qubits(),
+        skeleton.len(),
+        skeleton.site_count(),
+        skeleton.n_params(),
+        direct.as_secs_f64() * 1e3,
+        cold.as_secs_f64() * 1e3,
+        warm.as_secs_f64() * 1e3,
+    )
+    .expect("write sweep_perf.json");
+    path
+}
