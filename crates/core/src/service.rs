@@ -204,6 +204,19 @@ impl JobService {
         self.inner.metrics()
     }
 
+    /// Jobs sitting in the FIFO right now — unclaimed work, including
+    /// entries cancelled while queued that no worker has skipped past
+    /// yet. An exact instantaneous probe (one lock, no counter drift),
+    /// cheap enough to sample on every admission decision.
+    pub(crate) fn queue_depth(&self) -> usize {
+        self.inner
+            .queue
+            .lock()
+            .expect("service queue poisoned")
+            .jobs
+            .len()
+    }
+
     /// Worker threads currently spawned (test-only introspection).
     #[cfg(test)]
     pub(crate) fn worker_count(&self) -> usize {
@@ -404,6 +417,31 @@ mod tests {
         let text = format!("{m}");
         assert!(text.contains("2 submitted"), "{text}");
         assert!(text.contains("1 cancelled"), "{text}");
+    }
+
+    #[test]
+    fn queue_depth_tracks_unclaimed_work() {
+        let session = Compiler::builder().workers(1).build();
+        assert_eq!(session.queue_depth(), 0);
+        session.pause_workers();
+        let a = session.submit(job("a", 4));
+        let b = session.submit(job("b", 4));
+        assert_eq!(session.queue_depth(), 2);
+        // A job cancelled while queued stays in the FIFO until a worker
+        // skips past it, so the depth probe still counts it: depth is
+        // "entries a worker must step over", the honest admission signal.
+        assert!(b.cancel());
+        assert_eq!(session.queue_depth(), 2);
+        session.resume_workers();
+        assert!(a.wait().result().is_some());
+        assert!(matches!(b.wait(), JobOutcome::Cancelled));
+        // Both entries drain (one compiled, one skipped) — but the skip
+        // happens after `a`'s completion is published, so poll briefly.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while session.queue_depth() != 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(session.queue_depth(), 0);
     }
 
     #[test]

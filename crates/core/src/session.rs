@@ -627,6 +627,16 @@ impl Compiler {
         self.service.metrics()
     }
 
+    /// Jobs currently waiting in the service queue: unclaimed work,
+    /// including entries cancelled while queued that no worker has
+    /// skipped past yet. This is the backpressure signal the wire
+    /// front-end samples before admitting a submit — when the queue is
+    /// deeper than its configured bound, new work is turned away with a
+    /// `busy` response instead of being piled on.
+    pub fn queue_depth(&self) -> usize {
+        self.service.queue_depth()
+    }
+
     /// Stops workers from claiming further jobs. In-flight compilations
     /// finish normally; queued jobs stay queued (and cancellable) until
     /// [`Compiler::resume_workers`]. Note that [`Compiler::compile_batch`]

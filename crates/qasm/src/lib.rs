@@ -30,6 +30,13 @@
 //! and round-trip exactly. This is the wire format the service's
 //! `submit_sweep` op ships skeletons in.
 //!
+//! Both parsers cap the program's total qubit count (the sum of all
+//! `qreg` sizes) at [`DEFAULT_MAX_QUBITS`], rejecting an oversized
+//! declaration at its own line before anything is allocated — a 24-byte
+//! `qreg q[1000000000];` must not size a billion-qubit circuit. Callers
+//! admitting untrusted programs can tighten the cap with
+//! [`parse_qasm_bounded`] / [`parse_parametric_qasm_bounded`].
+//!
 //! ```
 //! use qompress_qasm::{parse_qasm, random_circuit, to_qasm};
 //!
@@ -45,7 +52,10 @@ mod parse;
 mod random;
 mod write;
 
-pub use parse::{parse_parametric_qasm, parse_qasm};
+pub use parse::{
+    parse_parametric_qasm, parse_parametric_qasm_bounded, parse_qasm, parse_qasm_bounded,
+    DEFAULT_MAX_QUBITS,
+};
 pub use random::{random_circuit, random_parametric_circuit, RandomCircuitOptions};
 pub use write::{to_parametric_qasm, to_qasm};
 

@@ -9,6 +9,15 @@ use qompress_circuit::{
 /// program from forcing a gigantic bind vector via `rz(theta999999999)`.
 const MAX_PARAM_ID: ParamId = 1 << 16;
 
+/// Default upper bound on a program's total qubit count (the sum of all
+/// `qreg` sizes). A single 24-byte line — `qreg q[1000000000];` — would
+/// otherwise size a billion-qubit circuit before any gate is parsed;
+/// this cap rejects the declaration at the line it appears on, before
+/// anything is allocated. Callers admitting untrusted programs should
+/// tighten it further via [`parse_qasm_bounded`] /
+/// [`parse_parametric_qasm_bounded`].
+pub const DEFAULT_MAX_QUBITS: usize = 1 << 16;
+
 /// One `;`-terminated statement with the line it started on.
 struct Statement {
     text: String,
@@ -35,9 +44,23 @@ struct QReg {
 /// out-of-range qubit indices, duplicate registers, wrong gate arity, bad
 /// angle expressions, and two-qubit gates addressing one qubit twice.
 pub fn parse_qasm(source: &str) -> Result<Circuit, QasmError> {
+    parse_qasm_bounded(source, DEFAULT_MAX_QUBITS)
+}
+
+/// [`parse_qasm`] with an explicit `max_qubits` cap on the program's
+/// total qubit count (never looser than [`DEFAULT_MAX_QUBITS`] is by
+/// default). The wire service parses untrusted programs through this
+/// with its configured limit.
+///
+/// # Errors
+///
+/// Everything [`parse_qasm`] rejects, plus any `qreg` declaration that
+/// pushes the running qubit total past `max_qubits` — reported with that
+/// declaration's line number, before any circuit storage is sized.
+pub fn parse_qasm_bounded(source: &str, max_qubits: usize) -> Result<Circuit, QasmError> {
     // `allow_params = false` guarantees a zero-parameter skeleton, so the
     // empty bind is total and just moves the gates into a `Circuit`.
-    Ok(parse_program(source, false)?.bind(&[]))
+    Ok(parse_program(source, false, max_qubits)?.bind(&[]))
 }
 
 /// Parses an OpenQASM 2.0 subset program that may carry formal rotation
@@ -53,13 +76,33 @@ pub fn parse_qasm(source: &str) -> Result<Circuit, QasmError> {
 /// Everything [`parse_qasm`] rejects, plus parameter ids at or above
 /// `2^16` (an anti-DoS bound on the bind-vector length).
 pub fn parse_parametric_qasm(source: &str) -> Result<ParametricCircuit, QasmError> {
-    parse_program(source, true)
+    parse_parametric_qasm_bounded(source, DEFAULT_MAX_QUBITS)
+}
+
+/// [`parse_parametric_qasm`] with an explicit `max_qubits` cap on the
+/// program's total qubit count — the parametric twin of
+/// [`parse_qasm_bounded`].
+///
+/// # Errors
+///
+/// Everything [`parse_parametric_qasm`] rejects, plus any `qreg`
+/// declaration that pushes the running qubit total past `max_qubits`,
+/// reported with that declaration's line number.
+pub fn parse_parametric_qasm_bounded(
+    source: &str,
+    max_qubits: usize,
+) -> Result<ParametricCircuit, QasmError> {
+    parse_program(source, true, max_qubits)
 }
 
 /// The shared parse loop behind [`parse_qasm`] and
 /// [`parse_parametric_qasm`]; `allow_params` gates whether `theta<id>`
 /// spellings are accepted as formal parameters.
-fn parse_program(source: &str, allow_params: bool) -> Result<ParametricCircuit, QasmError> {
+fn parse_program(
+    source: &str,
+    allow_params: bool,
+    max_qubits: usize,
+) -> Result<ParametricCircuit, QasmError> {
     let statements = split_statements(source)?;
     let mut qregs: Vec<QReg> = Vec::new();
     let mut n_qubits = 0usize;
@@ -99,12 +142,26 @@ fn parse_program(source: &str, allow_params: bool) -> Result<ParametricCircuit, 
                 if qregs.iter().any(|r| r.name == name) {
                     return Err(QasmError::new(line, format!("duplicate register `{name}`")));
                 }
+                // Checked *before* the running total grows (and with
+                // overflow-safe arithmetic), so a hostile `qreg
+                // q[1000000000];` is rejected here — nothing downstream
+                // ever sees the huge count, let alone allocates for it.
+                let total = n_qubits.checked_add(size).filter(|&t| t <= max_qubits);
+                let Some(total) = total else {
+                    return Err(QasmError::new(
+                        line,
+                        format!(
+                            "register `{name}` of size {size} pushes the program past \
+                             the limit of {max_qubits} qubits"
+                        ),
+                    ));
+                };
                 qregs.push(QReg {
                     name,
                     offset: n_qubits,
                     size,
                 });
-                n_qubits += size;
+                n_qubits = total;
             }
             "measure" | "reset" | "gate" | "if" | "opaque" => {
                 return Err(QasmError::new(
@@ -720,6 +777,48 @@ mod tests {
             let err = parse_parametric_qasm(&src).unwrap_err();
             assert!(err.message.contains("bad angle"), "{expr}: {}", err.message);
         }
+    }
+
+    #[test]
+    fn billion_qubit_qreg_rejected_with_line() {
+        let err = parse("qreg ok[2];\nqreg q[1000000000];\n").unwrap_err();
+        assert!(err.message.contains("limit"), "{}", err.message);
+        assert_eq!(err.line, 4, "the oversized declaration's own line");
+        // The parametric parser enforces the same default cap.
+        let err = parse_parametric_qasm("OPENQASM 2.0;\nqreg q[1000000000];\n").unwrap_err();
+        assert!(err.message.contains("limit"), "{}", err.message);
+    }
+
+    #[test]
+    fn qubit_cap_boundary_is_exact() {
+        let at = format!("{HEADER}qreg q[{DEFAULT_MAX_QUBITS}];\n");
+        assert_eq!(
+            parse_qasm(&at).unwrap().n_qubits(),
+            DEFAULT_MAX_QUBITS,
+            "exactly at the cap is accepted"
+        );
+        let over = format!("{HEADER}qreg q[{}];\n", DEFAULT_MAX_QUBITS + 1);
+        assert!(parse_qasm(&over).is_err(), "one past the cap is rejected");
+        // Tighter explicit bounds behave the same way.
+        let at8 = format!("{HEADER}qreg q[8];\n");
+        assert!(parse_qasm_bounded(&at8, 8).is_ok());
+        assert!(parse_qasm_bounded(&at8, 7).is_err());
+        assert!(parse_parametric_qasm_bounded(&at8, 8).is_ok());
+        assert!(parse_parametric_qasm_bounded(&at8, 7).is_err());
+    }
+
+    #[test]
+    fn qubit_cap_applies_to_the_register_sum() {
+        // Each register is fine alone; the sum crosses the bound at the
+        // second declaration, which is the line reported.
+        let src = format!("{HEADER}qreg a[5];\nqreg b[4];\n");
+        let err = parse_qasm_bounded(&src, 8).unwrap_err();
+        assert!(err.message.contains("`b`"), "{}", err.message);
+        assert_eq!(err.line, 4);
+        assert_eq!(parse_qasm_bounded(&src, 9).unwrap().n_qubits(), 9);
+        // Two huge registers must not overflow the running total.
+        let huge = format!("{HEADER}qreg a[{0}];\nqreg b[{0}];\n", usize::MAX / 2 + 1);
+        assert!(parse_qasm_bounded(&huge, usize::MAX).is_err());
     }
 
     #[test]

@@ -1,0 +1,80 @@
+//! Adversarial fuzzing of the OpenQASM frontend: arbitrary byte soup,
+//! single-byte mutations and truncations of valid programs, and the
+//! qubit-cap boundary under random register splits. The parser serves
+//! wire traffic, so the bar is: return `Ok` or a structured error —
+//! never panic, never allocate proportional to a claimed (unvalidated)
+//! register size.
+
+use proptest::prelude::*;
+use qompress_qasm::{
+    parse_parametric_qasm, parse_qasm, parse_qasm_bounded, random_circuit,
+    random_parametric_circuit, to_parametric_qasm, to_qasm,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn arbitrary_byte_soup_never_panics(
+        bytes in proptest::collection::vec((0u16..256).prop_map(|b| b as u8), 0..512),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = parse_qasm(&text);
+        let _ = parse_parametric_qasm(&text);
+    }
+
+    #[test]
+    fn mutated_valid_programs_error_or_reparse(
+        n in 1usize..7,
+        gates in 0usize..30,
+        seed in 0u64..10_000,
+        at in 0usize..10_000,
+        with in (0u16..256).prop_map(|b| b as u8),
+    ) {
+        // Flip one byte anywhere in a serializer-produced program. The
+        // parser must not panic; anything it still accepts is a real
+        // circuit, i.e. it survives a serialize→parse round-trip exactly.
+        let mut bytes = to_qasm(&random_circuit(n, gates, seed)).into_bytes();
+        let at = at % bytes.len();
+        bytes[at] = with;
+        let text = String::from_utf8_lossy(&bytes);
+        if let Ok(parsed) = parse_qasm(&text) {
+            let reparsed = parse_qasm(&to_qasm(&parsed))
+                .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+            prop_assert_eq!(reparsed, parsed);
+        }
+    }
+
+    #[test]
+    fn truncated_parametric_programs_never_panic(
+        n in 1usize..6,
+        gates in 0usize..20,
+        params in 0usize..4,
+        seed in 0u64..500,
+        cut in 0usize..10_000,
+    ) {
+        // Parametric programs are pure ASCII, so any byte cut is a char
+        // cut; both parsers must reject or accept, never panic.
+        let text = to_parametric_qasm(&random_parametric_circuit(n, gates, params, seed));
+        let cut = cut % (text.len() + 1);
+        let _ = parse_parametric_qasm(&text[..cut]);
+        let _ = parse_qasm(&text[..cut]);
+    }
+
+    #[test]
+    fn register_sum_boundary_is_exact(
+        parts in proptest::collection::vec(1usize..16, 1..6),
+    ) {
+        // However the total is split across registers, a cap of exactly
+        // the sum accepts and a cap one below rejects — with the limit
+        // named in the error.
+        let mut src = String::from("OPENQASM 2.0;\n");
+        for (i, p) in parts.iter().enumerate() {
+            src.push_str(&format!("qreg r{i}[{p}];\n"));
+        }
+        let sum: usize = parts.iter().sum();
+        prop_assert!(parse_qasm_bounded(&src, sum).is_ok());
+        let err = parse_qasm_bounded(&src, sum - 1).unwrap_err();
+        prop_assert!(err.message.contains("limit"), "{}", err);
+    }
+}

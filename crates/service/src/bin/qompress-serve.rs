@@ -9,15 +9,41 @@
 //! registry, result cache) serves every connection; the protocol is
 //! line-delimited JSON (see the `qompress-service` crate docs). Exits 2
 //! on bad flags.
+//!
+//! Admission limits (all optional; see `ServiceLimits` for the
+//! defaults):
+//!
+//! ```text
+//!   --max-qubits N            circuit/skeleton qubit cap
+//!   --max-gates N             circuit/skeleton gate cap
+//!   --max-topology N          topology spec/upload node cap
+//!   --max-concurrent-jobs N   outstanding jobs per connection
+//!   --max-total-jobs N        lifetime jobs per connection
+//!   --max-sweep-bindings N    bindings per submit_sweep
+//!   --max-queue-depth N       queue depth before `busy` backpressure
+//!   --idle-timeout-secs N     close idle connections (0 disables;
+//!                             default 300)
+//! ```
 
 use qompress::Compiler;
+use qompress_service::ServiceLimits;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// The binary's default idle timeout. The library default is `None`
+/// (callers owning the transport rarely want one), but a socket server
+/// exposed to real clients should not hold fds for silent peers
+/// forever.
+const DEFAULT_IDLE_TIMEOUT_SECS: u64 = 300;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: qompress-serve (--tcp ADDR | --unix PATH) \
-         [--workers N] [--cache-capacity N]"
+         [--workers N] [--cache-capacity N] [--max-qubits N] \
+         [--max-gates N] [--max-topology N] [--max-concurrent-jobs N] \
+         [--max-total-jobs N] [--max-sweep-bindings N] \
+         [--max-queue-depth N] [--idle-timeout-secs N]"
     );
     ExitCode::from(2)
 }
@@ -27,6 +53,10 @@ fn main() -> ExitCode {
     let mut unix: Option<String> = None;
     let mut workers = 0usize;
     let mut cache_capacity: Option<usize> = None;
+    let mut limits = ServiceLimits {
+        idle_timeout: Some(Duration::from_secs(DEFAULT_IDLE_TIMEOUT_SECS)),
+        ..ServiceLimits::default()
+    };
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -37,6 +67,15 @@ fn main() -> ExitCode {
             }
             v
         };
+        // Flags carrying a plain count share one parse-or-usage shape.
+        macro_rules! count_flag {
+            ($name:literal => $slot:expr) => {
+                match value($name).and_then(|v| v.parse().ok()) {
+                    Some(v) => $slot = v,
+                    None => return usage(),
+                }
+            };
+        }
         match flag.as_str() {
             "--tcp" => match value("--tcp") {
                 Some(v) => tcp = Some(v),
@@ -46,14 +85,29 @@ fn main() -> ExitCode {
                 Some(v) => unix = Some(v),
                 None => return usage(),
             },
-            "--workers" => match value("--workers").and_then(|v| v.parse().ok()) {
-                Some(v) => workers = v,
-                None => return usage(),
-            },
+            "--workers" => count_flag!("--workers" => workers),
             "--cache-capacity" => match value("--cache-capacity").and_then(|v| v.parse().ok()) {
                 Some(v) => cache_capacity = Some(v),
                 None => return usage(),
             },
+            "--max-qubits" => count_flag!("--max-qubits" => limits.max_circuit_qubits),
+            "--max-gates" => count_flag!("--max-gates" => limits.max_circuit_gates),
+            "--max-topology" => count_flag!("--max-topology" => limits.max_topology_nodes),
+            "--max-concurrent-jobs" => {
+                count_flag!("--max-concurrent-jobs" => limits.max_concurrent_jobs)
+            }
+            "--max-total-jobs" => count_flag!("--max-total-jobs" => limits.max_total_jobs),
+            "--max-sweep-bindings" => {
+                count_flag!("--max-sweep-bindings" => limits.max_sweep_bindings)
+            }
+            "--max-queue-depth" => count_flag!("--max-queue-depth" => limits.max_queue_depth),
+            "--idle-timeout-secs" => {
+                match value("--idle-timeout-secs").and_then(|v| v.parse::<u64>().ok()) {
+                    Some(0) => limits.idle_timeout = None,
+                    Some(secs) => limits.idle_timeout = Some(Duration::from_secs(secs)),
+                    None => return usage(),
+                }
+            }
             _ => {
                 eprintln!("unknown flag `{flag}`");
                 return usage();
@@ -81,7 +135,7 @@ fn main() -> ExitCode {
                 listener.local_addr().map_or(addr, |a| a.to_string()),
                 session.workers()
             );
-            if let Err(err) = qompress_service::serve_tcp(listener, session) {
+            if let Err(err) = qompress_service::serve_tcp_with_limits(listener, session, limits) {
                 eprintln!("accept failed: {err}");
                 return ExitCode::FAILURE;
             }
@@ -100,7 +154,7 @@ fn main() -> ExitCode {
                 "qompress-serve: unix {path} ({} workers)",
                 session.workers()
             );
-            if let Err(err) = qompress_service::serve_unix(listener, session) {
+            if let Err(err) = qompress_service::serve_unix_with_limits(listener, session, limits) {
                 eprintln!("accept failed: {err}");
                 return ExitCode::FAILURE;
             }

@@ -20,6 +20,28 @@ pub enum ServiceError {
     Io(io::Error),
     /// The server's bytes did not parse as protocol messages.
     Protocol(String),
+    /// The server rejected a submit with backpressure
+    /// (`{"ok":false,"busy":true,…}`): the queue is full — back off and
+    /// retry.
+    Busy {
+        /// The session queue depth the server observed.
+        queue_depth: u64,
+        /// The configured queue-depth limit.
+        limit: u64,
+        /// The server's human-readable message.
+        message: String,
+    },
+    /// The server rejected a request for exceeding a per-connection
+    /// quota or request-shape limit (`{"ok":false,"quota":…,…}`).
+    Quota {
+        /// Which limit was hit (e.g. `"concurrent_jobs"`,
+        /// `"sweep_bindings"`, `"circuit_gates"`).
+        kind: String,
+        /// The configured value of that limit.
+        limit: u64,
+        /// The server's human-readable message.
+        message: String,
+    },
     /// The server answered `{"ok":false,…}` with this message.
     Remote(String),
 }
@@ -29,6 +51,16 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::Io(err) => write!(f, "service I/O error: {err}"),
             ServiceError::Protocol(msg) => write!(f, "service protocol error: {msg}"),
+            ServiceError::Busy {
+                queue_depth,
+                limit,
+                message,
+            } => write!(f, "service busy (queue {queue_depth}/{limit}): {message}"),
+            ServiceError::Quota {
+                kind,
+                limit,
+                message,
+            } => write!(f, "service quota `{kind}` (limit {limit}): {message}"),
             ServiceError::Remote(msg) => write!(f, "service error: {msg}"),
         }
     }
@@ -124,6 +156,28 @@ impl<R: BufRead, W: Write> ServiceClient<R, W> {
                 })
             })
             .collect()
+    }
+
+    /// Uploads a named topology as an explicit edge list; later submits
+    /// on this connection may pass `name` as their topology spec
+    /// (uploaded names shadow the built-in `kind:size` constructors).
+    /// Returns the server-side edge count, which can be smaller than
+    /// `edges.len()` when the list carries duplicates.
+    pub fn upload_topology(
+        &mut self,
+        name: &str,
+        nodes: usize,
+        edges: &[(usize, usize)],
+    ) -> Result<u64, ServiceError> {
+        let response = self.request(&Request::Topology {
+            name: name.to_string(),
+            nodes,
+            edges: edges.to_vec(),
+        })?;
+        response
+            .get("edges")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ServiceError::Protocol("topology response missing `edges`".into()))
     }
 
     /// Queries one job's lifecycle status name
@@ -222,18 +276,38 @@ impl<R: BufRead, W: Write> ServiceClient<R, W> {
             }
             return match value.get("ok").and_then(Json::as_bool) {
                 Some(true) => Ok(value),
-                Some(false) => Err(ServiceError::Remote(
-                    value
-                        .get("error")
-                        .and_then(Json::as_str)
-                        .unwrap_or("unspecified server error")
-                        .to_string(),
-                )),
+                Some(false) => Err(Self::classify_rejection(&value)),
                 None => Err(ServiceError::Protocol(format!(
                     "message is neither response nor event: `{value}`"
                 ))),
             };
         }
+    }
+
+    /// Maps an `{"ok":false,…}` response to the most specific error:
+    /// backpressure (`busy`), a tagged quota (`quota`), or the generic
+    /// [`ServiceError::Remote`].
+    fn classify_rejection(value: &Json) -> ServiceError {
+        let message = value
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap_or("unspecified server error")
+            .to_string();
+        if value.get("busy").and_then(Json::as_bool) == Some(true) {
+            return ServiceError::Busy {
+                queue_depth: value.get("queue_depth").and_then(Json::as_u64).unwrap_or(0),
+                limit: value.get("limit").and_then(Json::as_u64).unwrap_or(0),
+                message,
+            };
+        }
+        if let Some(kind) = value.get("quota").and_then(Json::as_str) {
+            return ServiceError::Quota {
+                kind: kind.to_string(),
+                limit: value.get("limit").and_then(Json::as_u64).unwrap_or(0),
+                message,
+            };
+        }
+        ServiceError::Remote(message)
     }
 
     /// Reads one non-empty line and parses it.

@@ -11,6 +11,17 @@
 
 use std::fmt;
 
+/// Maximum container nesting depth [`Json::parse`] accepts.
+///
+/// The parser recurses once per `[`/`{` level, so without a bound a
+/// 16 MiB request line of `[[[[…` would overflow the parsing thread's
+/// stack — an abort, not a catchable error, taking a shared listener
+/// thread with it. 64 levels is far beyond anything the wire protocol
+/// emits (its messages nest 3 deep) while keeping recursion trivially
+/// stack-safe; deeper input is a parse *error* and the connection
+/// survives.
+pub const MAX_DEPTH: usize = 64;
+
 /// One parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -30,10 +41,11 @@ pub enum Json {
 
 impl Json {
     /// Parses exactly one JSON value (surrounded by optional whitespace).
+    /// Containers may nest at most [`MAX_DEPTH`] levels deep.
     pub fn parse(text: &str) -> Result<Json, String> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, MAX_DEPTH)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing bytes after JSON value at offset {pos}"));
@@ -103,12 +115,22 @@ fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+/// `depth` is the remaining nesting allowance: each container consumes
+/// one level on the way down, and opening one with no allowance left is
+/// an error — the recursion is therefore bounded at [`MAX_DEPTH`] frames
+/// regardless of input length.
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     skip_ws(bytes, pos);
+    if depth == 0 && matches!(bytes.get(*pos), Some(b'{') | Some(b'[')) {
+        return Err(format!(
+            "nesting deeper than {MAX_DEPTH} levels at offset {}",
+            *pos
+        ));
+    }
     match bytes.get(*pos) {
         None => Err("unexpected end of input".to_string()),
-        Some(b'{') => parse_object(bytes, pos),
-        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos, depth - 1),
+        Some(b'[') => parse_array(bytes, pos, depth - 1),
         Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
         Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
         Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
@@ -131,7 +153,7 @@ fn parse_literal(
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(bytes, pos, b'{')?;
     let mut fields = Vec::new();
     skip_ws(bytes, pos);
@@ -144,7 +166,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         expect(bytes, pos, b':')?;
-        let value = parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos, depth)?;
         fields.push((key, value));
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
@@ -158,7 +180,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     expect(bytes, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -167,7 +189,7 @@ fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         return Ok(Json::Arr(items));
     }
     loop {
-        items.push(parse_value(bytes, pos)?);
+        items.push(parse_value(bytes, pos, depth)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
@@ -462,6 +484,32 @@ mod tests {
         ] {
             assert!(Json::parse(bad).is_err(), "`{bad}` must be rejected");
         }
+    }
+
+    #[test]
+    fn nesting_is_bounded_at_max_depth() {
+        // Exactly MAX_DEPTH levels parse…
+        let ok = format!("{}0{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
+        // …one more is a parse error, not a stack overflow.
+        let over = format!(
+            "{}0{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        let err = Json::parse(&over).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        // Objects count against the same budget.
+        let obj_over = format!(
+            "{}0{}",
+            "{\"k\":".repeat(MAX_DEPTH + 1),
+            "}".repeat(MAX_DEPTH + 1)
+        );
+        assert!(Json::parse(&obj_over).unwrap_err().contains("nesting"));
+        // The attack shape: megabytes of `[` must error fast — this
+        // used to recurse once per byte and kill the thread.
+        let bomb = "[".repeat(4 * 1024 * 1024);
+        assert!(Json::parse(&bomb).unwrap_err().contains("nesting"));
     }
 
     #[test]

@@ -18,6 +18,38 @@
 //!
 //! [`ServiceClient`] is a blocking client over any of the three.
 //!
+//! ## Hardening: limits, quotas, backpressure
+//!
+//! The server assumes hostile clients. Every entry point has a
+//! `*_with_limits` twin taking a [`ServiceLimits`] (the plain forms use
+//! [`ServiceLimits::default`]): request-shape bounds (circuit
+//! qubits/gates, topology size, sweep width), per-connection quotas
+//! (outstanding and lifetime job counts, uploaded topologies),
+//! queue-depth backpressure and an idle-connection timeout. Rejections
+//! are structured, machine-readable response lines — the connection
+//! stays usable:
+//!
+//! * shape/parse violations → `{"ok":false,"error":"…"}`;
+//! * quota violations → `{"ok":false,"error":"…","quota":"<kind>",
+//!   "limit":N}` ([`ServiceError::Quota`] client-side);
+//! * a submit against a full queue → `{"ok":false,"error":"…",
+//!   "busy":true,"queue_depth":D,"limit":N}` ([`ServiceError::Busy`]) —
+//!   back off and retry;
+//! * an idle connection is written one final `{"ok":false,"error":"…",
+//!   "timeout":true}` line, then closed.
+//!
+//! Below the limits sit parser-level DoS bounds that hold regardless of
+//! configuration: request lines are capped at 16 MiB, JSON nesting at
+//! [`json::MAX_DEPTH`] levels, QASM register totals at the configured
+//! qubit cap (checked before allocation), and topology specs at the
+//! configured node cap (checked before construction).
+//!
+//! Clients may also upload a custom topology as an explicit edge list
+//! (`{"op":"topology","name":…,"nodes":N,"edges":[[a,b],…]}` /
+//! [`ServiceClient::upload_topology`]); the name then acts as a
+//! topology spec for later submits on the same connection, shadowing
+//! the built-in `kind:size` constructors.
+//!
 //! ```
 //! use qompress::{Compiler, Strategy};
 //! use qompress_service::{loopback, serve_duplex, ServiceClient};
@@ -44,6 +76,7 @@
 #![warn(missing_docs)]
 
 pub mod json;
+mod limits;
 mod loopback;
 pub mod proto;
 
@@ -51,10 +84,12 @@ mod client;
 mod server;
 
 pub use client::{ServiceClient, ServiceError, StatsSnapshot};
+pub use limits::ServiceLimits;
 pub use loopback::{loopback, LoopbackEnd, LoopbackReader, LoopbackWriter};
 pub use proto::{
-    parse_topology_spec, result_fingerprint, strategy_by_name, Request, ServiceEvent, WireMetrics,
+    parse_topology_spec, parse_topology_spec_bounded, result_fingerprint, strategy_by_name,
+    Request, ServiceEvent, WireMetrics, DEFAULT_MAX_TOPOLOGY_NODES,
 };
+pub use server::{serve_duplex, serve_duplex_with_limits, serve_tcp, serve_tcp_with_limits};
 #[cfg(unix)]
-pub use server::serve_unix;
-pub use server::{serve_duplex, serve_tcp};
+pub use server::{serve_unix, serve_unix_with_limits};

@@ -9,6 +9,7 @@
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// One direction of byte flow.
 #[derive(Debug, Default)]
@@ -34,10 +35,23 @@ impl Pipe {
 
 /// The read half of one loopback direction. Blocks until bytes arrive;
 /// returns `Ok(0)` (EOF) once the peer's write half is dropped and the
-/// buffer is drained.
+/// buffer is drained. With a read timeout set, a read that sees no
+/// bytes for the full duration fails with [`io::ErrorKind::WouldBlock`]
+/// — the same signal a `TcpStream` with `SO_RCVTIMEO` gives, so the
+/// server's idle-timeout handling is exercised identically over both
+/// transports.
 #[derive(Debug)]
 pub struct LoopbackReader {
     pipe: Arc<Pipe>,
+    timeout: Option<Duration>,
+}
+
+impl LoopbackReader {
+    /// Sets (or with `None`, clears) the per-read timeout — the
+    /// loopback analogue of `TcpStream::set_read_timeout`.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) {
+        self.timeout = timeout;
+    }
 }
 
 impl Read for LoopbackReader {
@@ -45,6 +59,7 @@ impl Read for LoopbackReader {
         if buf.is_empty() {
             return Ok(0);
         }
+        let deadline = self.timeout.map(|t| Instant::now() + t);
         let mut state = self.pipe.state.lock().expect("loopback pipe poisoned");
         loop {
             if !state.data.is_empty() {
@@ -57,11 +72,28 @@ impl Read for LoopbackReader {
             if state.closed {
                 return Ok(0);
             }
-            state = self
-                .pipe
-                .readable
-                .wait(state)
-                .expect("loopback pipe poisoned");
+            state = match deadline {
+                None => self
+                    .pipe
+                    .readable
+                    .wait(state)
+                    .expect("loopback pipe poisoned"),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::WouldBlock,
+                            "loopback read timed out",
+                        ));
+                    }
+                    let (state, _) = self
+                        .pipe
+                        .readable
+                        .wait_timeout(state, deadline - now)
+                        .expect("loopback pipe poisoned");
+                    state
+                }
+            };
         }
     }
 }
@@ -150,13 +182,17 @@ pub fn loopback() -> (LoopbackEnd, LoopbackEnd) {
         LoopbackEnd {
             reader: LoopbackReader {
                 pipe: Arc::clone(&b_to_a),
+                timeout: None,
             },
             writer: LoopbackWriter {
                 pipe: Arc::clone(&a_to_b),
             },
         },
         LoopbackEnd {
-            reader: LoopbackReader { pipe: a_to_b },
+            reader: LoopbackReader {
+                pipe: a_to_b,
+                timeout: None,
+            },
             writer: LoopbackWriter { pipe: b_to_a },
         },
     )
@@ -200,6 +236,30 @@ mod tests {
         let (_b_reader, mut b_writer) = b.split();
         let err = b_writer.write(b"x").unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn read_timeout_fires_and_clears() {
+        let (a, b) = loopback();
+        let (mut b_reader, _b_writer) = b.split();
+        let (_a_reader, mut a_writer) = a.split();
+        b_reader.set_read_timeout(Some(Duration::from_millis(20)));
+        let mut buf = [0u8; 4];
+        // No bytes for the full window: WouldBlock, like SO_RCVTIMEO.
+        let err = b_reader.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        // Bytes available beat the clock; a cleared timeout blocks again.
+        a_writer.write_all(b"data").unwrap();
+        assert_eq!(b_reader.read(&mut buf).unwrap(), 4);
+        b_reader.set_read_timeout(None);
+        let handle = std::thread::spawn(move || {
+            let mut buf = [0u8; 2];
+            b_reader.read_exact(&mut buf).unwrap();
+            buf
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        a_writer.write_all(b"ok").unwrap();
+        assert_eq!(&handle.join().unwrap(), b"ok");
     }
 
     #[test]

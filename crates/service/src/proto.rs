@@ -65,6 +65,20 @@ pub enum Request {
         /// every vector as long as the skeleton's parameter count.
         bindings: Vec<Vec<f64>>,
     },
+    /// Upload a custom topology as an explicit edge list, registering it
+    /// under `name` for this connection. Subsequent submits on the same
+    /// connection may pass `name` as their topology spec (uploaded names
+    /// shadow the built-in `kind:size` constructors). The server
+    /// validates the edge list — endpoints in range, no self-loops, node
+    /// count within its configured limits — before building anything.
+    Topology {
+        /// Registry name (non-empty, at most 128 bytes).
+        name: String,
+        /// Number of nodes; edges index `0..nodes`.
+        nodes: usize,
+        /// Undirected coupling edges (duplicates are collapsed).
+        edges: Vec<(usize, usize)>,
+    },
     /// Query one job's lifecycle status.
     Poll {
         /// The id returned by the submit response.
@@ -152,6 +166,41 @@ impl Request {
                     bindings,
                 })
             }
+            "topology" => {
+                let name = value
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| "`topology` needs a string `name` field".to_string())?
+                    .to_string();
+                let nodes = value
+                    .get("nodes")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| "`topology` needs an integer `nodes` field".to_string())?;
+                let nodes = usize::try_from(nodes)
+                    .map_err(|_| format!("`topology` node count {nodes} does not fit"))?;
+                let rows = match value.get("edges") {
+                    Some(Json::Arr(rows)) => rows,
+                    _ => return Err("`topology` needs an `edges` array".to_string()),
+                };
+                let mut edges = Vec::with_capacity(rows.len());
+                for (i, row) in rows.iter().enumerate() {
+                    let pair = match row {
+                        Json::Arr(pair) if pair.len() == 2 => pair,
+                        _ => {
+                            return Err(format!(
+                                "`edges[{i}]` must be a two-element array of node indices"
+                            ))
+                        }
+                    };
+                    let endpoint = |v: &Json| -> Result<usize, String> {
+                        v.as_u64()
+                            .and_then(|n| usize::try_from(n).ok())
+                            .ok_or_else(|| format!("`edges[{i}]` must contain node indices"))
+                    };
+                    edges.push((endpoint(&pair[0])?, endpoint(&pair[1])?));
+                }
+                Ok(Request::Topology { name, nodes, edges })
+            }
             "poll" => Ok(Request::Poll {
                 job: job_id(&value)?,
             }),
@@ -206,6 +255,18 @@ impl Request {
                     bindings
                 )
             }
+            Request::Topology { name, nodes, edges } => {
+                let edges = edges
+                    .iter()
+                    .map(|&(a, b)| format!("[{a},{b}]"))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!(
+                    "{{\"op\":\"topology\",\"name\":\"{}\",\"nodes\":{nodes},\
+                     \"edges\":[{edges}]}}",
+                    escape(name)
+                )
+            }
             Request::Poll { job } => format!("{{\"op\":\"poll\",\"job\":{job}}}"),
             Request::Cancel { job } => format!("{{\"op\":\"cancel\",\"job\":{job}}}"),
             Request::Stats => "{\"op\":\"stats\"}".to_string(),
@@ -225,10 +286,35 @@ pub fn strategy_by_name(name: &str) -> Result<Strategy, String> {
         .ok_or_else(|| format!("unknown strategy `{name}`"))
 }
 
+/// Default upper bound on the size a topology spec may request. Qompress
+/// compilation is superlinear in device size (the distance oracle alone
+/// is O(V²) per touched source), so `line:100000000` from a hostile
+/// client would build a ~10⁸-unit device server-side before any job
+/// runs. 4096 covers every device the serving stack realistically
+/// quotes; [`parse_topology_spec_bounded`] takes an explicit bound.
+pub const DEFAULT_MAX_TOPOLOGY_NODES: usize = 4096;
+
 /// Parses a topology spec string: `line:N`, `grid:N`, `ring:N` (N = the
-/// qubit count the constructor takes) or `heavy_hex_65`.
+/// qubit count the constructor takes) or `heavy_hex_65`, with the
+/// requested size clamped to [`DEFAULT_MAX_TOPOLOGY_NODES`].
 pub fn parse_topology_spec(spec: &str) -> Result<Topology, String> {
+    parse_topology_spec_bounded(spec, DEFAULT_MAX_TOPOLOGY_NODES)
+}
+
+/// [`parse_topology_spec`] with an explicit upper bound on the requested
+/// size — the wire server parses untrusted specs through this with its
+/// configured [`crate::ServiceLimits::max_topology_nodes`].
+///
+/// The bound applies to the size the spec *requests*; `grid:N` rounds N
+/// up to the next square, so the constructed device may carry slightly
+/// more nodes than the bound (at most one extra row).
+pub fn parse_topology_spec_bounded(spec: &str, max_nodes: usize) -> Result<Topology, String> {
     if spec == "heavy_hex_65" {
+        if 65 > max_nodes {
+            return Err(format!(
+                "topology `heavy_hex_65` has 65 nodes, exceeding the limit of {max_nodes}"
+            ));
+        }
         return Ok(Topology::heavy_hex_65());
     }
     let (kind, size) = spec
@@ -240,9 +326,19 @@ pub fn parse_topology_spec(spec: &str) -> Result<Topology, String> {
     if size == 0 {
         return Err(format!("topology size must be positive in `{spec}`"));
     }
+    // Rejected before any constructor runs: the whole point is that an
+    // oversized spec costs the server a string compare, not O(V²) work.
+    if size > max_nodes {
+        return Err(format!(
+            "topology size {size} in `{spec}` exceeds the limit of {max_nodes}"
+        ));
+    }
     match kind {
         "line" => Ok(Topology::line(size)),
         "grid" => Ok(Topology::grid(size)),
+        // `Topology::ring` asserts n ≥ 3; an untrusted spec must turn
+        // that into an error, not a panicked connection thread.
+        "ring" if size < 3 => Err(format!("ring topology needs at least 3 nodes in `{spec}`")),
         "ring" => Ok(Topology::ring(size)),
         other => Err(format!("unknown topology kind `{other}`")),
     }
@@ -499,9 +595,32 @@ mod tests {
             parse_topology_spec("heavy_hex_65").unwrap(),
             Topology::heavy_hex_65()
         );
-        for bad in ["grid", "grid:", "grid:x", "grid:0", "torus:4", ""] {
+        for bad in ["grid", "grid:", "grid:x", "grid:0", "torus:4", "", "ring:2"] {
             assert!(parse_topology_spec(bad).is_err(), "`{bad}`");
         }
+    }
+
+    #[test]
+    fn topology_size_clamped_at_the_boundary() {
+        // Exactly at the default bound builds; one past errors — and the
+        // hostile shape (`line:100000000`) must cost a comparison, not a
+        // hundred-million-node construction.
+        let max = DEFAULT_MAX_TOPOLOGY_NODES;
+        assert_eq!(
+            parse_topology_spec(&format!("line:{max}"))
+                .unwrap()
+                .n_nodes(),
+            max
+        );
+        let err = parse_topology_spec(&format!("line:{}", max + 1)).unwrap_err();
+        assert!(err.contains("exceeds the limit"), "{err}");
+        let err = parse_topology_spec("line:100000000").unwrap_err();
+        assert!(err.contains("exceeds the limit"), "{err}");
+        // Explicit bounds apply to every kind, including the named one.
+        assert!(parse_topology_spec_bounded("grid:9", 9).is_ok());
+        assert!(parse_topology_spec_bounded("grid:10", 9).is_err());
+        assert!(parse_topology_spec_bounded("heavy_hex_65", 65).is_ok());
+        assert!(parse_topology_spec_bounded("heavy_hex_65", 64).is_err());
     }
 
     #[test]
@@ -519,6 +638,11 @@ mod tests {
                 topology: "line:6".to_string(),
                 qasm: "OPENQASM 2.0;\nqreg q[2];\nrz(theta0) q[0];\n".to_string(),
                 bindings: vec![vec![0.5, -1.25], vec![3.0, 0.0078125], vec![]],
+            },
+            Request::Topology {
+                name: "lab-device".to_string(),
+                nodes: 5,
+                edges: vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)],
             },
             Request::Poll { job: 3 },
             Request::Cancel { job: 9 },
@@ -549,6 +673,15 @@ mod tests {
             r#"{"op":"submit_sweep","label":"x","strategy":"eqm","topology":"grid:4","qasm":"","bindings":[7]}"#,
             r#"{"op":"submit_sweep","label":"x","strategy":"eqm","topology":"grid:4","qasm":"","bindings":[["x"]]}"#,
             r#"{"op":"submit_sweep","label":"x","strategy":"eqm","topology":"grid:4","qasm":"","bindings":[[1e999]]}"#,
+            // topology uploads: name/nodes/edges are structurally
+            // validated at parse time (semantic limits are the server's).
+            r#"{"op":"topology","nodes":3,"edges":[]}"#,
+            r#"{"op":"topology","name":"t","edges":[]}"#,
+            r#"{"op":"topology","name":"t","nodes":3}"#,
+            r#"{"op":"topology","name":"t","nodes":3,"edges":[[0]]}"#,
+            r#"{"op":"topology","name":"t","nodes":3,"edges":[[0,1,2]]}"#,
+            r#"{"op":"topology","name":"t","nodes":3,"edges":[["a","b"]]}"#,
+            r#"{"op":"topology","name":"t","nodes":-1,"edges":[]}"#,
         ] {
             assert!(Request::parse(bad).is_err(), "`{bad}`");
         }

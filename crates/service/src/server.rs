@@ -8,14 +8,29 @@
 //! the session's worker pool, topology registry and result cache, so a
 //! circuit submitted twice — by the same client or two different ones —
 //! compiles once.
+//!
+//! Every entry point has a `*_with_limits` twin taking a
+//! [`ServiceLimits`]; the plain forms serve with
+//! [`ServiceLimits::default`]. Limits are enforced per connection:
+//! request-shape bounds and quotas answer structured `{"ok":false,…}`
+//! responses (the connection stays usable), queue-depth backpressure
+//! answers `busy` responses with the current depth, and the idle timeout
+//! writes a final `timeout` line before closing.
 
-use crate::proto::{parse_topology_spec, result_fingerprint, Request, ServiceEvent, WireMetrics};
+use crate::json::escape;
+use crate::limits::ServiceLimits;
+use crate::proto::{
+    parse_topology_spec_bounded, result_fingerprint, Request, ServiceEvent, WireMetrics,
+};
 use qompress::{BatchJob, Compiler, CompletionQueue, JobHandle, JobOutcome, JobStatus, ParamSweep};
-use qompress_qasm::{parse_parametric_qasm, parse_qasm};
+use qompress_arch::Topology;
+use qompress_qasm::{parse_parametric_qasm_bounded, parse_qasm_bounded};
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpListener;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Upper bound on one request line. Generous for line-delimited JSON
 /// (a multi-megabyte QASM program fits many times over) while keeping a
@@ -35,7 +50,8 @@ enum ConnJob {
     Finished(JobStatus),
 }
 
-/// Serves one client connection until EOF, blocking the calling thread.
+/// Serves one client connection until EOF, blocking the calling thread,
+/// with [`ServiceLimits::default`] admission limits.
 ///
 /// Requests are answered in order on `writer`; completion events for
 /// every job submitted on *this* connection are interleaved as the jobs
@@ -51,23 +67,175 @@ enum ConnJob {
 /// # Errors
 ///
 /// Returns the first transport-level I/O error; protocol-level problems
-/// (malformed JSON, unknown ops, bad QASM) are reported to the client as
-/// `{"ok":false,…}` responses and do not end the connection.
+/// (malformed JSON, unknown ops, bad QASM, limit violations) are
+/// reported to the client as `{"ok":false,…}` responses and do not end
+/// the connection. An idle timeout (a read failing with
+/// [`io::ErrorKind::WouldBlock`] or [`io::ErrorKind::TimedOut`]) writes
+/// a final `timeout` line and ends the connection cleanly with `Ok`.
 pub fn serve_duplex<R, W>(session: Arc<Compiler>, reader: R, writer: W) -> io::Result<()>
 where
     R: Read,
     W: Write + Send + 'static,
 {
-    serve_conn(session, reader, writer, true)
+    serve_conn(session, reader, writer, true, ServiceLimits::default())
 }
 
-/// [`serve_duplex`] with an explicit admin switch: when `admin` is false,
-/// the session-wide `pause`/`resume` ops answer `{"ok":false,…}` instead
-/// of acting. Shared listeners ([`serve_tcp`]/[`serve_unix`]) run every
-/// connection with `admin = false`, so no single remote client can stall
-/// every other client's jobs; the single-connection [`serve_duplex`]
-/// (whose transport the caller constructed and controls) allows them.
-fn serve_conn<R, W>(session: Arc<Compiler>, reader: R, writer: W, admin: bool) -> io::Result<()>
+/// [`serve_duplex`] with explicit admission limits. The transport's own
+/// read timeout is the caller's to configure (e.g.
+/// [`crate::LoopbackReader::set_read_timeout`]); `limits.idle_timeout`
+/// here only labels the closing `timeout` line — the socket listeners
+/// apply it to their streams for you.
+pub fn serve_duplex_with_limits<R, W>(
+    session: Arc<Compiler>,
+    reader: R,
+    writer: W,
+    limits: ServiceLimits,
+) -> io::Result<()>
+where
+    R: Read,
+    W: Write + Send + 'static,
+{
+    serve_conn(session, reader, writer, true, limits)
+}
+
+/// Per-connection admission state: the lifetime job count, the uploaded
+/// topology registry, and a live count of jobs submitted but not yet
+/// streamed a terminal event (decremented by the pump as events go out).
+struct ConnState<'a> {
+    session: &'a Compiler,
+    limits: &'a ServiceLimits,
+    outstanding: &'a AtomicUsize,
+    total_jobs: u64,
+    topologies: HashMap<String, Topology>,
+}
+
+impl ConnState<'_> {
+    /// Admission control for `n_jobs` new jobs: the lifetime quota, the
+    /// outstanding-jobs quota, then queue-depth backpressure — all
+    /// before any parsing or compilation work is spent on the request.
+    /// The error is the full structured response line.
+    fn admit(&self, n_jobs: usize) -> Result<(), String> {
+        let limits = self.limits;
+        if self.total_jobs.saturating_add(n_jobs as u64) > limits.max_total_jobs {
+            return Err(quota_line(
+                "total_jobs",
+                limits.max_total_jobs,
+                &format!(
+                    "connection exhausted its lifetime budget of {} job(s)",
+                    limits.max_total_jobs
+                ),
+            ));
+        }
+        let outstanding = self.outstanding.load(Ordering::Acquire);
+        if outstanding.saturating_add(n_jobs) > limits.max_concurrent_jobs {
+            return Err(quota_line(
+                "concurrent_jobs",
+                limits.max_concurrent_jobs as u64,
+                &format!(
+                    "{outstanding} job(s) outstanding at the limit of {} — wait for \
+                     completion events before submitting more",
+                    limits.max_concurrent_jobs
+                ),
+            ));
+        }
+        let depth = self.session.queue_depth();
+        if depth.saturating_add(n_jobs) > limits.max_queue_depth {
+            return Err(busy_line(depth, limits.max_queue_depth));
+        }
+        Ok(())
+    }
+
+    /// Records `n_jobs` admitted jobs. Call while still holding the
+    /// handles lock, so the pump (which takes that lock to collapse an
+    /// entry before decrementing) can never observe a negative count.
+    fn note_submitted(&mut self, n_jobs: usize) {
+        self.total_jobs += n_jobs as u64;
+        self.outstanding.fetch_add(n_jobs, Ordering::AcqRel);
+    }
+
+    /// Resolves a submit's topology spec: this connection's uploads
+    /// first (by exact name, shadowing the built-in constructors), then
+    /// the bounded `kind:size` parser.
+    fn resolve_topology(&self, spec: &str) -> Result<Topology, String> {
+        if let Some(t) = self.topologies.get(spec) {
+            return Ok(t.clone());
+        }
+        parse_topology_spec_bounded(spec, self.limits.max_topology_nodes)
+    }
+
+    /// Handles a `topology` upload: full validation (name shape, node
+    /// count against the limit, edge endpoints in range, no self-loops)
+    /// before `Topology::from_edges` — whose own checks are `assert!`s,
+    /// and an untrusted edge list must answer an error line, not panic
+    /// the connection thread.
+    fn upload_topology(
+        &mut self,
+        name: String,
+        nodes: usize,
+        edges: Vec<(usize, usize)>,
+    ) -> String {
+        if name.is_empty() || name.len() > 128 {
+            return error_line("topology name must be 1..=128 bytes");
+        }
+        if nodes == 0 {
+            return error_line("topology needs at least one node");
+        }
+        if nodes > self.limits.max_topology_nodes {
+            return error_line(&format!(
+                "topology has {nodes} nodes, exceeding the limit of {}",
+                self.limits.max_topology_nodes
+            ));
+        }
+        for (i, &(a, b)) in edges.iter().enumerate() {
+            if a == b {
+                return error_line(&format!("edges[{i}] is a self-loop on node {a}"));
+            }
+            if a >= nodes || b >= nodes {
+                return error_line(&format!(
+                    "edges[{i}] = [{a},{b}] is out of range for {nodes} node(s)"
+                ));
+            }
+        }
+        // Replacing an existing name is free; only new names count
+        // against the registry quota.
+        if !self.topologies.contains_key(&name)
+            && self.topologies.len() >= self.limits.max_uploaded_topologies
+        {
+            return quota_line(
+                "uploaded_topologies",
+                self.limits.max_uploaded_topologies as u64,
+                &format!(
+                    "connection already holds {} uploaded topologies",
+                    self.topologies.len()
+                ),
+            );
+        }
+        let topology = Topology::from_edges(name.clone(), nodes, edges);
+        let response = format!(
+            "{{\"ok\":true,\"op\":\"topology\",\"name\":\"{}\",\"nodes\":{nodes},\
+             \"edges\":{}}}",
+            escape(&name),
+            topology.n_edges()
+        );
+        self.topologies.insert(name, topology);
+        response
+    }
+}
+
+/// [`serve_duplex`] with an explicit admin switch and limits: when
+/// `admin` is false, the session-wide `pause`/`resume` ops answer
+/// `{"ok":false,…}` instead of acting. Shared listeners
+/// ([`serve_tcp`]/[`serve_unix`]) run every connection with
+/// `admin = false`, so no single remote client can stall every other
+/// client's jobs; the single-connection [`serve_duplex`] (whose
+/// transport the caller constructed and controls) allows them.
+fn serve_conn<R, W>(
+    session: Arc<Compiler>,
+    reader: R,
+    writer: W,
+    admin: bool,
+    limits: ServiceLimits,
+) -> io::Result<()>
 where
     R: Read,
     W: Write + Send + 'static,
@@ -75,15 +243,25 @@ where
     let writer = Arc::new(Mutex::new(writer));
     let handles: Arc<Mutex<HashMap<u64, ConnJob>>> = Arc::new(Mutex::new(HashMap::new()));
     let completions = CompletionQueue::new();
+    let outstanding = Arc::new(AtomicUsize::new(0));
 
     let pump = {
         let writer = Arc::clone(&writer);
         let handles = Arc::clone(&handles);
         let completions = completions.clone();
+        let outstanding = Arc::clone(&outstanding);
         std::thread::Builder::new()
             .name("qompress-service-pump".to_string())
-            .spawn(move || pump_loop(&writer, &handles, &completions))
+            .spawn(move || pump_loop(&writer, &handles, &completions, &outstanding))
             .expect("spawn completion pump")
+    };
+
+    let mut conn = ConnState {
+        session: &session,
+        limits: &limits,
+        outstanding: &outstanding,
+        total_jobs: 0,
+        topologies: HashMap::new(),
     };
 
     let mut result = Ok(());
@@ -100,6 +278,21 @@ where
             .read_until(b'\n', &mut buf)
         {
             Ok(n) => n,
+            // The transport's read timeout fired (`SO_RCVTIMEO` on a
+            // socket, `set_read_timeout` on the loopback): the client
+            // went idle. Tell it why, then close cleanly — an idle
+            // disconnect is policy, not an I/O failure.
+            Err(err)
+                if matches!(
+                    err.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                let mut w = writer.lock().expect("service writer poisoned");
+                let _ = writeln!(w, "{}", idle_timeout_line(limits.idle_timeout));
+                let _ = w.flush();
+                break;
+            }
             Err(err) => {
                 result = Err(err);
                 break;
@@ -130,7 +323,7 @@ where
         // has not been told about. The pump never holds the handles lock
         // while waiting for the writer, so this ordering cannot deadlock.
         let mut w = writer.lock().expect("service writer poisoned");
-        let response = handle_line(&session, &handles, &completions, line, admin);
+        let response = handle_line(&handles, &completions, line, admin, &mut conn);
         if let Err(err) = writeln!(w, "{response}").and_then(|()| w.flush()) {
             result = Err(err);
             break;
@@ -145,11 +338,14 @@ where
     result
 }
 
-/// Writes one event line per completed job until the queue closes.
+/// Writes one event line per completed job until the queue closes,
+/// releasing the job's slot in the connection's outstanding count as
+/// each terminal event is recorded.
 fn pump_loop(
     writer: &Mutex<impl Write>,
     handles: &Mutex<HashMap<u64, ConnJob>>,
     completions: &CompletionQueue,
+    outstanding: &AtomicUsize,
 ) {
     while let Some(id) = completions.pop() {
         let handle = match handles.lock().expect("service handles poisoned").get(&id.0) {
@@ -163,10 +359,13 @@ fn pump_loop(
         // the tracked entry to its status so the handle (and the full
         // result it retains) is freed, bounding a long-lived
         // connection's memory by outstanding work, not total submits.
+        // The collapse is also the moment the job stops counting against
+        // the connection's concurrent-jobs quota.
         handles
             .lock()
             .expect("service handles poisoned")
             .insert(id.0, ConnJob::Finished(outcome.status()));
+        outstanding.fetch_sub(1, Ordering::AcqRel);
         let event = match outcome {
             JobOutcome::Done(result) => ServiceEvent::Done {
                 job: id.0,
@@ -198,11 +397,11 @@ fn pump_loop(
 
 /// Handles one request line, returning the response line.
 fn handle_line(
-    session: &Compiler,
     handles: &Mutex<HashMap<u64, ConnJob>>,
     completions: &CompletionQueue,
     line: &str,
     admin: bool,
+    conn: &mut ConnState<'_>,
 ) -> String {
     let request = match Request::parse(line) {
         Ok(request) => request,
@@ -215,27 +414,44 @@ fn handle_line(
             topology,
             qasm,
         } => {
-            let topology = match parse_topology_spec(&topology) {
+            // Quotas and backpressure first — they cost a counter read,
+            // while parsing a hostile multi-megabyte payload does not.
+            if let Err(response) = conn.admit(1) {
+                return response;
+            }
+            let topology = match conn.resolve_topology(&topology) {
                 Ok(t) => t,
                 Err(message) => return error_line(&message),
             };
-            let circuit = match parse_qasm(&qasm) {
+            let circuit = match parse_qasm_bounded(&qasm, conn.limits.max_circuit_qubits) {
                 Ok(c) => c,
                 Err(err) => return error_line(&format!("{err}")),
             };
+            if circuit.len() > conn.limits.max_circuit_gates {
+                return quota_line(
+                    "circuit_gates",
+                    conn.limits.max_circuit_gates as u64,
+                    &format!(
+                        "circuit has {} gates, exceeding the limit of {}",
+                        circuit.len(),
+                        conn.limits.max_circuit_gates
+                    ),
+                );
+            }
             // Hold the handles lock across submit + insert: a fast job
             // (e.g. a cache hit) can reach the completion queue before
             // this thread runs again, and the pump must find the handle
             // when it pops that id — it blocks on this same lock until
             // the insert is done.
             let mut map = handles.lock().expect("service handles poisoned");
-            let handle = session.submit_watched(
+            let handle = conn.session.submit_watched(
                 BatchJob::new(label, circuit, strategy, topology),
                 completions,
             );
             let id = handle.id().0;
             let status = handle.status();
             map.insert(id, ConnJob::Active(handle));
+            conn.note_submitted(1);
             format!(
                 "{{\"ok\":true,\"op\":\"submit\",\"job\":{id},\"status\":\"{}\"}}",
                 status.name()
@@ -248,14 +464,40 @@ fn handle_line(
             qasm,
             bindings,
         } => {
-            let topology = match parse_topology_spec(&topology) {
+            if bindings.len() > conn.limits.max_sweep_bindings {
+                return quota_line(
+                    "sweep_bindings",
+                    conn.limits.max_sweep_bindings as u64,
+                    &format!(
+                        "sweep carries {} bindings, exceeding the limit of {}",
+                        bindings.len(),
+                        conn.limits.max_sweep_bindings
+                    ),
+                );
+            }
+            if let Err(response) = conn.admit(bindings.len()) {
+                return response;
+            }
+            let topology = match conn.resolve_topology(&topology) {
                 Ok(t) => t,
                 Err(message) => return error_line(&message),
             };
-            let skeleton = match parse_parametric_qasm(&qasm) {
-                Ok(s) => s,
-                Err(err) => return error_line(&format!("{err}")),
-            };
+            let skeleton =
+                match parse_parametric_qasm_bounded(&qasm, conn.limits.max_circuit_qubits) {
+                    Ok(s) => s,
+                    Err(err) => return error_line(&format!("{err}")),
+                };
+            if skeleton.len() > conn.limits.max_circuit_gates {
+                return quota_line(
+                    "circuit_gates",
+                    conn.limits.max_circuit_gates as u64,
+                    &format!(
+                        "skeleton has {} gates, exceeding the limit of {}",
+                        skeleton.len(),
+                        conn.limits.max_circuit_gates
+                    ),
+                );
+            }
             // Arity is validated before anything is enqueued, so a sweep
             // is accepted or rejected atomically (angles are already
             // known finite from request parsing).
@@ -277,17 +519,19 @@ fn handle_line(
                 .enumerate()
                 .map(|(i, angles)| {
                     let job = sweep.job(format!("{label}#{i}"), strategy, topology.clone(), angles);
-                    let handle = session.submit_watched(job, completions);
+                    let handle = conn.session.submit_watched(job, completions);
                     let id = handle.id().0;
                     map.insert(id, ConnJob::Active(handle));
                     id
                 })
                 .collect();
+            conn.note_submitted(ids.len());
             let ids = ids.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
             format!(
                 "{{\"ok\":true,\"op\":\"submit_sweep\",\"jobs\":[{ids}],\"status\":\"queued\"}}"
             )
         }
+        Request::Topology { name, nodes, edges } => conn.upload_topology(name, nodes, edges),
         Request::Poll { job } => {
             let status = match handles.lock().expect("service handles poisoned").get(&job) {
                 Some(ConnJob::Active(handle)) => handle.status(),
@@ -310,8 +554,8 @@ fn handle_line(
             format!("{{\"ok\":true,\"op\":\"cancel\",\"job\":{job},\"cancelled\":{cancelled}}}")
         }
         Request::Stats => {
-            let m = session.service_metrics();
-            let c = session.cache_stats();
+            let m = conn.session.service_metrics();
+            let c = conn.session.cache_stats();
             format!(
                 "{{\"ok\":true,\"op\":\"stats\",\"submitted\":{},\"queued\":{},\
                  \"running\":{},\"completed\":{},\"cancelled\":{},\"failed\":{},\
@@ -329,28 +573,56 @@ fn handle_line(
             if !admin {
                 return error_line("`pause` is disabled on shared listeners");
             }
-            session.pause_workers();
+            conn.session.pause_workers();
             "{\"ok\":true,\"op\":\"pause\"}".to_string()
         }
         Request::Resume => {
             if !admin {
                 return error_line("`resume` is disabled on shared listeners");
             }
-            session.resume_workers();
+            conn.session.resume_workers();
             "{\"ok\":true,\"op\":\"resume\"}".to_string()
         }
     }
 }
 
 fn error_line(message: &str) -> String {
+    format!("{{\"ok\":false,\"error\":\"{}\"}}", escape(message))
+}
+
+/// A structured quota rejection: `kind` names the exhausted limit so
+/// clients can react programmatically, `limit` carries its value.
+fn quota_line(kind: &str, limit: u64, message: &str) -> String {
     format!(
-        "{{\"ok\":false,\"error\":\"{}\"}}",
-        crate::json::escape(message)
+        "{{\"ok\":false,\"error\":\"{}\",\"quota\":\"{kind}\",\"limit\":{limit}}}",
+        escape(message)
+    )
+}
+
+/// A structured backpressure rejection: the client should back off and
+/// retry — `queue_depth` tells it how deep the session queue was.
+fn busy_line(depth: usize, limit: usize) -> String {
+    format!(
+        "{{\"ok\":false,\"error\":\"server busy: queue depth {depth} at the limit of \
+         {limit}\",\"busy\":true,\"queue_depth\":{depth},\"limit\":{limit}}}"
+    )
+}
+
+/// The final line an idle connection is sent before the server closes it.
+fn idle_timeout_line(timeout: Option<Duration>) -> String {
+    let detail = match timeout {
+        Some(t) => format!("no request within {t:?}"),
+        None => "read timed out".to_string(),
+    };
+    format!(
+        "{{\"ok\":false,\"error\":\"idle timeout: {}\",\"timeout\":true}}",
+        escape(&detail)
     )
 }
 
 /// Accepts TCP connections forever, serving each on its own thread over
-/// the shared session. Bind the listener yourself (port 0 for tests):
+/// the shared session with [`ServiceLimits::default`] limits. Bind the
+/// listener yourself (port 0 for tests):
 ///
 /// ```no_run
 /// use std::net::TcpListener;
@@ -365,14 +637,33 @@ fn error_line(message: &str) -> String {
 /// Returns the first `accept` error; per-connection I/O errors only end
 /// their own connection thread.
 pub fn serve_tcp(listener: TcpListener, session: Arc<Compiler>) -> io::Result<()> {
+    serve_tcp_with_limits(listener, session, ServiceLimits::default())
+}
+
+/// [`serve_tcp`] with explicit admission limits; `limits.idle_timeout`
+/// is applied to every accepted stream via `set_read_timeout`
+/// (best-effort — a socket that refuses the option still serves, just
+/// without an idle timeout).
+///
+/// # Errors
+///
+/// Returns the first `accept` error; per-connection I/O errors only end
+/// their own connection thread.
+pub fn serve_tcp_with_limits(
+    listener: TcpListener,
+    session: Arc<Compiler>,
+    limits: ServiceLimits,
+) -> io::Result<()> {
     for stream in listener.incoming() {
         let stream = stream?;
+        let _ = stream.set_read_timeout(limits.idle_timeout);
         let session = Arc::clone(&session);
+        let limits = limits.clone();
         let reader = stream.try_clone()?;
         std::thread::Builder::new()
             .name("qompress-service-conn".to_string())
             .spawn(move || {
-                let _ = serve_conn(session, reader, stream, false);
+                let _ = serve_conn(session, reader, stream, false, limits);
             })
             .expect("spawn connection thread");
     }
@@ -390,14 +681,33 @@ pub fn serve_unix(
     listener: std::os::unix::net::UnixListener,
     session: Arc<Compiler>,
 ) -> io::Result<()> {
+    serve_unix_with_limits(listener, session, ServiceLimits::default())
+}
+
+/// [`serve_unix`] with explicit admission limits; `limits.idle_timeout`
+/// is applied to every accepted stream via `set_read_timeout`
+/// (best-effort, as with [`serve_tcp_with_limits`]).
+///
+/// # Errors
+///
+/// Returns the first `accept` error; per-connection I/O errors only end
+/// their own connection thread.
+#[cfg(unix)]
+pub fn serve_unix_with_limits(
+    listener: std::os::unix::net::UnixListener,
+    session: Arc<Compiler>,
+    limits: ServiceLimits,
+) -> io::Result<()> {
     for stream in listener.incoming() {
         let stream = stream?;
+        let _ = stream.set_read_timeout(limits.idle_timeout);
         let session = Arc::clone(&session);
+        let limits = limits.clone();
         let reader = stream.try_clone()?;
         std::thread::Builder::new()
             .name("qompress-service-conn".to_string())
             .spawn(move || {
-                let _ = serve_conn(session, reader, stream, false);
+                let _ = serve_conn(session, reader, stream, false, limits);
             })
             .expect("spawn connection thread");
     }

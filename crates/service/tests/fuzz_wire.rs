@@ -1,0 +1,121 @@
+//! Adversarial fuzzing of the wire layer: the hand-rolled JSON parser
+//! under byte soup, mutation and truncation; the nesting-depth bound at
+//! its exact boundary; and raw garbage fed to a *live* server, which
+//! must keep answering real requests on the same connection.
+
+use proptest::prelude::*;
+// `qompress::Strategy` shadows the glob-imported proptest trait of the
+// same name; re-import the trait anonymously for `prop_map`.
+use proptest::strategy::Strategy as _;
+use qompress::{Compiler, Strategy};
+use qompress_service::json::{Json, MAX_DEPTH};
+use qompress_service::{loopback, serve_duplex, Request};
+use std::io::{BufRead, BufReader, Write};
+use std::sync::Arc;
+
+/// A canonical request line to mutate: every JSON shape the protocol
+/// uses (strings with escapes, numbers, nested arrays) in one line.
+fn corpus_line(label_seed: u64) -> String {
+    Request::SubmitSweep {
+        label: format!("fuzz-{label_seed}"),
+        strategy: Strategy::Eqm,
+        topology: "grid:4".to_string(),
+        qasm: "OPENQASM 2.0;\nqreg q[2];\nrz(theta0) q[0];\ncx q[0], q[1];\n".to_string(),
+        bindings: vec![vec![0.25, -1.5], vec![3.0, 0.0]],
+    }
+    .to_line()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn json_parser_never_panics_on_byte_soup(
+        bytes in proptest::collection::vec((0u16..256).prop_map(|b| b as u8), 0..256),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = Json::parse(&text);
+    }
+
+    #[test]
+    fn mutated_request_lines_error_or_round_trip(
+        label_seed in 0u64..1000,
+        at in 0usize..10_000,
+        with in (0u16..256).prop_map(|b| b as u8),
+        cut in 0usize..10_000,
+    ) {
+        // One flipped byte: whatever still parses as JSON must survive a
+        // Display→parse round-trip exactly (the parser accepted a real
+        // value, not a coincidence of leftover state).
+        let line = corpus_line(label_seed);
+        let mut bytes = line.clone().into_bytes();
+        let at = at % bytes.len();
+        bytes[at] = with;
+        let mutated = String::from_utf8_lossy(&bytes);
+        if let Ok(value) = Json::parse(&mutated) {
+            let rt = Json::parse(&format!("{value}")).map_err(TestCaseError::fail)?;
+            prop_assert_eq!(rt, value);
+        }
+        // Truncations (the line is pure ASCII, so any cut is a char
+        // boundary): the JSON and request parsers reject or accept,
+        // never panic.
+        let cut = cut % (line.len() + 1);
+        let _ = Json::parse(&line[..cut]);
+        let _ = Request::parse(&line[..cut]);
+    }
+
+    #[test]
+    fn nesting_depth_boundary_is_exact(depth in 1usize..100) {
+        let nested = "[".repeat(depth) + &"]".repeat(depth);
+        prop_assert_eq!(Json::parse(&nested).is_ok(), depth <= MAX_DEPTH);
+        let object = "{\"k\":".repeat(depth) + "0" + &"}".repeat(depth);
+        prop_assert_eq!(Json::parse(&object).is_ok(), depth <= MAX_DEPTH);
+    }
+}
+
+proptest! {
+    // Each case spawns a live server, so keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn byte_soup_on_the_live_wire_never_kills_the_server(
+        soup in proptest::collection::vec(
+            proptest::collection::vec((0u16..256).prop_map(|b| b as u8), 0..200),
+            1..8,
+        ),
+    ) {
+        let session = Arc::new(Compiler::builder().workers(1).build());
+        let (client_end, server_end) = loopback();
+        let (server_reader, server_writer) = server_end.split();
+        let server = std::thread::spawn(move || {
+            serve_duplex(session, server_reader, server_writer)
+        });
+        let (reader, mut writer) = client_end.split();
+        let mut lines = BufReader::new(reader).lines();
+
+        for mut garbage in soup {
+            // Keep one request per write: embedded newlines would change
+            // the request count, not the server's survival.
+            garbage.retain(|&b| b != b'\n' && b != b'\r');
+            writer.write_all(&garbage).unwrap();
+            writer.write_all(b"\n").unwrap();
+        }
+        // The server must still be in sync: a real request is answered
+        // after at most one reply line per garbage line.
+        writeln!(writer, "{{\"op\":\"stats\"}}").unwrap();
+        let mut answered = false;
+        for _ in 0..16 {
+            let Some(Ok(reply)) = lines.next() else { break };
+            if reply.starts_with("{\"ok\":true,\"op\":\"stats\"") {
+                answered = true;
+                break;
+            }
+            prop_assert!(reply.contains("\"ok\":false"), "{}", reply);
+        }
+        prop_assert!(answered, "server stopped answering after byte soup");
+
+        drop(writer);
+        drop(lines);
+        server.join().unwrap().unwrap();
+    }
+}
