@@ -59,6 +59,7 @@ mod layout;
 mod mapping;
 mod metrics;
 mod parametric;
+pub mod persist;
 mod physical;
 mod pipeline;
 mod result_cache;
@@ -81,7 +82,7 @@ pub use physical::{swap4_moves, PhysicalOp, Schedule, ScheduledOp};
 pub use pipeline::{
     compile_with_options, compile_with_options_cached, CompilationResult, TopologyCache,
 };
-pub use result_cache::CacheStats;
+pub use result_cache::{CacheStats, TieredCacheStats};
 pub use routing::{route, route_cached};
 pub use scheduling::{merge_singles, schedule_ops, trace_coherence, CoherenceTrace};
 pub use service::ServiceMetrics;

@@ -187,6 +187,21 @@ impl Schedule {
         self.n_units
     }
 
+    /// The schedule's independent state for the persistent codec
+    /// (`crate::persist`), by exhaustive destructure: a new field fails
+    /// to compile here until the on-disk format covers it.
+    /// `total_duration_ns` is derived and deliberately dropped — decoding
+    /// rebuilds it through [`Schedule::new`], which recomputes it from the
+    /// ops deterministically.
+    pub(crate) fn codec_parts(&self) -> (&[ScheduledOp], usize) {
+        let Schedule {
+            ops,
+            n_units,
+            total_duration_ns: _,
+        } = self;
+        (ops, *n_units)
+    }
+
     /// Number of operations.
     pub fn len(&self) -> usize {
         self.ops.len()

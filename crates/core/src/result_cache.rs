@@ -79,6 +79,88 @@ impl std::fmt::Display for CacheStats {
     }
 }
 
+/// Per-tier cache counters of a session with a persistent tier attached
+/// (see [`crate::Compiler::tiered_cache_stats`]).
+///
+/// Relation to the legacy flat [`CacheStats`]: `memory_hits` and
+/// `memory_evictions` mirror the in-memory tier's counters; `disk_hits`
+/// count lookups the memory tier missed but the on-disk store served;
+/// `misses` are true compiles (both tiers missed). Without a persistent
+/// tier, `misses` equals the memory tier's misses and every disk counter
+/// is zero — the flat and tiered views then tell the same story.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TieredCacheStats {
+    /// Lookups answered by the in-memory LRU (tier 1).
+    pub memory_hits: u64,
+    /// Lookups answered by the on-disk store (tier 2).
+    pub disk_hits: u64,
+    /// Lookups that missed every tier and compiled.
+    pub misses: u64,
+    /// In-memory entries dropped to respect the capacity bound.
+    pub memory_evictions: u64,
+    /// Artifacts written back to the on-disk store.
+    pub disk_writes: u64,
+    /// On-disk entries rejected by validation (corrupt, truncated, or a
+    /// different format version) — each also counted under `misses`' tier
+    /// walk, and the bad entry is removed best-effort.
+    pub disk_rejects: u64,
+    /// Write-backs that failed with an I/O error (the result is still
+    /// served; it is just not persisted).
+    pub disk_write_errors: u64,
+}
+
+impl TieredCacheStats {
+    /// Hit fraction over all lookups, counting both tiers as hits
+    /// (0.0 when nothing was looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.memory_hits + self.disk_hits;
+        let total = hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// The stats as a JSON object string, the shape shared by the
+    /// examples' report files and the `qompress-service` stats response.
+    pub fn to_json(&self) -> String {
+        // Exhaustive destructuring: a new field fails to compile here
+        // until the JSON shape covers it.
+        let TieredCacheStats {
+            memory_hits,
+            disk_hits,
+            misses,
+            memory_evictions,
+            disk_writes,
+            disk_rejects,
+            disk_write_errors,
+        } = *self;
+        format!(
+            "{{\"memory_hits\": {memory_hits}, \"disk_hits\": {disk_hits}, \
+             \"misses\": {misses}, \"memory_evictions\": {memory_evictions}, \
+             \"disk_writes\": {disk_writes}, \"disk_rejects\": {disk_rejects}, \
+             \"disk_write_errors\": {disk_write_errors}, \"hit_rate\": {:.6}}}",
+            self.hit_rate()
+        )
+    }
+}
+
+impl std::fmt::Display for TieredCacheStats {
+    /// Renders the per-tier counters plus the derived hit rate, e.g.
+    /// `2 memory hits / 1 disk hits / 1 misses (75.0% hit rate)`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} memory hits / {} disk hits / {} misses ({:.1}% hit rate)",
+            self.memory_hits,
+            self.disk_hits,
+            self.misses,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
 /// The content address of one compilation job.
 ///
 /// Each component is a stable 64-bit fingerprint (see
@@ -135,6 +217,20 @@ impl CacheKey {
             topology: topology_fp,
             config: config_fp,
         }
+    }
+
+    /// The key's hex rendering — 64 lowercase hex chars (four fixed-width
+    /// 16-char fingerprints, circuit/job/topology/config) — used as the
+    /// content address in the on-disk store. Injective over keys, stable
+    /// across processes, and path-safe.
+    pub(crate) fn hex(&self) -> String {
+        let CacheKey {
+            circuit,
+            job,
+            topology,
+            config,
+        } = *self;
+        format!("{circuit:016x}{job:016x}{topology:016x}{config:016x}")
     }
 
     /// Key for a skeleton-level (structural) compile: the circuit

@@ -51,15 +51,19 @@ use crate::config::CompilerConfig;
 use crate::jobs::{CompletionQueue, JobHandle, JobOutcome};
 use crate::mapping::MappingOptions;
 use crate::parametric::{SkeletonArtifact, SweepResult};
+use crate::persist;
 use crate::pipeline::{compile_with_options_cached, CompilationResult, TopologyCache};
-use crate::result_cache::{CacheKey, CacheStats, ResultCache};
+use crate::result_cache::{CacheKey, CacheStats, ResultCache, TieredCacheStats};
 use crate::service::{JobService, ServiceMetrics};
 use crate::strategies::{
     compile_cached, run_exhaustive, ExhaustiveOptions, ExhaustiveStep, Strategy,
 };
 use qompress_arch::Topology;
 use qompress_circuit::{Circuit, ParametricCircuit};
+use qompress_store::{DiskStore, LoadOutcome};
 use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -94,6 +98,8 @@ pub struct CompilerBuilder {
     cache_capacity: usize,
     caching: bool,
     verify_hits: bool,
+    persist_dir: Option<PathBuf>,
+    persist_max_bytes: u64,
 }
 
 impl CompilerBuilder {
@@ -146,7 +152,35 @@ impl CompilerBuilder {
         self
     }
 
+    /// Attaches a persistent on-disk cache tier rooted at `dir` (created
+    /// if missing). Compilation results the in-memory tier cannot serve
+    /// are looked up on disk before compiling, and fresh compiles are
+    /// written back — so a later session (or another process) pointed at
+    /// the same directory comes up warm. Corrupt, truncated or
+    /// version-mismatched entries degrade to misses, never errors; see
+    /// the `qompress-store` crate for the on-disk contract. Disabled by
+    /// default.
+    pub fn persist_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.persist_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the byte cap of the persistent tier (default: 1 GiB). Beyond
+    /// it, oldest-used entries are evicted from disk. Only meaningful
+    /// together with [`CompilerBuilder::persist_dir`].
+    pub fn persist_max_bytes(mut self, bytes: u64) -> Self {
+        self.persist_max_bytes = bytes;
+        self
+    }
+
     /// Builds the session.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`CompilerBuilder::persist_dir`] was set but the
+    /// directory cannot be created or read — a misconfigured cache path
+    /// is a deployment error worth failing loudly on, not a silent
+    /// fallback to cold compiles.
     pub fn build(self) -> Compiler {
         let workers = if self.workers == 0 {
             // `available_parallelism` may *fail* (unsupported platform,
@@ -163,6 +197,22 @@ impl CompilerBuilder {
             .then(|| Mutex::new(ResultCache::new(self.cache_capacity)));
         let skeletons = (self.caching && self.cache_capacity > 0)
             .then(|| Mutex::new(ResultCache::new(self.cache_capacity)));
+        // The persistent tier is independent of the in-memory switch: a
+        // `caching(false)` session with a `persist_dir` still serves and
+        // feeds the shared on-disk store.
+        let persist = self.persist_dir.map(|dir| {
+            let store = DiskStore::open(&dir, self.persist_max_bytes).unwrap_or_else(|err| {
+                panic!("cannot open persistent cache at {}: {err}", dir.display())
+            });
+            DiskTier {
+                store,
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+                rejects: AtomicU64::new(0),
+                writes: AtomicU64::new(0),
+                write_errors: AtomicU64::new(0),
+            }
+        });
         Compiler {
             state: Arc::new(SessionState {
                 config_fp: self.config.fingerprint(),
@@ -172,6 +222,7 @@ impl CompilerBuilder {
                 topologies: Mutex::new(TopologyRegistry::default()),
                 cache,
                 skeletons,
+                persist,
             }),
             service: JobService::new(),
         }
@@ -186,8 +237,28 @@ impl Default for CompilerBuilder {
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             caching: true,
             verify_hits: false,
+            persist_dir: None,
+            persist_max_bytes: qompress_store::DEFAULT_MAX_BYTES,
         }
     }
+}
+
+/// The session's persistent tier: the shared on-disk store plus this
+/// session's exact lookup/write counters (the store itself is stateless
+/// about traffic — several processes may be hitting the same directory).
+#[derive(Debug)]
+struct DiskTier {
+    store: DiskStore,
+    /// Lookups served from disk (after a memory miss).
+    hits: AtomicU64,
+    /// Lookups that missed disk too — true compiles.
+    misses: AtomicU64,
+    /// Entries rejected by validation (corrupt/truncated/version skew).
+    rejects: AtomicU64,
+    /// Successful write-backs.
+    writes: AtomicU64,
+    /// Write-backs that failed with an I/O error.
+    write_errors: AtomicU64,
 }
 
 /// The shared heart of a session: configuration plus every cross-request
@@ -206,6 +277,11 @@ pub(crate) struct SessionState {
     /// fingerprint (parameter wiring, not values) — shares the concrete
     /// cache's capacity knob and on/off switch.
     skeletons: Option<Mutex<ResultCache<Arc<SkeletonArtifact>>>>,
+    /// The on-disk tier behind the in-memory cache (tier 2). Concrete
+    /// results only: skeleton artifacts hold closure-derived state that
+    /// is cheap to rebuild relative to their reuse pattern, so they stay
+    /// memory-resident.
+    persist: Option<DiskTier>,
 }
 
 impl SessionState {
@@ -376,15 +452,134 @@ impl SessionState {
         })
     }
 
-    /// Serves `key` from the concrete result cache or compiles via
-    /// `fresh`, inserting the result.
+    /// Serves `key` through the cache tiers — memory, then disk, then
+    /// compiling via `fresh` — writing a fresh result back to both tiers
+    /// and promoting a disk hit into memory. No lock is held across disk
+    /// I/O or compilation, so parallel workers never serialize on either;
+    /// two workers racing on one key both compile and the (identical)
+    /// write-backs overwrite harmlessly. With `verify_hits`, disk hits
+    /// are audited against a fresh recompile exactly like memory hits.
     fn memoized(
         &self,
         key: CacheKey,
         fresh: impl FnOnce() -> Arc<CompilationResult>,
     ) -> Arc<CompilationResult> {
-        memoized_in(self.cache.as_ref(), self.verify_hits, key, fresh)
+        let Some(tier) = &self.persist else {
+            return memoized_in(self.cache.as_ref(), self.verify_hits, key, fresh);
+        };
+        // Tier 1: memory. (See `memoized_in` for why the lookup drops the
+        // guard before any recompilation.)
+        if let Some(cache) = self.cache.as_ref() {
+            let looked_up = cache.lock().expect("result cache poisoned").get(&key);
+            if let Some(hit) = looked_up {
+                if self.verify_hits {
+                    verify_hit(&hit, fresh, "memory");
+                }
+                return hit;
+            }
+        }
+        // Tier 2: disk. A payload that passes the store's envelope check
+        // but fails the codec is still a reject (version-skewed or
+        // damaged payload) — removed so it stops costing a read.
+        let hex = key.hex();
+        match tier.store.load(&hex) {
+            LoadOutcome::Payload(payload) => match persist::decode_result(&payload) {
+                Some(result) => {
+                    tier.hits.fetch_add(1, Ordering::Relaxed);
+                    let result = Arc::new(result);
+                    if self.verify_hits {
+                        verify_hit(&result, fresh, "disk");
+                        // `fresh` is consumed by the audit; the verified
+                        // hit is promoted and served like the normal path.
+                        self.promote(key, &result);
+                        return result;
+                    }
+                    self.promote(key, &result);
+                    return result;
+                }
+                None => {
+                    tier.rejects.fetch_add(1, Ordering::Relaxed);
+                    tier.misses.fetch_add(1, Ordering::Relaxed);
+                    let _ = tier.store.remove(&hex);
+                }
+            },
+            LoadOutcome::Rejected => {
+                tier.rejects.fetch_add(1, Ordering::Relaxed);
+                tier.misses.fetch_add(1, Ordering::Relaxed);
+            }
+            LoadOutcome::Absent => {
+                tier.misses.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // Both tiers missed: compile, then write back to both.
+        let result = fresh();
+        self.promote(key, &result);
+        match tier.store.store(&hex, &persist::encode_result(&result)) {
+            Ok(true) => {
+                tier.writes.fetch_add(1, Ordering::Relaxed);
+            }
+            // Oversized for the cap: simply not persisted.
+            Ok(false) => {}
+            Err(_) => {
+                tier.write_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
     }
+
+    /// Inserts a result into the in-memory tier (a no-op with caching
+    /// off). Promotions and write-backs share this path; neither counts
+    /// as a lookup in [`CacheStats`].
+    fn promote(&self, key: CacheKey, result: &Arc<CompilationResult>) {
+        if let Some(cache) = self.cache.as_ref() {
+            cache
+                .lock()
+                .expect("result cache poisoned")
+                .insert(key, Arc::clone(result));
+        }
+    }
+
+    pub(crate) fn tiered_cache_stats(&self) -> TieredCacheStats {
+        let memory = self.cache_stats();
+        match &self.persist {
+            Some(tier) => TieredCacheStats {
+                memory_hits: memory.hits,
+                disk_hits: tier.hits.load(Ordering::Relaxed),
+                misses: tier.misses.load(Ordering::Relaxed),
+                memory_evictions: memory.evictions,
+                disk_writes: tier.writes.load(Ordering::Relaxed),
+                disk_rejects: tier.rejects.load(Ordering::Relaxed),
+                disk_write_errors: tier.write_errors.load(Ordering::Relaxed),
+            },
+            // Without a persistent tier the flat stats are the whole
+            // story: misses are the memory tier's misses.
+            None => TieredCacheStats {
+                memory_hits: memory.hits,
+                disk_hits: 0,
+                misses: memory.misses,
+                memory_evictions: memory.evictions,
+                disk_writes: 0,
+                disk_rejects: 0,
+                disk_write_errors: 0,
+            },
+        }
+    }
+}
+
+/// The `verify_hits` audit: recompiles through `fresh` and asserts the
+/// served hit `Debug`-identical to the rebuild.
+fn verify_hit(
+    hit: &Arc<CompilationResult>,
+    fresh: impl FnOnce() -> Arc<CompilationResult>,
+    tier: &str,
+) {
+    let rebuilt = fresh();
+    assert_eq!(
+        format!("{hit:?}"),
+        format!("{rebuilt:?}"),
+        "{tier}-tier cache hit diverged from a fresh compile — \
+         content fingerprint collision, codec defect or nondeterministic pipeline"
+    );
 }
 
 /// Serves `key` from `cache` or builds via `fresh`, inserting the result.
@@ -775,6 +970,18 @@ impl Compiler {
         self.state.cache_stats()
     }
 
+    /// Cumulative counters split by cache tier (memory / disk /
+    /// compiles). Without a [`CompilerBuilder::persist_dir`] the disk
+    /// counters are zero and the view collapses to [`Compiler::cache_stats`].
+    pub fn tiered_cache_stats(&self) -> TieredCacheStats {
+        self.state.tiered_cache_stats()
+    }
+
+    /// Returns `true` when the session has a persistent on-disk tier.
+    pub fn persistence_enabled(&self) -> bool {
+        self.state.persist.is_some()
+    }
+
     /// Number of results currently held by the cache.
     pub fn cached_results(&self) -> usize {
         self.state
@@ -790,7 +997,11 @@ impl Compiler {
     }
 
     /// Drops every cached result and resets the counters (the topology
-    /// registry is kept — it is pure precomputation, never stale).
+    /// registry is kept — it is pure precomputation, never stale). The
+    /// persistent on-disk tier is left intact: it is shared with other
+    /// processes and its entries are content-addressed, so they can never
+    /// be stale — reclaim disk space by deleting the directory or
+    /// reopening it with a smaller [`CompilerBuilder::persist_max_bytes`].
     pub fn clear_cache(&self) {
         if let Some(c) = &self.state.cache {
             c.lock().expect("result cache poisoned").clear();

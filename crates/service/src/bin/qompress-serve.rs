@@ -3,12 +3,21 @@
 //! ```text
 //! qompress-serve --tcp 127.0.0.1:7878 [--workers N] [--cache-capacity N]
 //! qompress-serve --unix /tmp/qompress.sock [--workers N]
+//! qompress-serve --tcp ADDR --cache-dir /var/cache/qompress \
+//!                [--cache-disk-bytes N]
 //! ```
 //!
 //! One long-lived `Compiler` session (shared worker pool, topology
 //! registry, result cache) serves every connection; the protocol is
 //! line-delimited JSON (see the `qompress-service` crate docs). Exits 2
 //! on bad flags.
+//!
+//! `--cache-dir PATH` attaches the persistent on-disk cache tier: every
+//! compiled result is written back to `PATH` (content-addressed,
+//! corruption-checked, capped at `--cache-disk-bytes`, default 1 GiB),
+//! and a restarted server pointed at the same directory serves previously
+//! compiled circuits as disk hits instead of recompiling. Several server
+//! processes may share one directory.
 //!
 //! Admission limits (all optional; see `ServiceLimits` for the
 //! defaults):
@@ -26,7 +35,7 @@
 //! ```
 
 use qompress::Compiler;
-use qompress_service::ServiceLimits;
+use qompress_service::{ServiceLimits, DEFAULT_DISK_CACHE_BYTES};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -40,7 +49,8 @@ const DEFAULT_IDLE_TIMEOUT_SECS: u64 = 300;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: qompress-serve (--tcp ADDR | --unix PATH) \
-         [--workers N] [--cache-capacity N] [--max-qubits N] \
+         [--workers N] [--cache-capacity N] [--cache-dir PATH] \
+         [--cache-disk-bytes N] [--max-qubits N] \
          [--max-gates N] [--max-topology N] [--max-concurrent-jobs N] \
          [--max-total-jobs N] [--max-sweep-bindings N] \
          [--max-queue-depth N] [--idle-timeout-secs N]"
@@ -53,6 +63,8 @@ fn main() -> ExitCode {
     let mut unix: Option<String> = None;
     let mut workers = 0usize;
     let mut cache_capacity: Option<usize> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut cache_disk_bytes = DEFAULT_DISK_CACHE_BYTES;
     let mut limits = ServiceLimits {
         idle_timeout: Some(Duration::from_secs(DEFAULT_IDLE_TIMEOUT_SECS)),
         ..ServiceLimits::default()
@@ -90,6 +102,13 @@ fn main() -> ExitCode {
                 Some(v) => cache_capacity = Some(v),
                 None => return usage(),
             },
+            "--cache-dir" => match value("--cache-dir") {
+                Some(v) => cache_dir = Some(v),
+                None => return usage(),
+            },
+            "--cache-disk-bytes" => {
+                count_flag!("--cache-disk-bytes" => cache_disk_bytes)
+            }
             "--max-qubits" => count_flag!("--max-qubits" => limits.max_circuit_qubits),
             "--max-gates" => count_flag!("--max-gates" => limits.max_circuit_gates),
             "--max-topology" => count_flag!("--max-topology" => limits.max_topology_nodes),
@@ -119,7 +138,20 @@ fn main() -> ExitCode {
     if let Some(capacity) = cache_capacity {
         builder = builder.cache_capacity(capacity);
     }
+    if let Some(dir) = &cache_dir {
+        // Pre-flight the directory for a friendly CLI error; the builder
+        // itself panics on an unopenable persist dir (a deployment
+        // error), which is uglier than exit-with-message.
+        if let Err(err) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create cache dir {dir}: {err}");
+            return ExitCode::FAILURE;
+        }
+        builder = builder.persist_dir(dir).persist_max_bytes(cache_disk_bytes);
+    }
     let session = Arc::new(builder.build());
+    if let Some(dir) = &cache_dir {
+        eprintln!("qompress-serve: persistent cache at {dir} (cap {cache_disk_bytes} bytes)");
+    }
 
     match (tcp, unix) {
         (Some(addr), None) => {

@@ -8,7 +8,7 @@
 
 use crate::json::Json;
 use crate::proto::{Request, ServiceEvent};
-use qompress::{CacheStats, ServiceMetrics, Strategy};
+use qompress::{CacheStats, ServiceMetrics, Strategy, TieredCacheStats};
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::{self, BufRead, Write};
@@ -79,8 +79,13 @@ impl From<io::Error> for ServiceError {
 pub struct StatsSnapshot {
     /// Job-service lifecycle counters.
     pub service: ServiceMetrics,
-    /// Result-cache counters.
+    /// Concrete result-cache counters (in-memory tier).
     pub cache: CacheStats,
+    /// Skeleton-cache counters (parametric structural compiles).
+    pub skeleton_cache: CacheStats,
+    /// Counters split by cache tier; with no persistent tier configured
+    /// on the server (`--cache-dir`), the disk counters are zero.
+    pub tiers: TieredCacheStats,
     /// Server-computed hit rate (redundant with `cache.hit_rate()`, kept
     /// for wire-visibility in logs).
     pub hit_rate: f64,
@@ -212,11 +217,29 @@ impl<R: BufRead, W: Write> ServiceClient<R, W> {
         let cache = response
             .get("cache")
             .ok_or_else(|| ServiceError::Protocol("stats missing `cache`".into()))?;
-        let cache_counter = |name: &str| -> Result<u64, ServiceError> {
-            cache
+        let flat_stats = |obj: &Json, which: &str| -> Result<CacheStats, ServiceError> {
+            let field = |name: &str| -> Result<u64, ServiceError> {
+                obj.get(name).and_then(Json::as_u64).ok_or_else(|| {
+                    ServiceError::Protocol(format!("stats missing {which} `{name}`"))
+                })
+            };
+            Ok(CacheStats {
+                hits: field("hits")?,
+                misses: field("misses")?,
+                evictions: field("evictions")?,
+            })
+        };
+        let skeleton = response
+            .get("skeleton_cache")
+            .ok_or_else(|| ServiceError::Protocol("stats missing `skeleton_cache`".into()))?;
+        let tiers = response
+            .get("tiers")
+            .ok_or_else(|| ServiceError::Protocol("stats missing `tiers`".into()))?;
+        let tier_counter = |name: &str| -> Result<u64, ServiceError> {
+            tiers
                 .get(name)
                 .and_then(Json::as_u64)
-                .ok_or_else(|| ServiceError::Protocol(format!("stats missing cache `{name}`")))
+                .ok_or_else(|| ServiceError::Protocol(format!("stats missing tiers `{name}`")))
         };
         Ok(StatsSnapshot {
             service: ServiceMetrics {
@@ -227,10 +250,16 @@ impl<R: BufRead, W: Write> ServiceClient<R, W> {
                 cancelled: counter("cancelled")?,
                 failed: counter("failed")?,
             },
-            cache: CacheStats {
-                hits: cache_counter("hits")?,
-                misses: cache_counter("misses")?,
-                evictions: cache_counter("evictions")?,
+            cache: flat_stats(cache, "cache")?,
+            skeleton_cache: flat_stats(skeleton, "skeleton_cache")?,
+            tiers: TieredCacheStats {
+                memory_hits: tier_counter("memory_hits")?,
+                disk_hits: tier_counter("disk_hits")?,
+                misses: tier_counter("misses")?,
+                memory_evictions: tier_counter("memory_evictions")?,
+                disk_writes: tier_counter("disk_writes")?,
+                disk_rejects: tier_counter("disk_rejects")?,
+                disk_write_errors: tier_counter("disk_write_errors")?,
             },
             hit_rate: cache.get("hit_rate").and_then(Json::as_f64).unwrap_or(0.0),
         })

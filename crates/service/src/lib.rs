@@ -84,7 +84,7 @@ mod client;
 mod server;
 
 pub use client::{ServiceClient, ServiceError, StatsSnapshot};
-pub use limits::ServiceLimits;
+pub use limits::{ServiceLimits, DEFAULT_DISK_CACHE_BYTES};
 pub use loopback::{loopback, LoopbackEnd, LoopbackReader, LoopbackWriter};
 pub use proto::{
     parse_topology_spec, parse_topology_spec_bounded, result_fingerprint, strategy_by_name,

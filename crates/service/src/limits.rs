@@ -21,6 +21,15 @@
 
 use std::time::Duration;
 
+/// Deployment-level default for the persistent cache's disk quota
+/// (`qompress-serve --cache-disk-bytes`): 1 GiB, matching the store
+/// crate's own default. Lives here with the other service-tuning
+/// constants so an operator reads one module to size a deployment; the
+/// disk quota is a session-builder knob rather than a per-connection
+/// [`ServiceLimits`] field because the store is shared by every
+/// connection (and every process) pointing at the directory.
+pub const DEFAULT_DISK_CACHE_BYTES: u64 = 1 << 30;
+
 /// Per-connection admission limits for the wire server.
 ///
 /// [`ServiceLimits::default`] is deliberately generous — large enough

@@ -556,17 +556,21 @@ fn handle_line(
         Request::Stats => {
             let m = conn.session.service_metrics();
             let c = conn.session.cache_stats();
+            let skeleton = conn.session.skeleton_cache_stats();
+            let tiers = conn.session.tiered_cache_stats();
             format!(
                 "{{\"ok\":true,\"op\":\"stats\",\"submitted\":{},\"queued\":{},\
                  \"running\":{},\"completed\":{},\"cancelled\":{},\"failed\":{},\
-                 \"cache\":{}}}",
+                 \"cache\":{},\"skeleton_cache\":{},\"tiers\":{}}}",
                 m.submitted,
                 m.queued,
                 m.running,
                 m.completed,
                 m.cancelled,
                 m.failed,
-                c.to_json()
+                c.to_json(),
+                skeleton.to_json(),
+                tiers.to_json()
             )
         }
         Request::Pause => {

@@ -1,0 +1,471 @@
+//! # qompress-store
+//!
+//! A content-addressed on-disk artifact store: the **persistent cache
+//! tier** shared across qompress processes.
+//!
+//! The compilation pipeline is deterministic and expensive relative to a
+//! lookup, and the session layer's cache keys
+//! (`qompress`'s `Fingerprinter`-based content addresses) are stable
+//! across processes by design — so a compilation artifact written by one
+//! process is a valid cache hit for every later one. [`DiskStore`] is
+//! that tier: a directory of `<hex key>.bin` files, each wrapping one
+//! opaque payload (in production: a `CompilationResult` serialized by
+//! `qompress::persist`) in a self-checking envelope. The in-memory LRU of
+//! a `Compiler` session fronts it as tier 1; `qompress-serve --cache-dir`
+//! points the service at one so restarts come up warm.
+//!
+//! ## Durability contract
+//!
+//! * **Writes are atomic**: the payload is written to a unique `.tmp`
+//!   file in the same directory and `rename(2)`d into place, so readers
+//!   only ever observe a complete old entry or a complete new one — never
+//!   a torn write. Stray `.tmp` files (a writer killed mid-write) are
+//!   swept on [`DiskStore::open`].
+//! * **Corruption degrades to a miss, never a panic**: every entry
+//!   carries a header with a magic tag, the on-disk **format version**,
+//!   the payload length and an FNV-1a integrity fingerprint of the
+//!   payload. A flipped byte, a truncated file, or an entry written by a
+//!   different format version fails validation and is reported as
+//!   [`LoadOutcome::Rejected`] (and removed best-effort); callers treat
+//!   it exactly like an absent entry.
+//! * **Bounded size**: the store enforces a configurable byte cap by
+//!   evicting the oldest-modified entries first. Successful loads refresh
+//!   an entry's modification time (best-effort), so the policy is
+//!   LRU-like across every process sharing the directory. There is no
+//!   sidecar metadata to corrupt: the index is rebuilt by scanning the
+//!   directory on open, and eviction re-scans before it removes anything.
+//!
+//! ## Format version policy
+//!
+//! [`FORMAT_VERSION`] is bumped whenever the envelope layout *or* the
+//! payload codec changes incompatibly. Old entries are never migrated:
+//! a version mismatch is a miss, the caller recompiles, and the write-back
+//! replaces the entry in the new format. A shared cache directory may
+//! therefore briefly hold mixed versions while a fleet upgrades — each
+//! binary simply ignores the entries it cannot read.
+
+use qompress_arch::Fingerprinter;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::SystemTime;
+
+/// Magic tag opening every stored entry.
+const MAGIC: &[u8; 4] = b"QPST";
+
+/// On-disk format version (see the crate docs for the bump policy).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Envelope header size: magic (4) + version (4) + payload length (8) +
+/// payload FNV-1a fingerprint (8).
+pub const HEADER_BYTES: usize = 24;
+
+/// Default byte cap for a store: 1 GiB.
+pub const DEFAULT_MAX_BYTES: u64 = 1 << 30;
+
+/// Longest accepted key (hex characters).
+const MAX_KEY_LEN: usize = 128;
+
+/// Filename suffix of committed entries.
+const ENTRY_SUFFIX: &str = ".bin";
+
+/// Filename suffix of in-flight writes, swept on open.
+const TEMP_SUFFIX: &str = ".tmp";
+
+/// FNV-1a fingerprint of a payload, as stored in the envelope header.
+fn payload_fingerprint(payload: &[u8]) -> u64 {
+    Fingerprinter::new().write_bytes(payload).finish()
+}
+
+/// Wraps `payload` in the self-checking envelope: header (magic, format
+/// version, length, integrity fingerprint) followed by the payload bytes.
+pub fn encode_envelope(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_BYTES + payload.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload_fingerprint(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Validates an envelope and returns its payload, or `None` when the
+/// bytes are truncated, carry the wrong magic or format version, declare
+/// a length that does not match, or fail the integrity fingerprint.
+/// Never panics on arbitrary input.
+pub fn decode_envelope(bytes: &[u8]) -> Option<&[u8]> {
+    if bytes.len() < HEADER_BYTES || &bytes[..4] != MAGIC {
+        return None;
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().ok()?);
+    if version != FORMAT_VERSION {
+        return None;
+    }
+    let declared = u64::from_le_bytes(bytes[8..16].try_into().ok()?);
+    let stored_fp = u64::from_le_bytes(bytes[16..24].try_into().ok()?);
+    let payload = &bytes[HEADER_BYTES..];
+    if payload.len() as u64 != declared || payload_fingerprint(payload) != stored_fp {
+        return None;
+    }
+    Some(payload)
+}
+
+/// Returns `true` when `key` is a usable content address: 1 to 128
+/// lowercase hex characters (the hex rendering of a fingerprint). The
+/// restriction keeps keys path-safe on every platform.
+pub fn valid_key(key: &str) -> bool {
+    !key.is_empty()
+        && key.len() <= MAX_KEY_LEN
+        && key
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+}
+
+/// The outcome of one [`DiskStore::load`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadOutcome {
+    /// The entry exists and passed validation; here is its payload.
+    Payload(Vec<u8>),
+    /// No entry under this key (or it was unreadable — a transient I/O
+    /// failure is indistinguishable from absence and equally a miss).
+    Absent,
+    /// An entry exists but failed validation (corrupt, truncated, or a
+    /// different format version). It has been removed best-effort;
+    /// callers treat this exactly like [`LoadOutcome::Absent`].
+    Rejected,
+}
+
+/// One committed entry, as reported by [`DiskStore::scan`].
+#[derive(Debug, Clone)]
+struct ScanEntry {
+    path: PathBuf,
+    bytes: u64,
+    modified: SystemTime,
+}
+
+/// A content-addressed on-disk artifact store (see the crate docs).
+///
+/// All methods take `&self`; the store is safe to share across threads,
+/// and multiple processes may open the same directory concurrently —
+/// atomic renames keep every entry internally consistent, and eviction
+/// re-scans the directory so per-process accounting drift self-corrects.
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+    max_bytes: u64,
+    /// Running estimate of committed bytes; corrected by re-scan whenever
+    /// the cap is enforced (other processes may add or remove entries).
+    approx_bytes: AtomicU64,
+    /// Serializes this process's eviction passes (and names temp files
+    /// uniquely together with the pid).
+    evict_lock: Mutex<u64>,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) the store at `dir` with a byte cap of
+    /// `max_bytes`.
+    ///
+    /// Rebuilds the size accounting by scanning the directory — there is
+    /// no sidecar index file to corrupt — sweeps stray `.tmp` files left
+    /// by writers that died mid-write, and enforces the cap immediately
+    /// (so re-opening with a smaller cap shrinks the store).
+    ///
+    /// # Errors
+    ///
+    /// Returns the error if the directory cannot be created or read.
+    pub fn open(dir: impl Into<PathBuf>, max_bytes: u64) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let store = DiskStore {
+            dir,
+            max_bytes,
+            approx_bytes: AtomicU64::new(0),
+            evict_lock: Mutex::new(0),
+        };
+        // Sweep temp files first so they never count against the cap.
+        for entry in fs::read_dir(&store.dir)? {
+            let Ok(entry) = entry else { continue };
+            let path = entry.path();
+            if path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(TEMP_SUFFIX))
+            {
+                let _ = fs::remove_file(&path);
+            }
+        }
+        let total: u64 = store.scan().iter().map(|e| e.bytes).sum();
+        store.approx_bytes.store(total, Ordering::Relaxed);
+        if total > max_bytes {
+            store.enforce_cap(None);
+        }
+        Ok(store)
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configured byte cap.
+    pub fn max_bytes(&self) -> u64 {
+        self.max_bytes
+    }
+
+    /// Number of committed entries, by directory scan (exact at the
+    /// moment of the scan, even with concurrent writers in other
+    /// processes).
+    pub fn entry_count(&self) -> usize {
+        self.scan().len()
+    }
+
+    /// Total committed bytes, by directory scan.
+    pub fn stored_bytes(&self) -> u64 {
+        self.scan().iter().map(|e| e.bytes).sum()
+    }
+
+    /// Loads the entry under `key`, validating its envelope. A corrupt or
+    /// version-mismatched entry is removed best-effort and reported as
+    /// [`LoadOutcome::Rejected`]; a successful load refreshes the entry's
+    /// modification time (best-effort) so hot entries survive eviction.
+    pub fn load(&self, key: &str) -> LoadOutcome {
+        if !valid_key(key) {
+            return LoadOutcome::Absent;
+        }
+        let path = self.entry_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(bytes) => bytes,
+            // Absence and transient unreadability are both misses.
+            Err(_) => return LoadOutcome::Absent,
+        };
+        match decode_envelope(&bytes) {
+            Some(payload) => {
+                // LRU-like touch: refresh mtime so eviction (oldest
+                // mtime first) spares entries that are actually serving
+                // hits. Best-effort — a read-only filesystem still
+                // serves, it just ages.
+                let _ = fs::OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .and_then(|f| f.set_modified(SystemTime::now()));
+                LoadOutcome::Payload(payload.to_vec())
+            }
+            None => {
+                let _ = fs::remove_file(&path);
+                LoadOutcome::Rejected
+            }
+        }
+    }
+
+    /// Stores `payload` under `key` atomically (unique temp file in the
+    /// same directory, then rename), replacing any existing entry, and
+    /// enforces the byte cap by evicting oldest-modified entries.
+    ///
+    /// Returns `Ok(true)` when the entry was committed, `Ok(false)` when
+    /// the enveloped payload alone exceeds the cap (nothing is written —
+    /// the artifact is simply not persisted).
+    ///
+    /// # Errors
+    ///
+    /// Returns the error if `key` is not a [`valid_key`] or the write or
+    /// rename fails.
+    pub fn store(&self, key: &str, payload: &[u8]) -> io::Result<bool> {
+        if !valid_key(key) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("invalid store key `{key}` (want 1..=128 lowercase hex chars)"),
+            ));
+        }
+        let envelope = encode_envelope(payload);
+        if envelope.len() as u64 > self.max_bytes {
+            return Ok(false);
+        }
+        let final_path = self.entry_path(key);
+        let old_bytes = fs::metadata(&final_path).map(|m| m.len()).unwrap_or(0);
+        let tmp_path = {
+            let mut seq = self.evict_lock.lock().expect("store lock poisoned");
+            *seq += 1;
+            self.dir.join(format!(
+                "{key}.{}.{}{TEMP_SUFFIX}",
+                std::process::id(),
+                *seq
+            ))
+        };
+        let written = (|| -> io::Result<()> {
+            let mut file = fs::File::create(&tmp_path)?;
+            file.write_all(&envelope)?;
+            // No fsync: a machine crash between write and rename can at
+            // worst leave a short or empty entry, which the envelope
+            // check degrades to a miss. Callers recompile; durability of
+            // individual entries is not part of the contract.
+            fs::rename(&tmp_path, &final_path)
+        })();
+        if let Err(err) = written {
+            let _ = fs::remove_file(&tmp_path);
+            return Err(err);
+        }
+        let grown = (envelope.len() as u64).saturating_sub(old_bytes);
+        let total = self
+            .approx_bytes
+            .fetch_add(grown, Ordering::Relaxed)
+            .saturating_add(grown);
+        if total > self.max_bytes {
+            self.enforce_cap(Some(&final_path));
+        }
+        Ok(true)
+    }
+
+    /// Removes the entry under `key`; returns `true` if a file was
+    /// deleted.
+    pub fn remove(&self, key: &str) -> bool {
+        if !valid_key(key) {
+            return false;
+        }
+        let path = self.entry_path(key);
+        let removed = fs::metadata(&path).map(|m| m.len()).ok();
+        match fs::remove_file(&path) {
+            Ok(()) => {
+                if let Some(bytes) = removed {
+                    self.approx_bytes.fetch_sub(
+                        bytes.min(self.approx_bytes.load(Ordering::Relaxed)),
+                        Ordering::Relaxed,
+                    );
+                }
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}{ENTRY_SUFFIX}"))
+    }
+
+    /// Lists committed entries (valid-key `.bin` files). Unknown files
+    /// are ignored entirely: the store never deletes what it did not
+    /// create.
+    fn scan(&self) -> Vec<ScanEntry> {
+        let Ok(read) = fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut entries = Vec::new();
+        for entry in read.flatten() {
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(stem) = name.strip_suffix(ENTRY_SUFFIX) else {
+                continue;
+            };
+            if !valid_key(stem) {
+                continue;
+            }
+            let Ok(meta) = entry.metadata() else { continue };
+            entries.push(ScanEntry {
+                path,
+                bytes: meta.len(),
+                modified: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+            });
+        }
+        entries
+    }
+
+    /// Evicts oldest-modified entries until the store fits its cap,
+    /// re-scanning the directory for exact sizes and mtimes (so drift
+    /// from other processes self-corrects here). `protect` shields the
+    /// just-written entry unless it is the only one left over the cap.
+    fn enforce_cap(&self, protect: Option<&Path>) {
+        let _guard = self.evict_lock.lock().expect("store lock poisoned");
+        let mut entries = self.scan();
+        // Oldest first; ties (coarse-mtime filesystems) break by name so
+        // two processes evicting concurrently converge on the same order.
+        entries.sort_by(|a, b| (a.modified, &a.path).cmp(&(b.modified, &b.path)));
+        let mut total: u64 = entries.iter().map(|e| e.bytes).sum();
+        let mut kept_protected = 0u64;
+        for entry in &entries {
+            if total <= self.max_bytes {
+                break;
+            }
+            if protect.is_some_and(|p| p == entry.path) {
+                kept_protected = entry.bytes;
+                continue;
+            }
+            if fs::remove_file(&entry.path).is_ok() {
+                total -= entry.bytes;
+            }
+        }
+        // Pathological cap (smaller than the newest entry): strictness
+        // wins over recency — the cap is a hard bound.
+        if total > self.max_bytes && kept_protected > 0 {
+            if let Some(p) = protect {
+                if fs::remove_file(p).is_ok() {
+                    total -= kept_protected;
+                }
+            }
+        }
+        self.approx_bytes.store(total, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_round_trip() {
+        for payload in [&b""[..], b"x", b"hello world", &[0u8; 1024]] {
+            let enveloped = encode_envelope(payload);
+            assert_eq!(decode_envelope(&enveloped), Some(payload));
+            assert_eq!(enveloped.len(), HEADER_BYTES + payload.len());
+        }
+    }
+
+    #[test]
+    fn envelope_rejects_corruption() {
+        let enveloped = encode_envelope(b"the quick brown fox");
+        // Every single-byte flip must fail validation (header flips break
+        // magic/version/length/fingerprint; payload flips break the
+        // fingerprint).
+        for i in 0..enveloped.len() {
+            let mut bad = enveloped.clone();
+            bad[i] ^= 0x40;
+            assert_eq!(decode_envelope(&bad), None, "flip at byte {i} accepted");
+        }
+        // Every truncation must fail (the declared length no longer
+        // matches, or the header itself is short).
+        for len in 0..enveloped.len() {
+            assert_eq!(
+                decode_envelope(&enveloped[..len]),
+                None,
+                "truncation to {len}"
+            );
+        }
+        // Extending the envelope must fail too.
+        let mut long = enveloped.clone();
+        long.push(0);
+        assert_eq!(decode_envelope(&long), None);
+    }
+
+    #[test]
+    fn envelope_rejects_other_versions() {
+        let mut enveloped = encode_envelope(b"payload");
+        let bumped = (FORMAT_VERSION + 1).to_le_bytes();
+        enveloped[4..8].copy_from_slice(&bumped);
+        assert_eq!(decode_envelope(&enveloped), None);
+    }
+
+    #[test]
+    fn key_validation() {
+        assert!(valid_key("0123456789abcdef"));
+        assert!(valid_key("a"));
+        assert!(valid_key(&"f".repeat(128)));
+        assert!(!valid_key(""));
+        assert!(!valid_key(&"f".repeat(129)));
+        assert!(!valid_key("ABCDEF")); // uppercase is not canonical
+        assert!(!valid_key("xyz"));
+        assert!(!valid_key("../escape"));
+        assert!(!valid_key("a b"));
+    }
+}

@@ -1,0 +1,274 @@
+//! Filesystem-level tests for [`DiskStore`]: round trips, corruption
+//! handling, temp-file sweeping, cap enforcement, and cross-handle
+//! sharing of one directory (the in-process analogue of two processes
+//! sharing a cache dir).
+
+use qompress_store::{
+    decode_envelope, encode_envelope, DiskStore, LoadOutcome, DEFAULT_MAX_BYTES, HEADER_BYTES,
+};
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, SystemTime};
+
+/// Fresh per-test directory under the cargo-managed tmp dir (inside the
+/// repo's `target/`, cleaned by `cargo clean`).
+fn test_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Forces an entry's mtime into the past so eviction order is
+/// deterministic even on coarse-timestamp filesystems.
+fn age_entry(store: &DiskStore, key: &str, seconds_ago: u64) {
+    let path = store.dir().join(format!("{key}.bin"));
+    let file = fs::OpenOptions::new().write(true).open(&path).unwrap();
+    file.set_modified(SystemTime::now() - Duration::from_secs(seconds_ago))
+        .unwrap();
+}
+
+#[test]
+fn store_load_round_trip() {
+    let store = DiskStore::open(test_dir("round_trip"), DEFAULT_MAX_BYTES).unwrap();
+    let payload = b"compilation artifact bytes".to_vec();
+    assert!(store.store("aa11", &payload).unwrap());
+    assert_eq!(store.load("aa11"), LoadOutcome::Payload(payload.clone()));
+    assert_eq!(store.entry_count(), 1);
+    assert_eq!(store.stored_bytes(), (HEADER_BYTES + payload.len()) as u64);
+    // Overwriting the same key replaces, not accumulates.
+    assert!(store.store("aa11", b"shorter").unwrap());
+    assert_eq!(
+        store.load("aa11"),
+        LoadOutcome::Payload(b"shorter".to_vec())
+    );
+    assert_eq!(store.entry_count(), 1);
+}
+
+#[test]
+fn absent_and_invalid_keys_are_misses() {
+    let store = DiskStore::open(test_dir("absent"), DEFAULT_MAX_BYTES).unwrap();
+    assert_eq!(store.load("feed"), LoadOutcome::Absent);
+    assert_eq!(store.load("NOT-HEX"), LoadOutcome::Absent);
+    assert_eq!(store.load(""), LoadOutcome::Absent);
+    assert!(store.store("NOT-HEX", b"x").is_err());
+    assert!(!store.remove("NOT-HEX"));
+}
+
+#[test]
+fn reopen_serves_previous_entries() {
+    let dir = test_dir("reopen");
+    {
+        let store = DiskStore::open(&dir, DEFAULT_MAX_BYTES).unwrap();
+        assert!(store.store("0123abc", b"survives restart").unwrap());
+    }
+    // A fresh handle — the in-process analogue of a process restart —
+    // rebuilds its index from the directory alone.
+    let store = DiskStore::open(&dir, DEFAULT_MAX_BYTES).unwrap();
+    assert_eq!(
+        store.load("0123abc"),
+        LoadOutcome::Payload(b"survives restart".to_vec())
+    );
+}
+
+#[test]
+fn corrupt_entries_become_misses_and_are_removed() {
+    let store = DiskStore::open(test_dir("corrupt"), DEFAULT_MAX_BYTES).unwrap();
+    assert!(store.store("dead", b"soon to be corrupted").unwrap());
+    let path = store.dir().join("dead.bin");
+
+    // Flip one payload byte on disk.
+    let mut bytes = fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    fs::write(&path, &bytes).unwrap();
+    assert_eq!(store.load("dead"), LoadOutcome::Rejected);
+    // The bad entry was removed: the next load is a plain miss.
+    assert_eq!(store.load("dead"), LoadOutcome::Absent);
+
+    // Truncation (torn write that somehow survived) is also a rejection.
+    assert!(store.store("dead", b"soon to be truncated").unwrap());
+    let bytes = fs::read(&path).unwrap();
+    fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    assert_eq!(store.load("dead"), LoadOutcome::Rejected);
+
+    // An empty file (crash between create and write) too.
+    assert!(store.store("dead", b"x").unwrap());
+    fs::write(&path, b"").unwrap();
+    assert_eq!(store.load("dead"), LoadOutcome::Rejected);
+}
+
+#[test]
+fn version_mismatch_is_a_miss() {
+    let store = DiskStore::open(test_dir("version"), DEFAULT_MAX_BYTES).unwrap();
+    assert!(store.store("beef", b"current version").unwrap());
+    let path = store.dir().join("beef.bin");
+    let mut bytes = fs::read(&path).unwrap();
+    // Bump the on-disk format version field (bytes 4..8, LE).
+    bytes[4] = bytes[4].wrapping_add(1);
+    fs::write(&path, &bytes).unwrap();
+    assert_eq!(store.load("beef"), LoadOutcome::Rejected);
+}
+
+#[test]
+fn stray_temp_files_are_swept_on_open() {
+    let dir = test_dir("sweep");
+    fs::create_dir_all(&dir).unwrap();
+    // Simulate a writer killed mid-write: a half-written temp file.
+    let stray = dir.join("abcd.12345.7.tmp");
+    fs::write(&stray, b"partial garbage").unwrap();
+    let store = DiskStore::open(&dir, DEFAULT_MAX_BYTES).unwrap();
+    assert!(!stray.exists(), "stray temp file not swept");
+    // The half-written key never became visible.
+    assert_eq!(store.load("abcd"), LoadOutcome::Absent);
+    assert_eq!(store.entry_count(), 0);
+}
+
+#[test]
+fn unknown_files_are_left_alone() {
+    let dir = test_dir("foreign");
+    fs::create_dir_all(&dir).unwrap();
+    let foreign = dir.join("README.txt");
+    fs::write(&foreign, b"not ours").unwrap();
+    let store = DiskStore::open(&dir, 64).unwrap();
+    // Fill past the cap to trigger eviction; the foreign file survives.
+    let _ = store.store("aa", &[0u8; 40]);
+    let _ = store.store("bb", &[0u8; 40]);
+    assert!(foreign.exists(), "store deleted a file it did not create");
+}
+
+#[test]
+fn byte_cap_evicts_oldest_first() {
+    let entry_bytes = (HEADER_BYTES + 8) as u64;
+    // Room for exactly two entries.
+    let store = DiskStore::open(test_dir("evict"), 2 * entry_bytes).unwrap();
+    assert!(store.store("aa", b"payloadA").unwrap());
+    assert!(store.store("bb", b"payloadB").unwrap());
+    age_entry(&store, "aa", 300);
+    age_entry(&store, "bb", 200);
+    assert_eq!(store.entry_count(), 2);
+
+    // A third entry exceeds the cap: the oldest (aa) must go.
+    assert!(store.store("cc", b"payloadC").unwrap());
+    assert_eq!(store.load("aa"), LoadOutcome::Absent);
+    assert_eq!(store.load("bb"), LoadOutcome::Payload(b"payloadB".to_vec()));
+    assert_eq!(store.load("cc"), LoadOutcome::Payload(b"payloadC".to_vec()));
+    assert!(store.stored_bytes() <= store.max_bytes());
+}
+
+#[test]
+fn loads_refresh_recency() {
+    let entry_bytes = (HEADER_BYTES + 8) as u64;
+    let store = DiskStore::open(test_dir("touch"), 2 * entry_bytes).unwrap();
+    assert!(store.store("aa", b"payloadA").unwrap());
+    assert!(store.store("bb", b"payloadB").unwrap());
+    age_entry(&store, "aa", 300);
+    age_entry(&store, "bb", 200);
+    // Touch aa via a load: it becomes the most recent, so bb evicts next.
+    assert!(matches!(store.load("aa"), LoadOutcome::Payload(_)));
+    assert!(store.store("cc", b"payloadC").unwrap());
+    assert_eq!(store.load("bb"), LoadOutcome::Absent);
+    assert!(matches!(store.load("aa"), LoadOutcome::Payload(_)));
+}
+
+#[test]
+fn oversized_payload_is_skipped_not_stored() {
+    let store = DiskStore::open(test_dir("oversized"), 64).unwrap();
+    assert!(store.store("aa", b"fits").unwrap());
+    // An entry bigger than the whole cap is declined without touching
+    // what's already stored.
+    assert!(!store.store("bb", &[0u8; 256]).unwrap());
+    assert_eq!(store.load("bb"), LoadOutcome::Absent);
+    assert_eq!(store.load("aa"), LoadOutcome::Payload(b"fits".to_vec()));
+}
+
+#[test]
+fn reopen_with_smaller_cap_shrinks() {
+    let dir = test_dir("shrink");
+    let entry_bytes = (HEADER_BYTES + 8) as u64;
+    {
+        let store = DiskStore::open(&dir, DEFAULT_MAX_BYTES).unwrap();
+        for key in ["aa", "bb", "cc", "dd"] {
+            assert!(store.store(key, b"payloadX").unwrap());
+        }
+        age_entry(&store, "aa", 400);
+        age_entry(&store, "bb", 300);
+        age_entry(&store, "cc", 200);
+        age_entry(&store, "dd", 100);
+    }
+    let store = DiskStore::open(&dir, 2 * entry_bytes).unwrap();
+    assert!(store.stored_bytes() <= store.max_bytes());
+    assert_eq!(store.entry_count(), 2);
+    // The two newest survive.
+    assert!(matches!(store.load("cc"), LoadOutcome::Payload(_)));
+    assert!(matches!(store.load("dd"), LoadOutcome::Payload(_)));
+}
+
+#[test]
+fn two_handles_share_one_directory() {
+    let dir = test_dir("shared");
+    let a = DiskStore::open(&dir, DEFAULT_MAX_BYTES).unwrap();
+    let b = DiskStore::open(&dir, DEFAULT_MAX_BYTES).unwrap();
+    assert!(a.store("cafe", b"written by a").unwrap());
+    assert_eq!(
+        b.load("cafe"),
+        LoadOutcome::Payload(b"written by a".to_vec())
+    );
+    // Concurrent overwrites of the same key: both handles then agree on
+    // one complete value (rename is atomic — never a torn mix).
+    assert!(b.store("cafe", b"written by b").unwrap());
+    assert_eq!(
+        a.load("cafe"),
+        LoadOutcome::Payload(b"written by b".to_vec())
+    );
+    assert!(a.remove("cafe"));
+    assert_eq!(b.load("cafe"), LoadOutcome::Absent);
+}
+
+#[test]
+fn concurrent_writers_never_produce_a_torn_read() {
+    let dir = test_dir("hammer");
+    let store = std::sync::Arc::new(DiskStore::open(&dir, DEFAULT_MAX_BYTES).unwrap());
+    let payload_a = vec![0xAAu8; 4096];
+    let payload_b = vec![0xBBu8; 8192];
+    let mut threads = Vec::new();
+    for (payload, flavor) in [(payload_a.clone(), "a"), (payload_b.clone(), "b")] {
+        let store = std::sync::Arc::clone(&store);
+        threads.push(std::thread::spawn(move || {
+            for _ in 0..50 {
+                store
+                    .store("77", &payload)
+                    .unwrap_or_else(|e| panic!("{flavor}: {e}"));
+            }
+        }));
+    }
+    let reader = {
+        let store = std::sync::Arc::clone(&store);
+        let (pa, pb) = (payload_a.clone(), payload_b.clone());
+        std::thread::spawn(move || {
+            for _ in 0..200 {
+                match store.load("77") {
+                    LoadOutcome::Payload(p) => {
+                        assert!(p == pa || p == pb, "torn or mixed payload observed");
+                    }
+                    LoadOutcome::Absent => {}
+                    LoadOutcome::Rejected => panic!("validation rejected a live entry"),
+                }
+            }
+        })
+    };
+    for t in threads {
+        t.join().unwrap();
+    }
+    reader.join().unwrap();
+    // The final state is one of the two complete payloads.
+    match store.load("77") {
+        LoadOutcome::Payload(p) => assert!(p == payload_a || p == payload_b),
+        other => panic!("expected a payload at the end, got {other:?}"),
+    }
+}
+
+#[test]
+fn envelope_helpers_are_exposed_for_tooling() {
+    let enveloped = encode_envelope(b"inspect me");
+    assert_eq!(decode_envelope(&enveloped), Some(&b"inspect me"[..]));
+}

@@ -1,0 +1,147 @@
+//! CI gate for the persistent cache tier: compiles a sweep of circuits
+//! into a fresh persist directory, **drops the session** (the in-memory
+//! tier dies with it), reopens a second session on the same directory,
+//! and asserts every circuit comes back as a disk-tier hit with a
+//! byte-identical result. Writes p50 warm-vs-cold latency to
+//! `results/cache_persist.json`.
+//!
+//! ```text
+//! cargo run --release --example cache_persist
+//! ```
+
+use qompress::{Compiler, Strategy};
+use qompress_arch::Topology;
+use qompress_service::result_fingerprint;
+use qompress_workloads::random_circuit;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Sweep width: enough circuits to make the p50 stable, small enough to
+/// keep the gate fast.
+const N_CIRCUITS: usize = 24;
+
+fn strategy_from_index(i: usize) -> Strategy {
+    [
+        Strategy::QubitOnly,
+        Strategy::Eqm,
+        Strategy::RingBased,
+        Strategy::Awe,
+        Strategy::ProgressivePairing,
+    ][i % 5]
+}
+
+fn topology_from_index(i: usize, n: usize) -> Topology {
+    match i % 3 {
+        0 => Topology::grid(n),
+        1 => Topology::line(n),
+        _ => Topology::ring(n.max(3)),
+    }
+}
+
+fn main() {
+    // A scratch persist dir under target/, recreated empty per run so the
+    // cold pass is genuinely cold.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("tmp")
+        .join("cache_persist_example");
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear persist dir");
+    }
+
+    let workload: Vec<(qompress_circuit::Circuit, Topology, Strategy)> = (0..N_CIRCUITS)
+        .map(|i| {
+            let n = 4 + i % 4;
+            (
+                random_circuit(n, 20 + 3 * i, i as u64),
+                topology_from_index(i, n),
+                strategy_from_index(i),
+            )
+        })
+        .collect();
+    println!(
+        "cache persist: {N_CIRCUITS} circuits, persist dir {}\n",
+        dir.display()
+    );
+
+    // Cold pass: every circuit is a true compile, written back to disk.
+    let mut cold_latencies = Vec::with_capacity(N_CIRCUITS);
+    let fingerprints: Vec<u64> = {
+        let cold = Compiler::builder().workers(1).persist_dir(&dir).build();
+        let prints = workload
+            .iter()
+            .map(|(circuit, topo, strategy)| {
+                let start = Instant::now();
+                let result = cold.compile(circuit, topo, *strategy);
+                cold_latencies.push(start.elapsed());
+                result_fingerprint(&result)
+            })
+            .collect();
+        let stats = cold.tiered_cache_stats();
+        assert_eq!(stats.misses, N_CIRCUITS as u64, "cold pass must compile");
+        assert_eq!(
+            stats.disk_writes, N_CIRCUITS as u64,
+            "every result written back"
+        );
+        assert_eq!(stats.disk_write_errors, 0);
+        prints
+    }; // session dropped here — only the directory survives
+
+    // Warm pass in a new session: memory tier is empty, so every hit is
+    // served from disk, decoded, and must match the cold result exactly.
+    let warm = Compiler::builder().workers(1).persist_dir(&dir).build();
+    let mut warm_latencies = Vec::with_capacity(N_CIRCUITS);
+    for (i, (circuit, topo, strategy)) in workload.iter().enumerate() {
+        let start = Instant::now();
+        let result = warm.compile(circuit, topo, *strategy);
+        warm_latencies.push(start.elapsed());
+        assert_eq!(
+            result_fingerprint(&result),
+            fingerprints[i],
+            "circuit {i}: disk-tier result diverged from the cold compile"
+        );
+    }
+    let stats = warm.tiered_cache_stats();
+    assert!(stats.disk_hits > 0, "restart must produce disk hits");
+    assert_eq!(
+        stats.disk_hits, N_CIRCUITS as u64,
+        "every circuit must be served from the disk tier"
+    );
+    assert_eq!(stats.misses, 0, "warm pass must not recompile");
+    assert_eq!(stats.disk_rejects, 0, "no artifact may fail validation");
+
+    let cold_p50 = p50(&mut cold_latencies);
+    let warm_p50 = p50(&mut warm_latencies);
+    let speedup = cold_p50.as_secs_f64() / warm_p50.as_secs_f64().max(1e-12);
+    println!("  cold p50 (compile + write-back) {cold_p50:>12.3?}");
+    println!("  warm p50 (disk hit + decode)    {warm_p50:>12.3?}  ({speedup:.1}x)");
+    println!("  tiers: {stats}");
+
+    let path = write_json(cold_p50, warm_p50, speedup, &stats.to_json());
+    println!("\nwrote {}", path.display());
+}
+
+/// Median latency (the slice is sorted in place).
+fn p50(latencies: &mut [Duration]) -> Duration {
+    latencies.sort();
+    latencies[latencies.len() / 2]
+}
+
+/// Hand-rolled JSON emission (the offline build has no serde).
+fn write_json(cold_p50: Duration, warm_p50: Duration, speedup: f64, tiers: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("cache_persist.json");
+    let mut file = std::fs::File::create(&path).expect("create cache_persist.json");
+    writeln!(
+        file,
+        "{{\n  \"circuits\": {N_CIRCUITS},\n  \"cold_p50_ms\": {:.3},\n  \
+         \"warm_p50_ms\": {:.3},\n  \"warm_speedup\": {speedup:.2},\n  \
+         \"tiers\": {tiers}\n}}",
+        cold_p50.as_secs_f64() * 1e3,
+        warm_p50.as_secs_f64() * 1e3,
+    )
+    .expect("write cache_persist.json");
+    path
+}
