@@ -115,6 +115,74 @@ pub struct BatchResult {
     pub cache: CacheStats,
 }
 
+/// Why one job of a [`crate::Compiler::try_compile_batch`] call did not
+/// produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchJobError {
+    /// The job's compilation panicked; the payload is the panic message
+    /// (e.g. a circuit too large for its topology).
+    Panicked(String),
+    /// The job was cancelled before a worker finished it.
+    Cancelled,
+}
+
+impl std::fmt::Display for BatchJobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchJobError::Panicked(message) => write!(f, "panicked: {message}"),
+            BatchJobError::Cancelled => f.write_str("cancelled"),
+        }
+    }
+}
+
+/// One failed job of a [`crate::Compiler::try_compile_batch`] call: the
+/// job's identity plus what went wrong. Failures are isolated — the
+/// other jobs of the batch still complete and return results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchJobFailure {
+    /// Label copied from the input job.
+    pub label: String,
+    /// Position of the job in the submitted slice.
+    pub job_index: usize,
+    /// What went wrong.
+    pub error: BatchJobError,
+}
+
+impl std::fmt::Display for BatchJobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "batch job `{}` {}", self.label, self.error)
+    }
+}
+
+impl std::error::Error for BatchJobFailure {}
+
+/// All per-job outcomes of a [`crate::Compiler::try_compile_batch`]
+/// call, in input order — the non-panicking sibling of [`BatchResult`].
+#[derive(Debug)]
+pub struct TryBatchResult {
+    /// Per-job outcomes, `results[i]` belonging to `jobs[i]`.
+    pub results: Vec<Result<BatchJobResult, BatchJobFailure>>,
+    /// Number of distinct topology structures (= shared caches used).
+    pub distinct_topologies: usize,
+    /// Wall-clock time of the compilation phase.
+    pub elapsed: Duration,
+    /// Result-cache activity attributable to this batch (all zeros when
+    /// the executing session has caching disabled).
+    pub cache: CacheStats,
+}
+
+impl TryBatchResult {
+    /// Number of jobs that produced a result.
+    pub fn succeeded(&self) -> usize {
+        self.results.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// Number of jobs that failed (panicked or cancelled).
+    pub fn failed(&self) -> usize {
+        self.results.len() - self.succeeded()
+    }
+}
+
 impl BatchResult {
     /// Total logical gates compiled across the batch.
     pub fn total_logical_gates(&self) -> usize {

@@ -1,0 +1,290 @@
+//! A circuit breaker for the session's persistent disk tier.
+//!
+//! The tier-2 store is infrastructure that can *stay* broken — a disk
+//! that filled up or lost its mount keeps failing on every lookup, and
+//! each failed `open`/`read` costs a syscall plus an error path on the
+//! hot compile route. The breaker bounds that cost with the classic
+//! three-state machine:
+//!
+//! ```text
+//!            N consecutive failures
+//!   Closed ──────────────────────────▶ Open
+//!     ▲                                 │ cooldown elapses
+//!     │ probe succeeds                  ▼
+//!     └─────────────────────────── HalfOpen
+//!                                       │ probe fails
+//!                                       └──────────▶ Open (again)
+//! ```
+//!
+//! While **open**, disk operations are skipped entirely (the session
+//! serves memory + compile, exactly as if no persist dir were
+//! configured). After the cooldown one caller is admitted as the
+//! **half-open probe**; its outcome decides whether the tier heals
+//! (back to closed, failure streak forgotten) or trips again for
+//! another cooldown. Successes in the closed state reset the streak, so
+//! only *consecutive* failures trip the breaker — a lone `ENOSPC`
+//! between thousands of good writes never disables the tier.
+//!
+//! The public face is [`BreakerState`], reported through
+//! [`crate::TieredCacheStats`] and the service's wire `stats` op.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Observable state of the disk tier's circuit breaker (see the module
+/// docs for the state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BreakerState {
+    /// The tier is healthy: disk operations flow normally.
+    #[default]
+    Closed,
+    /// The tier tripped: disk operations are skipped until the cooldown
+    /// elapses.
+    Open,
+    /// The cooldown elapsed and one probe operation is in flight; its
+    /// outcome re-closes or re-opens the breaker.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable wire name of the state: `"closed"`, `"open"` or
+    /// `"half_open"` (the `stats` op's `breaker_state` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    /// Parses a wire name back into a state (the client side of
+    /// [`BreakerState::name`]).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "closed" => Some(BreakerState::Closed),
+            "open" => Some(BreakerState::Open),
+            "half_open" => Some(BreakerState::HalfOpen),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Internal phase: like [`BreakerState`] but `Open` carries its trip
+/// instant so the cooldown clock travels with the state.
+#[derive(Debug, Clone, Copy)]
+enum Phase {
+    Closed,
+    Open(Instant),
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Inner {
+    phase: Phase,
+    /// Failure streak while closed; trips at the threshold.
+    consecutive_failures: u32,
+}
+
+/// The breaker itself — one per [`crate::Compiler`] disk tier.
+///
+/// Callers bracket every disk operation with
+/// [`CircuitBreaker::try_acquire`] (skip the operation on `false`) and
+/// exactly one of [`CircuitBreaker::record_success`] /
+/// [`CircuitBreaker::record_failure`] on `true`.
+#[derive(Debug)]
+pub(crate) struct CircuitBreaker {
+    /// Consecutive failures that trip the breaker (≥ 1).
+    threshold: u32,
+    /// How long the breaker stays open before admitting a probe.
+    cooldown: Duration,
+    inner: Mutex<Inner>,
+    /// Closed/HalfOpen → Open transitions.
+    trips: AtomicU64,
+    /// Open → HalfOpen transitions (probes admitted).
+    probes: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// Consecutive-failure threshold used when the builder does not
+    /// override it.
+    pub(crate) const DEFAULT_THRESHOLD: u32 = 5;
+    /// Cooldown used when the builder does not override it.
+    pub(crate) const DEFAULT_COOLDOWN: Duration = Duration::from_secs(5);
+
+    /// A closed breaker tripping after `threshold` consecutive failures
+    /// (clamped to ≥ 1) and probing after `cooldown`.
+    pub(crate) fn new(threshold: u32, cooldown: Duration) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            inner: Mutex::new(Inner {
+                phase: Phase::Closed,
+                consecutive_failures: 0,
+            }),
+            trips: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+        }
+    }
+
+    /// Asks to perform one disk operation. `true` admits the caller
+    /// (who must then report the outcome); `false` means the tier is
+    /// open — skip the disk and proceed memory-only.
+    pub(crate) fn try_acquire(&self) -> bool {
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        match inner.phase {
+            Phase::Closed => true,
+            Phase::Open(tripped_at) => {
+                if tripped_at.elapsed() >= self.cooldown {
+                    // This caller becomes the half-open probe.
+                    inner.phase = Phase::HalfOpen;
+                    self.probes.fetch_add(1, Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
+            }
+            // One probe at a time: others wait for its verdict.
+            Phase::HalfOpen => false,
+        }
+    }
+
+    /// Reports a successful disk operation: the failure streak resets
+    /// and a probing breaker re-closes.
+    pub(crate) fn record_success(&self) {
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        inner.consecutive_failures = 0;
+        inner.phase = Phase::Closed;
+    }
+
+    /// Reports a failed disk operation: a probe failure re-opens
+    /// immediately; in the closed state the streak grows and trips the
+    /// breaker at the threshold.
+    pub(crate) fn record_failure(&self) {
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        match inner.phase {
+            Phase::HalfOpen => {
+                inner.phase = Phase::Open(Instant::now());
+                self.trips.fetch_add(1, Ordering::Relaxed);
+            }
+            Phase::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.threshold {
+                    inner.phase = Phase::Open(Instant::now());
+                    inner.consecutive_failures = 0;
+                    self.trips.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // A failure report while already open (racing caller that
+            // acquired before the trip) changes nothing.
+            Phase::Open(_) => {}
+        }
+    }
+
+    /// Current observable state (an open breaker past its cooldown still
+    /// reports `Open` until a caller is admitted as the probe).
+    pub(crate) fn state(&self) -> BreakerState {
+        match self.inner.lock().expect("breaker poisoned").phase {
+            Phase::Closed => BreakerState::Closed,
+            Phase::Open(_) => BreakerState::Open,
+            Phase::HalfOpen => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Times the breaker tripped open.
+    pub(crate) fn trips(&self) -> u64 {
+        self.trips.load(Ordering::Relaxed)
+    }
+
+    /// Half-open probes admitted.
+    pub(crate) fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for state in [
+            BreakerState::Closed,
+            BreakerState::Open,
+            BreakerState::HalfOpen,
+        ] {
+            assert_eq!(BreakerState::from_name(state.name()), Some(state));
+            assert_eq!(format!("{state}"), state.name());
+        }
+        assert_eq!(BreakerState::from_name("ajar"), None);
+    }
+
+    #[test]
+    fn trips_only_on_consecutive_failures() {
+        let b = CircuitBreaker::new(3, Duration::from_secs(60));
+        for _ in 0..2 {
+            assert!(b.try_acquire());
+            b.record_failure();
+        }
+        // A success resets the streak; two more failures stay closed.
+        assert!(b.try_acquire());
+        b.record_success();
+        for _ in 0..2 {
+            assert!(b.try_acquire());
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips(), 0);
+        // The third consecutive failure trips.
+        assert!(b.try_acquire());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert!(!b.try_acquire(), "open breaker must reject");
+    }
+
+    #[test]
+    fn threshold_clamps_to_one() {
+        let b = CircuitBreaker::new(0, Duration::from_secs(60));
+        assert!(b.try_acquire());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn half_open_probe_success_recloses() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(5));
+        assert!(b.try_acquire());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(10));
+        // First caller past the cooldown is the probe; a second caller
+        // while the probe is out is still rejected.
+        assert!(b.try_acquire());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.try_acquire());
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!((b.trips(), b.probes()), (1, 1));
+        assert!(b.try_acquire());
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(5));
+        assert!(b.try_acquire());
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(b.try_acquire());
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 2, "probe failure counts as a fresh trip");
+        assert!(!b.try_acquire(), "cooldown restarts after a failed probe");
+    }
+}

@@ -52,6 +52,7 @@
 #![allow(clippy::needless_range_loop)] // index loops mirror the math
 
 mod batch;
+mod breaker;
 mod config;
 mod cost;
 mod jobs;
@@ -70,7 +71,11 @@ mod session;
 mod strategies;
 mod timeline;
 
-pub use batch::{run_batch, BatchJob, BatchJobResult, BatchRequest, BatchResult};
+pub use batch::{
+    run_batch, BatchJob, BatchJobError, BatchJobFailure, BatchJobResult, BatchRequest, BatchResult,
+    TryBatchResult,
+};
+pub use breaker::BreakerState;
 pub use config::CompilerConfig;
 pub use cost::{cx_class, gate_cost, gate_success, swap_class, DistanceOracle};
 pub use jobs::{CompletionQueue, JobHandle, JobId, JobOutcome, JobStatus};
@@ -92,3 +97,8 @@ pub use strategies::{
     ExhaustiveOptions, ExhaustiveStep, Strategy, ALL_STRATEGIES,
 };
 pub use timeline::{parallelism_stats, render_timeline, ParallelismStats};
+
+// The disk tier's fault-injection hook, re-exported so chaos tests can
+// arm a [`CompilerBuilder::persist_faults`] plan without a direct
+// `qompress-store` dependency.
+pub use qompress_store::{FaultKind, FaultOp, FaultPlan};

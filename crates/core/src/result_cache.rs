@@ -12,6 +12,7 @@
 //! Eviction is least-recently-used over a bounded capacity; [`CacheStats`]
 //! counts hits, misses and evictions exactly.
 
+use crate::breaker::BreakerState;
 use crate::mapping::MappingOptions;
 use crate::strategies::Strategy;
 use qompress_arch::Fingerprinter;
@@ -107,6 +108,20 @@ pub struct TieredCacheStats {
     /// Write-backs that failed with an I/O error (the result is still
     /// served; it is just not persisted).
     pub disk_write_errors: u64,
+    /// Disk reads that failed with a real I/O error (not a miss, not a
+    /// validation reject) — each also counted under `misses` and
+    /// reported to the tier's circuit breaker.
+    pub disk_read_errors: u64,
+    /// Disk operations skipped because the breaker was open — the
+    /// session served memory + compile as if no tier were configured.
+    pub disk_skipped: u64,
+    /// Times the breaker tripped open (N consecutive disk errors).
+    pub breaker_trips: u64,
+    /// Half-open probes admitted after a cooldown.
+    pub breaker_probes: u64,
+    /// Current breaker state ([`BreakerState::Closed`] when no
+    /// persistent tier is configured).
+    pub breaker_state: BreakerState,
 }
 
 impl TieredCacheStats {
@@ -135,12 +150,23 @@ impl TieredCacheStats {
             disk_writes,
             disk_rejects,
             disk_write_errors,
+            disk_read_errors,
+            disk_skipped,
+            breaker_trips,
+            breaker_probes,
+            breaker_state,
         } = *self;
         format!(
             "{{\"memory_hits\": {memory_hits}, \"disk_hits\": {disk_hits}, \
              \"misses\": {misses}, \"memory_evictions\": {memory_evictions}, \
              \"disk_writes\": {disk_writes}, \"disk_rejects\": {disk_rejects}, \
-             \"disk_write_errors\": {disk_write_errors}, \"hit_rate\": {:.6}}}",
+             \"disk_write_errors\": {disk_write_errors}, \
+             \"disk_read_errors\": {disk_read_errors}, \
+             \"disk_skipped\": {disk_skipped}, \
+             \"breaker_trips\": {breaker_trips}, \
+             \"breaker_probes\": {breaker_probes}, \
+             \"breaker_state\": \"{}\", \"hit_rate\": {:.6}}}",
+            breaker_state.name(),
             self.hit_rate()
         )
     }

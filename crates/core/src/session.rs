@@ -46,7 +46,10 @@
 //! assert_eq!(session.cache_stats().hits, 1);
 //! ```
 
-use crate::batch::{BatchJob, BatchJobResult, BatchResult};
+use crate::batch::{
+    BatchJob, BatchJobError, BatchJobFailure, BatchJobResult, BatchResult, TryBatchResult,
+};
+use crate::breaker::{BreakerState, CircuitBreaker};
 use crate::config::CompilerConfig;
 use crate::jobs::{CompletionQueue, JobHandle, JobOutcome};
 use crate::mapping::MappingOptions;
@@ -60,12 +63,12 @@ use crate::strategies::{
 };
 use qompress_arch::Topology;
 use qompress_circuit::{Circuit, ParametricCircuit};
-use qompress_store::{DiskStore, LoadOutcome};
+use qompress_store::{DiskStore, FaultPlan, LoadOutcome};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Default bound on memoized compilation results per session.
 const DEFAULT_CACHE_CAPACITY: usize = 256;
@@ -100,6 +103,10 @@ pub struct CompilerBuilder {
     verify_hits: bool,
     persist_dir: Option<PathBuf>,
     persist_max_bytes: u64,
+    persist_strict: bool,
+    persist_faults: FaultPlan,
+    breaker_threshold: u32,
+    breaker_cooldown: Duration,
 }
 
 impl CompilerBuilder {
@@ -173,14 +180,51 @@ impl CompilerBuilder {
         self
     }
 
+    /// When enabled, an unopenable [`CompilerBuilder::persist_dir`] makes
+    /// [`CompilerBuilder::build`] panic instead of degrading to a
+    /// memory-only session — for deployments where running without the
+    /// shared cache is worse than not running (default: disabled; the
+    /// degradation is surfaced through [`Compiler::diagnostics`]).
+    pub fn persist_strict(mut self, enabled: bool) -> Self {
+        self.persist_strict = enabled;
+        self
+    }
+
+    /// Attaches an I/O [`FaultPlan`] to the persistent tier's store —
+    /// the deterministic chaos hook (see `qompress-store`'s fault
+    /// module). The plan handle stays live after `build`, so a test can
+    /// heal the "disk" mid-run. Default: [`FaultPlan::none`], which
+    /// injects nothing. Only meaningful together with
+    /// [`CompilerBuilder::persist_dir`].
+    pub fn persist_faults(mut self, faults: FaultPlan) -> Self {
+        self.persist_faults = faults;
+        self
+    }
+
+    /// Tunes the disk tier's circuit breaker: it trips open after
+    /// `threshold` consecutive disk I/O errors (clamped to ≥ 1) and
+    /// admits a half-open probe after `cooldown`. While open, lookups
+    /// and write-backs skip the disk entirely — the session serves
+    /// memory + compile. Defaults: 5 failures, 5 s cooldown. Only
+    /// meaningful together with [`CompilerBuilder::persist_dir`].
+    pub fn persist_breaker(mut self, threshold: u32, cooldown: Duration) -> Self {
+        self.breaker_threshold = threshold;
+        self.breaker_cooldown = cooldown;
+        self
+    }
+
     /// Builds the session.
+    ///
+    /// An unopenable [`CompilerBuilder::persist_dir`] **degrades** the
+    /// session to memory-only: the failure is recorded as a
+    /// [`Compiler::diagnostics`] warning, everything else works, and
+    /// `persistence_enabled()` reports `false`.
     ///
     /// # Panics
     ///
-    /// Panics when [`CompilerBuilder::persist_dir`] was set but the
-    /// directory cannot be created or read — a misconfigured cache path
-    /// is a deployment error worth failing loudly on, not a silent
-    /// fallback to cold compiles.
+    /// With [`CompilerBuilder::persist_strict`] enabled, panics when the
+    /// persist directory cannot be created or read — for deployments
+    /// that must fail loudly rather than run cold.
     pub fn build(self) -> Compiler {
         let workers = if self.workers == 0 {
             // `available_parallelism` may *fail* (unsupported platform,
@@ -200,18 +244,36 @@ impl CompilerBuilder {
         // The persistent tier is independent of the in-memory switch: a
         // `caching(false)` session with a `persist_dir` still serves and
         // feeds the shared on-disk store.
-        let persist = self.persist_dir.map(|dir| {
-            let store = DiskStore::open(&dir, self.persist_max_bytes).unwrap_or_else(|err| {
-                panic!("cannot open persistent cache at {}: {err}", dir.display())
-            });
-            DiskTier {
+        let mut diagnostics = Vec::new();
+        let persist = self.persist_dir.and_then(|dir| {
+            let opened =
+                DiskStore::open_with_faults(&dir, self.persist_max_bytes, self.persist_faults);
+            let store = match opened {
+                Ok(store) => store,
+                Err(err) if self.persist_strict => {
+                    panic!("cannot open persistent cache at {}: {err}", dir.display())
+                }
+                Err(err) => {
+                    diagnostics.push(format!(
+                        "persistent cache disabled: cannot open {}: {err} \
+                         (session degrades to memory-only; use persist_strict(true) \
+                         to fail fast instead)",
+                        dir.display()
+                    ));
+                    return None;
+                }
+            };
+            Some(DiskTier {
                 store,
+                breaker: CircuitBreaker::new(self.breaker_threshold, self.breaker_cooldown),
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
                 rejects: AtomicU64::new(0),
                 writes: AtomicU64::new(0),
                 write_errors: AtomicU64::new(0),
-            }
+                read_errors: AtomicU64::new(0),
+                skipped: AtomicU64::new(0),
+            })
         });
         Compiler {
             state: Arc::new(SessionState {
@@ -223,6 +285,7 @@ impl CompilerBuilder {
                 cache,
                 skeletons,
                 persist,
+                diagnostics,
             }),
             service: JobService::new(),
         }
@@ -239,6 +302,10 @@ impl Default for CompilerBuilder {
             verify_hits: false,
             persist_dir: None,
             persist_max_bytes: qompress_store::DEFAULT_MAX_BYTES,
+            persist_strict: false,
+            persist_faults: FaultPlan::none(),
+            breaker_threshold: CircuitBreaker::DEFAULT_THRESHOLD,
+            breaker_cooldown: CircuitBreaker::DEFAULT_COOLDOWN,
         }
     }
 }
@@ -249,6 +316,10 @@ impl Default for CompilerBuilder {
 #[derive(Debug)]
 struct DiskTier {
     store: DiskStore,
+    /// The tier's health gate: every disk operation first asks the
+    /// breaker; while open, the tier is skipped entirely and the session
+    /// behaves as if no persist dir were configured.
+    breaker: CircuitBreaker,
     /// Lookups served from disk (after a memory miss).
     hits: AtomicU64,
     /// Lookups that missed disk too — true compiles.
@@ -259,6 +330,11 @@ struct DiskTier {
     writes: AtomicU64,
     /// Write-backs that failed with an I/O error.
     write_errors: AtomicU64,
+    /// Disk reads that failed with a real I/O error (not a miss, not a
+    /// reject).
+    read_errors: AtomicU64,
+    /// Disk operations skipped because the breaker was open.
+    skipped: AtomicU64,
 }
 
 /// The shared heart of a session: configuration plus every cross-request
@@ -282,6 +358,10 @@ pub(crate) struct SessionState {
     /// is cheap to rebuild relative to their reuse pattern, so they stay
     /// memory-resident.
     persist: Option<DiskTier>,
+    /// Build-time warnings (e.g. a persist dir that could not be opened
+    /// and was degraded to memory-only). Never fatal — the session they
+    /// describe works.
+    diagnostics: Vec<String>,
 }
 
 impl SessionState {
@@ -478,51 +558,80 @@ impl SessionState {
                 return hit;
             }
         }
-        // Tier 2: disk. A payload that passes the store's envelope check
-        // but fails the codec is still a reject (version-skewed or
-        // damaged payload) — removed so it stops costing a read.
+        // Tier 2: disk, gated by the circuit breaker — while the tier is
+        // open every disk touch is skipped and the lookup is a plain
+        // miss. A payload that passes the store's envelope check but
+        // fails the codec is still a reject (version-skewed or damaged
+        // payload) — removed so it stops costing a read. Only real I/O
+        // errors feed the breaker; misses and rejects are healthy-disk
+        // outcomes.
         let hex = key.hex();
-        match tier.store.load(&hex) {
-            LoadOutcome::Payload(payload) => match persist::decode_result(&payload) {
-                Some(result) => {
-                    tier.hits.fetch_add(1, Ordering::Relaxed);
-                    let result = Arc::new(result);
-                    if self.verify_hits {
-                        verify_hit(&result, fresh, "disk");
-                        // `fresh` is consumed by the audit; the verified
-                        // hit is promoted and served like the normal path.
+        if tier.breaker.try_acquire() {
+            match tier.store.load(&hex) {
+                LoadOutcome::Payload(payload) => match persist::decode_result(&payload) {
+                    Some(result) => {
+                        tier.breaker.record_success();
+                        tier.hits.fetch_add(1, Ordering::Relaxed);
+                        let result = Arc::new(result);
+                        if self.verify_hits {
+                            verify_hit(&result, fresh, "disk");
+                            // `fresh` is consumed by the audit; the verified
+                            // hit is promoted and served like the normal path.
+                            self.promote(key, &result);
+                            return result;
+                        }
                         self.promote(key, &result);
                         return result;
                     }
-                    self.promote(key, &result);
-                    return result;
-                }
-                None => {
+                    None => {
+                        tier.breaker.record_success();
+                        tier.rejects.fetch_add(1, Ordering::Relaxed);
+                        tier.misses.fetch_add(1, Ordering::Relaxed);
+                        let _ = tier.store.remove(&hex);
+                    }
+                },
+                LoadOutcome::Rejected => {
+                    tier.breaker.record_success();
                     tier.rejects.fetch_add(1, Ordering::Relaxed);
                     tier.misses.fetch_add(1, Ordering::Relaxed);
-                    let _ = tier.store.remove(&hex);
                 }
-            },
-            LoadOutcome::Rejected => {
-                tier.rejects.fetch_add(1, Ordering::Relaxed);
-                tier.misses.fetch_add(1, Ordering::Relaxed);
+                LoadOutcome::Absent => {
+                    tier.breaker.record_success();
+                    tier.misses.fetch_add(1, Ordering::Relaxed);
+                }
+                LoadOutcome::Failed(_) => {
+                    tier.breaker.record_failure();
+                    tier.read_errors.fetch_add(1, Ordering::Relaxed);
+                    tier.misses.fetch_add(1, Ordering::Relaxed);
+                }
             }
-            LoadOutcome::Absent => {
-                tier.misses.fetch_add(1, Ordering::Relaxed);
-            }
+        } else {
+            tier.skipped.fetch_add(1, Ordering::Relaxed);
+            tier.misses.fetch_add(1, Ordering::Relaxed);
         }
-        // Both tiers missed: compile, then write back to both.
+        // Both tiers missed: compile, then write back to both (the disk
+        // write-back again asks the breaker first — tripped mid-lookup
+        // means the write is skipped too).
         let result = fresh();
         self.promote(key, &result);
-        match tier.store.store(&hex, &persist::encode_result(&result)) {
-            Ok(true) => {
-                tier.writes.fetch_add(1, Ordering::Relaxed);
+        if tier.breaker.try_acquire() {
+            match tier.store.store(&hex, &persist::encode_result(&result)) {
+                Ok(true) => {
+                    tier.breaker.record_success();
+                    tier.writes.fetch_add(1, Ordering::Relaxed);
+                }
+                // Oversized for the cap: simply not persisted — a policy
+                // outcome on a healthy disk, not a failure.
+                Ok(false) => {
+                    tier.breaker.record_success();
+                }
+                Err(_) => {
+                    tier.breaker.record_failure();
+                    tier.write_errors.fetch_add(1, Ordering::Relaxed);
+                }
             }
-            // Oversized for the cap: simply not persisted.
-            Ok(false) => {}
-            Err(_) => {
-                tier.write_errors.fetch_add(1, Ordering::Relaxed);
-            }
+        } else {
+            tier.skipped.fetch_add(1, Ordering::Relaxed);
         }
         result
     }
@@ -550,6 +659,11 @@ impl SessionState {
                 disk_writes: tier.writes.load(Ordering::Relaxed),
                 disk_rejects: tier.rejects.load(Ordering::Relaxed),
                 disk_write_errors: tier.write_errors.load(Ordering::Relaxed),
+                disk_read_errors: tier.read_errors.load(Ordering::Relaxed),
+                disk_skipped: tier.skipped.load(Ordering::Relaxed),
+                breaker_trips: tier.breaker.trips(),
+                breaker_probes: tier.breaker.probes(),
+                breaker_state: tier.breaker.state(),
             },
             // Without a persistent tier the flat stats are the whole
             // story: misses are the memory tier's misses.
@@ -561,6 +675,11 @@ impl SessionState {
                 disk_writes: 0,
                 disk_rejects: 0,
                 disk_write_errors: 0,
+                disk_read_errors: 0,
+                disk_skipped: 0,
+                breaker_trips: 0,
+                breaker_probes: 0,
+                breaker_state: BreakerState::Closed,
             },
         }
     }
@@ -859,10 +978,45 @@ impl Compiler {
     /// # Panics
     ///
     /// Panics if any job's compilation panics (e.g. a circuit too large
-    /// for its topology); streaming callers that prefer an error value
-    /// should [`Compiler::submit`] instead and match on
-    /// [`JobOutcome::Failed`].
+    /// for its topology); callers that prefer per-job error values
+    /// should use [`Compiler::try_compile_batch`].
     pub fn compile_batch(&self, jobs: &[BatchJob]) -> BatchResult {
+        let out = self.try_compile_batch(jobs);
+        let results: Vec<BatchJobResult> = out
+            .results
+            .into_iter()
+            .map(|r| match r {
+                Ok(result) => result,
+                Err(failure) => match failure.error {
+                    BatchJobError::Panicked(message) => {
+                        panic!("batch job `{}` panicked: {message}", failure.label)
+                    }
+                    BatchJobError::Cancelled => {
+                        // Unreachable through this wrapper: the handles never
+                        // escape, so nothing can cancel them.
+                        panic!("batch job `{}` was cancelled mid-batch", failure.label)
+                    }
+                },
+            })
+            .collect();
+        BatchResult {
+            results,
+            distinct_topologies: out.distinct_topologies,
+            elapsed: out.elapsed,
+            cache: out.cache,
+        }
+    }
+
+    /// The non-panicking sibling of [`Compiler::compile_batch`]: every
+    /// job gets an input-order `Result` slot, a failed job (compilation
+    /// panic, or a cancellation racing the batch) yields a
+    /// [`BatchJobFailure`] carrying the label and message, and **the
+    /// other jobs still complete** — one oversized circuit no longer
+    /// takes the caller (and the 23 good results) down with it.
+    ///
+    /// [`Compiler::compile_batch`] is a thin wrapper over this method
+    /// that panics on the first failure with the historical message.
+    pub fn try_compile_batch(&self, jobs: &[BatchJob]) -> TryBatchResult {
         let stats_before = self.state.cache_stats();
         // Resolve every job's topology cache up front (deduplicated by
         // structural fingerprint) so the expensive expanded-graph
@@ -898,29 +1052,31 @@ impl Compiler {
                 )
             })
             .collect();
-        let results: Vec<BatchJobResult> = handles
+        let results: Vec<Result<BatchJobResult, BatchJobFailure>> = handles
             .iter()
             .enumerate()
             .map(|(job_index, handle)| match handle.wait() {
-                JobOutcome::Done(result) => BatchJobResult {
+                JobOutcome::Done(result) => Ok(BatchJobResult {
                     label: handle.label().to_string(),
                     job_index,
                     result,
-                },
-                JobOutcome::Failed(message) => {
-                    panic!("batch job `{}` panicked: {message}", handle.label())
-                }
-                JobOutcome::Cancelled => {
-                    // Unreachable through this wrapper: the handles never
-                    // escape, so nothing can cancel them.
-                    panic!("batch job `{}` was cancelled mid-batch", handle.label())
-                }
+                }),
+                JobOutcome::Failed(message) => Err(BatchJobFailure {
+                    label: handle.label().to_string(),
+                    job_index,
+                    error: BatchJobError::Panicked(message),
+                }),
+                JobOutcome::Cancelled => Err(BatchJobFailure {
+                    label: handle.label().to_string(),
+                    job_index,
+                    error: BatchJobError::Cancelled,
+                }),
             })
             .collect();
         let elapsed = started.elapsed();
 
         let after = self.state.cache_stats();
-        BatchResult {
+        TryBatchResult {
             results,
             distinct_topologies,
             elapsed,
@@ -980,6 +1136,15 @@ impl Compiler {
     /// Returns `true` when the session has a persistent on-disk tier.
     pub fn persistence_enabled(&self) -> bool {
         self.state.persist.is_some()
+    }
+
+    /// Build-time warnings — non-fatal degradations the builder chose
+    /// over aborting (today: a [`CompilerBuilder::persist_dir`] that
+    /// could not be opened, degrading the session to memory-only).
+    /// Empty for a cleanly built session. Servers surface these on
+    /// startup; library callers may log or ignore them.
+    pub fn diagnostics(&self) -> &[String] {
+        &self.state.diagnostics
     }
 
     /// Number of results currently held by the cache.

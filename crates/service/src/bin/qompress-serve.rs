@@ -4,7 +4,7 @@
 //! qompress-serve --tcp 127.0.0.1:7878 [--workers N] [--cache-capacity N]
 //! qompress-serve --unix /tmp/qompress.sock [--workers N]
 //! qompress-serve --tcp ADDR --cache-dir /var/cache/qompress \
-//!                [--cache-disk-bytes N]
+//!                [--cache-disk-bytes N] [--drain-timeout SECS]
 //! ```
 //!
 //! One long-lived `Compiler` session (shared worker pool, topology
@@ -17,7 +17,19 @@
 //! corruption-checked, capped at `--cache-disk-bytes`, default 1 GiB),
 //! and a restarted server pointed at the same directory serves previously
 //! compiled circuits as disk hits instead of recompiling. Several server
-//! processes may share one directory.
+//! processes may share one directory. An unopenable cache dir does
+//! **not** abort the server — it starts memory-only and prints the
+//! degradation warning to stderr.
+//!
+//! ## Graceful drain
+//!
+//! On `SIGINT`/`SIGTERM` (unix) the server drains instead of dying
+//! mid-job: the listener stops accepting, new submits on live
+//! connections answer `{"ok":false,"draining":true,…}`, and the process
+//! waits up to `--drain-timeout` seconds (default 30; `0` skips the
+//! wait) for queued + running jobs to reach zero — which also flushes
+//! their disk write-backs, since persistence happens inside each job —
+//! before exiting.
 //!
 //! Admission limits (all optional; see `ServiceLimits` for the
 //! defaults):
@@ -32,19 +44,61 @@
 //!   --max-queue-depth N       queue depth before `busy` backpressure
 //!   --idle-timeout-secs N     close idle connections (0 disables;
 //!                             default 300)
+//!   --drain-timeout SECS      in-flight-job wait on shutdown signal
+//!                             (0 skips the wait; default 30)
 //! ```
 
 use qompress::Compiler;
-use qompress_service::{ServiceLimits, DEFAULT_DISK_CACHE_BYTES};
+use qompress_service::{DrainHandle, ServiceLimits, DEFAULT_DISK_CACHE_BYTES};
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The binary's default idle timeout. The library default is `None`
 /// (callers owning the transport rarely want one), but a socket server
 /// exposed to real clients should not hold fds for silent peers
 /// forever.
 const DEFAULT_IDLE_TIMEOUT_SECS: u64 = 300;
+
+/// Default wait for in-flight jobs after a shutdown signal.
+const DEFAULT_DRAIN_TIMEOUT_SECS: u64 = 30;
+
+/// Minimal signal plumbing on top of `signal(2)` — the offline build has
+/// no libc crate, and all the handler may safely do is flip an atomic.
+/// A watcher thread translates the flag into a [`DrainHandle`] trip.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    /// Async-signal-safe handler: a relaxed atomic store and nothing
+    /// else.
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::Release);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    /// Installs the handler for `SIGINT` and `SIGTERM`.
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+
+    /// Whether a shutdown signal has arrived.
+    pub fn received() -> bool {
+        SHUTDOWN.load(Ordering::Acquire)
+    }
+}
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -53,9 +107,31 @@ fn usage() -> ExitCode {
          [--cache-disk-bytes N] [--max-qubits N] \
          [--max-gates N] [--max-topology N] [--max-concurrent-jobs N] \
          [--max-total-jobs N] [--max-sweep-bindings N] \
-         [--max-queue-depth N] [--idle-timeout-secs N]"
+         [--max-queue-depth N] [--idle-timeout-secs N] \
+         [--drain-timeout SECS]"
     );
     ExitCode::from(2)
+}
+
+/// Waits for the session's queued + running jobs to reach zero, up to
+/// `timeout` — the in-flight half of a graceful drain. Returns whether
+/// the session fully drained.
+fn await_inflight(session: &Compiler, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let m = session.service_metrics();
+        if m.queued == 0 && m.running == 0 {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            eprintln!(
+                "qompress-serve: drain timeout with {} queued / {} running job(s) left",
+                m.queued, m.running
+            );
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
 }
 
 fn main() -> ExitCode {
@@ -65,6 +141,7 @@ fn main() -> ExitCode {
     let mut cache_capacity: Option<usize> = None;
     let mut cache_dir: Option<String> = None;
     let mut cache_disk_bytes = DEFAULT_DISK_CACHE_BYTES;
+    let mut drain_timeout_secs = DEFAULT_DRAIN_TIMEOUT_SECS;
     let mut limits = ServiceLimits {
         idle_timeout: Some(Duration::from_secs(DEFAULT_IDLE_TIMEOUT_SECS)),
         ..ServiceLimits::default()
@@ -127,6 +204,7 @@ fn main() -> ExitCode {
                     None => return usage(),
                 }
             }
+            "--drain-timeout" => count_flag!("--drain-timeout" => drain_timeout_secs),
             _ => {
                 eprintln!("unknown flag `{flag}`");
                 return usage();
@@ -139,21 +217,42 @@ fn main() -> ExitCode {
         builder = builder.cache_capacity(capacity);
     }
     if let Some(dir) = &cache_dir {
-        // Pre-flight the directory for a friendly CLI error; the builder
-        // itself panics on an unopenable persist dir (a deployment
-        // error), which is uglier than exit-with-message.
-        if let Err(err) = std::fs::create_dir_all(dir) {
-            eprintln!("cannot create cache dir {dir}: {err}");
-            return ExitCode::FAILURE;
-        }
+        // Best-effort pre-create; failure is not fatal — the builder
+        // degrades to memory-only and reports it as a diagnostic below.
+        let _ = std::fs::create_dir_all(dir);
         builder = builder.persist_dir(dir).persist_max_bytes(cache_disk_bytes);
     }
     let session = Arc::new(builder.build());
+    for warning in session.diagnostics() {
+        eprintln!("qompress-serve: warning: {warning}");
+    }
     if let Some(dir) = &cache_dir {
-        eprintln!("qompress-serve: persistent cache at {dir} (cap {cache_disk_bytes} bytes)");
+        if session.persistence_enabled() {
+            eprintln!("qompress-serve: persistent cache at {dir} (cap {cache_disk_bytes} bytes)");
+        }
     }
 
-    match (tcp, unix) {
+    // Shutdown signal → drain trip, via a watcher thread (the handler
+    // itself may only flip an atomic).
+    let drain = DrainHandle::new();
+    #[cfg(unix)]
+    {
+        signals::install();
+        let drain = drain.clone();
+        std::thread::Builder::new()
+            .name("qompress-serve-signals".to_string())
+            .spawn(move || loop {
+                if signals::received() {
+                    eprintln!("qompress-serve: shutdown signal — draining");
+                    drain.trigger();
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            })
+            .expect("spawn signal watcher");
+    }
+
+    let served = match (tcp, unix) {
         (Some(addr), None) => {
             let listener = match std::net::TcpListener::bind(&addr) {
                 Ok(l) => l,
@@ -167,11 +266,12 @@ fn main() -> ExitCode {
                 listener.local_addr().map_or(addr, |a| a.to_string()),
                 session.workers()
             );
-            if let Err(err) = qompress_service::serve_tcp_with_limits(listener, session, limits) {
-                eprintln!("accept failed: {err}");
-                return ExitCode::FAILURE;
-            }
-            ExitCode::SUCCESS
+            qompress_service::serve_tcp_draining(
+                listener,
+                Arc::clone(&session),
+                limits,
+                drain.clone(),
+            )
         }
         #[cfg(unix)]
         (None, Some(path)) => {
@@ -186,12 +286,30 @@ fn main() -> ExitCode {
                 "qompress-serve: unix {path} ({} workers)",
                 session.workers()
             );
-            if let Err(err) = qompress_service::serve_unix_with_limits(listener, session, limits) {
-                eprintln!("accept failed: {err}");
-                return ExitCode::FAILURE;
-            }
-            ExitCode::SUCCESS
+            qompress_service::serve_unix_draining(
+                listener,
+                Arc::clone(&session),
+                limits,
+                drain.clone(),
+            )
         }
-        _ => usage(),
+        _ => return usage(),
+    };
+    if let Err(err) = served {
+        eprintln!("accept failed: {err}");
+        return ExitCode::FAILURE;
     }
+
+    // The accept loop returned: the drain tripped. Wait out in-flight
+    // jobs (bounded), which also flushes their disk write-backs — each
+    // job persists its own result before reporting done.
+    if drain_timeout_secs > 0 {
+        await_inflight(&session, Duration::from_secs(drain_timeout_secs));
+    }
+    let m = session.service_metrics();
+    eprintln!(
+        "qompress-serve: drained ({} completed, {} cancelled, {} failed)",
+        m.completed, m.cancelled, m.failed
+    );
+    ExitCode::SUCCESS
 }

@@ -5,13 +5,27 @@
 //! server's single response stream: every request gets exactly one
 //! response, and asynchronous completion events arriving in between are
 //! buffered for [`ServiceClient::next_event`].
+//!
+//! ## Retry and reconnect
+//!
+//! Submits can be made resilient with a [`RetryPolicy`]
+//! ([`ServiceClient::set_retry_policy`]): `busy` backpressure rejections
+//! and — when a reconnect hook is installed
+//! ([`ServiceClient::set_reconnect`]) — transport failures are retried
+//! with exponential backoff and deterministic jitter, up to the policy's
+//! attempt and deadline caps. Resubmitting after a reconnect is safe
+//! because results are **content-addressed**: a duplicate submit of the
+//! same job is served from the server's cache, never recompiled into a
+//! divergent result. Exact retry traffic is reported by
+//! [`ServiceClient::retry_stats`].
 
 use crate::json::Json;
 use crate::proto::{Request, ServiceEvent};
-use qompress::{CacheStats, ServiceMetrics, Strategy, TieredCacheStats};
+use qompress::{BreakerState, CacheStats, ServiceMetrics, Strategy, TieredCacheStats};
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::{self, BufRead, Write};
+use std::time::{Duration, Instant};
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -42,6 +56,14 @@ pub enum ServiceError {
         /// The server's human-readable message.
         message: String,
     },
+    /// The server is draining toward shutdown
+    /// (`{"ok":false,"draining":true,…}`): it accepts no new jobs and
+    /// will not recover on this connection — submit elsewhere. Never
+    /// retried by a [`RetryPolicy`].
+    Draining {
+        /// The server's human-readable message.
+        message: String,
+    },
     /// The server answered `{"ok":false,…}` with this message.
     Remote(String),
 }
@@ -61,6 +83,7 @@ impl fmt::Display for ServiceError {
                 limit,
                 message,
             } => write!(f, "service quota `{kind}` (limit {limit}): {message}"),
+            ServiceError::Draining { message } => write!(f, "service draining: {message}"),
             ServiceError::Remote(msg) => write!(f, "service error: {msg}"),
         }
     }
@@ -91,22 +114,167 @@ pub struct StatsSnapshot {
     pub hit_rate: f64,
 }
 
+/// How a [`ServiceClient`] retries submits that hit transient failures:
+/// `busy` backpressure, and — with a reconnect hook installed —
+/// transport errors.
+///
+/// The delay before retry `i` (zero-based) is `base_delay · 2^i`,
+/// capped at `max_delay`, then scaled into `[0.5, 1.0)` by
+/// deterministic jitter (a hash of `seed` and the retry index — two
+/// clients with different seeds desynchronize, one client replays
+/// identically). Retries stop when `max_attempts` total attempts were
+/// made or the next sleep would cross `deadline`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, first try included (clamped to ≥ 1; `1` means no
+    /// retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_delay: Duration,
+    /// Upper bound on a single backoff sleep.
+    pub max_delay: Duration,
+    /// Wall-clock budget across all attempts; `None` means unbounded.
+    pub deadline: Option<Duration>,
+    /// Scale each sleep by a deterministic factor in `[0.5, 1.0)`.
+    pub jitter: bool,
+    /// Seed of the jitter hash.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: every failure surfaces immediately (the default).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            deadline: None,
+            jitter: false,
+            seed: 0,
+        }
+    }
+
+    /// A production-shaped policy: 6 attempts, 25 ms base delay doubling
+    /// to a 1 s cap, 30 s deadline, jitter on.
+    pub fn standard() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base_delay: Duration::from_millis(25),
+            max_delay: Duration::from_secs(1),
+            deadline: Some(Duration::from_secs(30)),
+            jitter: true,
+            seed: 0x716f_6d70_7265_7373, // "qompress"
+        }
+    }
+
+    /// The backoff sleep before retry `retry_index` (zero-based):
+    /// exponential, capped, jittered.
+    pub fn delay_for(&self, retry_index: u32) -> Duration {
+        let unjittered = self
+            .base_delay
+            .saturating_mul(1u32.checked_shl(retry_index).unwrap_or(u32::MAX))
+            .min(self.max_delay);
+        if !self.jitter {
+            return unjittered;
+        }
+        let hash = splitmix64(self.seed ^ u64::from(retry_index) ^ 0x9E37_79B9_7F4A_7C15);
+        // Top 53 bits → a uniform fraction in [0, 1), folded to [0.5, 1).
+        let fraction = 0.5 + (hash >> 11) as f64 / (1u64 << 53) as f64 * 0.5;
+        unjittered.mul_f64(fraction)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+/// One round of the splitmix64 mixer — a tiny, dependency-free way to
+/// turn (seed, retry index) into uniform jitter bits.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Exact retry traffic of one [`ServiceClient`] (see
+/// [`ServiceClient::retry_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryStats {
+    /// Submits retried after a `busy` backpressure rejection.
+    pub busy_retries: u64,
+    /// Transports re-established by the reconnect hook.
+    pub reconnects: u64,
+    /// Retryable failures abandoned at the attempt or deadline cap (the
+    /// error then surfaced to the caller).
+    pub give_ups: u64,
+}
+
+/// The reconnect hook: dials a fresh transport to the same server.
+type ReconnectFn<R, W> = Box<dyn FnMut() -> io::Result<(R, W)> + Send>;
+
 /// A blocking wire-protocol client over any transport.
-#[derive(Debug)]
 pub struct ServiceClient<R, W> {
     reader: R,
     writer: W,
     pending_events: VecDeque<ServiceEvent>,
+    retry: RetryPolicy,
+    retry_stats: RetryStats,
+    reconnect: Option<ReconnectFn<R, W>>,
+}
+
+impl<R, W> fmt::Debug for ServiceClient<R, W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceClient")
+            .field("pending_events", &self.pending_events.len())
+            .field("retry", &self.retry)
+            .field("retry_stats", &self.retry_stats)
+            .field("reconnect", &self.reconnect.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<R: BufRead, W: Write> ServiceClient<R, W> {
-    /// Wraps a connected transport.
+    /// Wraps a connected transport (no retries — see
+    /// [`ServiceClient::set_retry_policy`]).
     pub fn new(reader: R, writer: W) -> Self {
         ServiceClient {
             reader,
             writer,
             pending_events: VecDeque::new(),
+            retry: RetryPolicy::none(),
+            retry_stats: RetryStats::default(),
+            reconnect: None,
         }
+    }
+
+    /// Sets the retry policy applied to [`ServiceClient::submit`] and
+    /// [`ServiceClient::submit_sweep`].
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// Builder-style [`ServiceClient::set_retry_policy`].
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Installs a reconnect hook: on a transport error during a
+    /// retryable request, the hook dials a fresh `(reader, writer)` pair
+    /// to the same server and the request is resubmitted there (safe:
+    /// results are content-addressed, so a duplicate submit is a cache
+    /// hit, never a divergent recompile). Without a hook, transport
+    /// errors are never retried.
+    pub fn set_reconnect(&mut self, dial: impl FnMut() -> io::Result<(R, W)> + Send + 'static) {
+        self.reconnect = Some(Box::new(dial));
+    }
+
+    /// Exact retry traffic so far (zeros until a retry happens).
+    pub fn retry_stats(&self) -> RetryStats {
+        self.retry_stats
     }
 
     /// Submits one job; returns the server-assigned job id.
@@ -117,7 +285,7 @@ impl<R: BufRead, W: Write> ServiceClient<R, W> {
         topology_spec: &str,
         qasm: &str,
     ) -> Result<u64, ServiceError> {
-        let response = self.request(&Request::Submit {
+        let response = self.request_retrying(&Request::Submit {
             label: label.to_string(),
             strategy,
             topology: topology_spec.to_string(),
@@ -142,7 +310,7 @@ impl<R: BufRead, W: Write> ServiceClient<R, W> {
         qasm: &str,
         bindings: &[Vec<f64>],
     ) -> Result<Vec<u64>, ServiceError> {
-        let response = self.request(&Request::SubmitSweep {
+        let response = self.request_retrying(&Request::SubmitSweep {
             label: label.to_string(),
             strategy,
             topology: topology_spec.to_string(),
@@ -260,6 +428,17 @@ impl<R: BufRead, W: Write> ServiceClient<R, W> {
                 disk_writes: tier_counter("disk_writes")?,
                 disk_rejects: tier_counter("disk_rejects")?,
                 disk_write_errors: tier_counter("disk_write_errors")?,
+                disk_read_errors: tier_counter("disk_read_errors")?,
+                disk_skipped: tier_counter("disk_skipped")?,
+                breaker_trips: tier_counter("breaker_trips")?,
+                breaker_probes: tier_counter("breaker_probes")?,
+                breaker_state: tiers
+                    .get("breaker_state")
+                    .and_then(Json::as_str)
+                    .and_then(BreakerState::from_name)
+                    .ok_or_else(|| {
+                        ServiceError::Protocol("stats missing tiers `breaker_state`".into())
+                    })?,
             },
             hit_rate: cache.get("hit_rate").and_then(Json::as_f64).unwrap_or(0.0),
         })
@@ -289,6 +468,61 @@ impl<R: BufRead, W: Write> ServiceClient<R, W> {
             None => Err(ServiceError::Protocol(format!(
                 "expected an event, got response `{value}`"
             ))),
+        }
+    }
+
+    /// [`ServiceClient::request`] under the client's [`RetryPolicy`]:
+    /// `busy` rejections — and, with a reconnect hook, transport errors
+    /// — are retried with backoff until the policy's attempt or
+    /// deadline cap. Everything else surfaces immediately.
+    fn request_retrying(&mut self, request: &Request) -> Result<Json, ServiceError> {
+        let policy = self.retry;
+        let started = Instant::now();
+        let mut retry_index: u32 = 0;
+        loop {
+            let err = match self.request(request) {
+                Ok(value) => return Ok(value),
+                Err(err) => err,
+            };
+            let retryable = match &err {
+                ServiceError::Busy { .. } => true,
+                ServiceError::Io(_) => self.reconnect.is_some(),
+                _ => false,
+            };
+            // A single-attempt policy is "retries off": errors surface
+            // untouched and uncounted, exactly like the pre-policy client.
+            if !retryable || policy.max_attempts <= 1 {
+                return Err(err);
+            }
+            if u64::from(retry_index) + 1 >= u64::from(policy.max_attempts) {
+                self.retry_stats.give_ups += 1;
+                return Err(err);
+            }
+            let delay = policy.delay_for(retry_index);
+            if let Some(deadline) = policy.deadline {
+                if started.elapsed() + delay > deadline {
+                    self.retry_stats.give_ups += 1;
+                    return Err(err);
+                }
+            }
+            std::thread::sleep(delay);
+            match err {
+                ServiceError::Busy { .. } => {
+                    self.retry_stats.busy_retries += 1;
+                }
+                ServiceError::Io(_) => {
+                    // Dial a fresh transport; a failed dial just burns
+                    // this attempt and backs off further.
+                    let dial = self.reconnect.as_mut().expect("retryable implies hook");
+                    if let Ok((reader, writer)) = dial() {
+                        self.reader = reader;
+                        self.writer = writer;
+                        self.retry_stats.reconnects += 1;
+                    }
+                }
+                _ => unreachable!("only busy/io are retryable"),
+            }
+            retry_index += 1;
         }
     }
 
@@ -322,6 +556,11 @@ impl<R: BufRead, W: Write> ServiceClient<R, W> {
             .and_then(Json::as_str)
             .unwrap_or("unspecified server error")
             .to_string();
+        // Draining wins over busy: a draining server is *not* coming
+        // back, so the retry loop must not treat it as backpressure.
+        if value.get("draining").and_then(Json::as_bool) == Some(true) {
+            return ServiceError::Draining { message };
+        }
         if value.get("busy").and_then(Json::as_bool) == Some(true) {
             return ServiceError::Busy {
                 queue_depth: value.get("queue_depth").and_then(Json::as_u64).unwrap_or(0),

@@ -38,6 +38,22 @@
 //! * an idle connection is written one final `{"ok":false,"error":"…",
 //!   "timeout":true}` line, then closed.
 //!
+//! ## Resilience: retry, reconnect, drain
+//!
+//! [`ServiceClient`] can retry transient failures under a
+//! [`RetryPolicy`] (exponential backoff with deterministic jitter,
+//! attempt/deadline caps): `busy` rejections always qualify, and
+//! transport errors qualify once a reconnect hook is installed
+//! ([`ServiceClient::set_reconnect`]) — resubmitting after a reconnect
+//! is safe because results are content-addressed. On the server side, a
+//! [`DrainHandle`] turns the `*_draining` entry points
+//! ([`serve_tcp_draining`], [`serve_unix_draining`],
+//! [`serve_duplex_draining`]) into gracefully stoppable servers: once
+//! tripped, the accept loop returns, new submits answer
+//! `{"ok":false,"draining":true,…}` ([`ServiceError::Draining`], never
+//! retried), and in-flight jobs finish with their events still
+//! streaming.
+//!
 //! Below the limits sit parser-level DoS bounds that hold regardless of
 //! configuration: request lines are capped at 16 MiB, JSON nesting at
 //! [`json::MAX_DEPTH`] levels, QASM register totals at the configured
@@ -75,6 +91,7 @@
 
 #![warn(missing_docs)]
 
+mod drain;
 pub mod json;
 mod limits;
 mod loopback;
@@ -83,13 +100,17 @@ pub mod proto;
 mod client;
 mod server;
 
-pub use client::{ServiceClient, ServiceError, StatsSnapshot};
+pub use client::{RetryPolicy, RetryStats, ServiceClient, ServiceError, StatsSnapshot};
+pub use drain::DrainHandle;
 pub use limits::{ServiceLimits, DEFAULT_DISK_CACHE_BYTES};
 pub use loopback::{loopback, LoopbackEnd, LoopbackReader, LoopbackWriter};
 pub use proto::{
     parse_topology_spec, parse_topology_spec_bounded, result_fingerprint, strategy_by_name,
     Request, ServiceEvent, WireMetrics, DEFAULT_MAX_TOPOLOGY_NODES,
 };
-pub use server::{serve_duplex, serve_duplex_with_limits, serve_tcp, serve_tcp_with_limits};
+pub use server::{
+    serve_duplex, serve_duplex_draining, serve_duplex_with_limits, serve_tcp, serve_tcp_draining,
+    serve_tcp_with_limits,
+};
 #[cfg(unix)]
-pub use server::{serve_unix, serve_unix_with_limits};
+pub use server::{serve_unix, serve_unix_draining, serve_unix_with_limits};

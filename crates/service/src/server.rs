@@ -17,6 +17,7 @@
 //! answers `busy` responses with the current depth, and the idle timeout
 //! writes a final `timeout` line before closing.
 
+use crate::drain::DrainHandle;
 use crate::json::escape;
 use crate::limits::ServiceLimits;
 use crate::proto::{
@@ -77,7 +78,14 @@ where
     R: Read,
     W: Write + Send + 'static,
 {
-    serve_conn(session, reader, writer, true, ServiceLimits::default())
+    serve_conn(
+        session,
+        reader,
+        writer,
+        true,
+        ServiceLimits::default(),
+        None,
+    )
 }
 
 /// [`serve_duplex`] with explicit admission limits. The transport's own
@@ -95,7 +103,27 @@ where
     R: Read,
     W: Write + Send + 'static,
 {
-    serve_conn(session, reader, writer, true, limits)
+    serve_conn(session, reader, writer, true, limits, None)
+}
+
+/// [`serve_duplex_with_limits`] watching a [`DrainHandle`]: once the
+/// handle trips, new `submit`/`submit_sweep` requests on this connection
+/// answer `{"ok":false,"draining":true,…}` while every other op (and
+/// the event stream for already-admitted jobs) keeps working. The
+/// connection still runs to EOF — drain stops *work intake*, not
+/// conversations.
+pub fn serve_duplex_draining<R, W>(
+    session: Arc<Compiler>,
+    reader: R,
+    writer: W,
+    limits: ServiceLimits,
+    drain: DrainHandle,
+) -> io::Result<()>
+where
+    R: Read,
+    W: Write + Send + 'static,
+{
+    serve_conn(session, reader, writer, true, limits, Some(drain))
 }
 
 /// Per-connection admission state: the lifetime job count, the uploaded
@@ -107,9 +135,15 @@ struct ConnState<'a> {
     outstanding: &'a AtomicUsize,
     total_jobs: u64,
     topologies: HashMap<String, Topology>,
+    /// The server's drain flag; `None` on non-draining entry points.
+    drain: Option<&'a DrainHandle>,
 }
 
 impl ConnState<'_> {
+    /// Whether the server is draining — submits must be rejected.
+    fn draining(&self) -> bool {
+        self.drain.is_some_and(DrainHandle::is_draining)
+    }
     /// Admission control for `n_jobs` new jobs: the lifetime quota, the
     /// outstanding-jobs quota, then queue-depth backpressure — all
     /// before any parsing or compilation work is spent on the request.
@@ -235,6 +269,7 @@ fn serve_conn<R, W>(
     writer: W,
     admin: bool,
     limits: ServiceLimits,
+    drain: Option<DrainHandle>,
 ) -> io::Result<()>
 where
     R: Read,
@@ -262,6 +297,7 @@ where
         outstanding: &outstanding,
         total_jobs: 0,
         topologies: HashMap::new(),
+        drain: drain.as_ref(),
     };
 
     let mut result = Ok(());
@@ -414,8 +450,12 @@ fn handle_line(
             topology,
             qasm,
         } => {
-            // Quotas and backpressure first — they cost a counter read,
-            // while parsing a hostile multi-megabyte payload does not.
+            // Drain first, then quotas and backpressure — all cost a
+            // flag/counter read, while parsing a hostile multi-megabyte
+            // payload does not.
+            if conn.draining() {
+                return draining_line();
+            }
             if let Err(response) = conn.admit(1) {
                 return response;
             }
@@ -464,6 +504,9 @@ fn handle_line(
             qasm,
             bindings,
         } => {
+            if conn.draining() {
+                return draining_line();
+            }
             if bindings.len() > conn.limits.max_sweep_bindings {
                 return quota_line(
                     "sweep_bindings",
@@ -612,6 +655,13 @@ fn busy_line(depth: usize, limit: usize) -> String {
     )
 }
 
+/// A structured drain rejection: the server is shutting down and takes
+/// no new work — submit elsewhere; do not retry here.
+fn draining_line() -> String {
+    "{\"ok\":false,\"error\":\"server is draining: no new jobs accepted\",\"draining\":true}"
+        .to_string()
+}
+
 /// The final line an idle connection is sent before the server closes it.
 fn idle_timeout_line(timeout: Option<Duration>) -> String {
     let detail = match timeout {
@@ -667,11 +717,65 @@ pub fn serve_tcp_with_limits(
         std::thread::Builder::new()
             .name("qompress-service-conn".to_string())
             .spawn(move || {
-                let _ = serve_conn(session, reader, stream, false, limits);
+                let _ = serve_conn(session, reader, stream, false, limits, None);
             })
             .expect("spawn connection thread");
     }
     Ok(())
+}
+
+/// How long a draining accept loop sleeps between polls of its
+/// (nonblocking) listener and the drain flag.
+const DRAIN_POLL: Duration = Duration::from_millis(25);
+
+/// [`serve_tcp_with_limits`] watching a [`DrainHandle`]: the listener is
+/// switched to nonblocking so the accept loop can poll the flag, and the
+/// call **returns `Ok(())` once the handle trips** — no new connections
+/// are accepted from that point. Connections already being served keep
+/// running (their submits answer `draining`, their event streams flush);
+/// waiting out in-flight jobs is the caller's next step (see
+/// `qompress-serve --drain-timeout`).
+///
+/// # Errors
+///
+/// Returns the first `accept` error; per-connection I/O errors only end
+/// their own connection thread.
+pub fn serve_tcp_draining(
+    listener: TcpListener,
+    session: Arc<Compiler>,
+    limits: ServiceLimits,
+    drain: DrainHandle,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    loop {
+        if drain.is_draining() {
+            return Ok(());
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                // The accepted stream inherits nonblocking from the
+                // listener on some platforms — undo that before handing
+                // it to the blocking per-connection reader.
+                stream.set_nonblocking(false)?;
+                let _ = stream.set_read_timeout(limits.idle_timeout);
+                let session = Arc::clone(&session);
+                let limits = limits.clone();
+                let drain = drain.clone();
+                let reader = stream.try_clone()?;
+                std::thread::Builder::new()
+                    .name("qompress-service-conn".to_string())
+                    .spawn(move || {
+                        let _ = serve_conn(session, reader, stream, false, limits, Some(drain));
+                    })
+                    .expect("spawn connection thread");
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(DRAIN_POLL);
+            }
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(err) => return Err(err),
+        }
+    }
 }
 
 /// [`serve_tcp`] over a Unix-domain socket listener.
@@ -711,9 +815,53 @@ pub fn serve_unix_with_limits(
         std::thread::Builder::new()
             .name("qompress-service-conn".to_string())
             .spawn(move || {
-                let _ = serve_conn(session, reader, stream, false, limits);
+                let _ = serve_conn(session, reader, stream, false, limits, None);
             })
             .expect("spawn connection thread");
     }
     Ok(())
+}
+
+/// [`serve_tcp_draining`] over a Unix-domain socket listener: returns
+/// `Ok(())` once the handle trips; already-accepted connections keep
+/// running with submits answering `draining`.
+///
+/// # Errors
+///
+/// Returns the first `accept` error; per-connection I/O errors only end
+/// their own connection thread.
+#[cfg(unix)]
+pub fn serve_unix_draining(
+    listener: std::os::unix::net::UnixListener,
+    session: Arc<Compiler>,
+    limits: ServiceLimits,
+    drain: DrainHandle,
+) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    loop {
+        if drain.is_draining() {
+            return Ok(());
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                stream.set_nonblocking(false)?;
+                let _ = stream.set_read_timeout(limits.idle_timeout);
+                let session = Arc::clone(&session);
+                let limits = limits.clone();
+                let drain = drain.clone();
+                let reader = stream.try_clone()?;
+                std::thread::Builder::new()
+                    .name("qompress-service-conn".to_string())
+                    .spawn(move || {
+                        let _ = serve_conn(session, reader, stream, false, limits, Some(drain));
+                    })
+                    .expect("spawn connection thread");
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(DRAIN_POLL);
+            }
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(err) => return Err(err),
+        }
+    }
 }

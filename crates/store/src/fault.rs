@@ -1,0 +1,250 @@
+//! Deterministic I/O fault injection for [`crate::DiskStore`].
+//!
+//! A [`FaultPlan`] is an injectable schedule of I/O failures threaded
+//! through every store operation (load / store / evict), so each disk
+//! failure mode the serving stack must survive — a full disk, a
+//! permission flip, a torn write, a stalling device — is reproducible in
+//! a unit test or a chaos gate instead of waiting for production to roll
+//! the dice. The plan is shared (`Clone` is a handle to the same
+//! schedule), thread-safe, and mutable at runtime: a chaos harness can
+//! [`FaultPlan::heal`] the "disk" mid-run and watch the stack recover.
+//!
+//! The default plan ([`FaultPlan::none`]) injects nothing and costs one
+//! enum match per operation; production stores use exactly that.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Which [`crate::DiskStore`] operation a fault check is guarding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Reading an entry ([`crate::DiskStore::load`]).
+    Load,
+    /// Committing an entry ([`crate::DiskStore::store`]).
+    Store,
+    /// Removing an entry — explicit [`crate::DiskStore::remove`] or a
+    /// cap-enforcement eviction.
+    Evict,
+}
+
+/// The failure an armed fault injects when its schedule triggers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A generic I/O error ([`std::io::ErrorKind::Other`]).
+    Io,
+    /// Disk full / ENOSPC ([`std::io::ErrorKind::StorageFull`]).
+    DiskFull,
+    /// Permission denied / EACCES
+    /// ([`std::io::ErrorKind::PermissionDenied`]).
+    PermissionDenied,
+    /// A torn (short) write: the store commits only a prefix of the
+    /// envelope **and reports success** — a lying disk. The next load of
+    /// the entry fails envelope validation and degrades to a miss.
+    /// Meaningful on [`FaultOp::Store`] only; on other ops it injects
+    /// nothing.
+    TornWrite,
+    /// The operation stalls for this long, then proceeds normally — a
+    /// slow device rather than a broken one.
+    Slow(Duration),
+}
+
+/// The trigger schedule of a plan.
+#[derive(Debug, Clone, Copy)]
+enum Schedule {
+    /// Inject nothing (the production plan).
+    Never,
+    /// Every `n`-th in-scope operation fails (`n = 1` means every one).
+    EveryNth { n: u64, kind: FaultKind },
+    /// The first `k` in-scope operations fail, then the disk heals.
+    First { k: u64, kind: FaultKind },
+    /// Every in-scope operation fails until [`FaultPlan::heal`].
+    Always { kind: FaultKind },
+}
+
+#[derive(Debug)]
+struct PlanInner {
+    schedule: Mutex<Schedule>,
+    /// Operation scope; `None` means every operation is in scope.
+    ops: Mutex<Option<Vec<FaultOp>>>,
+    /// In-scope operations checked so far (drives the `EveryNth`/`First`
+    /// cadence deterministically).
+    matched: AtomicU64,
+    /// Faults actually injected.
+    injected: AtomicU64,
+}
+
+/// A shared, runtime-mutable fault schedule for a [`crate::DiskStore`]
+/// (see the module docs). `Clone` hands out another handle to the *same*
+/// schedule and counters, so a test can keep one handle while the store
+/// owns the other.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    inner: Arc<PlanInner>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    fn with_schedule(schedule: Schedule) -> Self {
+        FaultPlan {
+            inner: Arc::new(PlanInner {
+                schedule: Mutex::new(schedule),
+                ops: Mutex::new(None),
+                matched: AtomicU64::new(0),
+                injected: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A plan that injects nothing — the production default.
+    pub fn none() -> Self {
+        FaultPlan::with_schedule(Schedule::Never)
+    }
+
+    /// Every `n`-th in-scope operation fails with `kind` (`n` is clamped
+    /// to at least 1; `n = 1` fails every operation).
+    pub fn every_nth(n: u64, kind: FaultKind) -> Self {
+        FaultPlan::with_schedule(Schedule::EveryNth { n: n.max(1), kind })
+    }
+
+    /// The first `k` in-scope operations fail with `kind`; the disk then
+    /// behaves from the `k+1`-th on.
+    pub fn first(k: u64, kind: FaultKind) -> Self {
+        FaultPlan::with_schedule(Schedule::First { k, kind })
+    }
+
+    /// Every in-scope operation fails with `kind` until
+    /// [`FaultPlan::heal`].
+    pub fn always(kind: FaultKind) -> Self {
+        FaultPlan::with_schedule(Schedule::Always { kind })
+    }
+
+    /// Restricts the plan to `ops` (builder-style); operations outside
+    /// the scope never trigger and never advance the cadence. An empty
+    /// slice scopes to nothing, disarming the plan entirely.
+    pub fn on_ops(self, ops: &[FaultOp]) -> Self {
+        *self.inner.ops.lock().expect("fault plan poisoned") = Some(ops.to_vec());
+        self
+    }
+
+    /// Heals the "disk": the schedule becomes [`FaultPlan::none`]'s, on
+    /// every handle sharing this plan. Counters are kept.
+    pub fn heal(&self) {
+        *self.inner.schedule.lock().expect("fault plan poisoned") = Schedule::Never;
+    }
+
+    /// Number of faults injected so far (torn writes and slow ops count —
+    /// each is a triggered fault even though the operation "succeeds").
+    pub fn injected(&self) -> u64 {
+        self.inner.injected.load(Ordering::Relaxed)
+    }
+
+    /// Consults the schedule for one operation: `Some(kind)` when the
+    /// store must inject that fault now. Called by the store on every
+    /// load/store/evict.
+    pub(crate) fn check(&self, op: FaultOp) -> Option<FaultKind> {
+        // Fast path out for the production plan before any counter
+        // traffic, so a fault-free store stays contention-free.
+        let schedule = *self.inner.schedule.lock().expect("fault plan poisoned");
+        if matches!(schedule, Schedule::Never) {
+            return None;
+        }
+        {
+            let scope = self.inner.ops.lock().expect("fault plan poisoned");
+            if let Some(ops) = scope.as_ref() {
+                if !ops.contains(&op) {
+                    return None;
+                }
+            }
+        }
+        let nth = self.inner.matched.fetch_add(1, Ordering::Relaxed) + 1;
+        let fired = match schedule {
+            Schedule::Never => None,
+            Schedule::EveryNth { n, kind } => nth.is_multiple_of(n).then_some(kind),
+            Schedule::First { k, kind } => (nth <= k).then_some(kind),
+            Schedule::Always { kind } => Some(kind),
+        };
+        if fired.is_some() {
+            self.inner.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_fires() {
+        let plan = FaultPlan::none();
+        for _ in 0..32 {
+            assert_eq!(plan.check(FaultOp::Load), None);
+            assert_eq!(plan.check(FaultOp::Store), None);
+        }
+        assert_eq!(plan.injected(), 0);
+    }
+
+    #[test]
+    fn every_nth_cadence_is_deterministic() {
+        let plan = FaultPlan::every_nth(3, FaultKind::DiskFull);
+        let fired: Vec<bool> = (0..9)
+            .map(|_| plan.check(FaultOp::Store).is_some())
+            .collect();
+        assert_eq!(
+            fired,
+            [false, false, true, false, false, true, false, false, true]
+        );
+        assert_eq!(plan.injected(), 3);
+    }
+
+    #[test]
+    fn every_nth_clamps_zero_to_one() {
+        let plan = FaultPlan::every_nth(0, FaultKind::Io);
+        assert_eq!(plan.check(FaultOp::Load), Some(FaultKind::Io));
+        assert_eq!(plan.check(FaultOp::Load), Some(FaultKind::Io));
+    }
+
+    #[test]
+    fn first_k_then_healed() {
+        let plan = FaultPlan::first(2, FaultKind::PermissionDenied);
+        assert!(plan.check(FaultOp::Store).is_some());
+        assert!(plan.check(FaultOp::Store).is_some());
+        assert_eq!(plan.check(FaultOp::Store), None);
+        assert_eq!(plan.injected(), 2);
+    }
+
+    #[test]
+    fn scope_filters_and_does_not_advance_cadence() {
+        let plan = FaultPlan::every_nth(2, FaultKind::Io).on_ops(&[FaultOp::Store]);
+        // Loads are out of scope: no trigger, and no cadence advance.
+        assert_eq!(plan.check(FaultOp::Load), None);
+        assert_eq!(plan.check(FaultOp::Load), None);
+        assert_eq!(plan.check(FaultOp::Store), None); // in-scope op 1
+        assert_eq!(plan.check(FaultOp::Store), Some(FaultKind::Io)); // op 2
+        assert_eq!(plan.injected(), 1);
+    }
+
+    #[test]
+    fn empty_scope_disarms() {
+        let plan = FaultPlan::always(FaultKind::Io).on_ops(&[]);
+        assert_eq!(plan.check(FaultOp::Load), None);
+        assert_eq!(plan.check(FaultOp::Store), None);
+        assert_eq!(plan.check(FaultOp::Evict), None);
+    }
+
+    #[test]
+    fn heal_stops_injection_on_every_handle() {
+        let plan = FaultPlan::always(FaultKind::DiskFull);
+        let other = plan.clone();
+        assert!(other.check(FaultOp::Store).is_some());
+        plan.heal();
+        assert_eq!(other.check(FaultOp::Store), None);
+        assert_eq!(plan.injected(), 1, "counters survive healing");
+    }
+}

@@ -35,6 +35,14 @@
 //!   sidecar metadata to corrupt: the index is rebuilt by scanning the
 //!   directory on open, and eviction re-scans before it removes anything.
 //!
+//! ## Fault injection
+//!
+//! Every store operation first consults an injectable [`FaultPlan`]
+//! ([`DiskStore::open_with_faults`]) so disk failure modes — ENOSPC,
+//! permission flips, torn writes, stalls — are deterministically
+//! reproducible in tests and chaos gates. The production plan
+//! ([`FaultPlan::none`], what [`DiskStore::open`] uses) injects nothing.
+//!
 //! ## Format version policy
 //!
 //! [`FORMAT_VERSION`] is bumped whenever the envelope layout *or* the
@@ -43,6 +51,10 @@
 //! replaces the entry in the new format. A shared cache directory may
 //! therefore briefly hold mixed versions while a fleet upgrades — each
 //! binary simply ignores the entries it cannot read.
+
+mod fault;
+
+pub use fault::{FaultKind, FaultOp, FaultPlan};
 
 use qompress_arch::Fingerprinter;
 use std::fs;
@@ -77,6 +89,30 @@ const TEMP_SUFFIX: &str = ".tmp";
 /// FNV-1a fingerprint of a payload, as stored in the envelope header.
 fn payload_fingerprint(payload: &[u8]) -> u64 {
     Fingerprinter::new().write_bytes(payload).finish()
+}
+
+/// Materializes a triggered fault as the `io::Error` the operation must
+/// fail with — or `None` when the fault does not error the call:
+/// [`FaultKind::Slow`] sleeps here and lets the operation proceed, and
+/// [`FaultKind::TornWrite`] is handled specially by `store` (it "succeeds"
+/// short) so it errors nothing elsewhere.
+fn injected_error(kind: FaultKind) -> Option<io::Error> {
+    match kind {
+        FaultKind::Io => Some(io::Error::other("injected I/O fault")),
+        FaultKind::DiskFull => Some(io::Error::new(
+            io::ErrorKind::StorageFull,
+            "injected disk-full (ENOSPC) fault",
+        )),
+        FaultKind::PermissionDenied => Some(io::Error::new(
+            io::ErrorKind::PermissionDenied,
+            "injected permission-denied fault",
+        )),
+        FaultKind::TornWrite => None,
+        FaultKind::Slow(delay) => {
+            std::thread::sleep(delay);
+            None
+        }
+    }
 }
 
 /// Wraps `payload` in the self-checking envelope: header (magic, format
@@ -128,13 +164,18 @@ pub fn valid_key(key: &str) -> bool {
 pub enum LoadOutcome {
     /// The entry exists and passed validation; here is its payload.
     Payload(Vec<u8>),
-    /// No entry under this key (or it was unreadable — a transient I/O
-    /// failure is indistinguishable from absence and equally a miss).
+    /// No entry under this key. Equally a miss for callers, but
+    /// distinguished from [`LoadOutcome::Failed`] so health tracking (the
+    /// session's circuit breaker) only counts real I/O trouble.
     Absent,
     /// An entry exists but failed validation (corrupt, truncated, or a
     /// different format version). It has been removed best-effort;
     /// callers treat this exactly like [`LoadOutcome::Absent`].
     Rejected,
+    /// The read itself failed with an I/O error other than not-found
+    /// (a failing disk, a permission flip, an injected fault). Callers
+    /// treat it as a miss *and* may count it against the tier's health.
+    Failed(io::ErrorKind),
 }
 
 /// One committed entry, as reported by [`DiskStore::scan`].
@@ -161,6 +202,8 @@ pub struct DiskStore {
     /// Serializes this process's eviction passes (and names temp files
     /// uniquely together with the pid).
     evict_lock: Mutex<u64>,
+    /// Injected fault schedule; [`FaultPlan::none`] in production.
+    faults: FaultPlan,
 }
 
 impl DiskStore {
@@ -176,6 +219,22 @@ impl DiskStore {
     ///
     /// Returns the error if the directory cannot be created or read.
     pub fn open(dir: impl Into<PathBuf>, max_bytes: u64) -> io::Result<Self> {
+        DiskStore::open_with_faults(dir, max_bytes, FaultPlan::none())
+    }
+
+    /// [`DiskStore::open`] with an injectable I/O fault schedule: every
+    /// subsequent load/store/evict consults `faults` first and injects
+    /// the scheduled failure. For chaos tests and resilience gates; a
+    /// production store passes [`FaultPlan::none`] (what `open` does).
+    ///
+    /// # Errors
+    ///
+    /// Returns the error if the directory cannot be created or read.
+    pub fn open_with_faults(
+        dir: impl Into<PathBuf>,
+        max_bytes: u64,
+        faults: FaultPlan,
+    ) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
         let store = DiskStore {
@@ -183,6 +242,7 @@ impl DiskStore {
             max_bytes,
             approx_bytes: AtomicU64::new(0),
             evict_lock: Mutex::new(0),
+            faults,
         };
         // Sweep temp files first so they never count against the cap.
         for entry in fs::read_dir(&store.dir)? {
@@ -234,11 +294,16 @@ impl DiskStore {
         if !valid_key(key) {
             return LoadOutcome::Absent;
         }
+        if let Some(err) = self.faults.check(FaultOp::Load).and_then(injected_error) {
+            return LoadOutcome::Failed(err.kind());
+        }
         let path = self.entry_path(key);
         let bytes = match fs::read(&path) {
             Ok(bytes) => bytes,
-            // Absence and transient unreadability are both misses.
-            Err(_) => return LoadOutcome::Absent,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => return LoadOutcome::Absent,
+            // Any other read error is real I/O trouble — still a miss for
+            // the caller, but reported so tier health tracking sees it.
+            Err(err) => return LoadOutcome::Failed(err.kind()),
         };
         match decode_envelope(&bytes) {
             Some(payload) => {
@@ -278,9 +343,26 @@ impl DiskStore {
                 format!("invalid store key `{key}` (want 1..=128 lowercase hex chars)"),
             ));
         }
-        let envelope = encode_envelope(payload);
+        let mut torn = false;
+        match self.faults.check(FaultOp::Store) {
+            Some(FaultKind::TornWrite) => torn = true,
+            Some(kind) => {
+                if let Some(err) = injected_error(kind) {
+                    return Err(err);
+                }
+            }
+            None => {}
+        }
+        let mut envelope = encode_envelope(payload);
         if envelope.len() as u64 > self.max_bytes {
             return Ok(false);
+        }
+        if torn {
+            // The lying-disk fault: commit only half the envelope yet
+            // report success. The truncated entry fails validation on its
+            // next load and degrades to a miss — exactly what a real torn
+            // write (crash between write and fsync-less rename) produces.
+            envelope.truncate(envelope.len() / 2);
         }
         let final_path = self.entry_path(key);
         let old_bytes = fs::metadata(&final_path).map(|m| m.len()).unwrap_or(0);
@@ -321,6 +403,14 @@ impl DiskStore {
     /// deleted.
     pub fn remove(&self, key: &str) -> bool {
         if !valid_key(key) {
+            return false;
+        }
+        if self
+            .faults
+            .check(FaultOp::Evict)
+            .and_then(injected_error)
+            .is_some()
+        {
             return false;
         }
         let path = self.entry_path(key);
@@ -392,6 +482,16 @@ impl DiskStore {
                 kept_protected = entry.bytes;
                 continue;
             }
+            // An injected eviction fault leaves this entry on disk, like
+            // a real unlink failure would; the next pass retries it.
+            if self
+                .faults
+                .check(FaultOp::Evict)
+                .and_then(injected_error)
+                .is_some()
+            {
+                continue;
+            }
             if fs::remove_file(&entry.path).is_ok() {
                 total -= entry.bytes;
             }
@@ -454,6 +554,87 @@ mod tests {
         let bumped = (FORMAT_VERSION + 1).to_le_bytes();
         enveloped[4..8].copy_from_slice(&bumped);
         assert_eq!(decode_envelope(&enveloped), None);
+    }
+
+    #[test]
+    fn injected_faults_surface_as_errors() {
+        let dir = std::env::temp_dir().join(format!("qompress-fault-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+
+        // Store faults: ENOSPC and EACCES become the matching io errors.
+        let plan = FaultPlan::first(2, FaultKind::DiskFull).on_ops(&[FaultOp::Store]);
+        let store = DiskStore::open_with_faults(&dir, DEFAULT_MAX_BYTES, plan.clone()).unwrap();
+        let err = store.store("aa", b"payload").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        let err = store.store("aa", b"payload").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(plan.injected(), 2);
+        // The schedule is exhausted: the third store commits for real.
+        assert!(store.store("aa", b"payload").unwrap());
+        assert_eq!(store.load("aa"), LoadOutcome::Payload(b"payload".to_vec()));
+
+        // Load faults report `Failed` with the injected kind; the entry
+        // itself is untouched and serves again once the plan heals.
+        let plan = FaultPlan::always(FaultKind::PermissionDenied).on_ops(&[FaultOp::Load]);
+        let store = DiskStore::open_with_faults(&dir, DEFAULT_MAX_BYTES, plan.clone()).unwrap();
+        assert_eq!(
+            store.load("aa"),
+            LoadOutcome::Failed(io::ErrorKind::PermissionDenied)
+        );
+        plan.heal();
+        assert_eq!(store.load("aa"), LoadOutcome::Payload(b"payload".to_vec()));
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_reports_success_but_rejects_on_load() {
+        let dir = std::env::temp_dir().join(format!("qompress-torn-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let plan = FaultPlan::first(1, FaultKind::TornWrite).on_ops(&[FaultOp::Store]);
+        let store = DiskStore::open_with_faults(&dir, DEFAULT_MAX_BYTES, plan.clone()).unwrap();
+        // The lying disk: the call reports a committed entry…
+        assert!(store.store("bb", b"the whole payload").unwrap());
+        assert_eq!(plan.injected(), 1);
+        // …but the next load fails validation and degrades to a miss.
+        assert_eq!(store.load("bb"), LoadOutcome::Rejected);
+        assert_eq!(store.load("bb"), LoadOutcome::Absent, "reject removed it");
+        // A healed rewrite round-trips.
+        assert!(store.store("bb", b"the whole payload").unwrap());
+        assert_eq!(
+            store.load("bb"),
+            LoadOutcome::Payload(b"the whole payload".to_vec())
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn slow_fault_delays_but_succeeds() {
+        let dir = std::env::temp_dir().join(format!("qompress-slow-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let delay = std::time::Duration::from_millis(25);
+        let plan = FaultPlan::first(1, FaultKind::Slow(delay));
+        let store = DiskStore::open_with_faults(&dir, DEFAULT_MAX_BYTES, plan).unwrap();
+        let started = std::time::Instant::now();
+        assert!(store.store("cc", b"slow but sure").unwrap());
+        assert!(started.elapsed() >= delay, "slow fault must stall the op");
+        assert_eq!(
+            store.load("cc"),
+            LoadOutcome::Payload(b"slow but sure".to_vec())
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evict_fault_blocks_removal() {
+        let dir = std::env::temp_dir().join(format!("qompress-evfault-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let plan = FaultPlan::first(1, FaultKind::Io).on_ops(&[FaultOp::Evict]);
+        let store = DiskStore::open_with_faults(&dir, DEFAULT_MAX_BYTES, plan).unwrap();
+        assert!(store.store("dd", b"sticky").unwrap());
+        assert!(!store.remove("dd"), "injected unlink failure");
+        assert!(store.remove("dd"), "second try succeeds");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -252,6 +252,7 @@ fn concurrent_writers_never_produce_a_torn_read() {
                     }
                     LoadOutcome::Absent => {}
                     LoadOutcome::Rejected => panic!("validation rejected a live entry"),
+                    LoadOutcome::Failed(kind) => panic!("read failed on a healthy dir: {kind}"),
                 }
             }
         })
