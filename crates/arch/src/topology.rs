@@ -112,10 +112,100 @@ impl Topology {
         Topology::from_edges(format!("line-{n}"), n, edges)
     }
 
+    /// Number of units of [`Topology::heavy_hex`] at `distance` without
+    /// constructing it: `(5d² + 2d − 5) / 2`.
+    ///
+    /// Exposed so untrusted size checks (the service's `heavyhex:<d>`
+    /// spec) can validate the node count *before* any O(V) construction
+    /// runs. `heavy_hex_nodes(5) == 65`, `heavy_hex_nodes(7) == 127`
+    /// (IBM Eagle), `heavy_hex_nodes(21) == 1121` (IBM Condor scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `distance` is odd and at least 3.
+    pub fn heavy_hex_nodes(distance: usize) -> usize {
+        assert!(
+            distance >= 3 && distance % 2 == 1,
+            "heavy-hex distance must be odd and >= 3, got {distance}"
+        );
+        (5 * distance * distance + 2 * distance - 5) / 2
+    }
+
+    /// The IBM heavy-hexagon lattice family, parameterized by code
+    /// `distance` (odd, ≥ 3): `d` long rows of `2d+1` qubits (the first
+    /// row drops its last column, the last row its first), joined by
+    /// `(d+1)/2` bridge qubits per row gap at alternating columns.
+    ///
+    /// `heavy_hex(5)` is byte-identical (name, node numbering, edge
+    /// order) to [`Topology::heavy_hex_65`]; `heavy_hex(7)` is the
+    /// 127-unit Eagle coupling map and `heavy_hex(21)` the 1121-unit
+    /// Condor-scale device used as the utility-scale benchmark axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `distance` is odd and at least 3.
+    pub fn heavy_hex(distance: usize) -> Self {
+        let d = distance;
+        let n_nodes = Self::heavy_hex_nodes(d);
+        // Row r spans columns 0..=2d, except row 0 (drops column 2d) and
+        // row d−1 (drops column 0). Bridges for gap g sit at columns
+        // 2·(g mod 2), stepping by 4, (d+1)/2 of them.
+        let row_len = |r: usize| {
+            if r == 0 || r == d - 1 {
+                2 * d
+            } else {
+                2 * d + 1
+            }
+        };
+        let col_offset = |r: usize| if r == d - 1 { 1 } else { 0 };
+        // Sequential numbering: row 0, gap-0 bridges, row 1, gap-1
+        // bridges, … (matches the published 65-qubit map).
+        let mut row_base = Vec::with_capacity(d);
+        let mut bridge_base = Vec::with_capacity(d - 1);
+        let mut next = 0usize;
+        for r in 0..d {
+            row_base.push(next);
+            next += row_len(r);
+            if r + 1 < d {
+                bridge_base.push(next);
+                next += d.div_ceil(2);
+            }
+        }
+        debug_assert_eq!(next, n_nodes);
+        let node_at = |r: usize, col: usize| row_base[r] + col - col_offset(r);
+
+        let mut edges = Vec::new();
+        for r in 0..d {
+            // Horizontal edges along row r.
+            for i in 0..row_len(r) - 1 {
+                edges.push((row_base[r] + i, row_base[r] + i + 1));
+            }
+            // Bridges of gap r: first every upper anchor → bridge edge,
+            // then every bridge → lower anchor edge (published order).
+            if r + 1 < d {
+                let cols: Vec<usize> = (0..d.div_ceil(2)).map(|j| 2 * (r % 2) + 4 * j).collect();
+                for (j, &col) in cols.iter().enumerate() {
+                    edges.push((node_at(r, col), bridge_base[r] + j));
+                }
+                for (j, &col) in cols.iter().enumerate() {
+                    edges.push((bridge_base[r] + j, node_at(r + 1, col)));
+                }
+            }
+        }
+        Topology::from_edges(format!("heavy-hex-{n_nodes}"), n_nodes, edges)
+    }
+
     /// The 65-qubit IBM heavy-hex coupling map (Hummingbird family — the
-    /// paper's "IBM Ithaca" device): four long rows of 10-11 qubits joined
-    /// by bridge qubits.
+    /// paper's "IBM Ithaca" device): [`Topology::heavy_hex`] at distance
+    /// 5, kept as a named constructor for the paper's evaluation device.
     pub fn heavy_hex_65() -> Self {
+        Topology::heavy_hex(5)
+    }
+
+    /// The published 65-qubit edge list, retained verbatim as the pin for
+    /// [`Topology::heavy_hex`]'s generator (see the byte-identity test).
+    #[cfg(test)]
+    fn heavy_hex_65_literal() -> Self {
         let edges: Vec<(usize, usize)> = vec![
             // row 0
             (0, 1),
@@ -358,6 +448,55 @@ mod tests {
         let h = Topology::heavy_hex_65();
         let d = h.to_ugraph().bfs_distances(0);
         assert!(d.iter().all(|&x| x != usize::MAX));
+    }
+
+    #[test]
+    fn heavy_hex_generator_pins_65q_literal() {
+        // The parameterized family at d = 5 must reproduce the published
+        // 65-qubit map byte-for-byte: name, node count, and edge order.
+        let generated = Topology::heavy_hex(5);
+        let literal = Topology::heavy_hex_65_literal();
+        assert_eq!(generated.name(), literal.name());
+        assert_eq!(generated.n_nodes(), literal.n_nodes());
+        assert_eq!(generated.edges(), literal.edges());
+        assert_eq!(
+            generated.structural_fingerprint(),
+            literal.structural_fingerprint()
+        );
+    }
+
+    #[test]
+    fn heavy_hex_family_sizes() {
+        for (d, n) in [(3usize, 23usize), (5, 65), (7, 127), (21, 1121), (31, 2431)] {
+            assert_eq!(Topology::heavy_hex_nodes(d), n, "d={d}");
+        }
+        let eagle = Topology::heavy_hex(7);
+        assert_eq!(eagle.n_nodes(), 127);
+        assert_eq!(eagle.name(), "heavy-hex-127");
+        let condor = Topology::heavy_hex(21);
+        assert_eq!(condor.n_nodes(), 1121);
+        // Every member: connected, degree within 1..=3.
+        for d in [3usize, 7, 9, 21] {
+            let h = Topology::heavy_hex(d);
+            let dist = h.to_ugraph().bfs_distances(0);
+            assert!(dist.iter().all(|&x| x != usize::MAX), "d={d} disconnected");
+            for v in 0..h.n_nodes() {
+                let deg = h.neighbors(v).len();
+                assert!((1..=3).contains(&deg), "d={d} node {v} degree {deg}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "heavy-hex distance must be odd")]
+    fn heavy_hex_rejects_even_distance() {
+        Topology::heavy_hex(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "heavy-hex distance must be odd")]
+    fn heavy_hex_rejects_distance_one() {
+        Topology::heavy_hex(1);
     }
 
     #[test]

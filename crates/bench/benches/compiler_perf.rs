@@ -225,6 +225,34 @@ fn bench_routing_perf(c: &mut Criterion) {
     group.finish();
 }
 
+/// Utility-scale routing: the same 16-qubit workloads routed on a
+/// 1121-unit heavy-hex member and a 1024-unit grid, where the session's
+/// distance oracle runs in landmark mode (K farthest-point-sampled rows
+/// plus a bounded exact hot-row LRU) instead of materialising all-pairs
+/// rows. Warm iterations time the route phase against the shared
+/// landmark estimates.
+fn bench_large_device_routing(c: &mut Criterion) {
+    let config = CompilerConfig::paper();
+    let session = Compiler::builder().config(config.clone()).build();
+    let mut group = c.benchmark_group("large_device_routing");
+    group.sample_size(10);
+    let circuit = build(Benchmark::Cuccaro, 16, 7);
+    let dag = CircuitDag::build(&circuit);
+    for topo in [Topology::heavy_hex(21), Topology::grid(1024)] {
+        let tcache = session.topology_cache(&topo);
+        let base = map_circuit(&circuit, &topo, &config, &MappingOptions::qubit_only());
+        let mut warm = base.clone();
+        let _ = route_cached(&circuit, &dag, &mut warm, &tcache, &config);
+        group.bench_function(BenchmarkId::new("cuccaro16", topo.name()), |b| {
+            b.iter(|| {
+                let mut layout = base.clone();
+                route_cached(black_box(&circuit), &dag, &mut layout, &tcache, &config)
+            });
+        });
+    }
+    group.finish();
+}
+
 /// Routing-hot-path adjacency probe: `Topology::has_edge` over every node
 /// pair of the 65-qubit heavy-hex device (the router queries it for every
 /// candidate two-unit op). The adjacency-set representation makes each
@@ -295,6 +323,7 @@ criterion_group!(
     bench_job_service,
     bench_result_cache,
     bench_routing_perf,
+    bench_large_device_routing,
     bench_has_edge,
     bench_parametric_bind
 );

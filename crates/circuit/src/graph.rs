@@ -222,6 +222,11 @@ impl WGraph {
         self.adj.is_empty()
     }
 
+    /// Number of incident edges of `v` (isolated vertices report 0).
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
     /// Adds an undirected edge with the given cost.
     ///
     /// # Panics

@@ -30,6 +30,15 @@ pub struct CompilerConfig {
     /// Safety bound on router iterations per two-qubit gate before the
     /// fallback shortest-path routing engages.
     pub max_router_steps_per_gate: usize,
+    /// Largest device (in physical units) for which the
+    /// [`crate::DistanceOracle`] stays in exact mode (lazy full Dijkstra
+    /// rows, byte-identity pinned). Bigger devices switch to landmark
+    /// mode: O(K·V) memory, triangle-inequality estimates for lookahead
+    /// scoring, exact rows only for front-layer precision.
+    pub oracle_exact_threshold: usize,
+    /// Number of landmarks K in landmark mode. `0` picks automatically
+    /// (`ceil(sqrt(slots))`, clamped to `8..=64`).
+    pub oracle_landmarks: usize,
 }
 
 impl CompilerConfig {
@@ -46,6 +55,10 @@ impl CompilerConfig {
             ququart_route_penalty: 0.02,
             seed: 2023,
             max_router_steps_per_gate: 24,
+            // All the paper's devices (≤ 65 units) stay exact; landmark
+            // mode is for the utility-scale (1000-unit) axis.
+            oracle_exact_threshold: 256,
+            oracle_landmarks: 0,
         }
     }
 
@@ -95,6 +108,8 @@ impl CompilerConfig {
             ququart_route_penalty,
             seed,
             max_router_steps_per_gate,
+            oracle_exact_threshold,
+            oracle_landmarks,
         } = self;
         let mut h = Fingerprinter::new();
         for (class, spec) in library.iter() {
@@ -108,7 +123,9 @@ impl CompilerConfig {
             .write_f64(*lookahead_decay)
             .write_f64(*ququart_route_penalty)
             .write_u64(*seed)
-            .write_usize(*max_router_steps_per_gate);
+            .write_usize(*max_router_steps_per_gate)
+            .write_usize(*oracle_exact_threshold)
+            .write_usize(*oracle_landmarks);
         h.finish()
     }
 }
@@ -158,5 +175,13 @@ mod tests {
         let library =
             base.with_library(qompress_pulse::GateLibrary::paper().with_qubit_error_improved(2.0));
         assert_ne!(base.fingerprint(), library.fingerprint());
+
+        let mut threshold = base.clone();
+        threshold.oracle_exact_threshold = 1;
+        assert_ne!(base.fingerprint(), threshold.fingerprint());
+
+        let mut landmarks = base.clone();
+        landmarks.oracle_landmarks = 16;
+        assert_ne!(base.fingerprint(), landmarks.fingerprint());
     }
 }

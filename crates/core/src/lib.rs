@@ -77,7 +77,9 @@ pub use batch::{
 };
 pub use breaker::BreakerState;
 pub use config::CompilerConfig;
-pub use cost::{cx_class, gate_cost, gate_success, swap_class, DistanceOracle};
+pub use cost::{
+    cx_class, gate_cost, gate_success, swap_class, DistanceOracle, OracleMode, OracleStats,
+};
 pub use jobs::{CompletionQueue, JobHandle, JobId, JobOutcome, JobStatus};
 pub use layout::Layout;
 pub use mapping::{map_circuit, MappingOptions};

@@ -11,6 +11,7 @@
 //! two qubits into one ququart.
 
 use crate::config::CompilerConfig;
+use crate::cost::{DistanceOracle, OracleMode};
 use crate::layout::Layout;
 use qompress_arch::{Slot, Topology};
 use qompress_circuit::graph::WGraph;
@@ -52,12 +53,13 @@ impl MappingOptions {
 
 /// Unit-level distance helper used for placement scoring: edge weight is
 /// the `−log` success of the best SWAP class available between two units
-/// under the current encodings.
+/// under the current encodings. Row caching is delegated to the shared
+/// [`DistanceOracle`] (the same two-mode machinery the router uses), so
+/// mapping no longer maintains its own hand-rolled Dijkstra cache.
 struct UnitMetric<'a> {
     topo: &'a Topology,
     config: &'a CompilerConfig,
-    graph: WGraph,
-    cache: Vec<Option<Vec<f64>>>,
+    oracle: DistanceOracle,
 }
 
 impl<'a> UnitMetric<'a> {
@@ -65,8 +67,7 @@ impl<'a> UnitMetric<'a> {
         let mut m = UnitMetric {
             topo,
             config,
-            graph: WGraph::new(topo.n_nodes()),
-            cache: vec![None; topo.n_nodes()],
+            oracle: DistanceOracle::over_graph(WGraph::new(0), config),
         };
         m.rebuild(layout);
         m
@@ -87,19 +88,23 @@ impl<'a> UnitMetric<'a> {
             let cost = crate::cost::gate_cost(self.config, layout, class, u, Some(v));
             graph.add_edge(u, v, cost.max(0.0));
         }
-        self.graph = graph;
-        for c in &mut self.cache {
-            *c = None;
-        }
+        self.oracle = DistanceOracle::over_graph(graph, self.config);
     }
 
     /// Path cost between units (sum of `−log` swap successes; 0 for the
-    /// same unit).
-    fn cost(&mut self, from: usize, to: usize) -> f64 {
-        if self.cache[from].is_none() {
-            self.cache[from] = Some(self.graph.dijkstra(from));
+    /// same unit). `from` is the candidate position, `to` an
+    /// already-placed unit.
+    fn cost(&self, from: usize, to: usize) -> f64 {
+        match self.oracle.mode() {
+            // Small device: rows keyed on the candidate, exactly the
+            // orientation (and values) of the old hand-rolled cache —
+            // byte identity preserved.
+            OracleMode::Exact => self.oracle.distance_exact_idx(from, to),
+            // Large device: key exact rows on the placed unit instead
+            // (few of them) so memory stays O(placed · V) rather than
+            // one row per scanned candidate.
+            OracleMode::Landmark => self.oracle.distance_exact_idx(to, from),
         }
-        self.cache[from].as_ref().unwrap()[to]
     }
 }
 
@@ -114,6 +119,20 @@ pub fn map_circuit(
     topo: &Topology,
     config: &CompilerConfig,
     options: &MappingOptions,
+) -> Layout {
+    map_circuit_with_center(circuit, topo, config, options, topo.center())
+}
+
+/// [`map_circuit`] with the topology's center unit precomputed — finding
+/// the center is an all-sources BFS (`O(V·E)`), so callers compiling many
+/// circuits on one topology (the session pipeline) memoize it in their
+/// `TopologyCache` instead of re-deriving it per job.
+pub(crate) fn map_circuit_with_center(
+    circuit: &Circuit,
+    topo: &Topology,
+    config: &CompilerConfig,
+    options: &MappingOptions,
+    center: usize,
 ) -> Layout {
     let n = circuit.n_qubits();
     let capacity = if options.allow_slot1 || !options.pairs.is_empty() {
@@ -159,7 +178,6 @@ pub fn map_circuit(
         (mixed - bare).max(0.0)
     };
 
-    let center = topo.center();
     let center_dist: Vec<f64> = topo
         .to_ugraph()
         .bfs_distances(center)
@@ -194,7 +212,7 @@ pub fn map_circuit(
         // Weighted path cost of placing `qs` at `unit` (lower is better):
         // co-location contributes zero, distant heavy partners dominate.
         let cost_from_unit =
-            |unit: usize, qs: &[usize], layout: &Layout, metric: &mut UnitMetric| -> f64 {
+            |unit: usize, qs: &[usize], layout: &Layout, metric: &UnitMetric| -> f64 {
                 let mut c = 0.0;
                 for &q in qs {
                     for &j in &placed {
@@ -218,7 +236,7 @@ pub fn map_circuit(
                 };
             let best_unit = (0..topo.n_nodes())
                 .filter(|&u| layout.occupancy(u) == (false, false))
-                .map(|u| (u, cost_from_unit(u, &[q0, q1], &layout, &mut metric)))
+                .map(|u| (u, cost_from_unit(u, &[q0, q1], &layout, &metric)))
                 .min_by(|(ua, ca), (ub, cb)| {
                     ca.partial_cmp(cb)
                         .unwrap()
@@ -254,7 +272,7 @@ pub fn map_circuit(
             let best = candidates
                 .into_iter()
                 .map(|s| {
-                    let mut cost = cost_from_unit(s.node, &[pick], &layout, &mut metric);
+                    let mut cost = cost_from_unit(s.node, &[pick], &layout, &metric);
                     if s.slot == qompress_arch::SlotIndex::One {
                         // Encoding makes this qubit's *external* interactions
                         // partial-gate priced; charge the premium so slot 1

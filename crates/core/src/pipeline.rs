@@ -9,9 +9,9 @@
 //! overhead is attributed to the FQ strategy.
 
 use crate::config::CompilerConfig;
-use crate::cost::DistanceOracle;
+use crate::cost::{DistanceOracle, OracleStats};
 use crate::layout::Layout;
-use crate::mapping::{map_circuit, MappingOptions};
+use crate::mapping::{map_circuit_with_center, MappingOptions};
 use crate::metrics::Metrics;
 use crate::physical::Schedule;
 use crate::routing::route_cached;
@@ -47,6 +47,9 @@ pub struct TopologyCache {
     /// Oracles keyed by encoded-flag signature, for layouts with at least
     /// one encoded unit.
     encoded_oracles: std::sync::Mutex<std::collections::HashMap<Vec<bool>, Arc<DistanceOracle>>>,
+    /// The topology's center unit, memoized (finding it is an all-sources
+    /// BFS — noticeable on 1000-unit devices, pure waste per job).
+    center: std::sync::OnceLock<usize>,
 }
 
 impl Clone for TopologyCache {
@@ -62,6 +65,7 @@ impl Clone for TopologyCache {
                     .expect("oracle map poisoned")
                     .clone(),
             ),
+            center: self.center.clone(),
         }
     }
 }
@@ -74,7 +78,13 @@ impl TopologyCache {
             config: config.clone(),
             bare_oracle: std::sync::OnceLock::new(),
             encoded_oracles: std::sync::Mutex::new(std::collections::HashMap::new()),
+            center: std::sync::OnceLock::new(),
         }
+    }
+
+    /// The topology's center unit, computed once per cache.
+    pub fn center(&self) -> usize {
+        *self.center.get_or_init(|| self.topology().center())
     }
 
     /// The physical topology this cache was built for.
@@ -128,6 +138,20 @@ impl TopologyCache {
             .lock()
             .expect("oracle map poisoned")
             .len()
+    }
+
+    /// Aggregated row/memory accounting over every oracle this cache
+    /// holds (bare + all memoized encoded signatures).
+    pub fn oracle_stats(&self) -> OracleStats {
+        let mut total = OracleStats::default();
+        if let Some(bare) = self.bare_oracle.get() {
+            total.merge(&bare.stats());
+        }
+        let map = self.encoded_oracles.lock().expect("oracle map poisoned");
+        for oracle in map.values() {
+            total.merge(&oracle.stats());
+        }
+        total
     }
 }
 
@@ -219,7 +243,7 @@ pub fn compile_with_options_cached(
 ) -> CompilationResult {
     let topo = cache.topology();
     let dag = CircuitDag::build(circuit);
-    let mut layout = map_circuit(circuit, topo, config, options);
+    let mut layout = map_circuit_with_center(circuit, topo, config, options, cache.center());
     let initial_placements = layout.placements();
     let encoded_units = layout.encoded_flags().to_vec();
     let pairs = pairs_from_layout(&layout);

@@ -493,7 +493,10 @@ impl<'a> Router<'a> {
         let mut delta = 0.0;
         for (i, &(a, b)) in front.iter().enumerate() {
             if a == s || a == t || b == s || b == t {
-                let after = self.oracle.distance(relocate(a), relocate(b));
+                // Front terms demand tie-break-grade precision: exact in
+                // both oracle modes (in exact mode this is the same lazy
+                // row `distance` reads, so byte identity is untouched).
+                let after = self.oracle.distance_exact(relocate(a), relocate(b));
                 delta += after - front_base[i];
             }
         }
@@ -533,10 +536,14 @@ impl<'a> Router<'a> {
         look.clear();
         self.fill_lookahead(&mut look);
 
-        // Base distance of every pair, computed once per step.
+        // Base distance of every pair, computed once per step. Front
+        // pairs are always exact (deciding which gate becomes adjacent
+        // next); lookahead pairs tolerate the landmark estimate — the
+        // split is a static property of the call site, never of cache
+        // state, so routing stays deterministic under shared oracles.
         let mut front_base = std::mem::take(&mut self.front_base);
         front_base.clear();
-        front_base.extend(front.iter().map(|&(a, b)| self.oracle.distance(a, b)));
+        front_base.extend(front.iter().map(|&(a, b)| self.oracle.distance_exact(a, b)));
         let mut look_base = std::mem::take(&mut self.look_base);
         look_base.clear();
         look_base.extend(look.iter().map(|&(a, b)| self.oracle.distance(a, b)));

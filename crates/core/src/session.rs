@@ -1121,6 +1121,26 @@ impl Compiler {
             .len()
     }
 
+    /// Aggregated distance-oracle row/memory accounting across every
+    /// registered topology (bare + memoized encoded-signature oracles).
+    /// Large landmark-mode devices report their O(K·V) footprint here;
+    /// the wire `stats` op serves this object as `"oracle"`.
+    pub fn oracle_stats(&self) -> crate::OracleStats {
+        let caches: Vec<Arc<TopologyCache>> = {
+            let registry = self
+                .state
+                .topologies
+                .lock()
+                .expect("topology registry poisoned");
+            registry.map.values().map(Arc::clone).collect()
+        };
+        let mut total = crate::OracleStats::default();
+        for cache in caches {
+            total.merge(&cache.oracle_stats());
+        }
+        total
+    }
+
     /// Cumulative cache counters (all zeros when caching is disabled).
     pub fn cache_stats(&self) -> CacheStats {
         self.state.cache_stats()

@@ -47,6 +47,18 @@
 //!   --drain-timeout SECS      in-flight-job wait on shutdown signal
 //!                             (0 skips the wait; default 30)
 //! ```
+//!
+//! Distance-oracle tuning (utility-scale devices):
+//!
+//! ```text
+//!   --oracle-exact-threshold N   devices with at most N units use exact
+//!                                Dijkstra rows (default 256); larger
+//!                                ones switch to the O(K·V) landmark
+//!                                oracle
+//!   --oracle-landmarks K         landmark count for landmark mode
+//!                                (default 0 = auto: ceil(sqrt(slots)),
+//!                                clamped to 8..=64)
+//! ```
 
 use qompress::Compiler;
 use qompress_service::{DrainHandle, ServiceLimits, DEFAULT_DISK_CACHE_BYTES};
@@ -108,7 +120,8 @@ fn usage() -> ExitCode {
          [--max-gates N] [--max-topology N] [--max-concurrent-jobs N] \
          [--max-total-jobs N] [--max-sweep-bindings N] \
          [--max-queue-depth N] [--idle-timeout-secs N] \
-         [--drain-timeout SECS]"
+         [--drain-timeout SECS] [--oracle-exact-threshold N] \
+         [--oracle-landmarks K]"
     );
     ExitCode::from(2)
 }
@@ -142,6 +155,7 @@ fn main() -> ExitCode {
     let mut cache_dir: Option<String> = None;
     let mut cache_disk_bytes = DEFAULT_DISK_CACHE_BYTES;
     let mut drain_timeout_secs = DEFAULT_DRAIN_TIMEOUT_SECS;
+    let mut config = qompress::CompilerConfig::paper();
     let mut limits = ServiceLimits {
         idle_timeout: Some(Duration::from_secs(DEFAULT_IDLE_TIMEOUT_SECS)),
         ..ServiceLimits::default()
@@ -205,6 +219,10 @@ fn main() -> ExitCode {
                 }
             }
             "--drain-timeout" => count_flag!("--drain-timeout" => drain_timeout_secs),
+            "--oracle-exact-threshold" => {
+                count_flag!("--oracle-exact-threshold" => config.oracle_exact_threshold)
+            }
+            "--oracle-landmarks" => count_flag!("--oracle-landmarks" => config.oracle_landmarks),
             _ => {
                 eprintln!("unknown flag `{flag}`");
                 return usage();
@@ -212,7 +230,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut builder = Compiler::builder().workers(workers);
+    let mut builder = Compiler::builder().workers(workers).config(config);
     if let Some(capacity) = cache_capacity {
         builder = builder.cache_capacity(capacity);
     }

@@ -21,7 +21,7 @@
 
 use crate::json::Json;
 use crate::proto::{Request, ServiceEvent};
-use qompress::{BreakerState, CacheStats, ServiceMetrics, Strategy, TieredCacheStats};
+use qompress::{BreakerState, CacheStats, OracleStats, ServiceMetrics, Strategy, TieredCacheStats};
 use std::collections::VecDeque;
 use std::fmt;
 use std::io::{self, BufRead, Write};
@@ -109,6 +109,10 @@ pub struct StatsSnapshot {
     /// Counters split by cache tier; with no persistent tier configured
     /// on the server (`--cache-dir`), the disk counters are zero.
     pub tiers: TieredCacheStats,
+    /// Distance-oracle row/memory accounting across the server's
+    /// registered topologies (landmark-mode devices report their
+    /// O(K·V) footprint here).
+    pub oracle: OracleStats,
     /// Server-computed hit rate (redundant with `cache.hit_rate()`, kept
     /// for wire-visibility in logs).
     pub hit_rate: f64,
@@ -409,6 +413,16 @@ impl<R: BufRead, W: Write> ServiceClient<R, W> {
                 .and_then(Json::as_u64)
                 .ok_or_else(|| ServiceError::Protocol(format!("stats missing tiers `{name}`")))
         };
+        let oracle = response
+            .get("oracle")
+            .ok_or_else(|| ServiceError::Protocol("stats missing `oracle`".into()))?;
+        let oracle_counter = |name: &str| -> Result<usize, ServiceError> {
+            oracle
+                .get(name)
+                .and_then(Json::as_u64)
+                .map(|v| v as usize)
+                .ok_or_else(|| ServiceError::Protocol(format!("stats missing oracle `{name}`")))
+        };
         Ok(StatsSnapshot {
             service: ServiceMetrics {
                 submitted: counter("submitted")?,
@@ -439,6 +453,13 @@ impl<R: BufRead, W: Write> ServiceClient<R, W> {
                     .ok_or_else(|| {
                         ServiceError::Protocol("stats missing tiers `breaker_state`".into())
                     })?,
+            },
+            oracle: OracleStats {
+                exact_oracles: oracle_counter("exact_oracles")?,
+                landmark_oracles: oracle_counter("landmark_oracles")?,
+                rows_materialized: oracle_counter("rows_materialized")?,
+                landmark_rows: oracle_counter("landmark_rows")?,
+                approx_bytes: oracle_counter("approx_bytes")?,
             },
             hit_rate: cache.get("hit_rate").and_then(Json::as_f64).unwrap_or(0.0),
         })

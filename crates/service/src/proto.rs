@@ -295,8 +295,10 @@ pub fn strategy_by_name(name: &str) -> Result<Strategy, String> {
 pub const DEFAULT_MAX_TOPOLOGY_NODES: usize = 4096;
 
 /// Parses a topology spec string: `line:N`, `grid:N`, `ring:N` (N = the
-/// qubit count the constructor takes) or `heavy_hex_65`, with the
-/// requested size clamped to [`DEFAULT_MAX_TOPOLOGY_NODES`].
+/// qubit count the constructor takes), `heavyhex:D` (D = the heavy-hex
+/// code distance, odd ≥ 3 — `heavyhex:5` is the 65-unit device,
+/// `heavyhex:21` the 1121-unit utility-scale one) or `heavy_hex_65`,
+/// with the requested size clamped to [`DEFAULT_MAX_TOPOLOGY_NODES`].
 pub fn parse_topology_spec(spec: &str) -> Result<Topology, String> {
     parse_topology_spec_bounded(spec, DEFAULT_MAX_TOPOLOGY_NODES)
 }
@@ -340,6 +342,23 @@ pub fn parse_topology_spec_bounded(spec: &str, max_nodes: usize) -> Result<Topol
         // that into an error, not a panicked connection thread.
         "ring" if size < 3 => Err(format!("ring topology needs at least 3 nodes in `{spec}`")),
         "ring" => Ok(Topology::ring(size)),
+        // `heavyhex:<d>` takes the code *distance*, not the node count;
+        // the node count ((5d²+2d−5)/2 — `heavyhex:21` is 1121 units) is
+        // what the limit governs, computed before construction so an
+        // oversized spec never pays O(V) work. The constructor asserts
+        // d odd ≥ 3; turn both into errors here.
+        "heavyhex" if size < 3 || size.is_multiple_of(2) => Err(format!(
+            "heavy-hex distance must be odd and >= 3 in `{spec}`"
+        )),
+        "heavyhex" => {
+            let nodes = Topology::heavy_hex_nodes(size);
+            if nodes > max_nodes {
+                return Err(format!(
+                    "topology `{spec}` has {nodes} nodes, exceeding the limit of {max_nodes}"
+                ));
+            }
+            Ok(Topology::heavy_hex(size))
+        }
         other => Err(format!("unknown topology kind `{other}`")),
     }
 }
@@ -598,6 +617,40 @@ mod tests {
         for bad in ["grid", "grid:", "grid:x", "grid:0", "torus:4", "", "ring:2"] {
             assert!(parse_topology_spec(bad).is_err(), "`{bad}`");
         }
+    }
+
+    #[test]
+    fn heavyhex_spec_takes_the_distance() {
+        assert_eq!(
+            parse_topology_spec("heavyhex:5").unwrap(),
+            Topology::heavy_hex_65()
+        );
+        assert_eq!(parse_topology_spec("heavyhex:7").unwrap().n_nodes(), 127);
+        assert_eq!(parse_topology_spec("heavyhex:21").unwrap().n_nodes(), 1121);
+        // Invalid distances answer errors, never a panicked connection.
+        for bad in [
+            "heavyhex:0",
+            "heavyhex:1",
+            "heavyhex:2",
+            "heavyhex:4",
+            "heavyhex:x",
+        ] {
+            assert!(parse_topology_spec(bad).is_err(), "`{bad}`");
+        }
+    }
+
+    #[test]
+    fn heavyhex_spec_limit_governs_node_count_not_distance() {
+        // d = 41 → 4241 nodes > 4096: rejected by node count even though
+        // the raw distance is tiny — and before any construction runs.
+        assert_eq!(Topology::heavy_hex_nodes(41), 4241);
+        let err = parse_topology_spec("heavyhex:41").unwrap_err();
+        assert!(err.contains("4241") && err.contains("limit"), "{err}");
+        // d = 39 → 3839 nodes fits the default bound.
+        assert_eq!(parse_topology_spec("heavyhex:39").unwrap().n_nodes(), 3839);
+        // Explicit tighter bounds bite the same way.
+        assert!(parse_topology_spec_bounded("heavyhex:5", 65).is_ok());
+        assert!(parse_topology_spec_bounded("heavyhex:5", 64).is_err());
     }
 
     #[test]

@@ -601,10 +601,11 @@ fn handle_line(
             let c = conn.session.cache_stats();
             let skeleton = conn.session.skeleton_cache_stats();
             let tiers = conn.session.tiered_cache_stats();
+            let oracle = conn.session.oracle_stats();
             format!(
                 "{{\"ok\":true,\"op\":\"stats\",\"submitted\":{},\"queued\":{},\
                  \"running\":{},\"completed\":{},\"cancelled\":{},\"failed\":{},\
-                 \"cache\":{},\"skeleton_cache\":{},\"tiers\":{}}}",
+                 \"cache\":{},\"skeleton_cache\":{},\"tiers\":{},\"oracle\":{}}}",
                 m.submitted,
                 m.queued,
                 m.running,
@@ -613,7 +614,8 @@ fn handle_line(
                 m.failed,
                 c.to_json(),
                 skeleton.to_json(),
-                tiers.to_json()
+                tiers.to_json(),
+                oracle.to_json()
             )
         }
         Request::Pause => {

@@ -258,6 +258,44 @@ fn shared_session_serves_wire_hits_from_cache() {
 }
 
 #[test]
+fn stats_surface_oracle_row_accounting() {
+    // Small device on the paper config: exact mode. A line device forces
+    // real routing, so distance rows actually materialize.
+    let session = Arc::new(Compiler::builder().workers(1).build());
+    let (mut client, server) = connect(Arc::clone(&session));
+    let qasm = to_qasm(&build(Benchmark::Cuccaro, 8, 7));
+    client
+        .submit("a", Strategy::QubitOnly, "line:8", &qasm)
+        .unwrap();
+    client.next_event().unwrap();
+    let stats = client.stats().unwrap();
+    assert!(stats.oracle.exact_oracles >= 1);
+    assert_eq!(stats.oracle.landmark_oracles, 0);
+    assert!(stats.oracle.rows_materialized > 0);
+    assert!(stats.oracle.approx_bytes > 0);
+    drop(client);
+    server.join().unwrap().unwrap();
+
+    // Same workload with the exact threshold forced below the device
+    // size: landmark mode, bounded rows.
+    let mut config = qompress::CompilerConfig::paper();
+    config.oracle_exact_threshold = 1;
+    let session = Arc::new(Compiler::builder().workers(1).config(config).build());
+    let (mut client, server) = connect(Arc::clone(&session));
+    let qasm = to_qasm(&build(Benchmark::Cuccaro, 8, 7));
+    client
+        .submit("a", Strategy::QubitOnly, "line:8", &qasm)
+        .unwrap();
+    client.next_event().unwrap();
+    let stats = client.stats().unwrap();
+    assert!(stats.oracle.landmark_oracles >= 1);
+    assert_eq!(stats.oracle.exact_oracles, 0);
+    assert!(stats.oracle.landmark_rows > 0);
+    drop(client);
+    server.join().unwrap().unwrap();
+}
+
+#[test]
 fn protocol_errors_do_not_end_the_connection() {
     let session = Arc::new(Compiler::builder().workers(1).build());
     let (mut client, server) = connect(session);

@@ -432,10 +432,13 @@ fn assert_routers_agree(circuit: &Circuit, topo: &Topology, options: &MappingOpt
 }
 
 fn topology_from_index(i: usize, n: usize) -> Topology {
-    match i % 3 {
+    match i % 4 {
         0 => Topology::line(n),
         1 => Topology::grid(n),
-        _ => Topology::ring(n.max(3)),
+        2 => Topology::ring(n.max(3)),
+        // Smallest heavy-hex member (23 units) — the device family the
+        // landmark oracle targets must stay byte-identical in exact mode.
+        _ => Topology::heavy_hex(3),
     }
 }
 
@@ -447,7 +450,7 @@ proptest! {
         n in 3usize..7,
         gates in 6usize..26,
         seed in 0u64..1000,
-        topo_idx in 0usize..3,
+        topo_idx in 0usize..4,
         opts_idx in 0usize..3,
     ) {
         let circuit = random_circuit(n, gates, seed);
@@ -485,7 +488,12 @@ fn routers_agree_on_every_strategy_pair_set() {
         }
         c
     };
-    for topo in [Topology::line(6), Topology::grid(6), Topology::ring(6)] {
+    for topo in [
+        Topology::line(6),
+        Topology::grid(6),
+        Topology::ring(6),
+        Topology::heavy_hex(3),
+    ] {
         for strategy in qompress::ALL_STRATEGIES {
             let pairs = compile(&circuit, &topo, strategy, &config).pairs;
             assert_routers_agree(
@@ -512,6 +520,7 @@ fn routers_agree_on_benchmark_circuits() {
             Topology::line(circuit.n_qubits()),
             Topology::grid(circuit.n_qubits()),
             Topology::ring(circuit.n_qubits()),
+            Topology::heavy_hex_65(),
         ] {
             for options in [
                 MappingOptions::qubit_only(),
